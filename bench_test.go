@@ -1,0 +1,258 @@
+package glitchlab
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark exercises the exact code path that regenerates its artifact;
+// where a full regeneration takes seconds to minutes, the benchmark runs a
+// representative slice per iteration (one branch condition, one clock
+// cycle, one parameter-grid row) so `go test -bench=.` stays tractable.
+// The cmd/ tools run the full versions.
+
+import (
+	"testing"
+
+	"glitchlab/internal/campaign"
+	"glitchlab/internal/core"
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/isa"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/pipeline"
+	"glitchlab/internal/search"
+)
+
+// benchSweep runs one conditional branch's mutation sweep up to maxFlips.
+func benchSweep(b *testing.B, model mutate.Model, zeroInvalid bool) {
+	b.Helper()
+	r, err := campaign.NewRunner(isa.EQ, zeroInvalid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := r.Sweep(model, 2) // k = 0..2: 137 mutated executions
+		if res.Runs == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// Figure 2a: AND (1→0) flips over every conditional branch encoding.
+func BenchmarkFigure2AND(b *testing.B) { benchSweep(b, mutate.AND, false) }
+
+// Figure 2b: OR (0→1) flips.
+func BenchmarkFigure2OR(b *testing.B) { benchSweep(b, mutate.OR, false) }
+
+// Figure 2c: AND flips with the all-zero encoding made invalid.
+func BenchmarkFigure2ANDZeroInvalid(b *testing.B) { benchSweep(b, mutate.AND, true) }
+
+// Section IV text: the bidirectional XOR control.
+func BenchmarkFigure2XOR(b *testing.B) { benchSweep(b, mutate.XOR, false) }
+
+// benchTable1 scans one clock cycle of one guard over the parameter grid.
+func benchTable1(b *testing.B, g glitcher.Guard) {
+	b.Helper()
+	m := glitcher.NewModel(core.DefaultSeed)
+	t, err := glitcher.NewTarget(g, g.SingleLoopSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attempts := 0
+		glitcher.Grid(func(p glitcher.Params) {
+			if _, hit := m.EventAt(p, 4, 0); !hit {
+				return
+			}
+			attempts++
+			t.Attempt(m.Plan(p, 4))
+		})
+		if attempts == 0 {
+			b.Fatal("no events in grid")
+		}
+	}
+}
+
+// Table Ia: single-glitch scan against while(!a).
+func BenchmarkTable1WhileNotA(b *testing.B) { benchTable1(b, glitcher.GuardWhileNotA) }
+
+// Table Ib: single-glitch scan against while(a).
+func BenchmarkTable1WhileA(b *testing.B) { benchTable1(b, glitcher.GuardWhileA) }
+
+// Table Ic: single-glitch scan against while(a != 0xD3B9AEC6).
+func BenchmarkTable1WhileNeq(b *testing.B) { benchTable1(b, glitcher.GuardWhileNeq) }
+
+// Table II: multi-glitch (two triggers, same parameters) for one cycle.
+func BenchmarkTable2MultiGlitch(b *testing.B) {
+	m := glitcher.NewModel(core.DefaultSeed)
+	g := glitcher.GuardWhileNotA
+	t, err := glitcher.NewTarget(g, g.DoubleLoopSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		glitcher.Grid(func(p glitcher.Params) {
+			if _, hit := m.EventAt(p, 5, 0); !hit {
+				return
+			}
+			t.Attempt(m.Plan(p, 5))
+		})
+	}
+}
+
+// Table III: long glitch (cycles 0-10) over two subsequent loops.
+func BenchmarkTable3LongGlitch(b *testing.B) {
+	m := glitcher.NewModel(core.DefaultSeed)
+	g := glitcher.GuardWhileA
+	t, err := glitcher.NewTarget(g, g.LongGlitchSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		glitcher.Grid(func(p glitcher.Params) {
+			any := false
+			for rel := 0; rel < 10 && !any; rel++ {
+				_, any = m.EventInContext(p, rel, 0, rel)
+			}
+			if !any {
+				return
+			}
+			t.Attempt(m.RangePlan(p, 0, 10))
+		})
+	}
+}
+
+// Section V-B: the full optimal-parameter search to 10/10 reliability.
+func BenchmarkParamSearch(b *testing.B) {
+	m := glitcher.NewModel(core.DefaultSeed)
+	for i := 0; i < b.N; i++ {
+		s, err := search.New(m, glitcher.GuardWhileA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res := s.Find(); !res.Found {
+			b.Fatal("search failed")
+		}
+	}
+}
+
+// Table IV: boot-cycle measurement of the fully defended firmware.
+func BenchmarkTable4BootOverhead(b *testing.B) {
+	res, err := core.Compile(core.EvalFirmware, passes.All(core.EvalSensitive...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMachine(res.Image)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := m.Run(50_000_000)
+		if r.Tag != "boot_done" {
+			b.Fatalf("boot ended %v/%q", r.Reason, r.Tag)
+		}
+		b.ReportMetric(float64(r.Cycles), "bootcycles")
+	}
+}
+
+// Table V: building the firmware under every defense set and measuring
+// section sizes.
+func BenchmarkTable5SizeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t5, err := core.RunTable5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		all := t5.Rows[len(t5.Rows)-1]
+		b.ReportMetric(float64(all.Sizes.Total()), "allbytes")
+	}
+}
+
+// Table VI: one parameter-grid row (99 offsets at one width) of the
+// best-case single-glitch cell.
+func BenchmarkTable6Defenses(b *testing.B) {
+	model := glitcher.NewModel(core.DefaultSeed)
+	res, err := core.Compile(core.IfSuccessFirmware, passes.AllButDelay())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.NewMachine(res.Image)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for o := -glitcher.ParamRange; o <= glitcher.ParamRange; o++ {
+			p := glitcher.Params{Width: -38, Offset: o}
+			if _, hit := model.EventAt(p, 8, 0); !hit {
+				continue
+			}
+			m.Board.Reset()
+			m.Glitch = model.Plan(p, 8)
+			m.Run(200_000)
+		}
+	}
+}
+
+// Ablation: how much each individual defense costs to compile and boot.
+func BenchmarkAblationDefenseConfigs(b *testing.B) {
+	for _, cfg := range core.DefenseConfigs(core.EvalSensitive...) {
+		cfg := cfg
+		b.Run(cfg.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Compile(core.EvalFirmware, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := core.NewMachine(res.Image)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r := m.Run(50_000_000)
+				if r.Tag != "boot_done" {
+					b.Fatalf("boot ended %v/%q", r.Reason, r.Tag)
+				}
+				b.ReportMetric(float64(r.Cycles), "bootcycles")
+				b.ReportMetric(float64(res.Image.Sizes.Total()), "imagebytes")
+			}
+		})
+	}
+}
+
+// Ablation: raw emulator speed (instructions per second), the substrate
+// every experiment stands on.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	g := glitcher.GuardWhileNotA
+	t, err := glitcher.NewTarget(g, g.SingleLoopSource())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := t.CleanRun()
+		if r.Reason != pipeline.StopHung {
+			b.Fatal("guard exited")
+		}
+		b.ReportMetric(float64(r.Steps), "instructions")
+	}
+}
+
+// Ablation: decoder throughput over the full 16-bit encoding space.
+func BenchmarkDecoderFullSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		valid := 0
+		for hw := 0; hw < 0x10000; hw++ {
+			if isa.Is32Bit(uint16(hw)) {
+				continue
+			}
+			if in := isa.Decode(uint16(hw), 0); in.Op != isa.OpInvalid {
+				valid++
+			}
+		}
+		if valid == 0 {
+			b.Fatal("no valid encodings")
+		}
+	}
+}

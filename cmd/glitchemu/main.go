@@ -1,0 +1,74 @@
+// Command glitchemu runs the paper's Section IV emulation campaigns: it
+// exhaustively perturbs every conditional-branch encoding of ARM Thumb with
+// bit flips and reports the Figure 2 success rates and failure histograms.
+//
+// Usage:
+//
+//	glitchemu                      # all variants (Figure 2a, 2b, 2c, XOR)
+//	glitchemu -model and           # one model
+//	glitchemu -model and -zero-invalid
+//	glitchemu -max-flips 4         # partial sweep (cheaper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glitchlab/internal/campaign"
+	"glitchlab/internal/core"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glitchemu:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	modelFlag := flag.String("model", "", "mutation model: and, or, xor (default: all)")
+	zeroInvalid := flag.Bool("zero-invalid", false,
+		"treat the all-zero encoding as invalid (Figure 2c)")
+	padUDF := flag.Bool("pad-udf", false,
+		"fill unreachable slots with UDF (Section IV hardening hypothesis)")
+	maxFlips := flag.Int("max-flips", 16, "maximum number of flipped bits per mask")
+	flag.Parse()
+
+	type variant struct {
+		model       mutate.Model
+		zeroInvalid bool
+	}
+	var variants []variant
+	if *modelFlag == "" {
+		variants = []variant{
+			{mutate.AND, false},
+			{mutate.OR, false},
+			{mutate.AND, true},
+			{mutate.XOR, false},
+		}
+	} else {
+		m, err := mutate.ParseModel(*modelFlag)
+		if err != nil {
+			return err
+		}
+		variants = []variant{{m, *zeroInvalid}}
+	}
+
+	for _, v := range variants {
+		var results []campaign.CondResult
+		var err error
+		if *padUDF {
+			results, err = core.RunUDFHardening(v.model, *maxFlips)
+		} else {
+			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Figure2(results, v.model, v.zeroInvalid))
+	}
+	return nil
+}

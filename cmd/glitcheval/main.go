@@ -1,0 +1,93 @@
+// Command glitcheval runs the paper's Section VII defense evaluation:
+// Table IV (boot-time overhead), Table V (size overhead), Table VI
+// (defense efficacy under single, long and windowed glitch attacks), and
+// prints the Table VII defense comparison.
+//
+// Usage:
+//
+//	glitcheval                  # everything (Table VI takes ~1 minute)
+//	glitcheval -exp table4
+//	glitcheval -exp table6 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glitchlab/internal/core"
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glitcheval:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment: table4, table5, table6, table7, all")
+	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed (table6)")
+	verbose := flag.Bool("v", false, "print table6 progress per cell")
+	flag.Parse()
+
+	runT4 := func() error {
+		t4, err := core.RunTable4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table4(t4))
+		return nil
+	}
+	runT5 := func() error {
+		t5, err := core.RunTable5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table5(t5))
+		return nil
+	}
+	runT6 := func() error {
+		var progress func(sc, cfg string, a core.Attack, cell core.Table6Cell)
+		if *verbose {
+			progress = func(sc, cfg string, a core.Attack, cell core.Table6Cell) {
+				fmt.Fprintf(os.Stderr, "  %s / %s / %s: %d successes, %d detections\n",
+					sc, cfg, a, cell.Successes, cell.Detections)
+			}
+		}
+		t6, err := core.RunTable6(glitcher.NewModel(*seed), progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table6(t6))
+		return nil
+	}
+
+	switch *exp {
+	case "table4":
+		return runT4()
+	case "table5":
+		return runT5()
+	case "table6":
+		return runT6()
+	case "table7":
+		fmt.Println(report.Table7())
+		return nil
+	case "all":
+		if err := runT4(); err != nil {
+			return err
+		}
+		if err := runT5(); err != nil {
+			return err
+		}
+		if err := runT6(); err != nil {
+			return err
+		}
+		fmt.Println(report.Table7())
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}

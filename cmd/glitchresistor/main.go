@@ -1,0 +1,127 @@
+// Command glitchresistor is the defense tool itself: it compiles mini-C
+// firmware with a selected set of glitching defenses and reports what was
+// instrumented and what it cost, like running the paper's LLVM passes over
+// a project.
+//
+// Usage:
+//
+//	glitchresistor -defenses all -sensitive uwTick firmware.c
+//	glitchresistor -defenses branches,loops,delay firmware.c
+//	glitchresistor -defenses none firmware.c        # baseline sizes
+//	glitchresistor -run firmware.c                  # also execute cleanly
+//
+// Defense names: enums, returns, integrity, branches, loops, delay, and
+// the shorthands all, all-but-delay, none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glitchlab/internal/core"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/pipeline"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glitchresistor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	defenses := flag.String("defenses", "all", "comma-separated defense list")
+	sensitive := flag.String("sensitive", "",
+		"comma-separated globals to protect with data integrity")
+	delayOptIn := flag.String("delay-opt-in", "",
+		"restrict random delays to these functions (comma-separated)")
+	delayOptOut := flag.String("delay-opt-out", "",
+		"exempt these functions from random delays (comma-separated)")
+	execute := flag.Bool("run", false, "run the firmware cleanly after building")
+	maxCycles := flag.Uint64("max-cycles", 10_000_000, "clean-run cycle budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: glitchresistor [flags] <firmware.c>")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	cfg, err := parseConfig(*defenses, *sensitive)
+	if err != nil {
+		return err
+	}
+	if *delayOptIn != "" {
+		cfg.DelayOptIn = strings.Split(*delayOptIn, ",")
+	}
+	if *delayOptOut != "" {
+		cfg.DelayOptOut = strings.Split(*delayOptOut, ",")
+	}
+	res, err := core.Compile(string(src), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("defenses:     %s\n", cfg.Name())
+	fmt.Printf("instrumented: %s\n", res.Report.String())
+	fmt.Printf("sizes:        text=%d data=%d bss=%d total=%d bytes\n",
+		res.Image.Sizes.Text, res.Image.Sizes.Data, res.Image.Sizes.BSS,
+		res.Image.Sizes.Total())
+
+	if *execute {
+		r, err := core.RunClean(res.Image, *maxCycles)
+		if err != nil {
+			return err
+		}
+		switch r.Reason {
+		case pipeline.StopHit:
+			fmt.Printf("clean run:    reached %q after %d cycles (%d instructions)\n",
+				r.Tag, r.Cycles, r.Steps)
+		case pipeline.StopHung:
+			fmt.Printf("clean run:    still running after %d cycles\n", r.Cycles)
+		default:
+			fmt.Printf("clean run:    fault %v\n", r.Fault)
+		}
+	}
+	return nil
+}
+
+func parseConfig(defenses, sensitive string) (passes.Config, error) {
+	var sens []string
+	if sensitive != "" {
+		sens = strings.Split(sensitive, ",")
+	}
+	switch defenses {
+	case "all":
+		return passes.All(sens...), nil
+	case "all-but-delay":
+		return passes.AllButDelay(sens...), nil
+	case "none":
+		return passes.None(), nil
+	}
+	cfg := passes.Config{Sensitive: sens}
+	for _, name := range strings.Split(defenses, ",") {
+		switch strings.TrimSpace(name) {
+		case "enums":
+			cfg.EnumRewrite = true
+		case "returns":
+			cfg.Returns = true
+		case "integrity":
+			cfg.Integrity = true
+		case "branches":
+			cfg.Branches = true
+		case "loops":
+			cfg.Loops = true
+		case "delay":
+			cfg.Delay = true
+		case "":
+		default:
+			return cfg, fmt.Errorf("unknown defense %q", name)
+		}
+	}
+	return cfg, nil
+}

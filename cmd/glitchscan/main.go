@@ -1,0 +1,108 @@
+// Command glitchscan runs the paper's Section V "real-world" glitching
+// experiments against the simulated STM32 target: Table I single-glitch
+// scans, Table II multi-glitch, Table III long-glitch, and the Section V-B
+// optimal-parameter search.
+//
+// Usage:
+//
+//	glitchscan                 # everything
+//	glitchscan -exp table1a    # one experiment
+//	glitchscan -seed 7         # a different fault-model landscape
+//
+// Experiments: table1a table1b table1c table1 table2 table3 search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glitchlab/internal/core"
+	"glitchlab/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glitchscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all",
+		"experiment: table1a, table1b, table1c, table1, table2, table3, search, all")
+	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed")
+	flag.Parse()
+
+	wantT1 := map[string]int{"table1a": 0, "table1b": 1, "table1c": 2}
+	switch *exp {
+	case "table1a", "table1b", "table1c":
+		results, err := core.RunTable1(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Table1(results[wantT1[*exp]]))
+		return nil
+	case "table1":
+		return printTable1(*seed)
+	case "table2":
+		return printTable2(*seed)
+	case "table3":
+		return printTable3(*seed)
+	case "search":
+		return printSearch(*seed)
+	case "all":
+		if err := printTable1(*seed); err != nil {
+			return err
+		}
+		if err := printTable2(*seed); err != nil {
+			return err
+		}
+		if err := printTable3(*seed); err != nil {
+			return err
+		}
+		return printSearch(*seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+func printTable1(seed uint64) error {
+	results, err := core.RunTable1(seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Println(report.Table1(r))
+	}
+	return nil
+}
+
+func printTable2(seed uint64) error {
+	results, err := core.RunTable2(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table2(results))
+	return nil
+}
+
+func printTable3(seed uint64) error {
+	results, err := core.RunTable3(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.Table3(results))
+	return nil
+}
+
+func printSearch(seed uint64) error {
+	results, err := core.RunSearch(seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Println(report.Search(r))
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package glitchlab is a from-scratch Go reproduction of "Glitching
+// Demystified: Analyzing Control-flow-based Glitching Attacks and
+// Defenses" (Spensky et al., DSN 2021).
+//
+// The library lives under internal/: an ARMv6-M Thumb emulator and
+// assembler (internal/isa, internal/emu), the exhaustive bit-flip
+// campaigns of Figure 2 (internal/mutate, internal/campaign), a
+// cycle-accurate pipelined target with a deterministic clock-glitch
+// physics model reproducing the Section V experiments (internal/pipeline,
+// internal/firmware, internal/glitcher, internal/search), and
+// GlitchResistor itself — a mini-C compiler with the paper's six defense
+// passes emitting real Thumb firmware (internal/minic, internal/ir,
+// internal/passes, internal/codegen, internal/rs, internal/lcg), tied
+// together by internal/core and rendered by internal/report.
+//
+// The executables under cmd/ regenerate every table and figure of the
+// paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for reproduced-versus-published numbers.
+package glitchlab
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

@@ -1,0 +1,113 @@
+// Secureboot: the paper's motivating scenario. A boot loader verifies a
+// firmware signature before jumping to it; glitching the verification is
+// one of the only ways to compromise it (paper Section II-A). This example
+// attacks an unprotected and a GlitchResistor-protected boot check with
+// the full deterministic clock-glitch parameter scan from Section V and
+// compares success and detection rates.
+//
+//	go run ./examples/secureboot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"glitchlab/internal/core"
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/pipeline"
+)
+
+// bootloader checks a (toy) signature word-by-word before booting. The
+// stored image is deliberately unsigned, so a correct boot loader must
+// refuse to boot; only a glitch can reach boot_firmware().
+const bootloader = `
+enum verdict { BAD_SIGNATURE, GOOD_SIGNATURE };
+
+volatile unsigned int image_word;
+
+unsigned int verify_signature(void) {
+	// Accumulate a checksum over four "image words" and compare with the
+	// expected signature. The image is unsigned: the check must fail.
+	unsigned int sum = 0;
+	for (unsigned int i = 0; i < 4; i = i + 1) {
+		sum = sum ^ (image_word + i);
+	}
+	if (sum == 0xD3B9AEC6) {
+		return GOOD_SIGNATURE;
+	}
+	return BAD_SIGNATURE;
+}
+
+void main(void) {
+	image_word = 0x1234;
+	trigger();
+	if (verify_signature() == GOOD_SIGNATURE) {
+		success();       // boot the unsigned firmware: the attack's goal
+	}
+	halt();              // refuse to boot
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	model := glitcher.NewModel(core.DefaultSeed)
+	for _, cfg := range []passes.Config{passes.None(), passes.AllButDelay(), passes.All()} {
+		res, err := core.Compile(bootloader, cfg)
+		if err != nil {
+			return err
+		}
+		m, err := core.NewMachine(res.Image)
+		if err != nil {
+			return err
+		}
+		// Sanity: without a glitch the loader must refuse to boot.
+		clean, err := core.RunClean(res.Image, 10_000_000)
+		if err != nil {
+			return err
+		}
+		if clean.Tag != "halt" {
+			return fmt.Errorf("%s: clean run booted?! (%v/%q)",
+				cfg.Name(), clean.Reason, clean.Tag)
+		}
+
+		// Attack: a 10-cycle glitch burst at each of 11 window starts,
+		// across the full ChipWhisperer-style parameter grid.
+		var total, booted, detected uint64
+		for start := 0; start <= 100; start += 10 {
+			s := start
+			glitcher.Grid(func(p glitcher.Params) {
+				total++
+				any := false
+				for rel := s; rel < s+10 && !any; rel++ {
+					_, any = model.EventInContext(p, rel, 0, rel-s)
+				}
+				if !any {
+					return
+				}
+				m.Board.Reset()
+				m.Glitch = model.RangePlan(p, s, s+10)
+				r := m.Run(m.Board.CPU.Cycles + 10_000_000)
+				switch {
+				case r.Reason == pipeline.StopHit && r.Tag == "success":
+					booted++
+				case r.Reason == pipeline.StopHit && r.Tag == passes.DetectFunc:
+					detected++
+				}
+			})
+		}
+		fmt.Printf("%-10s  %7d attacks: unsigned image booted %4d times (%.4f%%), %5d detected\n",
+			cfg.Name(), total, booted, 100*float64(booted)/float64(total), detected)
+	}
+	fmt.Println("\nThe checksum guard already compares against a large-Hamming-distance")
+	fmt.Println("constant, so even the unprotected loader is hard to glitch — but its")
+	fmt.Println("rare bypasses are silent. The protected builds detect thousands of")
+	fmt.Println("attempts, turning a tuning campaign into an observable event the")
+	fmt.Println("loader can react to (wipe keys, lock updates, back off).")
+	return nil
+}

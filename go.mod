@@ -1,0 +1,3 @@
+module glitchlab
+
+go 1.22

@@ -1,0 +1,353 @@
+// Package campaign implements the paper's Section IV emulation study: it
+// exhaustively perturbs each conditional-branch encoding with every possible
+// bit mask, executes the resulting program on the Thumb emulator, and
+// classifies the outcome into the same taxonomy as Figure 2 (success, bad
+// read, invalid instruction, bad fetch, failed, no effect).
+package campaign
+
+import (
+	"errors"
+	"fmt"
+
+	"glitchlab/internal/emu"
+	"glitchlab/internal/isa"
+	"glitchlab/internal/mutate"
+)
+
+// Outcome classifies a single perturbed execution, matching Figure 2's
+// categories.
+type Outcome uint8
+
+// Outcomes in the order Figure 2's legends list them.
+const (
+	Success     Outcome = iota // the guarded (normally skipped) path ran
+	BadRead                    // read from unmapped memory
+	InvalidInst                // perturbed encoding was not a valid instruction
+	BadFetch                   // instruction fetch left mapped memory
+	Failed                     // any other error (hang, bad write, trap...)
+	NoEffect                   // program behaved as if unmodified
+	numOutcomes
+)
+
+// NumOutcomes is the number of outcome categories.
+const NumOutcomes = int(numOutcomes)
+
+var outcomeNames = [...]string{
+	"Success", "Bad Read", "Invalid Instruction", "Bad Fetch",
+	"Failed", "No Effect",
+}
+
+// String returns the Figure 2 legend name of the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome%d", uint8(o))
+}
+
+// Markers the snippets place in registers, as in the paper: a successful
+// glitch leaves 0xdead in R6, a normal execution leaves 0xaaaa in R7.
+const (
+	SuccessMarker = 0xdead
+	NormalMarker  = 0xaaaa
+	markerSuccess = isa.R6
+	markerNormal  = isa.R7
+)
+
+// condSetup returns assembly that establishes flags making the condition
+// true, so the branch is architecturally taken in the unmodified program.
+func condSetup(c isa.Cond) string {
+	switch c {
+	case isa.EQ, isa.VC, isa.LS, isa.LE:
+		return "movs r0, #0\n cmp r0, #0"
+	case isa.NE, isa.CS, isa.PL, isa.GE:
+		return "movs r0, #1\n cmp r0, #0"
+	case isa.CC, isa.MI, isa.LT:
+		return "movs r0, #0\n cmp r0, #1"
+	case isa.HI, isa.GT:
+		return "movs r0, #2\n cmp r0, #1"
+	case isa.VS:
+		// 0x80000000 - 1 overflows: N clear, V set.
+		return "movs r0, #1\n lsls r0, r0, #31\n cmp r0, #1"
+	default:
+		return "movs r0, #0\n cmp r0, #0"
+	}
+}
+
+// Snippet returns the paper-style test program for one conditional branch:
+// the branch is taken under normal execution; the fall-through path (the
+// code a glitch would illegitimately execute) builds the success marker.
+func Snippet(c isa.Cond) string {
+	return condSetup(c) + "\n" +
+		"	b" + c.String() + " taken\n" +
+		"	movs r6, #0xde\n" +
+		"	lsls r6, r6, #8\n" +
+		"	adds r6, #0xad\n" +
+		"	b end\n" +
+		"taken:\n" +
+		"	movs r7, #0xaa\n" +
+		"	lsls r7, r7, #8\n" +
+		"	adds r7, #0xaa\n" +
+		"end:\n" +
+		"	nop\n"
+}
+
+// PaddedSnippet is Snippet with permanently-undefined (UDF) words filling
+// every position straight-line execution does not reach: behind the
+// unconditional branch, around the landing pads, and after the stop
+// address. It tests the paper's second ISA-hardening hypothesis from
+// Section IV — "adding invalid instructions in between valid instructions
+// would likely thwart many glitching attempts" — which the paper could
+// not evaluate without fabricating a chip, but emulation can.
+func PaddedSnippet(c isa.Cond) string {
+	return condSetup(c) + "\n" +
+		"	b" + c.String() + " taken\n" +
+		"	movs r6, #0xde\n" +
+		"	lsls r6, r6, #8\n" +
+		"	adds r6, #0xad\n" +
+		"	b end\n" +
+		"	udf 0\n	udf 0\n	udf 0\n	udf 0\n" +
+		"taken:\n" +
+		"	movs r7, #0xaa\n" +
+		"	lsls r7, r7, #8\n" +
+		"	adds r7, #0xaa\n" +
+		"	b end\n" +
+		"	udf 0\n	udf 0\n	udf 0\n	udf 0\n" +
+		"end:\n" +
+		"	nop\n" +
+		"	udf 0\n	udf 0\n	udf 0\n	udf 0\n" +
+		"	udf 0\n	udf 0\n	udf 0\n	udf 0\n"
+}
+
+// Target memory layout for campaign programs. Flash is a single small
+// page, as in the paper's Unicorn setup: corrupted branches whose targets
+// leave the page raise a bad fetch (conditional-branch range is +-256
+// bytes, so a 256-byte page makes out-of-page targets reachable).
+const (
+	flashBase = 0x0000_0000
+	flashSize = 0x100
+	ramBase   = 0x2000_0000
+	ramSize   = 0x1000
+	stackTop  = ramBase + ramSize
+	maxSteps  = 512
+)
+
+// Runner executes mutation campaigns for one conditional branch.
+type Runner struct {
+	cond       isa.Cond
+	prog       *isa.Program
+	branchAddr uint32
+	branchOff  uint32 // offset of the branch halfword in prog.Code
+	original   uint16
+	stop       uint32
+	cpu        *emu.CPU
+	mem        *emu.Memory
+	flash      *emu.Region
+}
+
+// NewRunner assembles the snippet for cond and prepares an emulator.
+// zeroInvalid applies Figure 2c's hypothetical ISA hardening, where the
+// all-zero encoding is an invalid instruction.
+func NewRunner(cond isa.Cond, zeroInvalid bool) (*Runner, error) {
+	return newRunner(cond, Snippet(cond), zeroInvalid)
+}
+
+// NewPaddedRunner builds a runner over PaddedSnippet, the Section IV
+// UDF-interleaving hardening experiment.
+func NewPaddedRunner(cond isa.Cond, zeroInvalid bool) (*Runner, error) {
+	return newRunner(cond, PaddedSnippet(cond), zeroInvalid)
+}
+
+func newRunner(cond isa.Cond, src string, zeroInvalid bool) (*Runner, error) {
+	prog, err := isa.Assemble(flashBase, src)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: assemble %v snippet: %w", cond, err)
+	}
+	stop, ok := prog.SymbolAddr("end")
+	if !ok {
+		return nil, errors.New("campaign: snippet has no end label")
+	}
+	// The branch under test is the instruction before the success path,
+	// i.e. the first b<cond>. Find it by decoding.
+	var branchAddr uint32
+	found := false
+	for _, addr := range prog.InstAddrs {
+		off := addr - flashBase
+		hw := uint16(prog.Code[off]) | uint16(prog.Code[off+1])<<8
+		in := isa.Decode(hw, 0)
+		if in.Op == isa.OpBCond && in.Cond == cond {
+			branchAddr = addr
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("campaign: no b%v in snippet", cond)
+	}
+
+	mem := emu.NewMemory()
+	flash, err := mem.Map("flash", flashBase, flashSize, emu.PermRead|emu.PermExec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mem.Map("ram", ramBase, ramSize, emu.PermRead|emu.PermWrite); err != nil {
+		return nil, err
+	}
+	if err := mem.Write(flashBase, prog.Code); err != nil {
+		return nil, err
+	}
+	off := branchAddr - flashBase
+	r := &Runner{
+		cond:       cond,
+		prog:       prog,
+		branchAddr: branchAddr,
+		branchOff:  off,
+		original:   uint16(prog.Code[off]) | uint16(prog.Code[off+1])<<8,
+		stop:       stop,
+		cpu:        emu.New(mem),
+		mem:        mem,
+		flash:      flash,
+	}
+	r.cpu.ZeroIsInvalid = zeroInvalid
+	return r, nil
+}
+
+// BranchEncoding returns the unperturbed encoding of the branch under test.
+func (r *Runner) BranchEncoding() uint16 { return r.original }
+
+// RunOne executes the snippet with the branch halfword replaced by word and
+// classifies the result.
+func (r *Runner) RunOne(word uint16) Outcome {
+	r.flash.Data[r.branchOff] = byte(word)
+	r.flash.Data[r.branchOff+1] = byte(word >> 8)
+	defer func() {
+		r.flash.Data[r.branchOff] = byte(r.original)
+		r.flash.Data[r.branchOff+1] = byte(r.original >> 8)
+	}()
+
+	r.cpu.Reset(stackTop, flashBase)
+	err := r.cpu.Run(r.stop, maxSteps)
+	return classify(r.cpu, err)
+}
+
+func classify(c *emu.CPU, err error) Outcome {
+	if err != nil {
+		var fault *emu.Fault
+		if errors.As(err, &fault) {
+			switch fault.Kind {
+			case emu.FaultBadRead:
+				return BadRead
+			case emu.FaultBadFetch:
+				return BadFetch
+			case emu.FaultInvalidInst, emu.FaultUndefined:
+				return InvalidInst
+			default:
+				return Failed
+			}
+		}
+		return Failed // step limit or other unrecognized error
+	}
+	switch {
+	case c.R[markerSuccess] == SuccessMarker:
+		return Success
+	case c.R[markerNormal] == NormalMarker:
+		return NoEffect
+	default:
+		return Failed
+	}
+}
+
+// FlipResult accumulates outcome counts for one flip count k.
+type FlipResult struct {
+	Flips  int // number of bits flipped (k)
+	Counts [NumOutcomes]uint64
+	Total  uint64
+}
+
+// SuccessRate returns the fraction of runs classified Success.
+func (f FlipResult) SuccessRate() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Counts[Success]) / float64(f.Total)
+}
+
+// CondResult holds the full sweep for one conditional branch.
+type CondResult struct {
+	Cond    isa.Cond
+	Model   mutate.Model
+	ByFlips []FlipResult // index k = 0..16
+	Totals  [NumOutcomes]uint64
+	Runs    uint64
+}
+
+// SuccessRate returns the overall success fraction across all masks with at
+// least one flipped bit (k=0 is the unmodified control and excluded, as in
+// the paper's figure).
+func (c CondResult) SuccessRate() float64 {
+	var succ, total uint64
+	for k := 1; k < len(c.ByFlips); k++ {
+		succ += c.ByFlips[k].Counts[Success]
+		total += c.ByFlips[k].Total
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(succ) / float64(total)
+}
+
+// Sweep runs the exhaustive mutation campaign for one condition under one
+// model. maxFlips bounds k (pass 16 for the full sweep; smaller values give
+// proportionally cheaper partial sweeps for benchmarks).
+func (r *Runner) Sweep(model mutate.Model, maxFlips int) CondResult {
+	if maxFlips > 16 {
+		maxFlips = 16
+	}
+	res := CondResult{Cond: r.cond, Model: model}
+	for k := 0; k <= maxFlips; k++ {
+		fr := FlipResult{Flips: k}
+		mutate.Masks(16, k, func(mask uint16) bool {
+			out := r.RunOne(model.Apply(r.original, mask))
+			fr.Counts[out]++
+			fr.Total++
+			return true
+		})
+		for o, n := range fr.Counts {
+			res.Totals[o] += n
+		}
+		res.Runs += fr.Total
+		res.ByFlips = append(res.ByFlips, fr)
+	}
+	return res
+}
+
+// Config selects a Figure 2 campaign variant.
+type Config struct {
+	Model       mutate.Model
+	ZeroInvalid bool // Figure 2c: treat all-zero encoding as invalid
+	PadUDF      bool // Section IV hypothesis: UDF-fill unreachable slots
+	MaxFlips    int  // bound on flipped bits (16 = exhaustive)
+}
+
+// Run executes the campaign for every conditional branch and returns
+// results in the BranchConds order.
+func Run(cfg Config) ([]CondResult, error) {
+	if cfg.MaxFlips <= 0 {
+		cfg.MaxFlips = 16
+	}
+	results := make([]CondResult, 0, 14)
+	for _, cond := range isa.BranchConds() {
+		var r *Runner
+		var err error
+		if cfg.PadUDF {
+			r, err = NewPaddedRunner(cond, cfg.ZeroInvalid)
+		} else {
+			r, err = NewRunner(cond, cfg.ZeroInvalid)
+		}
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r.Sweep(cfg.Model, cfg.MaxFlips))
+	}
+	return results, nil
+}

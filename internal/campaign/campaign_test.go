@@ -1,0 +1,203 @@
+package campaign
+
+import (
+	"testing"
+
+	"glitchlab/internal/isa"
+	"glitchlab/internal/mutate"
+)
+
+func mustRunner(t *testing.T, cond isa.Cond, zeroInvalid bool) *Runner {
+	t.Helper()
+	r, err := NewRunner(cond, zeroInvalid)
+	if err != nil {
+		t.Fatalf("NewRunner(%v): %v", cond, err)
+	}
+	return r
+}
+
+func TestBranchEncodings(t *testing.T) {
+	for _, cond := range isa.BranchConds() {
+		r := mustRunner(t, cond, false)
+		enc := r.BranchEncoding()
+		if enc>>12 != 0b1101 || isa.Cond(enc>>8&0xf) != cond {
+			t.Errorf("b%v encoding = %#04x", cond, enc)
+		}
+	}
+}
+
+func TestUnmodifiedIsNoEffect(t *testing.T) {
+	// Running the original encoding must take the branch and land in the
+	// normal path for every condition: the snippet setups make every
+	// condition true.
+	for _, cond := range isa.BranchConds() {
+		r := mustRunner(t, cond, false)
+		if out := r.RunOne(r.BranchEncoding()); out != NoEffect {
+			t.Errorf("b%v unmodified: %v, want No Effect", cond, out)
+		}
+	}
+}
+
+func TestAllZeroWordSkipsBranch(t *testing.T) {
+	// 0x0000 decodes as movs r0, r0, so the branch is skipped and the
+	// success path runs — the effect the paper highlights.
+	for _, cond := range isa.BranchConds() {
+		r := mustRunner(t, cond, false)
+		if out := r.RunOne(0); out != Success {
+			t.Errorf("b%v zeroed: %v, want Success", cond, out)
+		}
+	}
+}
+
+func TestAllZeroWordInvalidVariant(t *testing.T) {
+	// Figure 2c: with the hypothetical ISA hardening, 0x0000 faults.
+	r := mustRunner(t, isa.EQ, true)
+	if out := r.RunOne(0); out != InvalidInst {
+		t.Errorf("zeroed with ZeroInvalid: %v, want Invalid Instruction", out)
+	}
+	// The hardening must not change the unmodified behaviour.
+	if out := r.RunOne(r.BranchEncoding()); out != NoEffect {
+		t.Errorf("unmodified with ZeroInvalid: %v, want No Effect", out)
+	}
+}
+
+func TestNopIsSuccess(t *testing.T) {
+	r := mustRunner(t, isa.EQ, false)
+	if out := r.RunOne(0xbf00); out != Success {
+		t.Errorf("nop substitution: %v, want Success", out)
+	}
+}
+
+func TestUDFIsInvalid(t *testing.T) {
+	r := mustRunner(t, isa.EQ, false)
+	if out := r.RunOne(0xde00); out != InvalidInst {
+		t.Errorf("udf substitution: %v, want Invalid Instruction", out)
+	}
+}
+
+func TestInvertedConditionIsSuccess(t *testing.T) {
+	// Flipping the condition to its complement makes the branch fall
+	// through, executing the success path.
+	r := mustRunner(t, isa.EQ, false)
+	bne := r.BranchEncoding() ^ 0x0100 // EQ -> NE
+	if out := r.RunOne(bne); out != Success {
+		t.Errorf("bne substitution: %v, want Success", out)
+	}
+}
+
+func TestSweepCountsExhaustive(t *testing.T) {
+	r := mustRunner(t, isa.EQ, false)
+	res := r.Sweep(mutate.AND, 16)
+	if res.Runs != 1<<16 {
+		t.Fatalf("runs = %d, want 65536", res.Runs)
+	}
+	if len(res.ByFlips) != 17 {
+		t.Fatalf("ByFlips has %d entries, want 17", len(res.ByFlips))
+	}
+	for k, fr := range res.ByFlips {
+		if want := mutate.Binomial(16, k); fr.Total != want {
+			t.Errorf("k=%d total = %d, want %d", k, fr.Total, want)
+		}
+	}
+	// k=0 is the unmodified control.
+	if res.ByFlips[0].Counts[NoEffect] != 1 {
+		t.Errorf("k=0 outcome = %+v, want one No Effect", res.ByFlips[0].Counts)
+	}
+	var sum uint64
+	for _, n := range res.Totals {
+		sum += n
+	}
+	if sum != res.Runs {
+		t.Errorf("outcome totals sum %d != runs %d", sum, res.Runs)
+	}
+}
+
+func TestANDBeatsORHeadline(t *testing.T) {
+	// The paper's central emulation finding: 1→0 flips (AND) skip
+	// branches far more often than 0→1 flips (OR).
+	rAnd := mustRunner(t, isa.EQ, false)
+	rOr := mustRunner(t, isa.EQ, false)
+	and := rAnd.Sweep(mutate.AND, 16)
+	or := rOr.Sweep(mutate.OR, 16)
+	if and.SuccessRate() <= or.SuccessRate() {
+		t.Errorf("AND success %.3f <= OR success %.3f",
+			and.SuccessRate(), or.SuccessRate())
+	}
+	if and.SuccessRate() < 0.25 {
+		t.Errorf("AND success %.3f unexpectedly low", and.SuccessRate())
+	}
+}
+
+func TestZeroInvalidBarelyChangesANDRate(t *testing.T) {
+	// Figure 2c's debunking result: making 0x0000 invalid leaves the AND
+	// success rate essentially unchanged, because many other corrupted
+	// encodings still skip the branch.
+	plain := mustRunner(t, isa.EQ, false).Sweep(mutate.AND, 16)
+	hardened := mustRunner(t, isa.EQ, true).Sweep(mutate.AND, 16)
+	diff := plain.SuccessRate() - hardened.SuccessRate()
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05 {
+		t.Errorf("AND success changed by %.3f (%.3f -> %.3f); paper found it unchanged",
+			diff, plain.SuccessRate(), hardened.SuccessRate())
+	}
+}
+
+func TestRunAllConds(t *testing.T) {
+	results, err := Run(Config{Model: mutate.AND, MaxFlips: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 14 {
+		t.Fatalf("got %d results, want 14", len(results))
+	}
+	want := mutate.Binomial(16, 0) + mutate.Binomial(16, 1) + mutate.Binomial(16, 2)
+	for _, res := range results {
+		if res.Runs != want {
+			t.Errorf("%v runs = %d, want %d", res.Cond, res.Runs, want)
+		}
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	names := map[Outcome]string{
+		Success: "Success", BadRead: "Bad Read",
+		InvalidInst: "Invalid Instruction", BadFetch: "Bad Fetch",
+		Failed: "Failed", NoEffect: "No Effect",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+// TestUDFPaddingHypothesis evaluates the paper's second ISA-hardening idea
+// from Section IV: filling unreachable code slots with invalid
+// instructions should convert a meaningful share of would-be effects into
+// detected invalid-instruction faults (and must never help the attacker).
+func TestUDFPaddingHypothesis(t *testing.T) {
+	plainR := mustRunner(t, isa.EQ, false)
+	padded, err := NewPaddedRunner(isa.EQ, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding must not change clean behaviour.
+	if out := padded.RunOne(padded.BranchEncoding()); out != NoEffect {
+		t.Fatalf("padded unmodified run: %v", out)
+	}
+	plain := plainR.Sweep(mutate.AND, 16)
+	hard := padded.Sweep(mutate.AND, 16)
+	if hard.SuccessRate() > plain.SuccessRate() {
+		t.Errorf("padding increased success: %.4f -> %.4f",
+			plain.SuccessRate(), hard.SuccessRate())
+	}
+	if hard.Totals[InvalidInst] <= plain.Totals[InvalidInst] {
+		t.Errorf("padding did not raise invalid-instruction detections: %d -> %d",
+			plain.Totals[InvalidInst], hard.Totals[InvalidInst])
+	}
+	t.Logf("AND success %.2f%% -> %.2f%%; invalid-instruction outcomes %d -> %d",
+		100*plain.SuccessRate(), 100*hard.SuccessRate(),
+		plain.Totals[InvalidInst], hard.Totals[InvalidInst])
+}

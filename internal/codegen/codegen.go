@@ -1,0 +1,364 @@
+// Package codegen lowers GlitchResistor IR to ARMv6-M Thumb-16 firmware
+// for the simulated STM32 board: it emits the boot sequence (.data copy,
+// .bss zeroing, shadow initialization, PRNG seed update), the compiled
+// functions, the runtime (__gr_delay, __gr_detected, trigger, unsigned
+// divide), lays out the .text/.data/.bss sections whose sizes Table V
+// reports, and assembles the result into a loadable image.
+//
+// Code generation is deliberately naive — every IR value lives in a stack
+// slot — because the evaluation measures *relative* overheads between a
+// baseline and defense-instrumented builds of the same generator, exactly
+// as the paper compares -Og builds of the same firmware.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/ir"
+	"glitchlab/internal/isa"
+)
+
+// Section layout inside the board's SRAM.
+const (
+	dataBase   = firmware.RAMBase          // .data then .bss
+	shadowBase = firmware.RAMBase + 0x1800 // integrity shadows live apart
+)
+
+// Sizes reports segment sizes in bytes, as Table V does.
+type Sizes struct {
+	Text int
+	Data int
+	BSS  int
+}
+
+// Total returns the flash+RAM footprint (text + data + bss), matching the
+// "total" column of the paper's size table.
+func (s Sizes) Total() int { return s.Text + s.Data + s.BSS }
+
+// Image is a compiled firmware image.
+type Image struct {
+	Prog   *isa.Program
+	Sizes  Sizes
+	Module *ir.Module
+	// GlobalAddrs maps each global to its RAM address.
+	GlobalAddrs map[string]uint32
+}
+
+// Symbol returns a linked symbol address.
+func (im *Image) Symbol(name string) (uint32, bool) {
+	return im.Prog.SymbolAddr(name)
+}
+
+// Options configures code generation.
+type Options struct {
+	// Delay emits the random-delay runtime and the boot-time seed update
+	// (set when the delay defense is enabled).
+	Delay bool
+}
+
+// Build compiles a module to a firmware image.
+func Build(m *ir.Module, opts Options) (*Image, error) {
+	if _, ok := m.Func("main"); !ok {
+		return nil, fmt.Errorf("codegen: module has no main")
+	}
+	g := &gen{
+		m:       m,
+		opts:    opts,
+		addrs:   map[string]uint32{},
+		needDiv: moduleUsesDiv(m),
+	}
+	if err := g.layoutGlobals(); err != nil {
+		return nil, err
+	}
+	g.emitBoot()
+	for _, f := range m.Funcs {
+		if err := g.emitFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	g.emitRuntime()
+	g.line(".align 4")
+	g.label("_text_end")
+	g.emitDataImage()
+
+	prog, err := isa.Assemble(firmware.FlashBase, g.sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("codegen: assemble: %w\n%s", err, numbered(g.sb.String()))
+	}
+	textEnd, _ := prog.SymbolAddr("_text_end")
+	im := &Image{
+		Prog:        prog,
+		Module:      m,
+		GlobalAddrs: g.addrs,
+		Sizes: Sizes{
+			Text: int(textEnd - firmware.FlashBase),
+			Data: 4 * g.nData,
+			BSS:  4 * (g.nBSS + g.nShadow),
+		},
+	}
+	return im, nil
+}
+
+func numbered(src string) string {
+	lines := strings.Split(src, "\n")
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%4d\t%s", i+1, lines[i])
+	}
+	return strings.Join(lines, "\n")
+}
+
+func moduleUsesDiv(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpBin && (in.BinOp == ir.BinDiv || in.BinOp == ir.BinRem) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+type gen struct {
+	m    *ir.Module
+	opts Options
+	sb   strings.Builder
+
+	addrs   map[string]uint32
+	dataG   []*ir.Global // initialized globals in layout order
+	nData   int
+	nBSS    int
+	nShadow int
+	needDiv bool
+	tmp     int
+	// sinceFlush approximates bytes emitted since the last literal-pool
+	// flush; emitFunc inserts pool islands between blocks to keep every
+	// ldr-literal within its 1020-byte forward range.
+	sinceFlush int
+}
+
+func (g *gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+	// Conservative size estimate (BL and pool entries are 4 bytes, the
+	// rest 2; counting 4 for everything keeps the pool-distance bound
+	// safe).
+	g.sinceFlush += 4
+}
+
+// flushPool emits a literal-pool island. Callers must ensure execution
+// cannot fall into it (every IR block ends in a terminator, so between
+// blocks is safe).
+func (g *gen) flushPool() {
+	g.line("	.pool")
+	g.sinceFlush = 0
+}
+
+func (g *gen) label(name string) { g.line("%s:", name) }
+
+func (g *gen) uniq(hint string) string {
+	g.tmp++
+	return fmt.Sprintf(".L%s%d", hint, g.tmp)
+}
+
+// layoutGlobals assigns RAM addresses: .data, then .bss, then (if the
+// delay runtime is present) the seed word, with shadows in their own area.
+func (g *gen) layoutGlobals() error {
+	dataOff, bssOff, shadowOff := uint32(0), uint32(0), uint32(0)
+	var bssG []*ir.Global
+	for _, gl := range g.m.Globals {
+		if gl.IsShadow {
+			g.addrs[gl.Name] = shadowBase + shadowOff
+			shadowOff += 4
+			g.nShadow++
+			continue
+		}
+		if gl.HasInit {
+			g.dataG = append(g.dataG, gl)
+			g.nData++
+			continue
+		}
+		bssG = append(bssG, gl)
+		g.nBSS++
+	}
+	for _, gl := range g.dataG {
+		g.addrs[gl.Name] = dataBase + dataOff
+		dataOff += 4
+	}
+	bssBase := dataBase + dataOff
+	for _, gl := range bssG {
+		g.addrs[gl.Name] = bssBase + bssOff
+		bssOff += 4
+	}
+	if g.opts.Delay {
+		// The in-RAM PRNG state lives at the end of .bss.
+		g.addrs["__gr_seed_ram"] = bssBase + bssOff
+		g.nBSS++
+		bssOff += 4
+	}
+	if shadowOff > 0 && bssBase+bssOff > shadowBase {
+		return fmt.Errorf("codegen: data+bss collide with shadow section")
+	}
+	return nil
+}
+
+// emitBoot writes the reset entry: copy .data, zero .bss, initialize
+// integrity shadows, update the PRNG seed, call main, park at halt.
+func (g *gen) emitBoot() {
+	g.label("_start")
+	if g.nData > 0 {
+		g.line("	ldr r0, =_data_load")
+		g.line("	ldr r1, =%#x", dataBase)
+		g.line("	ldr r2, =%#x", dataBase+uint32(4*g.nData))
+		g.label(".Ldatacopy")
+		g.line("	cmp r1, r2")
+		g.line("	beq .Ldatadone")
+		g.line("	ldr r3, [r0]")
+		g.line("	str r3, [r1]")
+		g.line("	adds r0, #4")
+		g.line("	adds r1, #4")
+		g.line("	b .Ldatacopy")
+		g.label(".Ldatadone")
+	}
+	if n := g.nBSS; n > 0 {
+		g.line("	ldr r1, =%#x", dataBase+uint32(4*g.nData))
+		g.line("	ldr r2, =%#x", dataBase+uint32(4*(g.nData+n)))
+		g.line("	movs r3, #0")
+		g.label(".Lbsszero")
+		g.line("	cmp r1, r2")
+		g.line("	beq .Lbssdone")
+		g.line("	str r3, [r1]")
+		g.line("	adds r1, #4")
+		g.line("	b .Lbsszero")
+		g.label(".Lbssdone")
+	}
+	// Initialize integrity shadows to the complement of their primary.
+	for _, gl := range g.m.Globals {
+		if gl.Shadow == "" {
+			continue
+		}
+		g.line("	ldr r0, =%#x", g.addrs[gl.Name])
+		g.line("	ldr r1, [r0]")
+		g.line("	mvns r1, r1")
+		g.line("	ldr r0, =%#x", g.addrs[gl.Shadow])
+		g.line("	str r1, [r0]")
+	}
+	if g.opts.Delay {
+		// Update the persisted seed before anything observable happens,
+		// as the paper's defense does (Section VI-B1).
+		g.line("	bl __gr_seed_init")
+	}
+	g.line("	bl main")
+	// BL rather than B: halt sits after every function and can be out of
+	// a 16-bit branch's range; it never returns anyway.
+	g.line("	bl halt")
+	g.line("	.pool")
+}
+
+// emitRuntime writes the builtin entry points and defense runtime.
+func (g *gen) emitRuntime() {
+	// success/halt/__gr_detected are stop symbols: the experiment
+	// machinery watches for PC reaching them.
+	g.label("success")
+	g.line("	b success")
+	g.label("halt")
+	g.line("	b halt")
+	g.label("__gr_detected")
+	g.line("	b __gr_detected")
+	g.label("glitch_detected")
+	g.line("	b __gr_detected")
+	g.label("boot_done")
+	g.line("	bx lr")
+	g.label("trigger")
+	g.line("	ldr r0, =%#x", uint32(firmware.TriggerAddr))
+	g.line("	movs r1, #1")
+	g.line("	str r1, [r0]")
+	g.line("	bx lr")
+
+	if g.needDiv {
+		// Unsigned divide/modulo by binary long division (bounded by 32
+		// normalize + 32 subtract steps): quotient in r0, remainder in
+		// r1. Division by zero yields q=0, rem=r0.
+		g.label("__gr_udivmod")
+		g.line("	push {r4}")
+		g.line("	movs r2, #0") // quotient
+		g.line("	cmp r1, #0")
+		g.line("	beq .Ldmdone")
+		g.line("	movs r3, #1") // current bit
+		g.label(".Ldmnorm")
+		g.line("	lsrs r4, r1, #31")
+		g.line("	cmp r4, #0")
+		g.line("	bne .Ldmloop")
+		g.line("	cmp r1, r0")
+		g.line("	bhs .Ldmloop")
+		g.line("	lsls r1, r1, #1")
+		g.line("	lsls r3, r3, #1")
+		g.line("	b .Ldmnorm")
+		g.label(".Ldmloop")
+		g.line("	cmp r0, r1")
+		g.line("	bcc .Ldmskip")
+		g.line("	subs r0, r0, r1")
+		g.line("	orrs r2, r3")
+		g.label(".Ldmskip")
+		g.line("	lsrs r1, r1, #1")
+		g.line("	lsrs r3, r3, #1")
+		g.line("	bne .Ldmloop")
+		g.label(".Ldmdone")
+		g.line("	movs r1, r0") // remainder
+		g.line("	movs r0, r2")
+		g.line("	pop {r4}")
+		g.line("	bx lr")
+	}
+
+	if g.opts.Delay {
+		// The glibc-parameter LCG with a flash-persisted seed; executes
+		// 0-10 NOPs (paper Section VI-B1).
+		g.label("__gr_delay")
+		g.line("	ldr r0, =%#x", g.addrs["__gr_seed_ram"])
+		g.line("	ldr r1, [r0]")
+		g.line("	ldr r2, =1103515245")
+		g.line("	muls r1, r2")
+		g.line("	ldr r2, =12345")
+		g.line("	adds r1, r1, r2")
+		g.line("	ldr r2, =0x7fffffff")
+		g.line("	ands r1, r2")
+		g.line("	str r1, [r0]")
+		g.line("	lsrs r3, r1, #16")
+		g.line("	movs r2, #15")
+		g.line("	ands r3, r2")
+		g.line("	cmp r3, #11")
+		g.line("	bcc .Ldelayloop")
+		g.line("	subs r3, #11")
+		g.label(".Ldelayloop")
+		g.line("	cmp r3, #0")
+		g.line("	beq .Ldelaydone")
+		g.line("	nop")
+		g.line("	subs r3, #1")
+		g.line("	b .Ldelayloop")
+		g.label(".Ldelaydone")
+		g.line("	bx lr")
+
+		g.label("__gr_seed_init")
+		g.line("	ldr r0, =%#x", uint32(firmware.SeedAddr))
+		g.line("	ldr r1, [r0]")
+		g.line("	adds r1, #1")
+		g.line("	str r1, [r0]") // flash program: slow, by design
+		g.line("	ldr r2, =%#x", g.addrs["__gr_seed_ram"])
+		g.line("	str r1, [r2]")
+		g.line("	bx lr")
+	}
+	g.line("	.pool")
+}
+
+// emitDataImage writes the flash copy of .data.
+func (g *gen) emitDataImage() {
+	if g.nData == 0 {
+		return
+	}
+	g.label("_data_load")
+	for _, gl := range g.dataG {
+		g.line("	.word %#x", gl.Init)
+	}
+}

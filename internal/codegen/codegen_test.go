@@ -1,0 +1,283 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/ir"
+	"glitchlab/internal/minic"
+	"glitchlab/internal/pipeline"
+)
+
+// compile builds an image from mini-C source without any defenses.
+func compile(t *testing.T, src string) *Image {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m, err := ir.Lower(chk)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	img, err := Build(m, Options{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return img
+}
+
+// run executes an image until a stop symbol and returns the result plus the
+// board for post-mortem memory inspection.
+func run(t *testing.T, img *Image, maxCycles uint64) (pipeline.Result, *firmware.Board) {
+	t.Helper()
+	b, err := firmware.NewBoard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(img.Prog); err != nil {
+		t.Fatal(err)
+	}
+	m := pipeline.NewMachine(b)
+	for _, s := range []string{"success", "halt", "__gr_detected"} {
+		if addr, ok := img.Symbol(s); ok {
+			m.AddStop(addr, s)
+		}
+	}
+	b.Reset()
+	return m.Run(maxCycles), b
+}
+
+func globalWord(t *testing.T, img *Image, b *firmware.Board, name string) uint32 {
+	t.Helper()
+	addr, ok := img.GlobalAddrs[name]
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	v, ok := b.Mem.ReadWord(addr)
+	if !ok {
+		t.Fatalf("global %q at %#x unreadable", name, addr)
+	}
+	return v
+}
+
+func TestComputationalCorrectness(t *testing.T) {
+	// Each program stores its result into `out` and halts; the test
+	// reads it back from RAM. This pins down the whole chain: parser,
+	// lowering, codegen, assembler, emulator.
+	tests := []struct {
+		name string
+		body string
+		want uint32
+	}{
+		{"arith", "out = (7 + 3) * 6 - 100 / 4;", 35},
+		{"precedence", "out = 2 + 3 * 4 - 1;", 13},
+		{"bitops", "out = (0xF0 | 0x0F) & ~0x18 ^ 0x100;", 0x1E7},
+		{"shifts", "out = (1 << 10) >> 2;", 256},
+		{"mod", "out = 1234 % 100;", 34},
+		{"divzero", "out = 5 / 0;", 0}, // defined as 0 by the runtime
+		{"compare", "out = (3 < 5) + (5 <= 5) + (7 > 9) + (2 != 2) + (4 == 4);", 3},
+		{"logical", "out = (1 && 2) + (0 || 3) + !5 + !0;", 3},
+		{"unary", "out = -1;", 0xFFFFFFFF},
+		{"loop sum", `
+			unsigned int s = 0;
+			for (unsigned int i = 1; i <= 10; i = i + 1) { s = s + i; }
+			out = s;`, 55},
+		{"while countdown", `
+			unsigned int n = 100;
+			while (n > 3) { n = n - 7; }
+			out = n;`, 2},
+		{"nested break continue", `
+			unsigned int c = 0;
+			for (unsigned int i = 0; i < 10; i = i + 1) {
+				if (i == 7) { break; }
+				if (i % 2 == 0) { continue; }
+				c = c + i;
+			}
+			out = c;`, 1 + 3 + 5},
+		{"wraparound", "out = 0xFFFFFFFF + 2;", 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			src := "unsigned int out;\nvoid main(void) {\n" + tt.body + "\nhalt();\n}"
+			img := compile(t, src)
+			r, b := run(t, img, 1_000_000)
+			if r.Reason != pipeline.StopHit || r.Tag != "halt" {
+				t.Fatalf("run ended %v/%q fault=%v", r.Reason, r.Tag, r.Fault)
+			}
+			if got := globalWord(t, img, b, "out"); got != tt.want {
+				t.Errorf("out = %d (%#x), want %d", got, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	img := compile(t, `
+	unsigned int out;
+	unsigned int fib(unsigned int n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	void main(void) {
+		out = fib(10);
+		halt();
+	}
+	`)
+	r, b := run(t, img, 10_000_000)
+	if r.Tag != "halt" {
+		t.Fatalf("run ended %v/%q fault=%v", r.Reason, r.Tag, r.Fault)
+	}
+	if got := globalWord(t, img, b, "out"); got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+}
+
+func TestMultipleArgs(t *testing.T) {
+	img := compile(t, `
+	unsigned int out;
+	unsigned int mix(unsigned int a, unsigned int b, unsigned int c, unsigned int d) {
+		return a * 1000 + b * 100 + c * 10 + d;
+	}
+	void main(void) {
+		out = mix(1, 2, 3, 4);
+		halt();
+	}
+	`)
+	r, b := run(t, img, 1_000_000)
+	if r.Tag != "halt" {
+		t.Fatalf("run ended %v/%q", r.Reason, r.Tag)
+	}
+	if got := globalWord(t, img, b, "out"); got != 1234 {
+		t.Errorf("mix = %d, want 1234", got)
+	}
+}
+
+func TestGlobalInitialization(t *testing.T) {
+	img := compile(t, `
+	unsigned int a = 0xCAFE;
+	unsigned int b;
+	unsigned int out;
+	void main(void) {
+		out = a + b;   // b must be zeroed by boot despite SRAM garbage
+		halt();
+	}
+	`)
+	r, b := run(t, img, 1_000_000)
+	if r.Tag != "halt" {
+		t.Fatalf("run ended %v/%q", r.Reason, r.Tag)
+	}
+	if got := globalWord(t, img, b, "out"); got != 0xCAFE {
+		t.Errorf("out = %#x, want 0xCAFE", got)
+	}
+	if img.Sizes.Data != 4 {
+		t.Errorf("data size = %d, want 4 (one initialized word)", img.Sizes.Data)
+	}
+	if img.Sizes.BSS != 8 {
+		t.Errorf("bss size = %d, want 8 (two uninitialized words)", img.Sizes.BSS)
+	}
+}
+
+func TestTriggerBuiltin(t *testing.T) {
+	img := compile(t, `
+	void main(void) {
+		trigger();
+		halt();
+	}
+	`)
+	r, b := run(t, img, 1_000_000)
+	if r.Tag != "halt" {
+		t.Fatalf("run ended %v/%q", r.Reason, r.Tag)
+	}
+	if b.TriggerCount != 1 {
+		t.Errorf("trigger count = %d, want 1", b.TriggerCount)
+	}
+}
+
+func TestStopSymbols(t *testing.T) {
+	img := compile(t, `void main(void) { success(); }`)
+	for _, sym := range []string{"main", "success", "halt", "__gr_detected", "boot_done", "_start"} {
+		if _, ok := img.Symbol(sym); !ok {
+			t.Errorf("symbol %q missing", sym)
+		}
+	}
+	r, _ := run(t, img, 1_000_000)
+	if r.Tag != "success" {
+		t.Errorf("run ended %v/%q, want success", r.Reason, r.Tag)
+	}
+}
+
+func TestNoMainRejected(t *testing.T) {
+	prog, _ := minic.Parse(`void notmain(void) { halt(); }`)
+	chk, _ := minic.Check(prog)
+	m, _ := ir.Lower(chk)
+	if _, err := Build(m, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "main") {
+		t.Fatalf("Build without main: %v", err)
+	}
+}
+
+func TestLargeFunctionSlotReuse(t *testing.T) {
+	// Hundreds of statements must compile thanks to value-slot reuse,
+	// and still compute the right answer.
+	var sb strings.Builder
+	sb.WriteString("unsigned int out;\nvoid main(void) {\nunsigned int x = 1;\n")
+	for i := 0; i < 300; i++ {
+		sb.WriteString("x = x + 1;\n")
+	}
+	sb.WriteString("out = x;\nhalt();\n}")
+	img := compile(t, sb.String())
+	r, b := run(t, img, 10_000_000)
+	if r.Tag != "halt" {
+		t.Fatalf("run ended %v/%q fault=%v", r.Reason, r.Tag, r.Fault)
+	}
+	if got := globalWord(t, img, b, "out"); got != 301 {
+		t.Errorf("out = %d, want 301", got)
+	}
+}
+
+func TestFrameOverflowRejected(t *testing.T) {
+	// A function whose locals alone exceed the addressable frame must be
+	// rejected, not silently miscompiled.
+	m := &ir.Module{}
+	f := &ir.Func{Name: "main", NumSlots: 300}
+	v := f.NewValue()
+	f.AddBlock(&ir.Block{Name: "entry", Instrs: []*ir.Instr{
+		{Op: ir.OpConst, Dst: v, Imm: 1, A: ir.NoValue, B: ir.NoValue},
+		{Op: ir.OpRet, A: ir.NoValue},
+	}})
+	m.Funcs = []*ir.Func{f}
+	if _, err := Build(m, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "frame") {
+		t.Fatalf("oversized frame: %v", err)
+	}
+}
+
+func TestBootDoneBuiltin(t *testing.T) {
+	img := compile(t, `
+	void main(void) {
+		boot_done();
+		halt();
+	}
+	`)
+	b, err := firmware.NewBoard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Load(img.Prog); err != nil {
+		t.Fatal(err)
+	}
+	m := pipeline.NewMachine(b)
+	addr, _ := img.Symbol("boot_done")
+	m.AddStop(addr, "boot_done")
+	b.Reset()
+	r := m.Run(1_000_000)
+	if r.Tag != "boot_done" {
+		t.Fatalf("run ended %v/%q", r.Reason, r.Tag)
+	}
+}

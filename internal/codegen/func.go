@@ -1,0 +1,290 @@
+package codegen
+
+import (
+	"fmt"
+
+	"glitchlab/internal/ir"
+)
+
+// maxFrame bounds the stack frame so every slot stays addressable with
+// Thumb's sp-relative 8-bit scaled offsets.
+const maxFrame = 1020
+
+// readValues returns the values an instruction reads (fields not used by
+// the op are ignored — their zero values are meaningless).
+func readValues(in *ir.Instr) []ir.Value {
+	switch in.Op {
+	case ir.OpStoreSlot, ir.OpStoreG, ir.OpNot, ir.OpCondBr:
+		return []ir.Value{in.A}
+	case ir.OpBin:
+		return []ir.Value{in.A, in.B}
+	case ir.OpCall:
+		return in.Args
+	case ir.OpRet:
+		if in.A == ir.NoValue {
+			return nil
+		}
+		return []ir.Value{in.A}
+	default:
+		return nil
+	}
+}
+
+// allocValueSlots assigns each virtual register a spill slot, reusing
+// slots once a value's last (linearized) use has passed. Lowering and the
+// passes emit defs before uses in layout order, so linearized live ranges
+// are sound; values whose range is unknown keep a dedicated slot.
+func allocValueSlots(f *ir.Func) (map[ir.Value]int, int) {
+	lastUse := map[ir.Value]int{}
+	idx := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, v := range readValues(in) {
+				if v != ir.NoValue {
+					lastUse[v] = idx
+				}
+			}
+			idx++
+		}
+	}
+	assign := map[ir.Value]int{}
+	next := 0
+	var free []int
+	type expiry struct {
+		at   int
+		slot int
+	}
+	var live []expiry
+	idx = 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			// Release slots whose values die at or before this point.
+			kept := live[:0]
+			for _, e := range live {
+				if e.at < idx {
+					free = append(free, e.slot)
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			live = kept
+			if defines(in) {
+				var slot int
+				if n := len(free); n > 0 {
+					slot = free[n-1]
+					free = free[:n-1]
+				} else {
+					slot = next
+					next++
+				}
+				assign[in.Dst] = slot
+				end, used := lastUse[in.Dst]
+				if !used {
+					end = idx // dead value: slot frees immediately
+				}
+				live = append(live, expiry{at: end, slot: slot})
+			}
+			idx++
+		}
+	}
+	return assign, next
+}
+
+// defines mirrors the passes package's notion of defining instructions.
+func defines(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConst, ir.OpLoadSlot, ir.OpLoadG, ir.OpBin, ir.OpNot:
+		return true
+	case ir.OpCall:
+		return in.Dst != ir.NoValue
+	default:
+		return false
+	}
+}
+
+func (g *gen) emitFunc(f *ir.Func) error {
+	valSlots, nValSlots := allocValueSlots(f)
+	frame := 4 * (f.NumSlots + nValSlots)
+	if frame > maxFrame {
+		return fmt.Errorf("codegen: func %s frame %d bytes exceeds %d "+
+			"(too many values for sp-relative addressing)",
+			f.Name, frame, maxFrame)
+	}
+	slotOff := func(slot int) int { return 4 * slot }
+	valOff := func(v ir.Value) int { return 4 * (f.NumSlots + valSlots[v]) }
+	blockLabel := func(name string) string {
+		return fmt.Sprintf("f_%s_%s", f.Name, name)
+	}
+
+	g.label(f.Name)
+	g.line("	push {r7, lr}")
+	for rem := frame; rem > 0; {
+		chunk := rem
+		if chunk > 508 {
+			chunk = 508
+		}
+		g.line("	sub sp, #%d", chunk)
+		rem -= chunk
+	}
+	if f.Params > 4 {
+		return fmt.Errorf("codegen: func %s has %d params (max 4)", f.Name, f.Params)
+	}
+	for i := 0; i < f.Params; i++ {
+		g.line("	str r%d, [sp, #%d]", i, slotOff(i))
+	}
+
+	// loadVal/storeVal move between stack slots and scratch registers.
+	loadVal := func(reg int, v ir.Value) {
+		g.line("	ldr r%d, [sp, #%d]", reg, valOff(v))
+	}
+	storeVal := func(reg int, v ir.Value) {
+		g.line("	str r%d, [sp, #%d]", reg, valOff(v))
+	}
+	epilogue := func() {
+		for rem := frame; rem > 0; {
+			chunk := rem
+			if chunk > 508 {
+				chunk = 508
+			}
+			g.line("	add sp, #%d", chunk)
+			rem -= chunk
+		}
+		g.line("	pop {r7, pc}")
+	}
+
+	for _, b := range f.Blocks {
+		// Keep pending literals within ldr-literal range: a pool island
+		// between blocks is unreachable (blocks end in terminators).
+		if g.sinceFlush > 500 {
+			g.flushPool()
+		}
+		g.label(blockLabel(b.Name))
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpConst:
+				if in.Imm < 256 {
+					g.line("	movs r0, #%d", in.Imm)
+				} else {
+					g.line("	ldr r0, =%#x", in.Imm)
+				}
+				storeVal(0, in.Dst)
+			case ir.OpLoadSlot:
+				g.line("	ldr r0, [sp, #%d]", slotOff(in.Slot))
+				storeVal(0, in.Dst)
+			case ir.OpStoreSlot:
+				loadVal(0, in.A)
+				g.line("	str r0, [sp, #%d]", slotOff(in.Slot))
+			case ir.OpLoadG:
+				addr, ok := g.addrs[in.GName]
+				if !ok {
+					return fmt.Errorf("codegen: unknown global %q", in.GName)
+				}
+				g.line("	ldr r0, =%#x", addr)
+				g.line("	ldr r0, [r0]")
+				storeVal(0, in.Dst)
+			case ir.OpStoreG:
+				addr, ok := g.addrs[in.GName]
+				if !ok {
+					return fmt.Errorf("codegen: unknown global %q", in.GName)
+				}
+				g.line("	ldr r0, =%#x", addr)
+				loadVal(1, in.A)
+				g.line("	str r1, [r0]")
+			case ir.OpBin:
+				if err := g.emitBin(in, loadVal, storeVal); err != nil {
+					return err
+				}
+			case ir.OpNot:
+				loadVal(0, in.A)
+				one := g.uniq("nt")
+				done := g.uniq("nd")
+				g.line("	cmp r0, #0")
+				g.line("	beq %s", one)
+				g.line("	movs r0, #0")
+				g.line("	b %s", done)
+				g.label(one)
+				g.line("	movs r0, #1")
+				g.label(done)
+				storeVal(0, in.Dst)
+			case ir.OpCall:
+				for i, a := range in.Args {
+					loadVal(i, a)
+				}
+				g.line("	bl %s", in.Callee)
+				if in.Dst != ir.NoValue {
+					storeVal(0, in.Dst)
+				}
+			case ir.OpRet:
+				if in.A != ir.NoValue {
+					loadVal(0, in.A)
+				}
+				epilogue()
+			case ir.OpJmp:
+				g.line("	b %s", blockLabel(in.Target))
+			case ir.OpCondBr:
+				loadVal(0, in.A)
+				taken := g.uniq("br")
+				g.line("	cmp r0, #0")
+				g.line("	bne %s", taken)
+				g.line("	b %s", blockLabel(in.FalseBlk))
+				g.label(taken)
+				g.line("	b %s", blockLabel(in.TrueBlk))
+			default:
+				return fmt.Errorf("codegen: unknown op %v", in.Op)
+			}
+		}
+	}
+	g.flushPool()
+	return nil
+}
+
+// condBranches maps comparison operators to (unsigned) condition codes.
+var condBranches = map[ir.BinOp]string{
+	ir.BinEq: "beq", ir.BinNe: "bne",
+	ir.BinLt: "bcc", ir.BinGe: "bcs",
+	ir.BinGt: "bhi", ir.BinLe: "bls",
+}
+
+func (g *gen) emitBin(in *ir.Instr,
+	loadVal func(int, ir.Value), storeVal func(int, ir.Value)) error {
+	loadVal(0, in.A)
+	loadVal(1, in.B)
+	switch in.BinOp {
+	case ir.BinAdd:
+		g.line("	adds r0, r0, r1")
+	case ir.BinSub:
+		g.line("	subs r0, r0, r1")
+	case ir.BinMul:
+		g.line("	muls r0, r1")
+	case ir.BinAnd:
+		g.line("	ands r0, r1")
+	case ir.BinOr:
+		g.line("	orrs r0, r1")
+	case ir.BinXor:
+		g.line("	eors r0, r1")
+	case ir.BinShl:
+		g.line("	lsls r0, r1")
+	case ir.BinShr:
+		g.line("	lsrs r0, r1")
+	case ir.BinDiv:
+		g.line("	bl __gr_udivmod")
+	case ir.BinRem:
+		g.line("	bl __gr_udivmod")
+		g.line("	movs r0, r1")
+	case ir.BinEq, ir.BinNe, ir.BinLt, ir.BinGt, ir.BinLe, ir.BinGe:
+		bcc := condBranches[in.BinOp]
+		one := g.uniq("ct")
+		done := g.uniq("cd")
+		g.line("	cmp r0, r1")
+		g.line("	%s %s", bcc, one)
+		g.line("	movs r0, #0")
+		g.line("	b %s", done)
+		g.label(one)
+		g.line("	movs r0, #1")
+		g.label(done)
+	default:
+		return fmt.Errorf("codegen: unknown binop %v", in.BinOp)
+	}
+	storeVal(0, in.Dst)
+	return nil
+}

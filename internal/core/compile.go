@@ -1,0 +1,108 @@
+// Package core is glitchlab's public facade: it ties the front end, the
+// defense passes and the code generator into the GlitchResistor tool
+// (Compile), and provides runners that regenerate every table and figure
+// of the paper's evaluation (see experiments.go and defenses.go).
+package core
+
+import (
+	"fmt"
+
+	"glitchlab/internal/codegen"
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/ir"
+	"glitchlab/internal/minic"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/pipeline"
+)
+
+// CompileResult is a protected (or baseline) firmware build.
+type CompileResult struct {
+	Image  *codegen.Image
+	Module *ir.Module
+	Report passes.Report
+	Config passes.Config
+}
+
+// Compile runs the full GlitchResistor pipeline on mini-C source: parse,
+// check, rewrite enums, lower, instrument, and generate Thumb firmware.
+func Compile(src string, cfg passes.Config) (*CompileResult, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &CompileResult{Config: cfg}
+	if cfg.EnumRewrite {
+		if err := passes.RewriteEnums(chk, &res.Report); err != nil {
+			return nil, err
+		}
+	}
+	mod, err := ir.Lower(chk)
+	if err != nil {
+		return nil, err
+	}
+	if err := passes.Instrument(mod, cfg, &res.Report); err != nil {
+		return nil, err
+	}
+	img, err := codegen.Build(mod, codegen.Options{Delay: cfg.Delay})
+	if err != nil {
+		return nil, err
+	}
+	res.Image = img
+	res.Module = mod
+	return res, nil
+}
+
+// StopSymbols are the runtime symbols experiment machines watch for.
+var StopSymbols = []string{"success", "halt", passes.DetectFunc, "boot_done"}
+
+// NewMachine loads a compiled image onto a fresh board and returns a
+// machine with the standard stop symbols armed.
+func NewMachine(img *codegen.Image) (*pipeline.Machine, error) {
+	b, err := firmware.NewBoard()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Load(img.Prog); err != nil {
+		return nil, err
+	}
+	m := pipeline.NewMachine(b)
+	for _, s := range StopSymbols {
+		if addr, ok := img.Symbol(s); ok {
+			m.AddStop(addr, s)
+		}
+	}
+	b.Reset()
+	return m, nil
+}
+
+// RunClean executes a compiled image with no glitch and returns the result.
+func RunClean(img *codegen.Image, maxCycles uint64) (pipeline.Result, error) {
+	m, err := NewMachine(img)
+	if err != nil {
+		return pipeline.Result{}, err
+	}
+	return m.Run(maxCycles), nil
+}
+
+// Verify builds and cleanly runs a source under a configuration, checking
+// it reaches the expected stop symbol — a smoke test used by examples and
+// the experiment harness before glitching anything.
+func Verify(src string, cfg passes.Config, wantStop string, maxCycles uint64) error {
+	res, err := Compile(src, cfg)
+	if err != nil {
+		return err
+	}
+	r, err := RunClean(res.Image, maxCycles)
+	if err != nil {
+		return err
+	}
+	if r.Reason != pipeline.StopHit || r.Tag != wantStop {
+		return fmt.Errorf("core: clean run ended %v/%q, want %q (fault %v)",
+			r.Reason, r.Tag, wantStop, r.Fault)
+	}
+	return nil
+}

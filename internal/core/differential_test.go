@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"glitchlab/internal/pipeline"
+)
+
+// TestDefensesPreserveBehavior generates random programs with loops,
+// branches and helper functions, compiles each under every defense
+// configuration, and checks they all compute the same result. This is the
+// soundness property the paper's tool must have: instrumentation may cost
+// cycles and bytes, but never change what the firmware computes.
+func TestDefensesPreserveBehavior(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD51))
+	for i := 0; i < 12; i++ {
+		src := genProgram(rng)
+		var want uint32
+		first := true
+		for _, cfg := range DefenseConfigs("state") {
+			res, err := Compile(src, cfg)
+			if err != nil {
+				t.Fatalf("program %d under %s: %v\n%s", i, cfg.Name(), err, src)
+			}
+			m, err := NewMachine(res.Image)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := m.Run(200_000_000)
+			if r.Reason != pipeline.StopHit || r.Tag != "halt" {
+				t.Fatalf("program %d under %s ended %v/%q fault=%v\n%s",
+					i, cfg.Name(), r.Reason, r.Tag, r.Fault, src)
+			}
+			addr := res.Image.GlobalAddrs["out"]
+			got, ok := m.Board.Mem.ReadWord(addr)
+			if !ok {
+				t.Fatal("out unreadable")
+			}
+			if first {
+				want = got
+				first = false
+				continue
+			}
+			if got != want {
+				t.Fatalf("program %d: %s computed %#x, baseline computed %#x\n%s",
+					i, cfg.Name(), got, want, src)
+			}
+		}
+	}
+}
+
+// genProgram emits a random but terminating mini-C program that folds its
+// work into the global `out`.
+func genProgram(rng *rand.Rand) string {
+	var sb strings.Builder
+	sb.WriteString("enum phase { P0, P1, P2, P3 };\n")
+	sb.WriteString("unsigned int out;\n")
+	sb.WriteString("unsigned int state = 3;\n")
+	fmt.Fprintf(&sb, "unsigned int seed = %#x;\n", rng.Uint32())
+
+	// A helper with constant returns (return-code hardening candidate).
+	sb.WriteString(`
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return P1; }
+	if (v % 5 == 0) { return P2; }
+	return P0;
+}
+`)
+	sb.WriteString("void main(void) {\n")
+	sb.WriteString("\tunsigned int acc = seed;\n")
+	nStmts := 3 + rng.Intn(4)
+	for s := 0; s < nStmts; s++ {
+		switch rng.Intn(4) {
+		case 0: // bounded for loop
+			fmt.Fprintf(&sb, "\tfor (unsigned int i%d = 0; i%d < %d; i%d = i%d + 1) {\n",
+				s, s, 2+rng.Intn(6), s, s)
+			fmt.Fprintf(&sb, "\t\tacc = acc * %d + i%d;\n", 3+rng.Intn(11), s)
+			fmt.Fprintf(&sb, "\t\tstate = state ^ acc;\n")
+			sb.WriteString("\t}\n")
+		case 1: // branch on the helper
+			fmt.Fprintf(&sb, "\tif (classify(acc) == P1) { acc = acc + %d; } else { acc = acc ^ %#x; }\n",
+				rng.Intn(100), rng.Uint32()&0xFFFF)
+		case 2: // bounded while countdown
+			fmt.Fprintf(&sb, "\t{ unsigned int n%d = %d;\n", s, 1+rng.Intn(9))
+			fmt.Fprintf(&sb, "\twhile (n%d != 0) { acc = acc + n%d * %d; n%d = n%d - 1; } }\n",
+				s, s, 1+rng.Intn(7), s, s)
+		default: // mix in the sensitive global
+			fmt.Fprintf(&sb, "\tstate = state + (acc >> %d);\n", rng.Intn(16))
+			sb.WriteString("\tif (state == 0) { state = 1; }\n")
+		}
+	}
+	sb.WriteString("\tout = acc ^ state;\n")
+	sb.WriteString("\thalt();\n}\n")
+	return sb.String()
+}

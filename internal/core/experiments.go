@@ -1,0 +1,92 @@
+package core
+
+import (
+	"glitchlab/internal/campaign"
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/search"
+)
+
+// DefaultSeed is the fault-model seed all published tables use, so every
+// number in EXPERIMENTS.md is exactly reproducible.
+const DefaultSeed = 1
+
+// RunFigure2 executes one Figure 2 emulation campaign variant.
+func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips int) ([]campaign.CondResult, error) {
+	return campaign.Run(campaign.Config{
+		Model:       model,
+		ZeroInvalid: zeroInvalid,
+		MaxFlips:    maxFlips,
+	})
+}
+
+// RunUDFHardening executes the Section IV extension experiment: the same
+// mutation campaign against snippets whose unreachable slots are filled
+// with permanently-undefined instructions, testing the paper's hypothesis
+// that "adding invalid instructions in between valid instructions would
+// likely thwart many glitching attempts".
+func RunUDFHardening(model mutate.Model, maxFlips int) ([]campaign.CondResult, error) {
+	return campaign.Run(campaign.Config{
+		Model:    model,
+		PadUDF:   true,
+		MaxFlips: maxFlips,
+	})
+}
+
+// RunTable1 executes the single-glitch scans for all three guards.
+func RunTable1(seed uint64) ([]*glitcher.Table1Result, error) {
+	m := glitcher.NewModel(seed)
+	var out []*glitcher.Table1Result
+	for _, g := range glitcher.Guards() {
+		r, err := m.RunTable1(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunTable2 executes the multi-glitch scans for all three guards.
+func RunTable2(seed uint64) ([]*glitcher.Table2Result, error) {
+	m := glitcher.NewModel(seed)
+	var out []*glitcher.Table2Result
+	for _, g := range glitcher.Guards() {
+		r, err := m.RunTable2(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunTable3 executes the long-glitch scans for all three guards.
+func RunTable3(seed uint64) ([]*glitcher.Table3Result, error) {
+	m := glitcher.NewModel(seed)
+	var out []*glitcher.Table3Result
+	for _, g := range glitcher.Guards() {
+		r, err := m.RunTable3(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunSearch executes the Section V-B optimal-parameter search against the
+// two guards the paper tuned (while(a) and the large-Hamming-distance
+// comparison).
+func RunSearch(seed uint64) ([]*search.Result, error) {
+	m := glitcher.NewModel(seed)
+	var out []*search.Result
+	for _, g := range []glitcher.Guard{glitcher.GuardWhileA, glitcher.GuardWhileNeq} {
+		s, err := search.New(m, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s.Find())
+	}
+	return out, nil
+}

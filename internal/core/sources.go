@@ -1,0 +1,86 @@
+package core
+
+// EvalFirmware is the indicative STM32Cube-style firmware the overhead
+// evaluation builds (paper Section VII-A): board initialization, then a
+// main loop that reads a tick counter and calls success() only if the tick
+// value is ever zero — designed to be impossible without a glitch. The
+// tick counter is the sensitive variable; hal_ready is a constant-return
+// function used in a guard; the status enum is uninitialized so the ENUM
+// rewriter engages.
+const EvalFirmware = `
+// Indicative CubeMX-style firmware for the overhead evaluation.
+enum status { STATUS_PENDING, STATUS_READY, STATUS_DONE };
+
+volatile unsigned int uwTick;      // sensitive: the HAL tick counter
+unsigned int sysclock = 48000000;
+unsigned int prescaler;
+
+unsigned int hal_ready(void) {
+	return 1;
+}
+
+void hal_init(void) {
+	prescaler = sysclock / 8000000;
+	for (unsigned int i = 0; i < 8; i = i + 1) {
+		uwTick = i + 1;
+	}
+}
+
+unsigned int check_ticks(unsigned int t) {
+	if (t == 0) {
+		return STATUS_READY;
+	}
+	return STATUS_PENDING;
+}
+
+void main(void) {
+	hal_init();
+	if (hal_ready() == 1) {
+		boot_done();
+	}
+	while (1) {
+		unsigned int t = uwTick;
+		if (check_ticks(t) == STATUS_READY) {
+			success();   // impossible: uwTick is never zero
+		}
+		uwTick = t + 1;
+	}
+}
+`
+
+// EvalSensitive lists the globals the evaluation firmware marks sensitive.
+var EvalSensitive = []string{"uwTick"}
+
+// WhileNotAFirmware is Table VI's worst-case scenario: the most
+// single-glitch-vulnerable guard from Section V, compiled with defenses.
+// The guarded variable is volatile, which the paper notes hobbles the
+// redundancy defenses (the value cannot be read twice), making this a
+// lower bound on their effectiveness.
+const WhileNotAFirmware = `
+volatile unsigned int a;
+
+void main(void) {
+	trigger();
+	while (!a) { }
+	success();
+}
+`
+
+// IfSuccessFirmware is Table VI's best-case scenario: a guard written the
+// way real firmware guards look, comparing against an uninitialized enum
+// whose values the ENUM rewriter diversifies (the paper's
+// "if (a == SUCCESS)" case).
+const IfSuccessFirmware = `
+enum result { FAILURE, SUCCESS };
+
+volatile unsigned int a;
+
+void main(void) {
+	a = FAILURE;
+	trigger();
+	if (a == SUCCESS) {
+		success();
+	}
+	halt();
+}
+`

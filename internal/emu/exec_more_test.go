@@ -1,0 +1,272 @@
+package emu
+
+import (
+	"testing"
+
+	"glitchlab/internal/isa"
+)
+
+func TestExtendAndReverseOps(t *testing.T) {
+	c, p := buildCPU(t, `
+		ldr r0, =0x80818283
+		sxtb r1, r0        ; 0xFFFFFF83
+		sxth r2, r0        ; 0xFFFF8283
+		uxtb r3, r0        ; 0x83
+		uxth r4, r0        ; 0x8283
+		rev r5, r0         ; 0x83828180
+		rev16 r6, r0       ; 0x81808382
+		ldr r0, =0x0000811A
+		revsh r7, r0       ; bytes of low half swapped, sign-extended
+		end: nop
+	`)
+	runTo(t, c, p)
+	want := map[isa.Reg]uint32{
+		isa.R1: 0xFFFFFF83,
+		isa.R2: 0xFFFF8283,
+		isa.R3: 0x83,
+		isa.R4: 0x8283,
+		isa.R5: 0x83828180,
+		isa.R6: 0x81808382,
+		isa.R7: 0x1A81,
+	}
+	for r, w := range want {
+		if c.R[r] != w {
+			t.Errorf("%v = %#x, want %#x", r, c.R[r], w)
+		}
+	}
+}
+
+func TestRegisterShifts(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want uint32
+		c    bool
+	}{
+		{"lsl reg", "movs r0, #1\n movs r1, #4\n lsls r0, r1\n end: nop", 16, false},
+		{"lsl by 32", "movs r0, #1\n movs r1, #32\n lsls r0, r1\n end: nop", 0, true},
+		{"lsl by 33", "movs r0, #1\n movs r1, #33\n lsls r0, r1\n end: nop", 0, false},
+		{"lsr reg", "movs r0, #16\n movs r1, #4\n lsrs r0, r1\n end: nop", 1, false},
+		{"lsr by 32", "ldr r0, =0x80000000\n movs r1, #32\n lsrs r0, r1\n end: nop", 0, true},
+		{"asr big", "ldr r0, =0x80000000\n movs r1, #40\n asrs r0, r1\n end: nop", 0xFFFFFFFF, true},
+		{"ror", "ldr r0, =0x80000001\n movs r1, #1\n rors r0, r1\n end: nop", 0xC0000000, true},
+		{"ror by zero keeps", "ldr r0, =0x80000001\n movs r1, #0\n rors r0, r1\n end: nop", 0x80000001, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, p := buildCPU(t, tt.src)
+			runTo(t, c, p)
+			if c.R[isa.R0] != tt.want {
+				t.Errorf("r0 = %#x, want %#x", c.R[isa.R0], tt.want)
+			}
+			if c.Flags.C != tt.c {
+				t.Errorf("C = %v, want %v", c.Flags.C, tt.c)
+			}
+		})
+	}
+}
+
+func TestCarryChainAdcSbc(t *testing.T) {
+	// 64-bit add via adds/adcs: 0xFFFFFFFF_00000001 + 0x00000001_FFFFFFFF.
+	c, p := buildCPU(t, `
+		movs r0, #1           ; lo a
+		movs r1, #0           ; hi a placeholder
+		mvns r1, r1           ; hi a = 0xFFFFFFFF
+		movs r2, #0
+		mvns r2, r2           ; lo b = 0xFFFFFFFF
+		movs r3, #1           ; hi b
+		adds r0, r0, r2       ; lo sum, carry out
+		adcs r1, r3           ; hi sum with carry
+		end: nop
+	`)
+	runTo(t, c, p)
+	if c.R[isa.R0] != 0 {
+		t.Errorf("lo = %#x, want 0", c.R[isa.R0])
+	}
+	if c.R[isa.R1] != 1 { // 0xFFFFFFFF + 1 + carry = 1 (mod 2^32), carry out
+		t.Errorf("hi = %#x, want 1", c.R[isa.R1])
+	}
+	if !c.Flags.C {
+		t.Error("carry should be set")
+	}
+
+	// 64-bit subtract via subs/sbcs: (2<<32 | 0) - (0<<32 | 1).
+	c2, p2 := buildCPU(t, `
+		movs r0, #0           ; lo a
+		movs r1, #2           ; hi a
+		movs r2, #1           ; lo b
+		movs r3, #0           ; hi b
+		subs r0, r0, r2
+		sbcs r1, r3
+		end: nop
+	`)
+	runTo(t, c2, p2)
+	if c2.R[isa.R0] != 0xFFFFFFFF || c2.R[isa.R1] != 1 {
+		t.Errorf("64-bit sub = %#x:%#x, want 1:0xFFFFFFFF",
+			c2.R[isa.R1], c2.R[isa.R0])
+	}
+}
+
+func TestStmLdm(t *testing.T) {
+	c, p := buildCPU(t, `
+		ldr r0, =0x20000100
+		movs r1, #11
+		movs r2, #22
+		movs r3, #33
+		stmia r0!, {r1, r2, r3}
+		movs r1, #0
+		movs r2, #0
+		movs r3, #0
+		ldr r0, =0x20000100
+		ldmia r0!, {r1, r2, r3}
+		end: nop
+	`)
+	runTo(t, c, p)
+	if c.R[isa.R1] != 11 || c.R[isa.R2] != 22 || c.R[isa.R3] != 33 {
+		t.Errorf("ldm restored %d %d %d", c.R[isa.R1], c.R[isa.R2], c.R[isa.R3])
+	}
+	if c.R[isa.R0] != 0x20000100+12 {
+		t.Errorf("writeback r0 = %#x", c.R[isa.R0])
+	}
+}
+
+func TestLdmBaseInList(t *testing.T) {
+	// When the base register is in the list, no writeback occurs and the
+	// loaded value wins.
+	c, p := buildCPU(t, `
+		ldr r0, =0x20000200
+		ldr r1, =0xCAFEBABE
+		str r1, [r0]
+		ldmia r0!, {r0}
+		end: nop
+	`)
+	runTo(t, c, p)
+	if c.R[isa.R0] != 0xCAFEBABE {
+		t.Errorf("r0 = %#x, want loaded value", c.R[isa.R0])
+	}
+}
+
+func TestHiRegisterOps(t *testing.T) {
+	c, p := buildCPU(t, `
+		movs r0, #5
+		mov r8, r0
+		movs r0, #3
+		add r0, r8        ; 3 + 5, no flags
+		mov r9, sp
+		cmp r8, r0        ; 5 vs 8: borrow
+		end: nop
+	`)
+	runTo(t, c, p)
+	if c.R[isa.R0] != 8 {
+		t.Errorf("r0 = %d, want 8", c.R[isa.R0])
+	}
+	if c.R[isa.R9] != testStackTop {
+		t.Errorf("r9 = %#x, want sp", c.R[isa.R9])
+	}
+	if c.Flags.C { // 5 - 8 borrows => C clear
+		t.Error("carry should be clear after cmp r8, r0")
+	}
+}
+
+func TestAdrAndAddSp(t *testing.T) {
+	c, p := buildCPU(t, `
+		adr r0, data
+		ldr r1, [r0]
+		add r2, sp, #8
+		sub sp, #8
+		add r3, sp, #0
+		add sp, #8
+		end: nop
+		.align 4
+	data:
+		.word 0x11223344
+	`)
+	runTo(t, c, p)
+	if c.R[isa.R1] != 0x11223344 {
+		t.Errorf("adr+ldr = %#x", c.R[isa.R1])
+	}
+	if c.R[isa.R2] != testStackTop+8 {
+		t.Errorf("add r2, sp = %#x", c.R[isa.R2])
+	}
+	if c.R[isa.R3] != testStackTop-8 {
+		t.Errorf("sp after sub = %#x", c.R[isa.R3])
+	}
+	if c.R[isa.SP] != testStackTop {
+		t.Errorf("sp not restored: %#x", c.R[isa.SP])
+	}
+}
+
+func TestBLXAndMovPC(t *testing.T) {
+	c2, p2 := buildCPU(t, `
+		adr r4, helper
+		adds r4, #1        ; set thumb bit
+		blx r4
+		movs r2, #2
+		b end
+		.align 4
+	helper:
+		movs r1, #1
+		bx lr
+		end: nop
+	`)
+	runTo(t, c2, p2)
+	if c2.R[isa.R1] != 1 || c2.R[isa.R2] != 2 {
+		t.Errorf("blx sequence r1=%d r2=%d", c2.R[isa.R1], c2.R[isa.R2])
+	}
+
+}
+
+func TestWideCycleCounts(t *testing.T) {
+	// push {r4,r5} = 1+2, pop = 1+2; bl = 4; bx = 3.
+	c, p := buildCPU(t, `
+		push {r4, r5}
+		pop {r4, r5}
+		bl f
+		end: nop
+	f:
+		bx lr
+	`)
+	runTo(t, c, p)
+	if want := uint64(3 + 3 + 4 + 3); c.Cycles != want {
+		t.Errorf("cycles = %d, want %d", c.Cycles, want)
+	}
+}
+
+func TestCostOfMatchesExecution(t *testing.T) {
+	// CostOf's prediction must equal the cycles the instruction actually
+	// takes, for a spread of instruction shapes.
+	c, p := buildCPU(t, `
+		movs r0, #1
+		cmp r0, #1
+		beq skip
+		nop
+	skip:
+		ldr r1, =0x20000000
+		str r0, [r1]
+		ldr r2, [r1]
+		push {r0, r1}
+		pop {r0, r1}
+		b fin
+	fin:
+		end: nop
+	`)
+	end, _ := p.SymbolAddr("end")
+	for c.PC() != end {
+		pc := c.PC()
+		r, ok := c.Mem.Region(pc, 2)
+		if !ok {
+			t.Fatal("bad pc")
+		}
+		off := pc - r.Base
+		hw := uint16(r.Data[off]) | uint16(r.Data[off+1])<<8
+		in := isa.Decode(hw, 0)
+		predicted := c.CostOf(in)
+		got, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != predicted {
+			t.Errorf("%v at %#x: predicted %d cycles, took %d", in, pc, predicted, got)
+		}
+	}
+}

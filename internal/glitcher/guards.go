@@ -1,0 +1,166 @@
+package glitcher
+
+import "fmt"
+
+// Guard identifies one of the paper's three branch guards (Section V-A).
+type Guard uint8
+
+// The three guards, in the order the paper's tables present them.
+const (
+	GuardWhileNotA Guard = iota + 1 // while(!a), a = 0: exits on any non-zero a
+	GuardWhileA                     // while(a), a = 1: exits only on a == 0
+	GuardWhileNeq                   // while(a != 0xD3B9AEC6), a = 0xE7D25763
+)
+
+// String returns the guard's C spelling as used in the paper.
+func (g Guard) String() string {
+	switch g {
+	case GuardWhileNotA:
+		return "while(!a)"
+	case GuardWhileA:
+		return "while(a)"
+	case GuardWhileNeq:
+		return "while(a!=0xD3B9AEC6)"
+	}
+	return fmt.Sprintf("guard%d", uint8(g))
+}
+
+// ComparatorReg returns the register the paper inspects post-mortem for
+// this guard (R3 for the byte guards, R2 for the word guard).
+func (g Guard) ComparatorReg() int {
+	if g == GuardWhileNeq {
+		return 2
+	}
+	return 3
+}
+
+// The magic constant and initial value for GuardWhileNeq, from the paper.
+const (
+	NeqMagic   = 0xD3B9AEC6
+	NeqInitial = 0xE7D25763
+)
+
+// loopBody returns the guard's loop assembly, matching the paper's
+// disassembly cycle-for-cycle. Labels are suffixed so two copies can be
+// placed in one program.
+func (g Guard) loopBody(suffix string) string {
+	switch g {
+	case GuardWhileNotA:
+		// Cycle map: MOV(1) ADDS(1) LDRB(2) CMP(1) BEQ(3) = 8 cycles,
+		// as in Table Ia.
+		return fmt.Sprintf(`
+loop%[1]s:
+	mov r3, sp
+	adds r3, #7
+	ldrb r3, [r3]
+	cmp r3, #0
+	beq loop%[1]s
+`, suffix)
+	case GuardWhileA:
+		return fmt.Sprintf(`
+loop%[1]s:
+	mov r3, sp
+	adds r3, #7
+	ldrb r3, [r3]
+	cmp r3, #0
+	bne loop%[1]s
+`, suffix)
+	case GuardWhileNeq:
+		// LDR(2) LDR-lit(2) CMP(1) BNE(3) = 8 cycles, as in Table Ic.
+		return fmt.Sprintf(`
+loop%[1]s:
+	ldr r2, [sp, #0x10]
+	ldr r3, lit_magic
+	cmp r2, r3
+	bne loop%[1]s
+`, suffix)
+	}
+	return ""
+}
+
+// setup returns the assembly that initializes the guarded variable.
+func (g Guard) setup() string {
+	switch g {
+	case GuardWhileNotA:
+		return `
+	sub sp, #8
+	movs r3, #0
+	mov r2, sp
+	strb r3, [r2, #7]      ; a = 0
+`
+	case GuardWhileA:
+		return `
+	sub sp, #8
+	movs r3, #1
+	mov r2, sp
+	strb r3, [r2, #7]      ; a = 1
+`
+	case GuardWhileNeq:
+		return `
+	sub sp, #0x18
+	ldr r3, lit_initial
+	str r3, [sp, #0x10]    ; a = 0xE7D25763
+`
+	}
+	return ""
+}
+
+func (g Guard) literals() string {
+	if g != GuardWhileNeq {
+		return ""
+	}
+	return fmt.Sprintf(`
+	.align 4
+lit_magic:
+	.word %#x
+lit_initial:
+	.word %#x
+`, uint32(NeqMagic), uint32(NeqInitial))
+}
+
+const triggerAsm = `
+	ldr r0, lit_trigger
+	movs r1, #1
+	str r1, [r0]           ; raise the trigger GPIO
+`
+
+const triggerLiteral = `
+	.align 4
+lit_trigger:
+	.word 0x48000028
+`
+
+// SingleLoopSource builds the Table I firmware: initialize, trigger, spin
+// in the guard loop; a successful glitch falls through to the exit label.
+func (g Guard) SingleLoopSource() string {
+	return g.setup() + triggerAsm + g.loopBody("") + `
+exit:
+	b exit
+` + g.literals() + triggerLiteral
+}
+
+// DoubleLoopSource builds the Table II firmware: two identical guard loops
+// back-to-back, each preceded by its own trigger, exactly as the paper's
+// multi-glitch experiment re-arms the ChipWhisperer between loops.
+func (g Guard) DoubleLoopSource() string {
+	return g.setup() + triggerAsm + g.loopBody("1") + triggerAsm +
+		g.loopBody("2") + `
+exit:
+	b exit
+` + g.literals() + triggerLiteral
+}
+
+// LongGlitchSource builds the Table III firmware: two subsequent guard
+// loops after a single trigger; the long glitch must carry execution
+// through both.
+func (g Guard) LongGlitchSource() string {
+	return g.setup() + triggerAsm + g.loopBody("1") + g.loopBody("2") + `
+exit:
+	b exit
+` + g.literals() + triggerLiteral
+}
+
+// Guards lists the three guards in table order.
+func Guards() []Guard {
+	return []Guard{GuardWhileNotA, GuardWhileA, GuardWhileNeq}
+}

@@ -1,0 +1,287 @@
+package glitcher
+
+import (
+	"fmt"
+	"sort"
+
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/pipeline"
+)
+
+// LoopCycles is the length of one guard-loop iteration in clock cycles (all
+// three guards compile to 8-cycle loops, as in the paper's Table I).
+const LoopCycles = 8
+
+// attemptBudget bounds one glitch attempt in clock cycles. The guards loop
+// forever; once the glitch window has passed with no effect the attempt is
+// classified as unsuccessful.
+const attemptBudget = 600
+
+// Target is a board loaded with one guard firmware, ready for repeated
+// glitch attempts.
+type Target struct {
+	Guard   Guard
+	Board   *firmware.Board
+	Machine *pipeline.Machine
+}
+
+// NewTarget assembles and loads src (one of the guard source builders) and
+// registers the exit label as the success stop.
+func NewTarget(g Guard, src string) (*Target, error) {
+	b, err := firmware.NewBoard()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := b.LoadSource(src); err != nil {
+		return nil, fmt.Errorf("glitcher: %s firmware: %w", g, err)
+	}
+	m := pipeline.NewMachine(b)
+	m.AddStopSymbol("exit")
+	return &Target{Guard: g, Board: b, Machine: m}, nil
+}
+
+// Attempt resets the board and runs one glitch attempt.
+func (t *Target) Attempt(inj pipeline.Injector) pipeline.Result {
+	t.Board.Reset()
+	t.Machine.Glitch = inj
+	return t.Machine.Run(attemptBudget)
+}
+
+// CleanRun verifies the firmware loops forever when not glitched.
+func (t *Target) CleanRun() pipeline.Result {
+	return t.Attempt(nil)
+}
+
+// CycleCount aggregates Table I's per-clock-cycle statistics.
+type CycleCount struct {
+	Cycle       int
+	Instruction string // which instruction occupies this cycle
+	Attempts    uint64
+	Successes   uint64
+	Values      map[uint32]uint64 // post-mortem comparator values on success
+	// ByKind attributes each success to the physical corruption that the
+	// glitch delivered — the mechanism analysis the paper performs by
+	// hand in Section V-A (register data corrupted vs. execution
+	// corrupted).
+	ByKind map[pipeline.EventKind]uint64
+}
+
+// SortedValues returns the observed comparator values ordered by value.
+func (c *CycleCount) SortedValues() []uint32 {
+	vals := make([]uint32, 0, len(c.Values))
+	for v := range c.Values {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// cycleInstruction maps a relative clock cycle to the instruction the
+// paper's tables attribute it to.
+func (g Guard) cycleInstruction(cycle int) string {
+	switch g {
+	case GuardWhileNotA, GuardWhileA:
+		names := []string{
+			"MOV R3, SP", "ADDS R3, #7", "LDRB R3, [R3]", "LDRB R3, [R3]",
+			"CMP R3, #0", "Bcc .loop", "Bcc .loop", "Bcc .loop",
+		}
+		if cycle < len(names) {
+			n := names[cycle]
+			if n == "Bcc .loop" {
+				if g == GuardWhileNotA {
+					return "BEQ .loop"
+				}
+				return "BNE .loop"
+			}
+			return n
+		}
+	case GuardWhileNeq:
+		names := []string{
+			"LDR R2, [SP,#0x10]", "LDR R2, [SP,#0x10]",
+			"LDR R3, =0xD3B9AEC6", "LDR R3, =0xD3B9AEC6",
+			"CMP R2, R3", "BNE .loop", "BNE .loop", "BNE .loop",
+		}
+		if cycle < len(names) {
+			return names[cycle]
+		}
+	}
+	return fmt.Sprintf("cycle %d", cycle)
+}
+
+// Table1Result is one guard's single-glitch scan (Table I a/b/c).
+type Table1Result struct {
+	Guard     Guard
+	PerCycle  []CycleCount
+	Attempts  uint64
+	Successes uint64
+}
+
+// SuccessRate returns the overall success fraction.
+func (r *Table1Result) SuccessRate() float64 {
+	if r.Attempts == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Attempts)
+}
+
+// KindBreakdown sums success attributions across all cycles.
+func (r *Table1Result) KindBreakdown() map[pipeline.EventKind]uint64 {
+	out := map[pipeline.EventKind]uint64{}
+	for _, c := range r.PerCycle {
+		for k, n := range c.ByKind {
+			out[k] += n
+		}
+	}
+	return out
+}
+
+// UniqueValues counts distinct post-mortem comparator values across all
+// cycles (the paper reports e.g. "12 unique").
+func (r *Table1Result) UniqueValues() int {
+	set := map[uint32]bool{}
+	for _, c := range r.PerCycle {
+		for v := range c.Values {
+			set[v] = true
+		}
+	}
+	return len(set)
+}
+
+// RunTable1 performs the paper's Table I scan for one guard: for each of
+// the loop's clock cycles, every (width, offset) pair is attempted once.
+func (m *Model) RunTable1(g Guard) (*Table1Result, error) {
+	t, err := NewTarget(g, g.SingleLoopSource())
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Guard: g}
+	cmpReg := g.ComparatorReg()
+	for cycle := 0; cycle < LoopCycles; cycle++ {
+		cc := CycleCount{
+			Cycle:       cycle,
+			Instruction: g.cycleInstruction(cycle),
+			Values:      map[uint32]uint64{},
+			ByKind:      map[pipeline.EventKind]uint64{},
+		}
+		Grid(func(p Params) {
+			cc.Attempts++
+			// The model is deterministic, so a parameter point that
+			// produces no event at this cycle cannot affect the run;
+			// skip the emulation (identical outcome, less time).
+			ev, hit := m.EventAt(p, cycle, 0)
+			if !hit {
+				return
+			}
+			r := t.Attempt(m.Plan(p, cycle))
+			if r.Reason == pipeline.StopHit {
+				cc.Successes++
+				cc.Values[r.Regs[cmpReg]]++
+				cc.ByKind[ev.Kind]++
+			}
+		})
+		res.Attempts += cc.Attempts
+		res.Successes += cc.Successes
+		res.PerCycle = append(res.PerCycle, cc)
+	}
+	return res, nil
+}
+
+// Table2Result is one guard's multi-glitch scan (Table II).
+type Table2Result struct {
+	Guard    Guard
+	Partial  []uint64 // per cycle: first glitch succeeded, second failed
+	Full     []uint64 // per cycle: both glitches succeeded
+	Attempts uint64
+}
+
+// Totals returns the summed partial and full counts.
+func (r *Table2Result) Totals() (partial, full uint64) {
+	for i := range r.Partial {
+		partial += r.Partial[i]
+		full += r.Full[i]
+	}
+	return partial, full
+}
+
+// RunTable2 performs the multi-glitch experiment: two identical loops, each
+// with its own trigger; the same glitch parameters are delivered in both
+// windows.
+func (m *Model) RunTable2(g Guard) (*Table2Result, error) {
+	t, err := NewTarget(g, g.DoubleLoopSource())
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{
+		Guard:   g,
+		Partial: make([]uint64, LoopCycles),
+		Full:    make([]uint64, LoopCycles),
+	}
+	for cycle := 0; cycle < LoopCycles; cycle++ {
+		Grid(func(p Params) {
+			res.Attempts++
+			// No event in the first window means the first loop can
+			// never be escaped — neither partial nor full.
+			if _, hit := m.EventAt(p, cycle, 0); !hit {
+				return
+			}
+			r := t.Attempt(m.Plan(p, cycle))
+			switch {
+			case r.Reason == pipeline.StopHit:
+				res.Full[cycle]++
+			case t.Board.TriggerCount >= 2:
+				// The second trigger fired, so the first loop was
+				// escaped — a partial glitch.
+				res.Partial[cycle]++
+			}
+		})
+	}
+	return res, nil
+}
+
+// Table3Result is one guard's long-glitch scan (Table III).
+type Table3Result struct {
+	Guard     Guard
+	Cycles    []int    // inclusive end of each glitched range [0, n)
+	Successes []uint64 // per range
+	Attempts  uint64
+}
+
+// Total returns the summed successes.
+func (r *Table3Result) Total() uint64 {
+	var n uint64
+	for _, s := range r.Successes {
+		n += s
+	}
+	return n
+}
+
+// RunTable3 performs the long-glitch experiment: a glitch is inserted at
+// every clock cycle from the trigger up to n, for n in [10, 20], against
+// two subsequent loops.
+func (m *Model) RunTable3(g Guard) (*Table3Result, error) {
+	t, err := NewTarget(g, g.LongGlitchSource())
+	if err != nil {
+		return nil, err
+	}
+	res := &Table3Result{Guard: g}
+	for n := 10; n <= 20; n++ {
+		var succ uint64
+		Grid(func(p Params) {
+			res.Attempts++
+			any := false
+			for rel := 0; rel < n && !any; rel++ {
+				_, any = m.EventAt(p, rel, 0)
+			}
+			if !any {
+				return
+			}
+			r := t.Attempt(m.RangePlan(p, 0, n))
+			if r.Reason == pipeline.StopHit {
+				succ++
+			}
+		})
+		res.Cycles = append(res.Cycles, n)
+		res.Successes = append(res.Successes, succ)
+	}
+	return res, nil
+}

@@ -1,0 +1,348 @@
+// Package ir defines GlitchResistor's intermediate representation: a small
+// CFG-based, register-oriented IR that the defense passes (internal/passes)
+// transform and the code generator (internal/codegen) lowers to Thumb-16.
+// It plays the role LLVM IR plays for the paper's tool.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a function-local virtual register. NoValue means "none".
+type Value int
+
+// NoValue marks an absent operand or result.
+const NoValue Value = -1
+
+// Op is an IR operation.
+type Op uint8
+
+// IR operations.
+const (
+	OpConst     Op = iota + 1 // Dst = Imm
+	OpLoadSlot                // Dst = slot[Slot]
+	OpStoreSlot               // slot[Slot] = A
+	OpLoadG                   // Dst = global GName (Volatile honored)
+	OpStoreG                  // global GName = A
+	OpBin                     // Dst = A <BinOp> B
+	OpNot                     // Dst = A == 0 ? 1 : 0 (logical not)
+	OpCall                    // Dst (may be NoValue) = Callee(Args...)
+	OpRet                     // return A (NoValue for void)
+	OpJmp                     // jump Target
+	OpCondBr                  // if A != 0 goto TrueBlk else FalseBlk
+)
+
+// BinOp is an arithmetic/logical/comparison operator.
+type BinOp uint8
+
+// Binary operators. Comparisons produce 0 or 1.
+const (
+	BinAdd BinOp = iota + 1
+	BinSub
+	BinMul
+	BinDiv // unsigned
+	BinRem // unsigned
+	BinAnd
+	BinOr
+	BinXor
+	BinShl
+	BinShr // logical
+	BinEq
+	BinNe
+	BinLt // unsigned
+	BinGt
+	BinLe
+	BinGe
+)
+
+var binNames = map[BinOp]string{
+	BinAdd: "add", BinSub: "sub", BinMul: "mul", BinDiv: "div",
+	BinRem: "rem", BinAnd: "and", BinOr: "or", BinXor: "xor",
+	BinShl: "shl", BinShr: "shr", BinEq: "eq", BinNe: "ne",
+	BinLt: "lt", BinGt: "gt", BinLe: "le", BinGe: "ge",
+}
+
+// String returns the operator mnemonic.
+func (b BinOp) String() string {
+	if s, ok := binNames[b]; ok {
+		return s
+	}
+	return fmt.Sprintf("bin%d", uint8(b))
+}
+
+// IsComparison reports whether the operator yields a boolean.
+func (b BinOp) IsComparison() bool {
+	return b >= BinEq
+}
+
+// Negate returns the complementary comparison (eq<->ne, lt<->ge, ...).
+// It panics for non-comparisons.
+func (b BinOp) Negate() BinOp {
+	switch b {
+	case BinEq:
+		return BinNe
+	case BinNe:
+		return BinEq
+	case BinLt:
+		return BinGe
+	case BinGe:
+		return BinLt
+	case BinGt:
+		return BinLe
+	case BinLe:
+		return BinGt
+	}
+	panic(fmt.Sprintf("ir: Negate(%v)", b))
+}
+
+// Swap returns the comparison with operands exchanged (lt<->gt, le<->ge).
+func (b BinOp) Swap() BinOp {
+	switch b {
+	case BinLt:
+		return BinGt
+	case BinGt:
+		return BinLt
+	case BinLe:
+		return BinGe
+	case BinGe:
+		return BinLe
+	default:
+		return b
+	}
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op       Op
+	Dst      Value
+	A, B     Value
+	Imm      uint32
+	Slot     int
+	GName    string
+	BinOp    BinOp
+	Callee   string
+	Args     []Value
+	Volatile bool
+	// Targets for control flow (block names).
+	TrueBlk  string
+	FalseBlk string
+	Target   string
+	// GR marks instructions inserted by a defense pass, so later passes
+	// do not re-instrument them.
+	GR bool
+}
+
+// IsTerminator reports whether the instruction ends a block.
+func (i *Instr) IsTerminator() bool {
+	return i.Op == OpRet || i.Op == OpJmp || i.Op == OpCondBr
+}
+
+// String renders the instruction for dumps and tests.
+func (i *Instr) String() string {
+	v := func(x Value) string {
+		if x == NoValue {
+			return "_"
+		}
+		return fmt.Sprintf("v%d", x)
+	}
+	switch i.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %#x", v(i.Dst), i.Imm)
+	case OpLoadSlot:
+		return fmt.Sprintf("%s = slot[%d]", v(i.Dst), i.Slot)
+	case OpStoreSlot:
+		return fmt.Sprintf("slot[%d] = %s", i.Slot, v(i.A))
+	case OpLoadG:
+		vol := ""
+		if i.Volatile {
+			vol = " volatile"
+		}
+		return fmt.Sprintf("%s = load%s @%s", v(i.Dst), vol, i.GName)
+	case OpStoreG:
+		vol := ""
+		if i.Volatile {
+			vol = " volatile"
+		}
+		return fmt.Sprintf("store%s @%s = %s", vol, i.GName, v(i.A))
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s, %s", v(i.Dst), i.BinOp, v(i.A), v(i.B))
+	case OpNot:
+		return fmt.Sprintf("%s = not %s", v(i.Dst), v(i.A))
+	case OpCall:
+		args := make([]string, len(i.Args))
+		for j, a := range i.Args {
+			args[j] = v(a)
+		}
+		return fmt.Sprintf("%s = call %s(%s)", v(i.Dst), i.Callee,
+			strings.Join(args, ", "))
+	case OpRet:
+		return fmt.Sprintf("ret %s", v(i.A))
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", i.Target)
+	case OpCondBr:
+		return fmt.Sprintf("br %s ? %s : %s", v(i.A), i.TrueBlk, i.FalseBlk)
+	}
+	return fmt.Sprintf("op%d", uint8(i.Op))
+}
+
+// Block is a basic block: straight-line instructions ending in one
+// terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	// IsLoopHeader marks blocks whose conditional branch guards a loop
+	// (set by lowering; used by the loop-hardening pass).
+	IsLoopHeader bool
+}
+
+// Term returns the block terminator, or nil if the block is malformed.
+func (b *Block) Term() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Func is an IR function.
+type Func struct {
+	Name       string
+	Params     int // params arrive in slots 0..Params-1
+	ReturnsVal bool
+	Blocks     []*Block
+	NumSlots   int // local variable slots (params included)
+	NumValues  int // virtual registers allocated
+	// VolatileSlots marks slots declared volatile: defense passes must
+	// not replicate their loads (paper Section VI-B).
+	VolatileSlots map[int]bool
+
+	blockIdx map[string]*Block
+}
+
+// NewValue allocates a fresh virtual register.
+func (f *Func) NewValue() Value {
+	v := Value(f.NumValues)
+	f.NumValues++
+	return v
+}
+
+// NewSlot allocates a fresh local slot.
+func (f *Func) NewSlot() int {
+	s := f.NumSlots
+	f.NumSlots++
+	return s
+}
+
+// Block returns the named block.
+func (f *Func) Block(name string) (*Block, bool) {
+	if f.blockIdx == nil {
+		f.reindex()
+	}
+	b, ok := f.blockIdx[name]
+	return b, ok
+}
+
+// Reindex rebuilds the block name index after direct manipulation of the
+// Blocks slice (passes that insert blocks mid-list use this).
+func (f *Func) Reindex() { f.reindex() }
+
+func (f *Func) reindex() {
+	f.blockIdx = make(map[string]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		f.blockIdx[b.Name] = b
+	}
+}
+
+// AddBlock appends a block and reindexes.
+func (f *Func) AddBlock(b *Block) {
+	f.Blocks = append(f.Blocks, b)
+	if f.blockIdx != nil {
+		f.blockIdx[b.Name] = b
+	}
+}
+
+// Global is a module-level variable.
+type Global struct {
+	Name     string
+	HasInit  bool
+	Init     uint32
+	Volatile bool
+	// Sensitive marks variables listed in the defense configuration for
+	// data-integrity protection.
+	Sensitive bool
+	// Shadow names this global's integrity twin (set by the integrity
+	// pass on the protected global).
+	Shadow string
+	// IsShadow marks the twin itself; codegen allocates shadows in a
+	// separate memory area so a single fault cannot hit both copies.
+	IsShadow bool
+}
+
+// EnumInfo records an enum set for reporting (which constants were
+// diversified).
+type EnumInfo struct {
+	Name      string
+	Members   []string
+	Values    []uint32
+	Rewritten bool
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Globals []*Global
+	Funcs   []*Func
+	Enums   []*EnumInfo
+}
+
+// Global returns the named global.
+func (m *Module) Global(name string) (*Global, bool) {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return nil, false
+}
+
+// Func returns the named function.
+func (m *Module) Func(name string) (*Func, bool) {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// String dumps the module in a stable textual form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	globals := append([]*Global(nil), m.Globals...)
+	sort.Slice(globals, func(i, j int) bool { return globals[i].Name < globals[j].Name })
+	for _, g := range globals {
+		fmt.Fprintf(&sb, "global @%s", g.Name)
+		if g.Volatile {
+			sb.WriteString(" volatile")
+		}
+		if g.HasInit {
+			fmt.Fprintf(&sb, " = %#x", g.Init)
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&sb, "\nfunc %s(params=%d slots=%d) {\n", f.Name, f.Params, f.NumSlots)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+			for _, in := range b.Instrs {
+				fmt.Fprintf(&sb, "\t%s\n", in)
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}

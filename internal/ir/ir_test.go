@@ -1,0 +1,173 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"glitchlab/internal/minic"
+)
+
+func lower(t *testing.T, src string) *Module {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	m, err := Lower(chk)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m
+}
+
+func TestLowerVerifies(t *testing.T) {
+	m := lower(t, `
+	enum e { A, B };
+	volatile unsigned int g;
+	unsigned int init = 5;
+	unsigned int f(unsigned int x, unsigned int y) {
+		unsigned int acc = 0;
+		for (unsigned int i = 0; i < x; i = i + 1) {
+			if (i % 2 == 0) { acc = acc + y; } else { acc = acc - 1; }
+			while (acc > 100) { acc = acc / 2; break; }
+		}
+		if (acc != 0 && x > 1 || y == B) { return A; }
+		return acc;
+	}
+	void main(void) {
+		g = f(3, init);
+		if (!g) { success(); }
+		halt();
+	}
+	`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 2 || len(m.Globals) != 2 {
+		t.Fatalf("funcs=%d globals=%d", len(m.Funcs), len(m.Globals))
+	}
+}
+
+func TestLoopHeadersMarked(t *testing.T) {
+	m := lower(t, `
+	void main(void) {
+		unsigned int a = 3;
+		while (a != 0) { a = a - 1; }
+		for (unsigned int i = 0; i < 4; i = i + 1) { a = a + 1; }
+		if (a == 4) { success(); }
+		halt();
+	}
+	`)
+	f, _ := m.Func("main")
+	headers := 0
+	for _, b := range f.Blocks {
+		if b.IsLoopHeader {
+			headers++
+			term := b.Term()
+			if term == nil || term.Op != OpCondBr {
+				t.Errorf("loop header %q lacks conditional terminator", b.Name)
+			}
+		}
+	}
+	if headers != 2 {
+		t.Fatalf("loop headers = %d, want 2", headers)
+	}
+}
+
+func TestVolatileTracking(t *testing.T) {
+	m := lower(t, `
+	volatile unsigned int g;
+	void main(void) {
+		volatile unsigned int v = 1;
+		unsigned int x = v + g;
+		if (x == 0) { success(); }
+		halt();
+	}
+	`)
+	f, _ := m.Func("main")
+	if len(f.VolatileSlots) != 1 {
+		t.Fatalf("volatile slots = %v", f.VolatileSlots)
+	}
+	volatileLoads := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if (in.Op == OpLoadG || in.Op == OpLoadSlot) && in.Volatile {
+				volatileLoads++
+			}
+		}
+	}
+	if volatileLoads != 2 {
+		t.Fatalf("volatile loads = %d, want 2 (slot v and global g)", volatileLoads)
+	}
+}
+
+func TestEnumLoweredAsConstants(t *testing.T) {
+	m := lower(t, `
+	enum e { A, B, C };
+	void main(void) {
+		unsigned int x = C;
+		if (x == 2) { success(); }
+		halt();
+	}
+	`)
+	if len(m.Enums) != 1 || m.Enums[0].Values[2] != 2 {
+		t.Fatalf("enum info = %+v", m.Enums)
+	}
+}
+
+func TestVerifyCatchesBrokenModules(t *testing.T) {
+	m := lower(t, `void main(void) { halt(); }`)
+	f := m.Funcs[0]
+
+	// Branch to a missing block.
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs[:len(f.Blocks[0].Instrs)-1],
+		&Instr{Op: OpJmp, Target: "nowhere", A: NoValue})
+	if err := m.Verify(); err == nil {
+		t.Error("verify accepted dangling branch target")
+	}
+}
+
+func TestVerifyRejectsMisplacedTerminator(t *testing.T) {
+	m := lower(t, `void main(void) { halt(); }`)
+	f := m.Funcs[0]
+	b := f.Blocks[0]
+	// Insert a terminator in the middle.
+	b.Instrs = append([]*Instr{{Op: OpJmp, Target: b.Name, A: NoValue}}, b.Instrs...)
+	if err := m.Verify(); err == nil {
+		t.Error("verify accepted mid-block terminator")
+	}
+}
+
+func TestBinOpHelpers(t *testing.T) {
+	pairs := map[BinOp]BinOp{
+		BinEq: BinNe, BinLt: BinGe, BinGt: BinLe,
+	}
+	for op, neg := range pairs {
+		if op.Negate() != neg || neg.Negate() != op {
+			t.Errorf("Negate(%v) wrong", op)
+		}
+	}
+	if BinLt.Swap() != BinGt || BinLe.Swap() != BinGe || BinEq.Swap() != BinEq {
+		t.Error("Swap wrong")
+	}
+	if !BinEq.IsComparison() || BinAdd.IsComparison() {
+		t.Error("IsComparison wrong")
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	m := lower(t, `
+	unsigned int g = 7;
+	void main(void) { g = 1; halt(); }
+	`)
+	s := m.String()
+	for _, want := range []string{"global @g = 0x7", "func main", "store @g"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module dump missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package ir
+
+import (
+	"fmt"
+
+	"glitchlab/internal/minic"
+)
+
+// Lower translates a checked mini-C program into an IR module.
+func Lower(c *minic.Checked) (*Module, error) {
+	m := &Module{}
+	for _, e := range c.Prog.Enums {
+		info := &EnumInfo{Name: e.Name}
+		for _, mem := range e.Members {
+			info.Members = append(info.Members, mem.Name)
+			info.Values = append(info.Values, mem.Value)
+		}
+		m.Enums = append(m.Enums, info)
+	}
+	for _, g := range c.Prog.Globals {
+		m.Globals = append(m.Globals, &Global{
+			Name:     g.Name,
+			HasInit:  g.HasInit,
+			Init:     c.GlobalInit[g.Name],
+			Volatile: g.Volatile,
+		})
+	}
+	for _, fn := range c.Prog.Funcs {
+		f, err := lowerFunc(c, fn)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	return m, m.Verify()
+}
+
+type lowerer struct {
+	c      *minic.Checked
+	f      *Func
+	cur    *Block
+	nBlock int
+	// scope stack mapping local names to slots.
+	scopes []map[string]int
+	// loop stack for break/continue.
+	loops []loopCtx
+}
+
+type loopCtx struct {
+	continueTo string
+	breakTo    string
+}
+
+func lowerFunc(c *minic.Checked, fn *minic.FuncDecl) (*Func, error) {
+	f := &Func{
+		Name:          fn.Name,
+		Params:        len(fn.Params),
+		ReturnsVal:    fn.ReturnsVal,
+		VolatileSlots: map[int]bool{},
+	}
+	lo := &lowerer{c: c, f: f}
+	lo.pushScope()
+	for _, p := range fn.Params {
+		lo.scopes[0][p] = f.NewSlot()
+	}
+	entry := lo.newBlock("entry")
+	lo.cur = entry
+	if err := lo.block(fn.Body); err != nil {
+		return nil, err
+	}
+	// Fall-through at the end of the function body returns.
+	if lo.cur.Term() == nil {
+		ret := &Instr{Op: OpRet, A: NoValue}
+		if fn.ReturnsVal {
+			z := lo.emitConst(0)
+			ret.A = z
+		}
+		lo.emit(ret)
+	}
+	return f, nil
+}
+
+func (lo *lowerer) pushScope() { lo.scopes = append(lo.scopes, map[string]int{}) }
+func (lo *lowerer) popScope()  { lo.scopes = lo.scopes[:len(lo.scopes)-1] }
+
+func (lo *lowerer) lookupSlot(name string) (int, bool) {
+	for i := len(lo.scopes) - 1; i >= 0; i-- {
+		if s, ok := lo.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+func (lo *lowerer) newBlock(hint string) *Block {
+	name := hint
+	if name != "entry" {
+		name = fmt.Sprintf("%s%d", hint, lo.nBlock)
+		lo.nBlock++
+	}
+	b := &Block{Name: name}
+	lo.f.AddBlock(b)
+	return b
+}
+
+func (lo *lowerer) emit(in *Instr) {
+	lo.cur.Instrs = append(lo.cur.Instrs, in)
+}
+
+func (lo *lowerer) emitConst(v uint32) Value {
+	dst := lo.f.NewValue()
+	lo.emit(&Instr{Op: OpConst, Dst: dst, Imm: v, A: NoValue, B: NoValue})
+	return dst
+}
+
+// seal jumps to next if the current block is not already terminated, then
+// makes next current.
+func (lo *lowerer) seal(next *Block) {
+	if lo.cur.Term() == nil {
+		lo.emit(&Instr{Op: OpJmp, Target: next.Name, A: NoValue})
+	}
+	lo.cur = next
+}
+
+func (lo *lowerer) block(b *minic.BlockStmt) error {
+	lo.pushScope()
+	defer lo.popScope()
+	for _, st := range b.Stmts {
+		if err := lo.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) stmt(st minic.Stmt) error {
+	switch t := st.(type) {
+	case *minic.BlockStmt:
+		return lo.block(t)
+	case *minic.DeclStmt:
+		slot := lo.f.NewSlot()
+		lo.scopes[len(lo.scopes)-1][t.Name] = slot
+		if t.Volatile {
+			lo.f.VolatileSlots[slot] = true
+		}
+		if t.HasInit {
+			v, err := lo.expr(t.Init)
+			if err != nil {
+				return err
+			}
+			lo.emit(&Instr{Op: OpStoreSlot, Slot: slot, A: v, Dst: NoValue, B: NoValue})
+		}
+		return nil
+	case *minic.ExprStmt:
+		_, err := lo.exprOrVoidCall(t.X)
+		return err
+	case *minic.AssignStmt:
+		v, err := lo.expr(t.X)
+		if err != nil {
+			return err
+		}
+		if slot, ok := lo.lookupSlot(t.Name); ok {
+			lo.emit(&Instr{Op: OpStoreSlot, Slot: slot, A: v, Dst: NoValue, B: NoValue})
+			return nil
+		}
+		g, ok := lo.c.Globals[t.Name]
+		if !ok {
+			return fmt.Errorf("ir: assignment to unknown %q", t.Name)
+		}
+		lo.emit(&Instr{
+			Op: OpStoreG, GName: t.Name, A: v,
+			Volatile: g.Volatile, Dst: NoValue, B: NoValue,
+		})
+		return nil
+	case *minic.IfStmt:
+		cond, err := lo.expr(t.Cond)
+		if err != nil {
+			return err
+		}
+		then := lo.newBlock("then")
+		join := lo.newBlock("join")
+		elseBlk := join
+		if t.Else != nil {
+			elseBlk = lo.newBlock("else")
+		}
+		lo.emit(&Instr{
+			Op: OpCondBr, A: cond,
+			TrueBlk: then.Name, FalseBlk: elseBlk.Name, Dst: NoValue, B: NoValue,
+		})
+		lo.cur = then
+		if err := lo.block(t.Then); err != nil {
+			return err
+		}
+		lo.seal(join)
+		if t.Else != nil {
+			lo.cur = elseBlk
+			if err := lo.block(t.Else); err != nil {
+				return err
+			}
+			lo.seal(join)
+		}
+		lo.cur = join
+		return nil
+	case *minic.WhileStmt:
+		head := lo.newBlock("loop")
+		body := lo.newBlock("body")
+		exit := lo.newBlock("exit")
+		head.IsLoopHeader = true
+		lo.seal(head)
+		cond, err := lo.expr(t.Cond)
+		if err != nil {
+			return err
+		}
+		lo.emit(&Instr{
+			Op: OpCondBr, A: cond,
+			TrueBlk: body.Name, FalseBlk: exit.Name, Dst: NoValue, B: NoValue,
+		})
+		lo.loops = append(lo.loops, loopCtx{continueTo: head.Name, breakTo: exit.Name})
+		lo.cur = body
+		if err := lo.block(t.Body); err != nil {
+			return err
+		}
+		lo.loops = lo.loops[:len(lo.loops)-1]
+		if lo.cur.Term() == nil {
+			lo.emit(&Instr{Op: OpJmp, Target: head.Name, A: NoValue})
+		}
+		lo.cur = exit
+		return nil
+	case *minic.ForStmt:
+		lo.pushScope()
+		defer lo.popScope()
+		if t.Init != nil {
+			if err := lo.stmt(t.Init); err != nil {
+				return err
+			}
+		}
+		head := lo.newBlock("for")
+		body := lo.newBlock("body")
+		post := lo.newBlock("post")
+		exit := lo.newBlock("exit")
+		head.IsLoopHeader = true
+		lo.seal(head)
+		if t.Cond != nil {
+			cond, err := lo.expr(t.Cond)
+			if err != nil {
+				return err
+			}
+			lo.emit(&Instr{
+				Op: OpCondBr, A: cond,
+				TrueBlk: body.Name, FalseBlk: exit.Name, Dst: NoValue, B: NoValue,
+			})
+		} else {
+			lo.emit(&Instr{Op: OpJmp, Target: body.Name, A: NoValue})
+		}
+		lo.loops = append(lo.loops, loopCtx{continueTo: post.Name, breakTo: exit.Name})
+		lo.cur = body
+		if err := lo.block(t.Body); err != nil {
+			return err
+		}
+		lo.loops = lo.loops[:len(lo.loops)-1]
+		lo.seal(post)
+		if t.Post != nil {
+			if err := lo.stmt(t.Post); err != nil {
+				return err
+			}
+		}
+		if lo.cur.Term() == nil {
+			lo.emit(&Instr{Op: OpJmp, Target: head.Name, A: NoValue})
+		}
+		lo.cur = exit
+		return nil
+	case *minic.ReturnStmt:
+		ret := &Instr{Op: OpRet, A: NoValue}
+		if t.X != nil {
+			v, err := lo.expr(t.X)
+			if err != nil {
+				return err
+			}
+			ret.A = v
+		}
+		lo.emit(ret)
+		lo.cur = lo.newBlock("dead")
+		return nil
+	case *minic.BreakStmt:
+		ctx := lo.loops[len(lo.loops)-1]
+		lo.emit(&Instr{Op: OpJmp, Target: ctx.breakTo, A: NoValue})
+		lo.cur = lo.newBlock("dead")
+		return nil
+	case *minic.ContinueStmt:
+		ctx := lo.loops[len(lo.loops)-1]
+		lo.emit(&Instr{Op: OpJmp, Target: ctx.continueTo, A: NoValue})
+		lo.cur = lo.newBlock("dead")
+		return nil
+	}
+	return fmt.Errorf("ir: unknown statement %T", st)
+}
+
+// exprOrVoidCall lowers an expression statement, allowing void calls.
+func (lo *lowerer) exprOrVoidCall(x minic.Expr) (Value, error) {
+	if call, ok := x.(*minic.CallExpr); ok {
+		return lo.call(call, false)
+	}
+	return lo.expr(x)
+}
+
+var binOps = map[string]BinOp{
+	"+": BinAdd, "-": BinSub, "*": BinMul, "/": BinDiv, "%": BinRem,
+	"&": BinAnd, "|": BinOr, "^": BinXor, "<<": BinShl, ">>": BinShr,
+	"==": BinEq, "!=": BinNe, "<": BinLt, ">": BinGt, "<=": BinLe, ">=": BinGe,
+}
+
+func (lo *lowerer) expr(x minic.Expr) (Value, error) {
+	switch e := x.(type) {
+	case *minic.NumExpr:
+		return lo.emitConst(e.Val), nil
+	case *minic.VarExpr:
+		if m, ok := lo.c.EnumMembers[e.Name]; ok {
+			return lo.emitConst(m.Value), nil
+		}
+		if slot, ok := lo.lookupSlot(e.Name); ok {
+			dst := lo.f.NewValue()
+			lo.emit(&Instr{
+				Op: OpLoadSlot, Dst: dst, Slot: slot,
+				Volatile: lo.f.VolatileSlots[slot], A: NoValue, B: NoValue,
+			})
+			return dst, nil
+		}
+		g, ok := lo.c.Globals[e.Name]
+		if !ok {
+			return NoValue, fmt.Errorf("ir: unknown identifier %q", e.Name)
+		}
+		dst := lo.f.NewValue()
+		lo.emit(&Instr{
+			Op: OpLoadG, Dst: dst, GName: e.Name,
+			Volatile: g.Volatile, A: NoValue, B: NoValue,
+		})
+		return dst, nil
+	case *minic.CallExpr:
+		return lo.call(e, true)
+	case *minic.UnaryExpr:
+		v, err := lo.expr(e.X)
+		if err != nil {
+			return NoValue, err
+		}
+		dst := lo.f.NewValue()
+		switch e.Op {
+		case "!":
+			lo.emit(&Instr{Op: OpNot, Dst: dst, A: v, B: NoValue})
+		case "~":
+			ones := lo.emitConst(0xFFFFFFFF)
+			lo.emit(&Instr{Op: OpBin, BinOp: BinXor, Dst: dst, A: v, B: ones})
+		case "-":
+			zero := lo.emitConst(0)
+			lo.emit(&Instr{Op: OpBin, BinOp: BinSub, Dst: dst, A: zero, B: v})
+		default:
+			return NoValue, fmt.Errorf("ir: unknown unary %q", e.Op)
+		}
+		return dst, nil
+	case *minic.BinExpr:
+		if e.Op == "&&" || e.Op == "||" {
+			return lo.shortCircuit(e)
+		}
+		l, err := lo.expr(e.L)
+		if err != nil {
+			return NoValue, err
+		}
+		r, err := lo.expr(e.R)
+		if err != nil {
+			return NoValue, err
+		}
+		op, ok := binOps[e.Op]
+		if !ok {
+			return NoValue, fmt.Errorf("ir: unknown operator %q", e.Op)
+		}
+		dst := lo.f.NewValue()
+		lo.emit(&Instr{Op: OpBin, BinOp: op, Dst: dst, A: l, B: r})
+		return dst, nil
+	}
+	return NoValue, fmt.Errorf("ir: unknown expression %T", x)
+}
+
+// shortCircuit lowers && and || with proper evaluation order, materializing
+// the boolean through a slot.
+func (lo *lowerer) shortCircuit(e *minic.BinExpr) (Value, error) {
+	slot := lo.f.NewSlot()
+	l, err := lo.expr(e.L)
+	if err != nil {
+		return NoValue, err
+	}
+	lb := lo.f.NewValue()
+	lo.emit(&Instr{Op: OpBin, BinOp: BinNe, Dst: lb, A: l, B: lo.emitConst(0)})
+	lo.emit(&Instr{Op: OpStoreSlot, Slot: slot, A: lb, Dst: NoValue, B: NoValue})
+
+	evalR := lo.newBlock("sc")
+	done := lo.newBlock("scdone")
+	if e.Op == "&&" {
+		lo.emit(&Instr{
+			Op: OpCondBr, A: lb,
+			TrueBlk: evalR.Name, FalseBlk: done.Name, Dst: NoValue, B: NoValue,
+		})
+	} else {
+		lo.emit(&Instr{
+			Op: OpCondBr, A: lb,
+			TrueBlk: done.Name, FalseBlk: evalR.Name, Dst: NoValue, B: NoValue,
+		})
+	}
+	lo.cur = evalR
+	r, err := lo.expr(e.R)
+	if err != nil {
+		return NoValue, err
+	}
+	rb := lo.f.NewValue()
+	lo.emit(&Instr{Op: OpBin, BinOp: BinNe, Dst: rb, A: r, B: lo.emitConst(0)})
+	lo.emit(&Instr{Op: OpStoreSlot, Slot: slot, A: rb, Dst: NoValue, B: NoValue})
+	lo.seal(done)
+
+	dst := lo.f.NewValue()
+	lo.emit(&Instr{Op: OpLoadSlot, Dst: dst, Slot: slot, A: NoValue, B: NoValue})
+	return dst, nil
+}
+
+func (lo *lowerer) call(e *minic.CallExpr, needValue bool) (Value, error) {
+	args := make([]Value, 0, len(e.Args))
+	for _, a := range e.Args {
+		v, err := lo.expr(a)
+		if err != nil {
+			return NoValue, err
+		}
+		args = append(args, v)
+	}
+	dst := NoValue
+	returnsVal := false
+	if b, ok := minic.Builtins[e.Name]; ok {
+		returnsVal = b.ReturnsVal
+	} else if fn, ok := lo.c.Funcs[e.Name]; ok {
+		returnsVal = fn.ReturnsVal
+	}
+	if returnsVal {
+		dst = lo.f.NewValue()
+	}
+	lo.emit(&Instr{Op: OpCall, Dst: dst, Callee: e.Name, Args: args, A: NoValue, B: NoValue})
+	if needValue && dst == NoValue {
+		return NoValue, fmt.Errorf("ir: void call %q used as value", e.Name)
+	}
+	return dst, nil
+}

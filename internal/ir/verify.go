@@ -1,0 +1,118 @@
+package ir
+
+import "fmt"
+
+// Verify checks module well-formedness: every block ends in exactly one
+// terminator, every branch target exists, values are defined before use
+// within a block chain, and slots/globals referenced are in range.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(m, f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(m *Module, f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	names := map[string]bool{}
+	for _, b := range f.Blocks {
+		if names[b.Name] {
+			return fmt.Errorf("duplicate block %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %q empty", b.Name)
+		}
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.IsTerminator() != isLast {
+				return fmt.Errorf("block %q: terminator misplaced at %d (%s)",
+					b.Name, i, in)
+			}
+			if err := verifyInstr(m, f, names, in); err != nil {
+				return fmt.Errorf("block %q: %s: %w", b.Name, in, err)
+			}
+		}
+	}
+	return nil
+}
+
+func verifyInstr(m *Module, f *Func, blocks map[string]bool, in *Instr) error {
+	checkVal := func(v Value, required bool) error {
+		if v == NoValue {
+			if required {
+				return fmt.Errorf("missing operand")
+			}
+			return nil
+		}
+		if int(v) >= f.NumValues || v < 0 {
+			return fmt.Errorf("value v%d out of range", v)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpConst:
+		return checkVal(in.Dst, true)
+	case OpLoadSlot, OpStoreSlot:
+		if in.Slot < 0 || in.Slot >= f.NumSlots {
+			return fmt.Errorf("slot %d out of range", in.Slot)
+		}
+		if in.Op == OpLoadSlot {
+			return checkVal(in.Dst, true)
+		}
+		return checkVal(in.A, true)
+	case OpLoadG, OpStoreG:
+		if _, ok := m.Global(in.GName); !ok {
+			return fmt.Errorf("unknown global %q", in.GName)
+		}
+		if in.Op == OpLoadG {
+			return checkVal(in.Dst, true)
+		}
+		return checkVal(in.A, true)
+	case OpBin:
+		if in.BinOp == 0 {
+			return fmt.Errorf("missing binop")
+		}
+		if err := checkVal(in.A, true); err != nil {
+			return err
+		}
+		if err := checkVal(in.B, true); err != nil {
+			return err
+		}
+		return checkVal(in.Dst, true)
+	case OpNot:
+		if err := checkVal(in.A, true); err != nil {
+			return err
+		}
+		return checkVal(in.Dst, true)
+	case OpCall:
+		if len(in.Args) > 4 {
+			return fmt.Errorf("too many arguments")
+		}
+		for _, a := range in.Args {
+			if err := checkVal(a, true); err != nil {
+				return err
+			}
+		}
+		return checkVal(in.Dst, false)
+	case OpRet:
+		return checkVal(in.A, false)
+	case OpJmp:
+		if !blocks[in.Target] {
+			return fmt.Errorf("unknown target %q", in.Target)
+		}
+		return nil
+	case OpCondBr:
+		if !blocks[in.TrueBlk] || !blocks[in.FalseBlk] {
+			return fmt.Errorf("unknown branch target %q/%q", in.TrueBlk, in.FalseBlk)
+		}
+		return checkVal(in.A, true)
+	}
+	return fmt.Errorf("unknown op %d", in.Op)
+}

@@ -1,0 +1,426 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AsmError reports an assembly failure with its source line number.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+func (e *AsmError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+// Program is the output of the assembler: machine code plus symbol and
+// per-instruction location information.
+type Program struct {
+	Base    uint32            // load address of Code[0]
+	Code    []byte            // little-endian machine code and data
+	Symbols map[string]uint32 // label -> address
+	// InstAddrs lists the address of every assembled instruction, in
+	// program order (data directives excluded). Campaigns use it to find
+	// the instruction under test.
+	InstAddrs []uint32
+}
+
+// SymbolAddr returns the address of a label defined in the program.
+func (p *Program) SymbolAddr(name string) (uint32, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+type asmItem struct {
+	line   int
+	addr   uint32
+	inst   *Inst  // nil for data items
+	isBL   bool   // 32-bit BL
+	target string // branch target label or ldr=... literal label
+	litVal uint32 // for ldr rd, =imm
+	litSym string // for ldr rd, =symbol (address literal)
+	isLit  bool
+	data   []byte // raw data (.word etc.)
+	symRef string // data word to be patched with a symbol address
+}
+
+type assembler struct {
+	base   uint32
+	pc     uint32
+	items  []*asmItem
+	labels map[string]uint32
+	lits   []*asmItem // pending ldr rd, =imm items awaiting a pool
+}
+
+// Assemble translates Thumb assembly source into machine code loaded at
+// base. Supported syntax: one instruction, label ("name:") or directive per
+// line; comments start with ";", "@" or "//"; directives are .word, .hword,
+// .byte, .space, .align and .pool; "ldr rd, =imm" allocates a literal-pool
+// entry (flushed at .pool or end of program).
+func Assemble(base uint32, src string) (*Program, error) {
+	a := &assembler{base: base, pc: base, labels: map[string]uint32{}}
+	for num, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.line(num+1, line); err != nil {
+			return nil, err
+		}
+	}
+	a.flushPool(0)
+	return a.finish()
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "@", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *assembler) line(num int, line string) error {
+	for {
+		colon := strings.Index(line, ":")
+		if colon < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:colon])
+		if !isIdent(label) {
+			return &AsmError{num, fmt.Sprintf("bad label %q", label)}
+		}
+		if _, dup := a.labels[label]; dup {
+			return &AsmError{num, fmt.Sprintf("duplicate label %q", label)}
+		}
+		a.labels[label] = a.pc
+		line = strings.TrimSpace(line[colon+1:])
+	}
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(num, line)
+	}
+	return a.instruction(num, line)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) directive(num int, line string) error {
+	fields := strings.Fields(line)
+	dir := fields[0]
+	args := strings.TrimSpace(strings.TrimPrefix(line, dir))
+	switch dir {
+	case ".word", ".hword", ".byte":
+		size := map[string]int{".word": 4, ".hword": 2, ".byte": 1}[dir]
+		for _, part := range splitOperands(args) {
+			v, err := parseImmValue(part)
+			if err != nil {
+				return &AsmError{num, err.Error()}
+			}
+			data := make([]byte, size)
+			for i := 0; i < size; i++ {
+				data[i] = byte(v >> (8 * i))
+			}
+			a.emitData(num, data)
+		}
+		return nil
+	case ".space":
+		n, err := parseImmValue(args)
+		if err != nil {
+			return &AsmError{num, err.Error()}
+		}
+		a.emitData(num, make([]byte, n))
+		return nil
+	case ".align":
+		n := uint32(4)
+		if args != "" {
+			v, err := parseImmValue(args)
+			if err != nil {
+				return &AsmError{num, err.Error()}
+			}
+			n = v
+		}
+		if pad := (n - a.pc%n) % n; pad > 0 {
+			a.emitData(num, make([]byte, pad))
+		}
+		return nil
+	case ".pool":
+		a.flushPool(num)
+		return nil
+	default:
+		return &AsmError{num, fmt.Sprintf("unknown directive %q", dir)}
+	}
+}
+
+func (a *assembler) emitData(num int, data []byte) {
+	a.items = append(a.items, &asmItem{line: num, addr: a.pc, data: data})
+	a.pc += uint32(len(data))
+}
+
+func (a *assembler) emitInst(num int, in Inst, target string) {
+	it := &asmItem{line: num, addr: a.pc, inst: &in, target: target}
+	a.items = append(a.items, it)
+	a.pc += 2
+}
+
+// flushPool emits pending literal-pool words, word-aligned.
+func (a *assembler) flushPool(num int) {
+	if len(a.lits) == 0 {
+		return
+	}
+	if a.pc%4 != 0 {
+		a.emitData(num, make([]byte, 2))
+	}
+	for _, lit := range a.lits {
+		name := fmt.Sprintf(".lit.%d", len(a.labels))
+		a.labels[name] = a.pc
+		lit.target = name
+		v := lit.litVal
+		a.emitData(num, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+		if lit.litSym != "" {
+			a.items[len(a.items)-1].symRef = lit.litSym
+		}
+	}
+	a.lits = nil
+}
+
+func (a *assembler) finish() (*Program, error) {
+	p := &Program{Base: a.base, Symbols: a.labels}
+	for _, it := range a.items {
+		switch {
+		case it.data != nil:
+			if it.symRef != "" {
+				tgt, ok := a.labels[it.symRef]
+				if !ok {
+					return nil, &AsmError{it.line, "undefined symbol " + it.symRef}
+				}
+				it.data[0] = byte(tgt)
+				it.data[1] = byte(tgt >> 8)
+				it.data[2] = byte(tgt >> 16)
+				it.data[3] = byte(tgt >> 24)
+			}
+			p.Code = append(p.Code, it.data...)
+		case it.isBL:
+			tgt, ok := a.labels[it.target]
+			if !ok {
+				return nil, &AsmError{it.line, "undefined label " + it.target}
+			}
+			off := int32(tgt) - int32(it.addr+4)
+			hw1, hw2, err := EncodeBL(off)
+			if err != nil {
+				return nil, &AsmError{it.line, err.Error()}
+			}
+			p.Code = append(p.Code, byte(hw1), byte(hw1>>8), byte(hw2), byte(hw2>>8))
+			p.InstAddrs = append(p.InstAddrs, it.addr)
+		default:
+			in := *it.inst
+			if it.target != "" {
+				tgt, ok := a.labels[it.target]
+				if !ok {
+					return nil, &AsmError{it.line, "undefined label " + it.target}
+				}
+				if err := resolveTarget(&in, it.addr, tgt); err != nil {
+					return nil, &AsmError{it.line, err.Error()}
+				}
+			}
+			hw, err := Encode(in)
+			if err != nil {
+				return nil, &AsmError{it.line, err.Error()}
+			}
+			p.Code = append(p.Code, byte(hw), byte(hw>>8))
+			p.InstAddrs = append(p.InstAddrs, it.addr)
+		}
+	}
+	return p, nil
+}
+
+func resolveTarget(in *Inst, addr, tgt uint32) error {
+	switch in.Op {
+	case OpBCond:
+		off := int32(tgt) - int32(addr+4)
+		if off%2 != 0 || off < -256 || off > 254 {
+			return fmt.Errorf("conditional branch target out of range (%d)", off)
+		}
+		in.Imm = uint32(uint8(off / 2))
+	case OpB:
+		off := int32(tgt) - int32(addr+4)
+		if off%2 != 0 || off < -2048 || off > 2046 {
+			return fmt.Errorf("branch target out of range (%d)", off)
+		}
+		in.Imm = uint32(off/2) & 0x7ff
+	case OpLDRLit:
+		pcBase := (addr + 4) &^ 3
+		if tgt < pcBase || (tgt-pcBase)%4 != 0 || tgt-pcBase > 1020 {
+			return fmt.Errorf("literal out of range")
+		}
+		in.Imm = tgt - pcBase
+	case OpADR:
+		pcBase := (addr + 4) &^ 3
+		if tgt < pcBase || (tgt-pcBase)%4 != 0 || tgt-pcBase > 1020 {
+			return fmt.Errorf("adr target out of range")
+		}
+		in.Imm = tgt - pcBase
+	default:
+		return fmt.Errorf("label operand not allowed for %s", in.Op)
+	}
+	return nil
+}
+
+// BL items are 4 bytes, so emitInst cannot be used.
+func (a *assembler) emitBL(num int, target string) {
+	it := &asmItem{line: num, addr: a.pc, isBL: true, target: target}
+	a.items = append(a.items, it)
+	a.pc += 4
+}
+
+func (a *assembler) instruction(num int, line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	ops := splitOperands(rest)
+	parsed, err := parseInst(mnem, ops)
+	if err != nil {
+		return &AsmError{num, err.Error()}
+	}
+	switch {
+	case parsed.inst.Op == OpBL:
+		a.emitBL(num, parsed.target)
+	case parsed.isLit:
+		// ldr rd, =imm — allocate pool entry, resolved like a label.
+		in := parsed.inst
+		it := &asmItem{
+			line: num, addr: a.pc, inst: &in,
+			isLit: true, litVal: parsed.litVal, litSym: parsed.litSym,
+		}
+		a.items = append(a.items, it)
+		a.lits = append(a.lits, it)
+		a.pc += 2
+	default:
+		a.emitInst(num, parsed.inst, parsed.target)
+	}
+	return nil
+}
+
+// parsedInst is the result of parsing one instruction line.
+type parsedInst struct {
+	inst   Inst
+	target string // label reference, resolved in pass 2
+	isLit  bool   // ldr rd, =imm pseudo-instruction
+	litVal uint32
+	litSym string // ldr rd, =symbol: pool word patched to the address
+}
+
+// splitOperands splits an operand string on commas that are not inside
+// brackets or braces.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseReg(s string) (Reg, bool) {
+	switch strings.ToLower(s) {
+	case "sp", "r13":
+		return SP, true
+	case "lr", "r14":
+		return LR, true
+	case "pc", "r15":
+		return PC, true
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n <= 15 {
+			return Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+func parseImmValue(s string) (uint32, error) {
+	s = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(s), "#"))
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		return uint32(-int32(uint32(v))), nil
+	}
+	return uint32(v), nil
+}
+
+func parseRegList(s string) (uint16, bool, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return 0, false, fmt.Errorf("bad register list %q", s)
+	}
+	var regs uint16
+	special := false
+	for _, part := range strings.Split(s[1:len(s)-1], ",") {
+		part = strings.TrimSpace(part)
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			rl, ok1 := parseReg(lo)
+			rh, ok2 := parseReg(strings.TrimSpace(hi))
+			if !ok1 || !ok2 || rl > rh || rh > 7 {
+				return 0, false, fmt.Errorf("bad register range %q", part)
+			}
+			for r := rl; r <= rh; r++ {
+				regs |= 1 << r
+			}
+			continue
+		}
+		r, ok := parseReg(part)
+		if !ok {
+			return 0, false, fmt.Errorf("bad register %q", part)
+		}
+		switch {
+		case r <= 7:
+			regs |= 1 << r
+		case r == LR || r == PC:
+			special = true
+		default:
+			return 0, false, fmt.Errorf("register %s not allowed in list", r)
+		}
+	}
+	return regs, special, nil
+}

@@ -1,0 +1,470 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// memOperand is a parsed "[rn]", "[rn, #imm]" or "[rn, rm]" operand.
+type memOperand struct {
+	base   Reg
+	index  Reg
+	hasIdx bool
+	imm    uint32
+}
+
+func parseMem(s string) (memOperand, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return memOperand{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	parts := strings.Split(s[1:len(s)-1], ",")
+	base, ok := parseReg(strings.TrimSpace(parts[0]))
+	if !ok {
+		return memOperand{}, fmt.Errorf("bad base register in %q", s)
+	}
+	m := memOperand{base: base}
+	if len(parts) == 1 {
+		return m, nil
+	}
+	if len(parts) != 2 {
+		return memOperand{}, fmt.Errorf("bad memory operand %q", s)
+	}
+	second := strings.TrimSpace(parts[1])
+	if r, ok := parseReg(second); ok {
+		m.index, m.hasIdx = r, true
+		return m, nil
+	}
+	imm, err := parseImmValue(second)
+	if err != nil {
+		return memOperand{}, err
+	}
+	m.imm = imm
+	return m, nil
+}
+
+var condByName = func() map[string]Cond {
+	m := make(map[string]Cond, 14)
+	for _, c := range BranchConds() {
+		m[c.String()] = c
+	}
+	m["hs"] = CS
+	m["lo"] = CC
+	return m
+}()
+
+// parseInst converts a mnemonic and operand strings into an instruction,
+// possibly carrying an unresolved label reference.
+func parseInst(mnem string, ops []string) (parsedInst, error) {
+	arity := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (Reg, error) {
+		r, ok := parseReg(ops[i])
+		if !ok {
+			return 0, fmt.Errorf("bad register %q", ops[i])
+		}
+		return r, nil
+	}
+	imm := func(i int) (uint32, error) { return parseImmValue(ops[i]) }
+
+	// Conditional branches: b + condition suffix.
+	if strings.HasPrefix(mnem, "b") && len(mnem) == 3 {
+		if cond, ok := condByName[mnem[1:]]; ok {
+			if err := arity(1); err != nil {
+				return parsedInst{}, err
+			}
+			return parsedInst{
+				inst:   Inst{Op: OpBCond, Cond: cond},
+				target: ops[0],
+			}, nil
+		}
+	}
+
+	switch mnem {
+	case "nop":
+		return parsedInst{inst: Inst{Op: OpNOP}}, nil
+	case "b":
+		if err := arity(1); err != nil {
+			return parsedInst{}, err
+		}
+		return parsedInst{inst: Inst{Op: OpB}, target: ops[0]}, nil
+	case "bl":
+		if err := arity(1); err != nil {
+			return parsedInst{}, err
+		}
+		return parsedInst{inst: Inst{Op: OpBL}, target: ops[0]}, nil
+	case "bx", "blx":
+		if err := arity(1); err != nil {
+			return parsedInst{}, err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		op := OpBX
+		if mnem == "blx" {
+			op = OpBLX
+		}
+		return parsedInst{inst: Inst{Op: op, Rm: r}}, nil
+	case "bkpt", "svc", "udf":
+		if err := arity(1); err != nil {
+			return parsedInst{}, err
+		}
+		v, err := imm(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		op := map[string]Op{"bkpt": OpBKPT, "svc": OpSVC, "udf": OpUDF}[mnem]
+		return parsedInst{inst: Inst{Op: op, Imm: v}}, nil
+	case "push", "pop":
+		if err := arity(1); err != nil {
+			return parsedInst{}, err
+		}
+		regs, special, err := parseRegList(ops[0])
+		if err != nil {
+			return parsedInst{}, err
+		}
+		if special {
+			regs |= 1 << 8
+		}
+		op := OpPUSH
+		if mnem == "pop" {
+			op = OpPOP
+		}
+		return parsedInst{inst: Inst{Op: op, Regs: regs}}, nil
+	case "stmia", "ldmia", "stm", "ldm":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rn, ok := parseReg(strings.TrimSuffix(strings.TrimSpace(ops[0]), "!"))
+		if !ok {
+			return parsedInst{}, fmt.Errorf("bad base register %q", ops[0])
+		}
+		regs, special, err := parseRegList(ops[1])
+		if err != nil || special {
+			return parsedInst{}, fmt.Errorf("bad register list %q", ops[1])
+		}
+		op := OpSTM
+		if strings.HasPrefix(mnem, "ld") {
+			op = OpLDM
+		}
+		return parsedInst{inst: Inst{Op: op, Rn: rn, Regs: regs}}, nil
+	case "movs", "mov":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		if rm, ok := parseReg(ops[1]); ok {
+			if mnem == "mov" {
+				return parsedInst{inst: Inst{Op: OpMOVHi, Rd: rd, Rm: rm}}, nil
+			}
+			// movs rd, rm encodes as lsls rd, rm, #0.
+			return parsedInst{inst: Inst{Op: OpLSLImm, Rd: rd, Rm: rm}}, nil
+		}
+		v, err := imm(1)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		return parsedInst{inst: Inst{Op: OpMOVImm, Rd: rd, Imm: v}}, nil
+	case "cmp":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rn, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		if rm, ok := parseReg(ops[1]); ok {
+			if rn >= 8 || rm >= 8 {
+				return parsedInst{inst: Inst{Op: OpCMPHi, Rn: rn, Rm: rm}}, nil
+			}
+			return parsedInst{inst: Inst{Op: OpCMPReg, Rn: rn, Rm: rm}}, nil
+		}
+		v, err := imm(1)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		return parsedInst{inst: Inst{Op: OpCMPImm, Rn: rn, Imm: v}}, nil
+	case "cmn", "tst":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rn, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		op := OpCMN
+		if mnem == "tst" {
+			op = OpTST
+		}
+		return parsedInst{inst: Inst{Op: op, Rn: rn, Rm: rm}}, nil
+	case "adds", "subs", "add", "sub":
+		return parseAddSub(mnem, ops)
+	case "lsls", "lsrs", "asrs":
+		ops3 := map[string]struct{ immOp, regOp Op }{
+			"lsls": {OpLSLImm, OpLSLReg},
+			"lsrs": {OpLSRImm, OpLSRReg},
+			"asrs": {OpASRImm, OpASRReg},
+		}[mnem]
+		switch len(ops) {
+		case 2:
+			rd, err := reg(0)
+			if err != nil {
+				return parsedInst{}, err
+			}
+			rm, err := reg(1)
+			if err != nil {
+				return parsedInst{}, err
+			}
+			return parsedInst{inst: Inst{Op: ops3.regOp, Rd: rd, Rm: rm}}, nil
+		case 3:
+			rd, err := reg(0)
+			if err != nil {
+				return parsedInst{}, err
+			}
+			rm, err := reg(1)
+			if err != nil {
+				return parsedInst{}, err
+			}
+			v, err := imm(2)
+			if err != nil {
+				return parsedInst{}, err
+			}
+			return parsedInst{inst: Inst{Op: ops3.immOp, Rd: rd, Rm: rm, Imm: v}}, nil
+		default:
+			return parsedInst{}, fmt.Errorf("%s expects 2 or 3 operands", mnem)
+		}
+	case "ands", "eors", "adcs", "sbcs", "rors", "orrs", "muls", "bics", "mvns":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		op := map[string]Op{
+			"ands": OpAND, "eors": OpEOR, "adcs": OpADC, "sbcs": OpSBC,
+			"rors": OpRORReg, "orrs": OpORR, "muls": OpMUL, "bics": OpBIC,
+			"mvns": OpMVN,
+		}[mnem]
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Rm: rm}}, nil
+	case "rsbs", "negs":
+		// rsbs rd, rn, #0 / negs rd, rn.
+		if len(ops) != 2 && len(ops) != 3 {
+			return parsedInst{}, fmt.Errorf("%s expects 2 or 3 operands", mnem)
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		rn, err := reg(1)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		return parsedInst{inst: Inst{Op: OpRSB, Rd: rd, Rn: rn}}, nil
+	case "sxth", "sxtb", "uxth", "uxtb", "rev", "rev16", "revsh":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		rm, err := reg(1)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		op := map[string]Op{
+			"sxth": OpSXTH, "sxtb": OpSXTB, "uxth": OpUXTH, "uxtb": OpUXTB,
+			"rev": OpREV, "rev16": OpREV16, "revsh": OpREVSH,
+		}[mnem]
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Rm: rm}}, nil
+	case "adr":
+		if err := arity(2); err != nil {
+			return parsedInst{}, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return parsedInst{}, err
+		}
+		return parsedInst{inst: Inst{Op: OpADR, Rd: rd}, target: ops[1]}, nil
+	case "ldr", "ldrb", "ldrh", "ldrsb", "ldrsh", "str", "strb", "strh":
+		return parseLoadStore(mnem, ops)
+	default:
+		return parsedInst{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+}
+
+func parseAddSub(mnem string, ops []string) (parsedInst, error) {
+	isSub := strings.HasPrefix(mnem, "sub")
+	// add/sub sp, #imm.
+	if len(ops) == 2 {
+		if r, ok := parseReg(ops[0]); ok && r == SP {
+			v, err := parseImmValue(ops[1])
+			if err != nil {
+				return parsedInst{}, err
+			}
+			op := OpADDSPImm
+			if isSub {
+				op = OpSUBSPImm
+			}
+			return parsedInst{inst: Inst{Op: op, Imm: v}}, nil
+		}
+	}
+	rd, ok := parseReg(ops[0])
+	if !ok {
+		return parsedInst{}, fmt.Errorf("bad register %q", ops[0])
+	}
+	switch len(ops) {
+	case 2:
+		// adds rd, #imm8 | add rd, rm (hi) | adds rd, rd, rm.
+		if rm, ok := parseReg(ops[1]); ok {
+			if isSub {
+				return parsedInst{inst: Inst{Op: OpSUBReg, Rd: rd, Rn: rd, Rm: rm}}, nil
+			}
+			if mnem == "add" || rd >= 8 || rm >= 8 {
+				return parsedInst{inst: Inst{Op: OpADDHi, Rd: rd, Rn: rd, Rm: rm}}, nil
+			}
+			return parsedInst{inst: Inst{Op: OpADDReg, Rd: rd, Rn: rd, Rm: rm}}, nil
+		}
+		v, err := parseImmValue(ops[1])
+		if err != nil {
+			return parsedInst{}, err
+		}
+		op := OpADDImm8
+		if isSub {
+			op = OpSUBImm8
+		}
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Imm: v}}, nil
+	case 3:
+		rn, ok := parseReg(ops[1])
+		if !ok {
+			return parsedInst{}, fmt.Errorf("bad register %q", ops[1])
+		}
+		if rm, ok := parseReg(ops[2]); ok {
+			op := OpADDReg
+			if isSub {
+				op = OpSUBReg
+			}
+			return parsedInst{inst: Inst{Op: op, Rd: rd, Rn: rn, Rm: rm}}, nil
+		}
+		v, err := parseImmValue(ops[2])
+		if err != nil {
+			return parsedInst{}, err
+		}
+		if rn == SP && !isSub {
+			return parsedInst{inst: Inst{Op: OpADDSP, Rd: rd, Imm: v}}, nil
+		}
+		if rn == PC && !isSub {
+			return parsedInst{inst: Inst{Op: OpADR, Rd: rd, Imm: v}}, nil
+		}
+		if rd == rn && v > 7 {
+			op := OpADDImm8
+			if isSub {
+				op = OpSUBImm8
+			}
+			return parsedInst{inst: Inst{Op: op, Rd: rd, Imm: v}}, nil
+		}
+		op := OpADDImm3
+		if isSub {
+			op = OpSUBImm3
+		}
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Rn: rn, Imm: v}}, nil
+	default:
+		return parsedInst{}, fmt.Errorf("%s expects 2 or 3 operands", mnem)
+	}
+}
+
+func parseLoadStore(mnem string, ops []string) (parsedInst, error) {
+	if len(ops) != 2 {
+		return parsedInst{}, fmt.Errorf("%s expects 2 operands", mnem)
+	}
+	rd, ok := parseReg(ops[0])
+	if !ok {
+		return parsedInst{}, fmt.Errorf("bad register %q", ops[0])
+	}
+	second := strings.TrimSpace(ops[1])
+
+	// ldr rd, =imm or ldr rd, =label.
+	if strings.HasPrefix(second, "=") {
+		if mnem != "ldr" {
+			return parsedInst{}, fmt.Errorf("= literal only valid with ldr")
+		}
+		arg := strings.TrimSpace(second[1:])
+		p := parsedInst{inst: Inst{Op: OpLDRLit, Rd: rd}, isLit: true}
+		if v, err := parseImmValue(arg); err == nil {
+			p.litVal = v
+			return p, nil
+		}
+		if isIdent(arg) {
+			p.litSym = arg
+			return p, nil
+		}
+		return parsedInst{}, fmt.Errorf("bad literal %q", arg)
+	}
+	// ldr rd, label (pc-relative literal).
+	if !strings.HasPrefix(second, "[") {
+		if mnem != "ldr" {
+			return parsedInst{}, fmt.Errorf("label operand only valid with ldr")
+		}
+		return parsedInst{inst: Inst{Op: OpLDRLit, Rd: rd}, target: second}, nil
+	}
+
+	m, err := parseMem(second)
+	if err != nil {
+		return parsedInst{}, err
+	}
+	if m.hasIdx {
+		op, ok := map[string]Op{
+			"str": OpSTRReg, "strh": OpSTRHReg, "strb": OpSTRBReg,
+			"ldrsb": OpLDRSB, "ldr": OpLDRReg, "ldrh": OpLDRHReg,
+			"ldrb": OpLDRBReg, "ldrsh": OpLDRSH,
+		}[mnem]
+		if !ok {
+			return parsedInst{}, fmt.Errorf("bad addressing mode for %s", mnem)
+		}
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Rn: m.base, Rm: m.index}}, nil
+	}
+	switch m.base {
+	case SP:
+		var op Op
+		switch mnem {
+		case "ldr":
+			op = OpLDRSP
+		case "str":
+			op = OpSTRSP
+		default:
+			return parsedInst{}, fmt.Errorf("sp-relative %s not encodable", mnem)
+		}
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Imm: m.imm}}, nil
+	case PC:
+		if mnem != "ldr" {
+			return parsedInst{}, fmt.Errorf("pc-relative %s not encodable", mnem)
+		}
+		return parsedInst{inst: Inst{Op: OpLDRLit, Rd: rd, Imm: m.imm}}, nil
+	default:
+		op, ok := map[string]Op{
+			"str": OpSTRImm, "ldr": OpLDRImm, "strb": OpSTRBImm,
+			"ldrb": OpLDRBImm, "strh": OpSTRHImm, "ldrh": OpLDRHImm,
+		}[mnem]
+		if !ok {
+			return parsedInst{}, fmt.Errorf("bad addressing mode for %s", mnem)
+		}
+		return parsedInst{inst: Inst{Op: op, Rd: rd, Rn: m.base, Imm: m.imm}}, nil
+	}
+}

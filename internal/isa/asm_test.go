@@ -1,0 +1,214 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustAssemble(t *testing.T, base uint32, src string) *Program {
+	t.Helper()
+	p, err := Assemble(base, src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestAssembleBasics(t *testing.T) {
+	p := mustAssemble(t, 0, `
+		movs r0, #0xaa   ; set marker
+	loop:
+		cmp r3, #0
+		beq loop
+		b done
+	done:
+		nop
+	`)
+	want := []byte{
+		0xaa, 0x20, // movs r0, #0xaa
+		0x00, 0x2b, // cmp r3, #0
+		0xfd, 0xd0, // beq loop (-6 bytes => imm8 = -3 & 0xff)
+		0xff, 0xe7, // b done (-2 => imm11 = 0x7ff)
+		0x00, 0xbf, // nop
+	}
+	if !bytes.Equal(p.Code, want) {
+		t.Fatalf("code = % x, want % x", p.Code, want)
+	}
+	if addr, ok := p.SymbolAddr("done"); !ok || addr != 8 {
+		t.Errorf("done = %#x, %v; want 0x8", addr, ok)
+	}
+	if len(p.InstAddrs) != 5 {
+		t.Errorf("InstAddrs = %v, want 5 entries", p.InstAddrs)
+	}
+}
+
+func TestAssembleDisassembleAgree(t *testing.T) {
+	// Every assembled instruction must decode back to the operation the
+	// source named.
+	src := []struct {
+		line string
+		op   Op
+	}{
+		{"movs r1, #5", OpMOVImm},
+		{"movs r1, r2", OpLSLImm},
+		{"mov r8, r1", OpMOVHi},
+		{"cmp r1, #0xff", OpCMPImm},
+		{"cmp r1, r2", OpCMPReg},
+		{"cmp r8, r2", OpCMPHi},
+		{"adds r1, r2, r3", OpADDReg},
+		{"adds r1, r2, #4", OpADDImm3},
+		{"adds r1, #200", OpADDImm8},
+		{"subs r1, r2, r3", OpSUBReg},
+		{"subs r1, #9", OpSUBImm8},
+		{"add sp, #16", OpADDSPImm},
+		{"sub sp, #16", OpSUBSPImm},
+		{"add r1, sp, #8", OpADDSP},
+		{"lsls r1, r2, #3", OpLSLImm},
+		{"lsrs r1, r2, #3", OpLSRImm},
+		{"asrs r1, r2, #3", OpASRImm},
+		{"lsls r1, r2", OpLSLReg},
+		{"ands r1, r2", OpAND},
+		{"eors r1, r2", OpEOR},
+		{"orrs r1, r2", OpORR},
+		{"bics r1, r2", OpBIC},
+		{"mvns r1, r2", OpMVN},
+		{"muls r1, r2", OpMUL},
+		{"adcs r1, r2", OpADC},
+		{"sbcs r1, r2", OpSBC},
+		{"rors r1, r2", OpRORReg},
+		{"tst r1, r2", OpTST},
+		{"cmn r1, r2", OpCMN},
+		{"negs r1, r2", OpRSB},
+		{"ldr r1, [r2, #4]", OpLDRImm},
+		{"ldr r1, [r2, r3]", OpLDRReg},
+		{"ldr r1, [sp, #4]", OpLDRSP},
+		{"ldr r1, [pc, #8]", OpLDRLit},
+		{"ldrb r1, [r2, #4]", OpLDRBImm},
+		{"ldrh r1, [r2, #4]", OpLDRHImm},
+		{"ldrsb r1, [r2, r3]", OpLDRSB},
+		{"ldrsh r1, [r2, r3]", OpLDRSH},
+		{"str r1, [r2, #4]", OpSTRImm},
+		{"str r1, [sp, #4]", OpSTRSP},
+		{"strb r1, [r2]", OpSTRBImm},
+		{"strh r1, [r2, #2]", OpSTRHImm},
+		{"push {r4, r5, lr}", OpPUSH},
+		{"pop {r4, r5, pc}", OpPOP},
+		{"stmia r0!, {r1, r2}", OpSTM},
+		{"ldmia r0!, {r1, r2}", OpLDM},
+		{"sxtb r1, r2", OpSXTB},
+		{"uxth r1, r2", OpUXTH},
+		{"rev r1, r2", OpREV},
+		{"bx lr", OpBX},
+		{"blx r3", OpBLX},
+		{"bkpt 0", OpBKPT},
+		{"svc 1", OpSVC},
+		{"udf 0", OpUDF},
+		{"nop", OpNOP},
+	}
+	for _, tt := range src {
+		p := mustAssemble(t, 0, tt.line)
+		if len(p.Code) != 2 {
+			t.Fatalf("%q: %d bytes, want 2", tt.line, len(p.Code))
+		}
+		hw := uint16(p.Code[0]) | uint16(p.Code[1])<<8
+		in := Decode(hw, 0)
+		if in.Op != tt.op {
+			t.Errorf("%q decoded to %v (%v), want %v", tt.line, in.Op, in, tt.op)
+		}
+	}
+}
+
+func TestAssembleLiteralPool(t *testing.T) {
+	p := mustAssemble(t, 0x100, `
+		ldr r2, =0xd3b9aec6
+		nop
+	loop:
+		b loop
+	`)
+	// ldr(2) + nop(2) + b(2) + pad(2) + literal(4) = 12 bytes.
+	if len(p.Code) != 12 {
+		t.Fatalf("code length = %d, want 12: % x", len(p.Code), p.Code)
+	}
+	lit := uint32(p.Code[8]) | uint32(p.Code[9])<<8 |
+		uint32(p.Code[10])<<16 | uint32(p.Code[11])<<24
+	if lit != 0xd3b9aec6 {
+		t.Errorf("literal = %#x, want 0xd3b9aec6", lit)
+	}
+	in := Decode(uint16(p.Code[0])|uint16(p.Code[1])<<8, 0)
+	if in.Op != OpLDRLit {
+		t.Fatalf("first inst = %v, want ldr literal", in)
+	}
+	// Effective address: align(0x100+4,4) + imm = 0x104 + 4 = 0x108.
+	if got := ((uint32(0x100) + 4) &^ 3) + in.Imm; got != 0x108 {
+		t.Errorf("literal address = %#x, want 0x108", got)
+	}
+}
+
+func TestAssembleBL(t *testing.T) {
+	p := mustAssemble(t, 0, `
+		bl func
+		nop
+	func:
+		bx lr
+	`)
+	hw1 := uint16(p.Code[0]) | uint16(p.Code[1])<<8
+	hw2 := uint16(p.Code[2]) | uint16(p.Code[3])<<8
+	in := Decode(hw1, hw2)
+	if in.Op != OpBL {
+		t.Fatalf("decoded %v, want bl", in)
+	}
+	if got := in.BranchTarget(0); got != 6 {
+		t.Errorf("bl target = %#x, want 6", got)
+	}
+}
+
+func TestAssembleWordDirective(t *testing.T) {
+	p := mustAssemble(t, 0, `
+	data:
+		.word 0xdeadbeef, 42
+		.hword 0x1234
+		.byte 0xff
+	`)
+	want := []byte{0xef, 0xbe, 0xad, 0xde, 42, 0, 0, 0, 0x34, 0x12, 0xff}
+	if !bytes.Equal(p.Code, want) {
+		t.Fatalf("code = % x, want % x", p.Code, want)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"bogus r0, r1",
+		"movs r9, #1",      // high register with movs imm
+		"adds r1, #999",    // imm8 overflow
+		"beq nosuchlabel",  // undefined label
+		"ldr r1, [r2, #5]", // unscaled word offset
+		"push {}",
+		"b",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(0, src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAssembleConditionalRange(t *testing.T) {
+	// 127 instructions forward is within range (254 bytes).
+	src := "beq far\n"
+	for i := 0; i < 126; i++ {
+		src += "nop\n"
+	}
+	src += "far: nop\n"
+	if _, err := Assemble(0, src); err != nil {
+		t.Fatalf("in-range branch failed: %v", err)
+	}
+	// One more NOP pushes it out of range.
+	src = "beq far\n"
+	for i := 0; i < 129; i++ {
+		src += "nop\n"
+	}
+	src += "far: nop\n"
+	if _, err := Assemble(0, src); err == nil {
+		t.Fatal("out-of-range branch assembled")
+	}
+}

@@ -1,0 +1,294 @@
+package isa
+
+// Is32Bit reports whether hw is the first halfword of a 32-bit Thumb
+// instruction (top five bits 0b11101, 0b11110 or 0b11111).
+func Is32Bit(hw uint16) bool {
+	return hw>>11 >= 0b11101
+}
+
+// Decode decodes a Thumb instruction. hw is the first (or only) halfword;
+// hw2 is the second halfword, used only when Is32Bit(hw) is true. Instructions
+// the architecture leaves undefined decode to an Inst with Op == OpInvalid
+// (the emulator turns those into invalid-instruction faults); Decode itself
+// never fails so that mutation campaigns can probe the whole encoding space.
+func Decode(hw, hw2 uint16) Inst {
+	if Is32Bit(hw) {
+		return decode32(hw, hw2)
+	}
+	in := decode16(hw)
+	in.Size = 2
+	in.Raw = uint32(hw)
+	return in
+}
+
+func decode16(hw uint16) Inst {
+	switch hw >> 13 {
+	case 0b000:
+		op := (hw >> 11) & 3
+		if op != 3 {
+			// Shift by immediate. LSL #0 is MOVS rd, rm; keep it as
+			// LSL so that 0x0000 naturally decodes to "movs r0, r0"
+			// semantics, as the paper notes.
+			ops := [3]Op{OpLSLImm, OpLSRImm, OpASRImm}
+			return Inst{
+				Op:  ops[op],
+				Rd:  Reg(hw & 7),
+				Rm:  Reg((hw >> 3) & 7),
+				Imm: uint32((hw >> 6) & 31),
+			}
+		}
+		// Add/subtract register or 3-bit immediate.
+		sub := hw&(1<<9) != 0
+		imm := hw&(1<<10) != 0
+		in := Inst{
+			Rd: Reg(hw & 7),
+			Rn: Reg((hw >> 3) & 7),
+		}
+		switch {
+		case !imm && !sub:
+			in.Op, in.Rm = OpADDReg, Reg((hw>>6)&7)
+		case !imm && sub:
+			in.Op, in.Rm = OpSUBReg, Reg((hw>>6)&7)
+		case imm && !sub:
+			in.Op, in.Imm = OpADDImm3, uint32((hw>>6)&7)
+		default:
+			in.Op, in.Imm = OpSUBImm3, uint32((hw>>6)&7)
+		}
+		return in
+	case 0b001:
+		r := Reg((hw >> 8) & 7)
+		imm := uint32(hw & 0xff)
+		switch (hw >> 11) & 3 {
+		case 0:
+			return Inst{Op: OpMOVImm, Rd: r, Imm: imm}
+		case 1:
+			return Inst{Op: OpCMPImm, Rn: r, Imm: imm}
+		case 2:
+			return Inst{Op: OpADDImm8, Rd: r, Imm: imm}
+		default:
+			return Inst{Op: OpSUBImm8, Rd: r, Imm: imm}
+		}
+	case 0b010:
+		return decode010(hw)
+	case 0b011:
+		// STR/LDR and STRB/LDRB with 5-bit immediate offset.
+		rd := Reg(hw & 7)
+		rn := Reg((hw >> 3) & 7)
+		imm := uint32((hw >> 6) & 31)
+		byteOp := hw&(1<<12) != 0
+		load := hw&(1<<11) != 0
+		switch {
+		case !byteOp && !load:
+			return Inst{Op: OpSTRImm, Rd: rd, Rn: rn, Imm: imm * 4}
+		case !byteOp && load:
+			return Inst{Op: OpLDRImm, Rd: rd, Rn: rn, Imm: imm * 4}
+		case byteOp && !load:
+			return Inst{Op: OpSTRBImm, Rd: rd, Rn: rn, Imm: imm}
+		default:
+			return Inst{Op: OpLDRBImm, Rd: rd, Rn: rn, Imm: imm}
+		}
+	case 0b100:
+		rd := Reg(hw & 7)
+		if hw&(1<<12) == 0 {
+			// STRH/LDRH immediate.
+			rn := Reg((hw >> 3) & 7)
+			imm := uint32((hw>>6)&31) * 2
+			if hw&(1<<11) == 0 {
+				return Inst{Op: OpSTRHImm, Rd: rd, Rn: rn, Imm: imm}
+			}
+			return Inst{Op: OpLDRHImm, Rd: rd, Rn: rn, Imm: imm}
+		}
+		// SP-relative load/store.
+		rd = Reg((hw >> 8) & 7)
+		imm := uint32(hw&0xff) * 4
+		if hw&(1<<11) == 0 {
+			return Inst{Op: OpSTRSP, Rd: rd, Imm: imm}
+		}
+		return Inst{Op: OpLDRSP, Rd: rd, Imm: imm}
+	case 0b101:
+		if hw&(1<<12) == 0 {
+			// ADR / ADD rd, sp.
+			rd := Reg((hw >> 8) & 7)
+			imm := uint32(hw&0xff) * 4
+			if hw&(1<<11) == 0 {
+				return Inst{Op: OpADR, Rd: rd, Imm: imm}
+			}
+			return Inst{Op: OpADDSP, Rd: rd, Imm: imm}
+		}
+		return decodeMisc(hw)
+	case 0b110:
+		if hw&(1<<12) == 0 {
+			// STM/LDM.
+			in := Inst{Rn: Reg((hw >> 8) & 7), Regs: hw & 0xff}
+			if hw&(1<<11) == 0 {
+				in.Op = OpSTM
+			} else {
+				in.Op = OpLDM
+			}
+			if in.Regs == 0 {
+				in.Op = OpInvalid // empty register list is unpredictable
+			}
+			return in
+		}
+		// Conditional branch, UDF, SVC.
+		cond := (hw >> 8) & 0xf
+		imm := uint32(hw & 0xff)
+		switch cond {
+		case 14:
+			return Inst{Op: OpUDF, Imm: imm}
+		case 15:
+			return Inst{Op: OpSVC, Imm: imm}
+		default:
+			return Inst{Op: OpBCond, Cond: Cond(cond), Imm: imm}
+		}
+	default: // 0b111
+		if hw>>11 == 0b11100 {
+			return Inst{Op: OpB, Imm: uint32(hw & 0x7ff)}
+		}
+		// First halfword of a 32-bit instruction; handled by Decode.
+		return Inst{Op: OpInvalid}
+	}
+}
+
+// decode010 handles the 0b010 prefix: data-processing register,
+// hi-register operations, BX/BLX, PC-literal loads, and register-offset
+// load/stores.
+func decode010(hw uint16) Inst {
+	switch {
+	case hw>>10 == 0b010000:
+		rd := Reg(hw & 7)
+		rm := Reg((hw >> 3) & 7)
+		ops := [16]Op{
+			OpAND, OpEOR, OpLSLReg, OpLSRReg, OpASRReg, OpADC, OpSBC,
+			OpRORReg, OpTST, OpRSB, OpCMPReg, OpCMN, OpORR, OpMUL,
+			OpBIC, OpMVN,
+		}
+		op := ops[(hw>>6)&0xf]
+		in := Inst{Op: op, Rd: rd, Rm: rm}
+		switch op {
+		case OpTST, OpCMPReg, OpCMN:
+			in.Rn, in.Rd = rd, 0
+		case OpRSB:
+			in.Rn = rm
+			in.Rm = 0
+		}
+		return in
+	case hw>>10 == 0b010001:
+		op := (hw >> 8) & 3
+		rm := Reg((hw >> 3) & 0xf)
+		rdn := Reg(hw&7) | Reg((hw>>7)&1)<<3
+		switch op {
+		case 0:
+			return Inst{Op: OpADDHi, Rd: rdn, Rn: rdn, Rm: rm}
+		case 1:
+			if rdn < 8 && rm < 8 {
+				return Inst{Op: OpInvalid} // unpredictable in v6-M
+			}
+			return Inst{Op: OpCMPHi, Rn: rdn, Rm: rm}
+		case 2:
+			return Inst{Op: OpMOVHi, Rd: rdn, Rm: rm}
+		default:
+			if hw&7 != 0 {
+				return Inst{Op: OpInvalid}
+			}
+			if hw&(1<<7) == 0 {
+				return Inst{Op: OpBX, Rm: rm}
+			}
+			return Inst{Op: OpBLX, Rm: rm}
+		}
+	case hw>>11 == 0b01001:
+		return Inst{
+			Op:  OpLDRLit,
+			Rd:  Reg((hw >> 8) & 7),
+			Imm: uint32(hw&0xff) * 4,
+		}
+	default:
+		// Register-offset load/store, opcode in bits [11:9].
+		ops := [8]Op{
+			OpSTRReg, OpSTRHReg, OpSTRBReg, OpLDRSB,
+			OpLDRReg, OpLDRHReg, OpLDRBReg, OpLDRSH,
+		}
+		return Inst{
+			Op: ops[(hw>>9)&7],
+			Rd: Reg(hw & 7),
+			Rn: Reg((hw >> 3) & 7),
+			Rm: Reg((hw >> 6) & 7),
+		}
+	}
+}
+
+// decodeMisc handles the 0b1011 miscellaneous space.
+func decodeMisc(hw uint16) Inst {
+	switch {
+	case hw>>8 == 0b10110000:
+		imm := uint32(hw&0x7f) * 4
+		if hw&(1<<7) == 0 {
+			return Inst{Op: OpADDSPImm, Imm: imm}
+		}
+		return Inst{Op: OpSUBSPImm, Imm: imm}
+	case hw>>8 == 0b10110010:
+		rd := Reg(hw & 7)
+		rm := Reg((hw >> 3) & 7)
+		ops := [4]Op{OpSXTH, OpSXTB, OpUXTH, OpUXTB}
+		return Inst{Op: ops[(hw>>6)&3], Rd: rd, Rm: rm}
+	case hw>>9 == 0b1011010:
+		regs := hw & 0xff
+		if hw&(1<<8) != 0 {
+			regs |= 1 << 8 // M bit: push LR
+		}
+		if regs == 0 {
+			return Inst{Op: OpInvalid}
+		}
+		return Inst{Op: OpPUSH, Regs: regs}
+	case hw>>9 == 0b1011110:
+		regs := hw & 0xff
+		if hw&(1<<8) != 0 {
+			regs |= 1 << 8 // P bit: pop PC
+		}
+		if regs == 0 {
+			return Inst{Op: OpInvalid}
+		}
+		return Inst{Op: OpPOP, Regs: regs}
+	case hw>>5 == 0b10110110011: // CPS
+		return Inst{Op: OpCPS}
+	case hw>>6 == 0b1011101000:
+		return Inst{Op: OpREV, Rd: Reg(hw & 7), Rm: Reg((hw >> 3) & 7)}
+	case hw>>6 == 0b1011101001:
+		return Inst{Op: OpREV16, Rd: Reg(hw & 7), Rm: Reg((hw >> 3) & 7)}
+	case hw>>6 == 0b1011101011:
+		return Inst{Op: OpREVSH, Rd: Reg(hw & 7), Rm: Reg((hw >> 3) & 7)}
+	case hw>>8 == 0b10111110:
+		return Inst{Op: OpBKPT, Imm: uint32(hw & 0xff)}
+	case hw>>8 == 0b10111111:
+		if hw&0xf != 0 {
+			return Inst{Op: OpInvalid} // IT is ARMv7-only
+		}
+		if (hw>>4)&0xf > 4 {
+			return Inst{Op: OpInvalid} // beyond SEV: unallocated hint
+		}
+		return Inst{Op: OpNOP}
+	default:
+		return Inst{Op: OpInvalid}
+	}
+}
+
+// decode32 decodes the ARMv6-M 32-bit space. Only BL is given semantics;
+// the rest of the space (barriers, MRS/MSR) is not reachable from the
+// campaigns and decodes as invalid.
+func decode32(hw, hw2 uint16) Inst {
+	raw := uint32(hw)<<16 | uint32(hw2)
+	if hw>>11 == 0b11110 && hw2>>14 == 0b11 && hw2&(1<<12) != 0 {
+		// BL: imm32 = SignExtend(S:I1:I2:imm10:imm11:'0', 25).
+		s := uint32(hw>>10) & 1
+		j1 := uint32(hw2>>13) & 1
+		j2 := uint32(hw2>>11) & 1
+		i1 := ^(j1 ^ s) & 1
+		i2 := ^(j2 ^ s) & 1
+		imm10 := uint32(hw & 0x3ff)
+		imm11 := uint32(hw2 & 0x7ff)
+		imm := s<<24 | i1<<23 | i2<<22 | imm10<<12 | imm11<<1
+		imm = uint32(int32(imm<<7) >> 7) // sign-extend from bit 24
+		return Inst{Op: OpBL, Imm: imm, Size: 4, Raw: raw}
+	}
+	return Inst{Op: OpInvalid, Size: 4, Raw: raw}
+}

@@ -1,0 +1,272 @@
+package isa
+
+import "fmt"
+
+// EncodeError reports an instruction that cannot be encoded, typically
+// because an operand is out of range for the Thumb-16 encoding.
+type EncodeError struct {
+	Inst   Inst
+	Reason string
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %s: %s", e.Inst.Op, e.Reason)
+}
+
+func imm5ok(v uint32) bool      { return v < 32 }
+func imm8ok(v uint32) bool      { return v < 256 }
+func fits(v, limit uint32) bool { return v < limit }
+
+func scaled(v uint32, s uint32) (uint16, bool) {
+	if v%s != 0 {
+		return 0, false
+	}
+	return uint16(v / s), true
+}
+
+// Encode produces the 16-bit encoding of a Thumb-16 instruction. BL is not
+// encodable here (it is 32-bit); use EncodeBL.
+func Encode(in Inst) (uint16, error) {
+	bad := func(reason string) (uint16, error) {
+		return 0, &EncodeError{Inst: in, Reason: reason}
+	}
+	reg3 := func(r Reg) uint16 { return uint16(r) & 7 }
+
+	switch in.Op {
+	case OpLSLImm, OpLSRImm, OpASRImm:
+		if in.Rd >= 8 || in.Rm >= 8 || !imm5ok(in.Imm) {
+			return bad("operands out of range")
+		}
+		op := map[Op]uint16{OpLSLImm: 0, OpLSRImm: 1, OpASRImm: 2}[in.Op]
+		return op<<11 | uint16(in.Imm)<<6 | reg3(in.Rm)<<3 | reg3(in.Rd), nil
+	case OpADDReg, OpSUBReg:
+		if in.Rd >= 8 || in.Rn >= 8 || in.Rm >= 8 {
+			return bad("registers must be r0-r7")
+		}
+		base := uint16(0b0001100) << 9
+		if in.Op == OpSUBReg {
+			base = 0b0001101 << 9
+		}
+		return base | reg3(in.Rm)<<6 | reg3(in.Rn)<<3 | reg3(in.Rd), nil
+	case OpADDImm3, OpSUBImm3:
+		if in.Rd >= 8 || in.Rn >= 8 || !fits(in.Imm, 8) {
+			return bad("operands out of range")
+		}
+		base := uint16(0b0001110) << 9
+		if in.Op == OpSUBImm3 {
+			base = 0b0001111 << 9
+		}
+		return base | uint16(in.Imm)<<6 | reg3(in.Rn)<<3 | reg3(in.Rd), nil
+	case OpMOVImm, OpADDImm8, OpSUBImm8:
+		if in.Rd >= 8 || !imm8ok(in.Imm) {
+			return bad("operands out of range")
+		}
+		op := map[Op]uint16{OpMOVImm: 0, OpADDImm8: 2, OpSUBImm8: 3}[in.Op]
+		return 0b001<<13 | op<<11 | reg3(in.Rd)<<8 | uint16(in.Imm), nil
+	case OpCMPImm:
+		if in.Rn >= 8 || !imm8ok(in.Imm) {
+			return bad("operands out of range")
+		}
+		return 0b001<<13 | 1<<11 | reg3(in.Rn)<<8 | uint16(in.Imm), nil
+	case OpAND, OpEOR, OpLSLReg, OpLSRReg, OpASRReg, OpADC, OpSBC, OpRORReg,
+		OpTST, OpRSB, OpCMPReg, OpCMN, OpORR, OpMUL, OpBIC, OpMVN:
+		codes := map[Op]uint16{
+			OpAND: 0, OpEOR: 1, OpLSLReg: 2, OpLSRReg: 3, OpASRReg: 4,
+			OpADC: 5, OpSBC: 6, OpRORReg: 7, OpTST: 8, OpRSB: 9,
+			OpCMPReg: 10, OpCMN: 11, OpORR: 12, OpMUL: 13, OpBIC: 14,
+			OpMVN: 15,
+		}
+		rd, rm := in.Rd, in.Rm
+		switch in.Op {
+		case OpTST, OpCMPReg, OpCMN:
+			rd = in.Rn
+		case OpRSB:
+			rm = in.Rn
+		}
+		if rd >= 8 || rm >= 8 {
+			return bad("registers must be r0-r7")
+		}
+		return 0b010000<<10 | codes[in.Op]<<6 | reg3(rm)<<3 | reg3(rd), nil
+	case OpADDHi, OpMOVHi:
+		op := uint16(0)
+		if in.Op == OpMOVHi {
+			op = 2
+		}
+		d := uint16(in.Rd>>3) & 1
+		return 0b010001<<10 | op<<8 | d<<7 | uint16(in.Rm&0xf)<<3 |
+			reg3(in.Rd), nil
+	case OpCMPHi:
+		if in.Rn < 8 && in.Rm < 8 {
+			return bad("cmp hi requires a high register")
+		}
+		d := uint16(in.Rn>>3) & 1
+		return 0b010001<<10 | 1<<8 | d<<7 | uint16(in.Rm&0xf)<<3 |
+			reg3(in.Rn), nil
+	case OpBX:
+		return 0b010001<<10 | 3<<8 | uint16(in.Rm&0xf)<<3, nil
+	case OpBLX:
+		return 0b010001<<10 | 3<<8 | 1<<7 | uint16(in.Rm&0xf)<<3, nil
+	case OpLDRLit:
+		v, ok := scaled(in.Imm, 4)
+		if in.Rd >= 8 || !ok || v > 255 {
+			return bad("operands out of range")
+		}
+		return 0b01001<<11 | reg3(in.Rd)<<8 | v, nil
+	case OpSTRReg, OpSTRHReg, OpSTRBReg, OpLDRSB, OpLDRReg, OpLDRHReg,
+		OpLDRBReg, OpLDRSH:
+		if in.Rd >= 8 || in.Rn >= 8 || in.Rm >= 8 {
+			return bad("registers must be r0-r7")
+		}
+		codes := map[Op]uint16{
+			OpSTRReg: 0, OpSTRHReg: 1, OpSTRBReg: 2, OpLDRSB: 3,
+			OpLDRReg: 4, OpLDRHReg: 5, OpLDRBReg: 6, OpLDRSH: 7,
+		}
+		return 0b0101<<12 | codes[in.Op]<<9 | reg3(in.Rm)<<6 |
+			reg3(in.Rn)<<3 | reg3(in.Rd), nil
+	case OpSTRImm, OpLDRImm:
+		v, ok := scaled(in.Imm, 4)
+		if in.Rd >= 8 || in.Rn >= 8 || !ok || !imm5ok(uint32(v)) {
+			return bad("operands out of range")
+		}
+		l := uint16(0)
+		if in.Op == OpLDRImm {
+			l = 1
+		}
+		return 0b0110<<12 | l<<11 | v<<6 | reg3(in.Rn)<<3 | reg3(in.Rd), nil
+	case OpSTRBImm, OpLDRBImm:
+		if in.Rd >= 8 || in.Rn >= 8 || !imm5ok(in.Imm) {
+			return bad("operands out of range")
+		}
+		l := uint16(0)
+		if in.Op == OpLDRBImm {
+			l = 1
+		}
+		return 0b0111<<12 | l<<11 | uint16(in.Imm)<<6 | reg3(in.Rn)<<3 |
+			reg3(in.Rd), nil
+	case OpSTRHImm, OpLDRHImm:
+		v, ok := scaled(in.Imm, 2)
+		if in.Rd >= 8 || in.Rn >= 8 || !ok || !imm5ok(uint32(v)) {
+			return bad("operands out of range")
+		}
+		l := uint16(0)
+		if in.Op == OpLDRHImm {
+			l = 1
+		}
+		return 0b1000<<12 | l<<11 | v<<6 | reg3(in.Rn)<<3 | reg3(in.Rd), nil
+	case OpSTRSP, OpLDRSP:
+		v, ok := scaled(in.Imm, 4)
+		if in.Rd >= 8 || !ok || v > 255 {
+			return bad("operands out of range")
+		}
+		l := uint16(0)
+		if in.Op == OpLDRSP {
+			l = 1
+		}
+		return 0b1001<<12 | l<<11 | reg3(in.Rd)<<8 | v, nil
+	case OpADR, OpADDSP:
+		v, ok := scaled(in.Imm, 4)
+		if in.Rd >= 8 || !ok || v > 255 {
+			return bad("operands out of range")
+		}
+		s := uint16(0)
+		if in.Op == OpADDSP {
+			s = 1
+		}
+		return 0b1010<<12 | s<<11 | reg3(in.Rd)<<8 | v, nil
+	case OpADDSPImm, OpSUBSPImm:
+		v, ok := scaled(in.Imm, 4)
+		if !ok || v > 127 {
+			return bad("operands out of range")
+		}
+		s := uint16(0)
+		if in.Op == OpSUBSPImm {
+			s = 1
+		}
+		return 0b10110000<<8 | s<<7 | v, nil
+	case OpSXTH, OpSXTB, OpUXTH, OpUXTB:
+		if in.Rd >= 8 || in.Rm >= 8 {
+			return bad("registers must be r0-r7")
+		}
+		codes := map[Op]uint16{OpSXTH: 0, OpSXTB: 1, OpUXTH: 2, OpUXTB: 3}
+		return 0b10110010<<8 | codes[in.Op]<<6 | reg3(in.Rm)<<3 |
+			reg3(in.Rd), nil
+	case OpREV, OpREV16, OpREVSH:
+		if in.Rd >= 8 || in.Rm >= 8 {
+			return bad("registers must be r0-r7")
+		}
+		codes := map[Op]uint16{OpREV: 0b00, OpREV16: 0b01, OpREVSH: 0b11}
+		return 0b1011101000<<6 | codes[in.Op]<<6 | reg3(in.Rm)<<3 |
+			reg3(in.Rd), nil
+	case OpPUSH:
+		if in.Regs == 0 || in.Regs>>9 != 0 {
+			return bad("register list out of range")
+		}
+		return 0b1011010<<9 | (in.Regs>>8)<<8 | in.Regs&0xff, nil
+	case OpPOP:
+		if in.Regs == 0 || in.Regs>>9 != 0 {
+			return bad("register list out of range")
+		}
+		return 0b1011110<<9 | (in.Regs>>8)<<8 | in.Regs&0xff, nil
+	case OpSTM, OpLDM:
+		if in.Rn >= 8 || in.Regs == 0 || in.Regs>>8 != 0 {
+			return bad("operands out of range")
+		}
+		l := uint16(0)
+		if in.Op == OpLDM {
+			l = 1
+		}
+		return 0b1100<<12 | l<<11 | reg3(in.Rn)<<8 | in.Regs, nil
+	case OpBKPT:
+		if !imm8ok(in.Imm) {
+			return bad("imm out of range")
+		}
+		return 0b10111110<<8 | uint16(in.Imm), nil
+	case OpNOP:
+		return 0xbf00, nil
+	case OpBCond:
+		if in.Cond >= AL || !imm8ok(in.Imm) {
+			return bad("operands out of range")
+		}
+		return 0b1101<<12 | uint16(in.Cond)<<8 | uint16(in.Imm), nil
+	case OpUDF:
+		if !imm8ok(in.Imm) {
+			return bad("imm out of range")
+		}
+		return 0b11011110<<8 | uint16(in.Imm), nil
+	case OpSVC:
+		if !imm8ok(in.Imm) {
+			return bad("imm out of range")
+		}
+		return 0b11011111<<8 | uint16(in.Imm), nil
+	case OpB:
+		if in.Imm>>11 != 0 {
+			return bad("offset out of range")
+		}
+		return 0b11100<<11 | uint16(in.Imm), nil
+	default:
+		return bad("not a 16-bit encodable operation")
+	}
+}
+
+// EncodeBL encodes a 32-bit BL with the given byte offset (relative to the
+// instruction's PC, i.e. address+4). The offset must be even and within
+// +/-16 MiB.
+func EncodeBL(offset int32) (uint16, uint16, error) {
+	if offset%2 != 0 || offset < -(1<<24) || offset >= 1<<24 {
+		return 0, 0, &EncodeError{
+			Inst:   Inst{Op: OpBL, Imm: uint32(offset)},
+			Reason: "offset out of range",
+		}
+	}
+	v := uint32(offset)
+	s := (v >> 24) & 1
+	i1 := (v >> 23) & 1
+	i2 := (v >> 22) & 1
+	imm10 := (v >> 12) & 0x3ff
+	imm11 := (v >> 1) & 0x7ff
+	j1 := (^(i1 ^ s)) & 1
+	j2 := (^(i2 ^ s)) & 1
+	hw1 := uint16(0b11110<<11 | s<<10 | imm10)
+	hw2 := uint16(0b11<<14 | j1<<13 | 1<<12 | j2<<11 | imm11)
+	return hw1, hw2, nil
+}

@@ -1,0 +1,154 @@
+// Package isa implements the ARMv6-M Thumb (16-bit) instruction set used by
+// the glitching campaigns: instruction encodings, a decoder, an encoder, a
+// two-pass assembler, and a disassembler.
+//
+// The subset is the complete Thumb-16 encoding space of ARMv6-M (plus the
+// 32-bit BL pair), which is what the paper's Figure 2 campaign exhaustively
+// perturbs. Fidelity to the documented encodings matters: the campaign's
+// results are a property of the encoding itself, so every 16-bit pattern must
+// decode (or fail to decode) exactly as the architecture manual specifies.
+package isa
+
+import "fmt"
+
+// Reg is an ARM core register number (R0..R15).
+type Reg uint8
+
+// Core register names. SP, LR and PC are architectural aliases.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13
+	LR // R14
+	PC // R15
+)
+
+// String returns the canonical assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Flags holds the APSR condition flags.
+type Flags struct {
+	N bool // negative
+	Z bool // zero
+	C bool // carry
+	V bool // overflow
+}
+
+// String renders the flags in NZCV order, e.g. "nZCv".
+func (f Flags) String() string {
+	b := []byte{'n', 'z', 'c', 'v'}
+	if f.N {
+		b[0] = 'N'
+	}
+	if f.Z {
+		b[1] = 'Z'
+	}
+	if f.C {
+		b[2] = 'C'
+	}
+	if f.V {
+		b[3] = 'V'
+	}
+	return string(b)
+}
+
+// Cond is an ARM condition code as encoded in conditional branches.
+type Cond uint8
+
+// Condition codes in encoding order. AL is the always condition used by
+// unconditional instructions and is not encodable in a conditional branch
+// (encoding 14 is UDF, 15 is SVC).
+const (
+	EQ Cond = iota // equal (Z)
+	NE             // not equal (!Z)
+	CS             // carry set / unsigned higher or same (C)
+	CC             // carry clear / unsigned lower (!C)
+	MI             // minus / negative (N)
+	PL             // plus / positive or zero (!N)
+	VS             // overflow (V)
+	VC             // no overflow (!V)
+	HI             // unsigned higher (C && !Z)
+	LS             // unsigned lower or same (!C || Z)
+	GE             // signed greater or equal (N == V)
+	LT             // signed less (N != V)
+	GT             // signed greater (!Z && N == V)
+	LE             // signed less or equal (Z || N != V)
+	AL             // always
+)
+
+var condNames = [...]string{
+	"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+	"hi", "ls", "ge", "lt", "gt", "le", "al",
+}
+
+// String returns the condition mnemonic suffix.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Holds reports whether the condition passes for the given flags.
+func (c Cond) Holds(f Flags) bool {
+	switch c {
+	case EQ:
+		return f.Z
+	case NE:
+		return !f.Z
+	case CS:
+		return f.C
+	case CC:
+		return !f.C
+	case MI:
+		return f.N
+	case PL:
+		return !f.N
+	case VS:
+		return f.V
+	case VC:
+		return !f.V
+	case HI:
+		return f.C && !f.Z
+	case LS:
+		return !f.C || f.Z
+	case GE:
+		return f.N == f.V
+	case LT:
+		return f.N != f.V
+	case GT:
+		return !f.Z && f.N == f.V
+	case LE:
+		return f.Z || f.N != f.V
+	default:
+		return true
+	}
+}
+
+// BranchConds lists the 14 encodable conditional-branch conditions, in the
+// order the paper's Figure 2 enumerates them.
+func BranchConds() []Cond {
+	return []Cond{EQ, NE, CS, CC, MI, PL, VS, VC, HI, LS, GE, LT, GT, LE}
+}

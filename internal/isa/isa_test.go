@@ -1,0 +1,197 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCondHolds(t *testing.T) {
+	f := func(n, z, c, v bool) Flags { return Flags{N: n, Z: z, C: c, V: v} }
+	tests := []struct {
+		cond  Cond
+		flags Flags
+		want  bool
+	}{
+		{EQ, f(false, true, false, false), true},
+		{EQ, f(false, false, false, false), false},
+		{NE, f(false, false, false, false), true},
+		{CS, f(false, false, true, false), true},
+		{CC, f(false, false, true, false), false},
+		{MI, f(true, false, false, false), true},
+		{PL, f(true, false, false, false), false},
+		{VS, f(false, false, false, true), true},
+		{VC, f(false, false, false, true), false},
+		{HI, f(false, false, true, false), true},
+		{HI, f(false, true, true, false), false},
+		{LS, f(false, true, true, false), true},
+		{LS, f(false, false, false, false), true},
+		{GE, f(true, false, false, true), true},
+		{GE, f(true, false, false, false), false},
+		{LT, f(true, false, false, false), true},
+		{GT, f(false, false, false, false), true},
+		{GT, f(false, true, false, false), false},
+		{LE, f(false, true, false, false), true},
+		{LE, f(true, false, false, true), false},
+		{AL, f(true, true, true, true), true},
+	}
+	for _, tt := range tests {
+		if got := tt.cond.Holds(tt.flags); got != tt.want {
+			t.Errorf("%v.Holds(%v) = %v, want %v", tt.cond, tt.flags, got, tt.want)
+		}
+	}
+}
+
+func TestCondComplements(t *testing.T) {
+	// Adjacent condition pairs (EQ/NE, CS/CC, ...) must be complementary
+	// for every flag combination.
+	for flags := 0; flags < 16; flags++ {
+		f := Flags{
+			N: flags&8 != 0, Z: flags&4 != 0,
+			C: flags&2 != 0, V: flags&1 != 0,
+		}
+		for c := EQ; c < AL; c += 2 {
+			if c.Holds(f) == (c + 1).Holds(f) {
+				t.Errorf("%v and %v both %v for flags %v",
+					c, c+1, c.Holds(f), f)
+			}
+		}
+	}
+}
+
+func TestDecodeKnownEncodings(t *testing.T) {
+	tests := []struct {
+		hw   uint16
+		want string
+	}{
+		{0x0000, "lsls r0, r0, #0"}, // all-zero word: effectively movs r0, r0
+		{0x20aa, "movs r0, #170"},
+		{0x2b00, "cmp r3, #0"},
+		{0x3307, "adds r3, #7"},
+		{0x781b, "ldrb r3, [r3, #0]"},
+		{0x466b, "mov r3, sp"},
+		{0xd000, "beq .+4"},
+		{0xd1fe, "bne .+0"}, // branch-to-self
+		{0xe7fe, "b .+0"},
+		{0xb580, "push {r7, lr}"},
+		{0xbd80, "pop {r7, pc}"},
+		{0xbf00, "nop"},
+		{0x4770, "bx lr"},
+		{0xdeff, "udf #255"},
+		{0xdf01, "svc #1"},
+		{0x1880, "adds r0, r0, r2"},
+		{0x4288, "cmp r0, r1"},
+		{0x9801, "ldr r0, [sp, #4]"},
+		{0x4801, "ldr r0, [pc, #4]"},
+		{0xb082, "sub sp, #8"},
+		{0xc807, "ldmia r0!, {r0, r1, r2}"},
+	}
+	for _, tt := range tests {
+		in := Decode(tt.hw, 0)
+		if got := in.String(); got != tt.want {
+			t.Errorf("Decode(%#04x) = %q, want %q", tt.hw, got, tt.want)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	invalid := []uint16{
+		0xbf01, // IT-style hint (ARMv7 only)
+		0xb100, // CBZ (ARMv7 only)
+		0xba80, // unallocated misc
+		0x4508, // cmp r0, r1 hi form with two low regs (unpredictable)
+	}
+	for _, hw := range invalid {
+		if in := Decode(hw, 0); in.Op != OpInvalid {
+			t.Errorf("Decode(%#04x) = %v, want invalid", hw, in)
+		}
+	}
+}
+
+// TestDecodeEncodeRoundTrip checks that for every 16-bit pattern that
+// decodes to a valid instruction, re-encoding produces an encoding that
+// decodes identically (encoding aliases such as hint variants may legally
+// fail to encode, but must not encode to something different).
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	valid := 0
+	for hw := 0; hw < 0x10000; hw++ {
+		if Is32Bit(uint16(hw)) {
+			continue
+		}
+		in := Decode(uint16(hw), 0)
+		if in.Op == OpInvalid {
+			continue
+		}
+		valid++
+		enc, err := Encode(in)
+		if err != nil {
+			// Lossy aliases (hints, CPS) are allowed to fail.
+			if in.Op == OpCPS {
+				continue
+			}
+			if in.Op == OpNOP && hw != 0xbf00 {
+				continue
+			}
+			t.Fatalf("Encode(Decode(%#04x)) failed: %v", hw, err)
+		}
+		back := Decode(enc, 0)
+		back.Raw = in.Raw // Raw differs for aliases; compare semantics
+		in2 := in
+		in2.Raw = back.Raw
+		if back != in2 {
+			t.Fatalf("round trip %#04x -> %v -> %#04x -> %v", hw, in, enc, back)
+		}
+	}
+	if valid < 40000 {
+		t.Errorf("only %d of 65536 encodings decoded as valid; decoder too strict", valid)
+	}
+}
+
+func TestBLRoundTrip(t *testing.T) {
+	f := func(raw int32) bool {
+		off := (raw % (1 << 23)) * 2
+		hw1, hw2, err := EncodeBL(off)
+		if err != nil {
+			return false
+		}
+		in := Decode(hw1, hw2)
+		return in.Op == OpBL && int32(in.Imm) == off && in.Size == 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	// beq with imm8 = 1 at address 0x100 branches to 0x100 + 4 + 2.
+	in := Inst{Op: OpBCond, Cond: EQ, Imm: 1}
+	if got := in.BranchTarget(0x100); got != 0x106 {
+		t.Errorf("BranchTarget = %#x, want 0x106", got)
+	}
+	// Backwards branch: imm8 = 0xfb (-5) => target = pc+4-10.
+	in.Imm = 0xfb
+	if got := in.BranchTarget(0x100); got != 0x100+4-10 {
+		t.Errorf("backwards BranchTarget = %#x, want %#x", got, 0x100+4-10)
+	}
+	// Unconditional branch-to-self: imm11 = 0x7fe.
+	b := Inst{Op: OpB, Imm: 0x7fe}
+	if got := b.BranchTarget(0x200); got != 0x200 {
+		t.Errorf("b-to-self target = %#x, want 0x200", got)
+	}
+}
+
+func TestBranchCondsComplete(t *testing.T) {
+	conds := BranchConds()
+	if len(conds) != 14 {
+		t.Fatalf("BranchConds() has %d entries, want 14", len(conds))
+	}
+	seen := map[Cond]bool{}
+	for _, c := range conds {
+		if seen[c] {
+			t.Errorf("duplicate condition %v", c)
+		}
+		seen[c] = true
+		if c >= AL {
+			t.Errorf("condition %v not encodable in a conditional branch", c)
+		}
+	}
+}

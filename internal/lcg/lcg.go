@@ -1,0 +1,49 @@
+// Package lcg implements the linear congruential generator GlitchResistor's
+// random-delay defense uses: the paper specifies "a simple linear
+// congruential generator (LCG) with the input parameters used by glibc"
+// (Section VI-B1), i.e. glibc's TYPE_0 rand(): state = state*1103515245 +
+// 12345 (mod 2^31).
+//
+// The same generator runs in two places: compiled into the protected
+// firmware (emitted by internal/codegen as the __gr_delay runtime) and on
+// the host side for tests that predict the firmware's delay schedule.
+package lcg
+
+// Parameters of glibc's TYPE_0 rand().
+const (
+	Multiplier = 1103515245
+	Increment  = 12345
+	Mask       = 0x7fffffff
+)
+
+// LCG is a glibc-parameter linear congruential generator. The zero value is
+// a generator seeded with 0.
+type LCG struct {
+	state uint32
+}
+
+// New returns a generator with the given seed.
+func New(seed uint32) *LCG {
+	return &LCG{state: seed & Mask}
+}
+
+// Next advances the generator and returns the next value in [0, 2^31).
+func (l *LCG) Next() uint32 {
+	l.state = (l.state*Multiplier + Increment) & Mask
+	return l.state
+}
+
+// State returns the current state without advancing.
+func (l *LCG) State() uint32 { return l.state }
+
+// Seed resets the generator state.
+func (l *LCG) Seed(seed uint32) { l.state = seed & Mask }
+
+// DelaySlots is the number of distinct delay lengths the defense draws
+// from: each invocation executes between 0 and 10 NOPs (paper VI-B1).
+const DelaySlots = 11
+
+// Delay returns the next delay length in [0, DelaySlots).
+func (l *LCG) Delay() uint32 {
+	return l.Next() % DelaySlots
+}

@@ -1,0 +1,61 @@
+package lcg
+
+import "testing"
+
+func TestKnownSequence(t *testing.T) {
+	// The canonical ANSI C / glibc TYPE_0 sequence for seed 1.
+	want := []uint32{1103527590, 377401575, 662824084, 1147902781, 2035015474}
+	l := New(1)
+	for i, w := range want {
+		if got := l.Next(); got != w {
+			t.Fatalf("Next()#%d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSeedAndState(t *testing.T) {
+	l := New(7)
+	if l.State() != 7 {
+		t.Fatalf("initial state = %d", l.State())
+	}
+	first := l.Next()
+	l.Seed(7)
+	if again := l.Next(); again != first {
+		t.Fatalf("reseeded sequence diverges: %d vs %d", again, first)
+	}
+}
+
+func TestMaskKeeps31Bits(t *testing.T) {
+	l := New(0xFFFFFFFF)
+	if l.State()>>31 != 0 {
+		t.Fatal("seed not masked to 31 bits")
+	}
+	for i := 0; i < 1000; i++ {
+		if v := l.Next(); v>>31 != 0 {
+			t.Fatalf("value %d has bit 31 set", v)
+		}
+	}
+}
+
+func TestDelayRange(t *testing.T) {
+	l := New(1)
+	seen := map[uint32]bool{}
+	for i := 0; i < 1000; i++ {
+		d := l.Delay()
+		if d >= DelaySlots {
+			t.Fatalf("delay %d out of range", d)
+		}
+		seen[d] = true
+	}
+	// All 11 slots should appear over 1000 draws.
+	if len(seen) != DelaySlots {
+		t.Errorf("only %d of %d delay slots seen", len(seen), DelaySlots)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var l LCG
+	if l.Next() != Increment {
+		t.Error("zero-value generator must behave as seed 0")
+	}
+}

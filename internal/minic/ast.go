@@ -1,0 +1,159 @@
+package minic
+
+// Program is a parsed translation unit.
+type Program struct {
+	Enums   []*EnumDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// EnumDecl is an enum type declaration.
+type EnumDecl struct {
+	Name    string
+	Members []*EnumMember
+	Line    int
+}
+
+// AllUninitialized reports whether no member has an explicit value — the
+// precondition for GlitchResistor's ENUM rewriter (paper Section VI-A).
+func (e *EnumDecl) AllUninitialized() bool {
+	for _, m := range e.Members {
+		if m.HasValue {
+			return false
+		}
+	}
+	return true
+}
+
+// EnumMember is one enumerator.
+type EnumMember struct {
+	Name     string
+	HasValue bool
+	Value    uint32 // explicit value, or assigned during checking
+}
+
+// GlobalDecl is a file-scope variable.
+type GlobalDecl struct {
+	Name     string
+	Volatile bool
+	HasInit  bool
+	Init     Expr // constant expression
+	Line     int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name       string
+	Params     []string
+	ReturnsVal bool // false for void
+	Body       *BlockStmt
+	Line       int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable, optionally initialized.
+type DeclStmt struct {
+	Name     string
+	Volatile bool
+	HasInit  bool
+	Init     Expr
+	Line     int
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ X Expr }
+
+// AssignStmt stores to a variable.
+type AssignStmt struct {
+	Name string
+	X    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a for loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *BlockStmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	X    Expr // nil for void return
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*AssignStmt) stmt()   {}
+func (*IfStmt) stmt()       {}
+func (*WhileStmt) stmt()    {}
+func (*ForStmt) stmt()      {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumExpr is an integer literal.
+type NumExpr struct{ Val uint32 }
+
+// VarExpr references a variable or enum constant.
+type VarExpr struct {
+	Name string
+	Line int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// UnaryExpr applies !, ~ or unary -.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (*NumExpr) expr()   {}
+func (*VarExpr) expr()   {}
+func (*CallExpr) expr()  {}
+func (*UnaryExpr) expr() {}
+func (*BinExpr) expr()   {}

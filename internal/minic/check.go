@@ -1,0 +1,367 @@
+package minic
+
+// Builtins are the runtime entry points the code generator provides; they
+// can be called without declaration. All take no arguments; read_a is a
+// placeholder none of the firmware uses but tests may declare themselves.
+var Builtins = map[string]struct {
+	Arity      int
+	ReturnsVal bool
+}{
+	"success":         {0, false}, // reach the success stop symbol
+	"glitch_detected": {0, false}, // the defense's detection reaction
+	"trigger":         {0, false}, // raise the glitcher's GPIO trigger
+	"boot_done":       {0, false}, // mark the end of the boot sequence
+	"halt":            {0, false}, // park the CPU at the halt symbol
+}
+
+// Checked is a semantically analyzed program, ready for lowering.
+type Checked struct {
+	Prog *Program
+	// EnumMembers maps member name to its (possibly rewritten) member.
+	EnumMembers map[string]*EnumMember
+	// Globals maps global name to its declaration.
+	Globals map[string]*GlobalDecl
+	// GlobalInit holds each initialized global's folded constant value.
+	GlobalInit map[string]uint32
+	// Funcs maps function name to its declaration.
+	Funcs map[string]*FuncDecl
+}
+
+// Check performs semantic analysis. On success the returned Checked carries
+// the symbol tables lowering needs; enum members without explicit values
+// have been assigned C-default sequential values (which the ENUM rewriter
+// pass may later replace).
+func Check(prog *Program) (*Checked, error) {
+	c := &Checked{
+		Prog:        prog,
+		EnumMembers: map[string]*EnumMember{},
+		Globals:     map[string]*GlobalDecl{},
+		GlobalInit:  map[string]uint32{},
+		Funcs:       map[string]*FuncDecl{},
+	}
+	for _, e := range prog.Enums {
+		next := uint32(0)
+		for _, m := range e.Members {
+			if _, dup := c.EnumMembers[m.Name]; dup {
+				return nil, errf(e.Line, 1, "duplicate enum member %q", m.Name)
+			}
+			if m.HasValue {
+				next = m.Value
+			} else {
+				m.Value = next
+			}
+			next++
+			c.EnumMembers[m.Name] = m
+		}
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.Globals[g.Name]; dup {
+			return nil, errf(g.Line, 1, "duplicate global %q", g.Name)
+		}
+		if _, isEnum := c.EnumMembers[g.Name]; isEnum {
+			return nil, errf(g.Line, 1, "global %q shadows an enum member", g.Name)
+		}
+		c.Globals[g.Name] = g
+		if g.HasInit {
+			v, ok := c.foldConst(g.Init)
+			if !ok {
+				return nil, errf(g.Line, 1, "global %q initializer is not constant", g.Name)
+			}
+			c.GlobalInit[g.Name] = v
+		}
+	}
+	for _, fn := range prog.Funcs {
+		if _, dup := c.Funcs[fn.Name]; dup {
+			return nil, errf(fn.Line, 1, "duplicate function %q", fn.Name)
+		}
+		if _, isBuiltin := Builtins[fn.Name]; isBuiltin {
+			return nil, errf(fn.Line, 1, "function %q shadows a builtin", fn.Name)
+		}
+		c.Funcs[fn.Name] = fn
+	}
+	for _, fn := range prog.Funcs {
+		if err := c.checkFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// foldConst evaluates a constant expression (numbers, enum constants and
+// arithmetic over them).
+func (c *Checked) foldConst(x Expr) (uint32, bool) {
+	switch e := x.(type) {
+	case *NumExpr:
+		return e.Val, true
+	case *VarExpr:
+		if m, ok := c.EnumMembers[e.Name]; ok {
+			return m.Value, true
+		}
+		return 0, false
+	case *UnaryExpr:
+		v, ok := c.foldConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "-":
+			return -v, true
+		case "~":
+			return ^v, true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinExpr:
+		l, ok1 := c.foldConst(e.L)
+		r, ok2 := c.foldConst(e.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return foldBin(e.Op, l, r)
+	}
+	return 0, false
+}
+
+func foldBin(op string, l, r uint32) (uint32, bool) {
+	b2u := func(b bool) uint32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return l + r, true
+	case "-":
+		return l - r, true
+	case "*":
+		return l * r, true
+	case "/":
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case "%":
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case "&":
+		return l & r, true
+	case "|":
+		return l | r, true
+	case "^":
+		return l ^ r, true
+	case "<<":
+		return l << (r & 31), true
+	case ">>":
+		return l >> (r & 31), true
+	case "==":
+		return b2u(l == r), true
+	case "!=":
+		return b2u(l != r), true
+	case "<":
+		return b2u(l < r), true
+	case ">":
+		return b2u(l > r), true
+	case "<=":
+		return b2u(l <= r), true
+	case ">=":
+		return b2u(l >= r), true
+	case "&&":
+		return b2u(l != 0 && r != 0), true
+	case "||":
+		return b2u(l != 0 || r != 0), true
+	}
+	return 0, false
+}
+
+// funcScope tracks local declarations during checking.
+type funcScope struct {
+	c      *Checked
+	fn     *FuncDecl
+	scopes []map[string]bool
+	loops  int
+}
+
+func (s *funcScope) push() { s.scopes = append(s.scopes, map[string]bool{}) }
+func (s *funcScope) pop()  { s.scopes = s.scopes[:len(s.scopes)-1] }
+
+func (s *funcScope) declare(name string, line int) error {
+	top := s.scopes[len(s.scopes)-1]
+	if top[name] {
+		return errf(line, 1, "duplicate declaration of %q", name)
+	}
+	top[name] = true
+	return nil
+}
+
+func (s *funcScope) resolvable(name string) bool {
+	for i := len(s.scopes) - 1; i >= 0; i-- {
+		if s.scopes[i][name] {
+			return true
+		}
+	}
+	if _, ok := s.c.Globals[name]; ok {
+		return true
+	}
+	_, ok := s.c.EnumMembers[name]
+	return ok
+}
+
+func (c *Checked) checkFunc(fn *FuncDecl) error {
+	s := &funcScope{c: c, fn: fn}
+	s.push()
+	for _, p := range fn.Params {
+		if err := s.declare(p, fn.Line); err != nil {
+			return err
+		}
+	}
+	return s.checkBlock(fn.Body)
+}
+
+func (s *funcScope) checkBlock(b *BlockStmt) error {
+	s.push()
+	defer s.pop()
+	for _, st := range b.Stmts {
+		if err := s.checkStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *funcScope) checkStmt(st Stmt) error {
+	switch t := st.(type) {
+	case *BlockStmt:
+		return s.checkBlock(t)
+	case *DeclStmt:
+		if t.HasInit {
+			if err := s.checkExpr(t.Init, true); err != nil {
+				return err
+			}
+		}
+		return s.declare(t.Name, t.Line)
+	case *ExprStmt:
+		return s.checkExpr(t.X, false)
+	case *AssignStmt:
+		if !s.resolvable(t.Name) {
+			return errf(t.Line, 1, "assignment to undeclared %q", t.Name)
+		}
+		if _, isEnum := s.c.EnumMembers[t.Name]; isEnum {
+			return errf(t.Line, 1, "cannot assign to enum constant %q", t.Name)
+		}
+		return s.checkExpr(t.X, true)
+	case *IfStmt:
+		if err := s.checkExpr(t.Cond, true); err != nil {
+			return err
+		}
+		if err := s.checkBlock(t.Then); err != nil {
+			return err
+		}
+		if t.Else != nil {
+			return s.checkBlock(t.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := s.checkExpr(t.Cond, true); err != nil {
+			return err
+		}
+		s.loops++
+		defer func() { s.loops-- }()
+		return s.checkBlock(t.Body)
+	case *ForStmt:
+		s.push()
+		defer s.pop()
+		if t.Init != nil {
+			if err := s.checkStmt(t.Init); err != nil {
+				return err
+			}
+		}
+		if t.Cond != nil {
+			if err := s.checkExpr(t.Cond, true); err != nil {
+				return err
+			}
+		}
+		if t.Post != nil {
+			if err := s.checkStmt(t.Post); err != nil {
+				return err
+			}
+		}
+		s.loops++
+		defer func() { s.loops-- }()
+		return s.checkBlock(t.Body)
+	case *ReturnStmt:
+		if s.fn.ReturnsVal && t.X == nil {
+			return errf(t.Line, 1, "%s must return a value", s.fn.Name)
+		}
+		if !s.fn.ReturnsVal && t.X != nil {
+			return errf(t.Line, 1, "void %s cannot return a value", s.fn.Name)
+		}
+		if t.X != nil {
+			return s.checkExpr(t.X, true)
+		}
+		return nil
+	case *BreakStmt:
+		if s.loops == 0 {
+			return errf(t.Line, 1, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if s.loops == 0 {
+			return errf(t.Line, 1, "continue outside loop")
+		}
+		return nil
+	}
+	return nil
+}
+
+func (s *funcScope) checkExpr(x Expr, needValue bool) error {
+	switch e := x.(type) {
+	case *NumExpr:
+		return nil
+	case *VarExpr:
+		if !s.resolvable(e.Name) {
+			return errf(e.Line, 1, "undeclared identifier %q", e.Name)
+		}
+		return nil
+	case *CallExpr:
+		arity := -1
+		returnsVal := false
+		if b, ok := Builtins[e.Name]; ok {
+			arity, returnsVal = b.Arity, b.ReturnsVal
+		} else if fn, ok := s.c.Funcs[e.Name]; ok {
+			arity, returnsVal = len(fn.Params), fn.ReturnsVal
+		} else {
+			return errf(e.Line, 1, "call to undefined function %q", e.Name)
+		}
+		if len(e.Args) != arity {
+			return errf(e.Line, 1, "%s expects %d arguments, got %d",
+				e.Name, arity, len(e.Args))
+		}
+		if needValue && !returnsVal {
+			return errf(e.Line, 1, "void call %q used as a value", e.Name)
+		}
+		if len(e.Args) > 4 {
+			return errf(e.Line, 1, "more than 4 arguments not supported")
+		}
+		for _, a := range e.Args {
+			if err := s.checkExpr(a, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		return s.checkExpr(e.X, true)
+	case *BinExpr:
+		if err := s.checkExpr(e.L, true); err != nil {
+			return err
+		}
+		return s.checkExpr(e.R, true)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lex tokenizes source text. Comments (// and /* */) are skipped.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	advance := func(n int) {
+		for j := 0; j < n; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += n
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			start := [2]int{line, col}
+			advance(2)
+			for {
+				if i+1 >= len(src) {
+					return nil, errf(start[0], start[1], "unterminated comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			text := src[i:j]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: startLine, Col: startCol})
+			advance(j - i)
+		case c >= '0' && c <= '9':
+			startLine, startCol := line, col
+			j := i
+			for j < len(src) && (isIdentPart(src[j])) {
+				j++
+			}
+			text := src[i:j]
+			v, err := strconv.ParseUint(strings.ToLower(text), 0, 32)
+			if err != nil {
+				return nil, errf(startLine, startCol, "bad number %q", text)
+			}
+			toks = append(toks, Token{
+				Kind: TokNumber, Text: text, Val: uint32(v),
+				Line: startLine, Col: startCol,
+			})
+			advance(j - i)
+		default:
+			matched := false
+			for _, p := range punctuation {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{
+						Kind: TokPunct, Text: p, Line: line, Col: col,
+					})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, col, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

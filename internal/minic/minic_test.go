@@ -1,0 +1,226 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`
+		// line comment
+		enum status { OK = 0x10, FAIL };
+		/* block
+		   comment */
+		unsigned int x = 42;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.String())
+	}
+	joined := strings.Join(kinds, " ")
+	want := "enum status { OK = 16 , FAIL } ; unsigned int x = 42 ; <eof>"
+	if joined != want {
+		t.Fatalf("tokens = %q, want %q", joined, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	tests := map[string]uint32{
+		"0":          0,
+		"42":         42,
+		"0x10":       16,
+		"0xdeadbeef": 0xdeadbeef,
+		"0777":       511, // octal, like C
+	}
+	for src, want := range tests {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("Lex(%q): %v", src, err)
+		}
+		if toks[0].Kind != TokNumber || toks[0].Val != want {
+			t.Errorf("Lex(%q) = %v (val %d), want %d", src, toks[0], toks[0].Val, want)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"$", "0xzz", "/* unterminated"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}
+
+const goodProgram = `
+enum status { PENDING, READY, DONE };
+enum fixed { A = 1, B = 2 };
+volatile unsigned int ticks;
+unsigned int threshold = 3;
+
+unsigned int helper(unsigned int a, unsigned int b) {
+	return a + b * 2;
+}
+
+unsigned int check(unsigned int x) {
+	unsigned int acc = 0;
+	for (unsigned int i = 0; i < x; i = i + 1) {
+		acc = acc + helper(i, x);
+		if (acc > 100) {
+			break;
+		}
+	}
+	while (acc >= threshold && acc != 0) {
+		acc = acc - threshold;
+	}
+	if (acc == 0 || acc == 1) {
+		return READY;
+	}
+	return PENDING;
+}
+
+void main(void) {
+	ticks = 7;
+	if (check(ticks) == READY) {
+		success();
+	}
+	halt();
+}
+`
+
+func mustCheck(t *testing.T, src string) *Checked {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return chk
+}
+
+func TestParseAndCheckGoodProgram(t *testing.T) {
+	chk := mustCheck(t, goodProgram)
+	if len(chk.Prog.Enums) != 2 || len(chk.Prog.Funcs) != 3 {
+		t.Fatalf("enums=%d funcs=%d", len(chk.Prog.Enums), len(chk.Prog.Funcs))
+	}
+	// Default enum values follow the C standard.
+	for name, want := range map[string]uint32{
+		"PENDING": 0, "READY": 1, "DONE": 2, "A": 1, "B": 2,
+	} {
+		m, ok := chk.EnumMembers[name]
+		if !ok || m.Value != want {
+			t.Errorf("enum %s = %v, want %d", name, m, want)
+		}
+	}
+	if !chk.Prog.Enums[0].AllUninitialized() {
+		t.Error("status should be all-uninitialized")
+	}
+	if chk.Prog.Enums[1].AllUninitialized() {
+		t.Error("fixed has explicit values")
+	}
+	if chk.GlobalInit["threshold"] != 3 {
+		t.Errorf("threshold init = %d", chk.GlobalInit["threshold"])
+	}
+	if !chk.Globals["ticks"].Volatile {
+		t.Error("ticks should be volatile")
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	chk := mustCheck(t, `
+		enum e { X = 4 };
+		unsigned int a = 1 + 2 * 3;
+		unsigned int b = X << 2;
+		unsigned int c = ~0;
+		unsigned int d = (10 > 3) + (2 == 2);
+	`)
+	for name, want := range map[string]uint32{
+		"a": 7, "b": 16, "c": 0xFFFFFFFF, "d": 2,
+	} {
+		if got := chk.GlobalInit[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	bad := map[string]string{
+		"undeclared var":     `void main(void) { x = 1; }`,
+		"undeclared in expr": `void main(void) { unsigned int y = x + 1; }`,
+		"undefined call":     `void main(void) { frob(); }`,
+		"arity":              `unsigned int f(unsigned int a) { return a; } void main(void) { f(); }`,
+		"void as value":      `void f(void) { } void main(void) { unsigned int x = f(); }`,
+		"missing return":     `unsigned int f(void) { return; } void main(void) { }`,
+		"void returns value": `void f(void) { return 1; } void main(void) { }`,
+		"break outside loop": `void main(void) { break; }`,
+		"dup global":         `unsigned int a; unsigned int a; void main(void) { }`,
+		"dup function":       `void f(void) { } void f(void) { } void main(void) { }`,
+		"dup enum member":    `enum a { X }; enum b { X }; void main(void) { }`,
+		"assign to enum":     `enum a { X }; void main(void) { X = 1; }`,
+		"shadow builtin":     `void success(void) { } void main(void) { }`,
+		"dup local":          `void main(void) { unsigned int a; unsigned int a; }`,
+		"nonconst global":    `unsigned int a; unsigned int b = a; void main(void) { }`,
+	}
+	for name, src := range bad {
+		prog, err := Parse(src)
+		if err != nil {
+			continue // parse error also acceptable
+		}
+		if _, err := Check(prog); err == nil {
+			t.Errorf("%s: Check succeeded for %q", name, src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`void main(void) {`,
+		`void main(void) { if x { } }`,
+		`void main(void) { return 1 }`,
+		`enum e { };`,
+		`unsigned int = 3;`,
+		`void main(void) { 1 + ; }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestScoping(t *testing.T) {
+	// Inner declarations shadow outer; siblings do not leak.
+	src := `
+	void main(void) {
+		unsigned int a = 1;
+		if (a == 1) {
+			unsigned int b = 2;
+			a = b;
+		}
+		a = b;
+	}
+	`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err == nil {
+		t.Fatal("use of out-of-scope local succeeded")
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	mustCheck(t, `
+	void main(void) {
+		unsigned int a = 1;
+		if (a == 0) { halt(); }
+		else if (a == 1) { success(); }
+		else { halt(); }
+	}
+	`)
+}

@@ -1,0 +1,504 @@
+package minic
+
+// Parse turns source text into a Program.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) is(text string) bool {
+	t := p.cur()
+	return (t.Kind == TokPunct || t.Kind == TokKeyword) && t.Text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.is(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	t := p.cur()
+	return errf(t.Line, t.Col, "expected %q, found %q", text, t.String())
+}
+
+func (p *parser) ident() (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return t, errf(t.Line, t.Col, "expected identifier, found %q", t.String())
+	}
+	p.pos++
+	return t, nil
+}
+
+// typeStart reports whether the current token begins a type specifier.
+func (p *parser) typeStart() bool {
+	switch p.cur().Text {
+	case "unsigned", "int", "void", "volatile", "const", "enum":
+		return p.cur().Kind == TokKeyword
+	}
+	return false
+}
+
+// typeSpec parses a type specifier, returning whether it is void and
+// whether volatile was present.
+func (p *parser) typeSpec() (isVoid, volatile bool, err error) {
+	sawType := false
+	for {
+		switch {
+		case p.accept("volatile"):
+			volatile = true
+		case p.accept("const"):
+			// Accepted and ignored: constants are folded anyway.
+		case p.accept("unsigned"):
+			p.accept("int")
+			sawType = true
+		case p.accept("int"):
+			sawType = true
+		case p.accept("void"):
+			isVoid = true
+			sawType = true
+		case p.is("enum"):
+			p.pos++
+			if _, err := p.ident(); err != nil {
+				return false, false, err
+			}
+			sawType = true
+		default:
+			if !sawType {
+				t := p.cur()
+				return false, false, errf(t.Line, t.Col,
+					"expected type, found %q", t.String())
+			}
+			return isVoid, volatile, nil
+		}
+	}
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != TokEOF {
+		if p.is("enum") && p.toks[p.pos+2].Text == "{" {
+			e, err := p.enumDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Enums = append(prog.Enums, e)
+			continue
+		}
+		isVoid, volatile, err := p.typeSpec()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.is("(") {
+			fn, err := p.funcDecl(name, isVoid)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g := &GlobalDecl{Name: name.Text, Volatile: volatile, Line: name.Line}
+		if p.accept("=") {
+			g.HasInit = true
+			g.Init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+func (p *parser) enumDecl() (*EnumDecl, error) {
+	p.pos++ // enum
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	e := &EnumDecl{Name: name.Text, Line: name.Line}
+	for !p.is("}") {
+		m, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		member := &EnumMember{Name: m.Text}
+		if p.accept("=") {
+			t := p.cur()
+			if t.Kind != TokNumber {
+				return nil, errf(t.Line, t.Col, "enum value must be a number literal")
+			}
+			p.pos++
+			member.HasValue = true
+			member.Value = t.Val
+		}
+		e.Members = append(e.Members, member)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if len(e.Members) == 0 {
+		return nil, errf(e.Line, 1, "enum %s has no members", e.Name)
+	}
+	return e, nil
+}
+
+func (p *parser) funcDecl(name Token, isVoid bool) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, ReturnsVal: !isVoid, Line: name.Line}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.accept(")") {
+		if p.accept("void") && p.is(")") {
+			// (void) parameter list.
+		} else {
+			for {
+				if p.typeStart() {
+					if _, _, err := p.typeSpec(); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, a.Text)
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) block() (*BlockStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.is("}") {
+		if p.cur().Kind == TokEOF {
+			t := p.cur()
+			return nil, errf(t.Line, t.Col, "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.pos++
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.is("{"):
+		return p.block()
+	case p.typeStart():
+		return p.declStmt()
+	case p.is("if"):
+		return p.ifStmt()
+	case p.is("while"):
+		return p.whileStmt()
+	case p.is("for"):
+		return p.forStmt()
+	case p.is("return"):
+		t := p.next()
+		r := &ReturnStmt{Line: t.Line}
+		if !p.is(";") {
+			x, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		return r, p.expect(";")
+	case p.is("break"):
+		t := p.next()
+		return &BreakStmt{Line: t.Line}, p.expect(";")
+	case p.is("continue"):
+		t := p.next()
+		return &ContinueStmt{Line: t.Line}, p.expect(";")
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+func (p *parser) declStmt() (Stmt, error) {
+	_, volatile, err := p.typeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: name.Text, Volatile: volatile, Line: name.Line}
+	if p.accept("=") {
+		d.HasInit = true
+		d.Init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, p.expect(";")
+}
+
+// simpleStmt is an assignment or expression statement without the
+// trailing semicolon (shared with for-clauses).
+func (p *parser) simpleStmt() (Stmt, error) {
+	if p.cur().Kind == TokIdent && p.toks[p.pos+1].Text == "=" &&
+		p.toks[p.pos+1].Kind == TokPunct {
+		name := p.next()
+		p.pos++ // "="
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name.Text, X: x, Line: name.Line}, nil
+	}
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	p.pos++ // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then}
+	if p.accept("else") {
+		if p.is("if") {
+			elif, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &BlockStmt{Stmts: []Stmt{elif}}
+		} else {
+			s.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	p.pos++ // while
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	p.pos++ // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{}
+	var err error
+	if !p.is(";") {
+		if p.typeStart() {
+			s.Init, err = p.declStmt()
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			s.Init, err = p.simpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.pos++
+	}
+	if !p.is(";") {
+		s.Cond, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.is(")") {
+		s.Post, err = p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.block()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Binary operator precedence, higher binds tighter.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) {
+	return p.binExpr(1)
+}
+
+func (p *parser) binExpr(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.Text]
+		if t.Kind != TokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "!" || t.Text == "~" || t.Text == "-") {
+		p.pos++
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber:
+		p.pos++
+		return &NumExpr{Val: t.Val}, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.is("(") {
+			p.pos++
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			if !p.accept(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &VarExpr{Name: t.Text, Line: t.Line}, nil
+	case t.Text == "(":
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	default:
+		return nil, errf(t.Line, t.Col, "unexpected token %q", t.String())
+	}
+}

@@ -1,0 +1,72 @@
+// Package minic implements the C-subset frontend GlitchResistor compiles:
+// lexer, parser, AST and semantic analysis for the embedded-firmware
+// dialect the paper's evaluation firmware is written in (unsigned 32-bit
+// scalars, enums, volatile globals, functions, if/while/for control flow).
+//
+// The paper's tool is built on Clang/LLVM; this package is the from-scratch
+// equivalent front end so that the defense passes (internal/passes) can
+// transform real programs and the code generator (internal/codegen) can
+// emit real Thumb-16 firmware for the glitching experiments.
+package minic
+
+import "fmt"
+
+// TokKind classifies a token.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  uint32 // for TokNumber
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokNumber:
+		return fmt.Sprintf("%d", t.Val)
+	default:
+		return t.Text
+	}
+}
+
+// Error is a front-end diagnostic with source position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("minic: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"break": true, "continue": true, "enum": true, "volatile": true,
+	"unsigned": true, "int": true, "void": true, "const": true,
+}
+
+var punctuation = []string{
+	// Longest first so maximal munch works.
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"{", "}", "(", ")", ";", ",", "=", "<", ">", "+", "-", "*", "/", "%",
+	"&", "|", "^", "!", "~",
+}

@@ -1,0 +1,112 @@
+// Package mutate generates the exhaustive bit-flip mutations the paper's
+// emulation campaign applies to instruction encodings: for an n-bit word and
+// each k in 0..n, every C(n,k) combination of bit positions, applied as a
+// unidirectional AND (1→0) or OR (0→1) flip, or a bidirectional XOR flip.
+package mutate
+
+import "fmt"
+
+// Model selects the direction of the induced bit flips.
+type Model uint8
+
+// Mutation models. The paper's Figure 2 evaluates AND and OR; XOR is the
+// bidirectional control the text reports as falling between the two.
+const (
+	AND Model = iota + 1 // flip selected 1s to 0s
+	OR                   // flip selected 0s to 1s
+	XOR                  // invert selected bits
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case AND:
+		return "and"
+	case OR:
+		return "or"
+	case XOR:
+		return "xor"
+	}
+	return fmt.Sprintf("model%d", uint8(m))
+}
+
+// ParseModel converts a model name to a Model.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "and":
+		return AND, nil
+	case "or":
+		return OR, nil
+	case "xor":
+		return XOR, nil
+	}
+	return 0, fmt.Errorf("mutate: unknown model %q", s)
+}
+
+// Apply perturbs word with the k-bit mask under the model. The mask's set
+// bits are the positions being flipped.
+func (m Model) Apply(word, mask uint16) uint16 {
+	switch m {
+	case AND:
+		return word &^ mask
+	case OR:
+		return word | mask
+	case XOR:
+		return word ^ mask
+	}
+	return word
+}
+
+// Binomial returns C(n, k).
+func Binomial(n, k int) uint64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := uint64(1)
+	for i := 0; i < k; i++ {
+		r = r * uint64(n-i) / uint64(i+1)
+	}
+	return r
+}
+
+// Masks calls fn with every n-bit mask having exactly k set bits, in
+// ascending numeric order. It reports the number of masks generated.
+// fn returning false stops the enumeration early.
+func Masks(n, k int, fn func(mask uint16) bool) uint64 {
+	if k < 0 || k > n || n > 16 {
+		return 0
+	}
+	if k == 0 {
+		fn(0)
+		return 1
+	}
+	// Gosper's hack: iterate k-subsets as bit patterns.
+	count := uint64(0)
+	v := uint32(1<<k - 1)
+	limit := uint32(1) << n
+	for v < limit {
+		count++
+		if !fn(uint16(v)) {
+			return count
+		}
+		c := v & -v
+		r := v + c
+		v = (((r ^ v) >> 2) / c) | r
+	}
+	return count
+}
+
+// AllMasks calls fn with every one of the 2^n masks, grouped by ascending
+// popcount k (so the campaign can attribute each run to its flip count).
+func AllMasks(n int, fn func(k int, mask uint16) bool) uint64 {
+	total := uint64(0)
+	for k := 0; k <= n; k++ {
+		total += Masks(n, k, func(mask uint16) bool {
+			return fn(k, mask)
+		})
+	}
+	return total
+}

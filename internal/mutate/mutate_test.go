@@ -1,0 +1,115 @@
+package mutate
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want uint64
+	}{
+		{16, 0, 1}, {16, 1, 16}, {16, 2, 120}, {16, 8, 12870},
+		{16, 15, 16}, {16, 16, 1}, {16, 17, 0}, {16, -1, 0},
+		{0, 0, 1}, {5, 3, 10},
+	}
+	for _, tt := range tests {
+		if got := Binomial(tt.n, tt.k); got != tt.want {
+			t.Errorf("Binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestBinomialRowSum(t *testing.T) {
+	// Sum over k of C(16,k) must be 2^16.
+	var sum uint64
+	for k := 0; k <= 16; k++ {
+		sum += Binomial(16, k)
+	}
+	if sum != 1<<16 {
+		t.Fatalf("sum = %d, want 65536", sum)
+	}
+}
+
+func TestMasksCountAndPopcount(t *testing.T) {
+	for k := 0; k <= 16; k++ {
+		var n uint64
+		seen := map[uint16]bool{}
+		got := Masks(16, k, func(mask uint16) bool {
+			n++
+			if bits.OnesCount16(mask) != k {
+				t.Fatalf("mask %#x has popcount %d, want %d",
+					mask, bits.OnesCount16(mask), k)
+			}
+			if seen[mask] {
+				t.Fatalf("duplicate mask %#x for k=%d", mask, k)
+			}
+			seen[mask] = true
+			return true
+		})
+		if want := Binomial(16, k); n != want || got != want {
+			t.Errorf("Masks(16,%d) produced %d (reported %d), want %d",
+				k, n, got, want)
+		}
+	}
+}
+
+func TestMasksEarlyStop(t *testing.T) {
+	var n int
+	got := Masks(16, 2, func(mask uint16) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 || got != 5 {
+		t.Errorf("early stop: n=%d reported=%d, want 5", n, got)
+	}
+}
+
+func TestAllMasksTotal(t *testing.T) {
+	var n uint64
+	total := AllMasks(16, func(k int, mask uint16) bool {
+		n++
+		return true
+	})
+	if total != 1<<16 || n != 1<<16 {
+		t.Errorf("AllMasks covered %d (reported %d), want 65536", n, total)
+	}
+}
+
+func TestApplyDirections(t *testing.T) {
+	// AND only clears bits, OR only sets bits, XOR inverts exactly the
+	// mask bits — property-checked over random words and masks.
+	f := func(word, mask uint16) bool {
+		a := AND.Apply(word, mask)
+		o := OR.Apply(word, mask)
+		x := XOR.Apply(word, mask)
+		if a&^word != 0 { // AND must not set bits
+			return false
+		}
+		if o&word != word { // OR must not clear bits
+			return false
+		}
+		if x^word != mask { // XOR flips exactly mask
+			return false
+		}
+		// AND clears exactly mask&word; OR sets exactly mask&^word.
+		return word&^a == word&mask && o&^word == mask&^word
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range []Model{AND, OR, XOR} {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("nand"); err == nil {
+		t.Error("ParseModel(nand) succeeded")
+	}
+}

@@ -1,0 +1,134 @@
+package passes
+
+import (
+	"fmt"
+
+	"glitchlab/internal/ir"
+)
+
+// shadowName returns the integrity twin's name for a protected global.
+func shadowName(g string) string { return "__gr_shadow_" + g }
+
+// protectGlobals applies the data-integrity defense (paper Section VI-B):
+// each sensitive global gets a shadow in a separate memory region holding
+// its bitwise complement. Stores update both copies; loads verify
+// var ^ shadow == ~0 and divert to the detection handler on mismatch.
+func protectGlobals(m *ir.Module, sensitive []string, rep *Report) error {
+	want := map[string]bool{}
+	for _, name := range sensitive {
+		want[name] = true
+	}
+	protected := map[string]bool{}
+	for _, g := range m.Globals {
+		if !want[g.Name] {
+			continue
+		}
+		if g.IsShadow {
+			return fmt.Errorf("passes: cannot protect shadow %q", g.Name)
+		}
+		g.Sensitive = true
+		g.Shadow = shadowName(g.Name)
+		protected[g.Name] = true
+		rep.ShadowedGlobals++
+	}
+	for name := range want {
+		if !protected[name] {
+			return fmt.Errorf("passes: sensitive global %q not found", name)
+		}
+	}
+	if len(protected) == 0 {
+		return nil
+	}
+	for name := range protected {
+		m.Globals = append(m.Globals, &ir.Global{
+			Name:     shadowName(name),
+			IsShadow: true,
+		})
+	}
+	for _, f := range m.Funcs {
+		instrumentIntegrity(f, protected)
+	}
+	return nil
+}
+
+// instrumentIntegrity rewrites one function: after every store to a
+// protected global, the complement is stored to the shadow; every load is
+// followed by a verification that splits the containing block.
+func instrumentIntegrity(f *ir.Func, protected map[string]bool) {
+	splitCounter := 0
+	for bi := 0; bi < len(f.Blocks); bi++ {
+		b := f.Blocks[bi]
+		for i := 0; i < len(b.Instrs); i++ {
+			in := b.Instrs[i]
+			switch {
+			case in.Op == ir.OpStoreG && protected[in.GName] && !in.GR:
+				// store g = v  =>  also store shadow = ~v.
+				ones := f.NewValue()
+				inv := f.NewValue()
+				extra := []*ir.Instr{
+					{Op: ir.OpConst, Dst: ones, Imm: 0xFFFFFFFF,
+						A: ir.NoValue, B: ir.NoValue, GR: true},
+					{Op: ir.OpBin, BinOp: ir.BinXor, Dst: inv,
+						A: in.A, B: ones, GR: true},
+					{Op: ir.OpStoreG, GName: shadowName(in.GName), A: inv,
+						Volatile: true, Dst: ir.NoValue, B: ir.NoValue, GR: true},
+				}
+				b.Instrs = insertAfter(b.Instrs, i, extra)
+				i += len(extra)
+			case in.Op == ir.OpLoadG && protected[in.GName] && !in.GR:
+				// v = load g  =>  s = load shadow; if v^s != ~0: detect.
+				shadow := f.NewValue()
+				x := f.NewValue()
+				ones := f.NewValue()
+				ok := f.NewValue()
+				check := []*ir.Instr{
+					{Op: ir.OpLoadG, Dst: shadow, GName: shadowName(in.GName),
+						Volatile: true, A: ir.NoValue, B: ir.NoValue, GR: true},
+					{Op: ir.OpBin, BinOp: ir.BinXor, Dst: x,
+						A: in.Dst, B: shadow, GR: true},
+					{Op: ir.OpConst, Dst: ones, Imm: 0xFFFFFFFF,
+						A: ir.NoValue, B: ir.NoValue, GR: true},
+					{Op: ir.OpBin, BinOp: ir.BinEq, Dst: ok,
+						A: x, B: ones, GR: true},
+				}
+				// Split the block after the load: the remainder moves to
+				// a continuation block, and the check branches to it.
+				contName := fmt.Sprintf("%s.gri%d", b.Name, splitCounter)
+				splitCounter++
+				cont := &ir.Block{
+					Name:   contName,
+					Instrs: append([]*ir.Instr(nil), b.Instrs[i+1:]...),
+					// The guard terminator moves into the continuation,
+					// so loop-header status moves with it.
+					IsLoopHeader: b.IsLoopHeader,
+				}
+				b.IsLoopHeader = false
+				detect := ensureDetectBlock(f)
+				b.Instrs = append(b.Instrs[:i+1], check...)
+				b.Instrs = append(b.Instrs, &ir.Instr{
+					Op: ir.OpCondBr, A: ok,
+					TrueBlk: contName, FalseBlk: detect,
+					Dst: ir.NoValue, B: ir.NoValue, GR: true,
+				})
+				// Insert the continuation right after this block to keep
+				// layout (and reading order) sane, then reindex.
+				f.Blocks = append(f.Blocks, nil)
+				copy(f.Blocks[bi+2:], f.Blocks[bi+1:])
+				f.Blocks[bi+1] = cont
+				f.Reindex()
+				// The rest of this block moved to cont; the outer loop
+				// will visit cont next and continue scanning there.
+				i = len(b.Instrs)
+			}
+		}
+	}
+}
+
+// insertAfter inserts extra after index i.
+func insertAfter(instrs []*ir.Instr, i int, extra []*ir.Instr) []*ir.Instr {
+	out := make([]*ir.Instr, 0, len(instrs)+len(extra))
+	out = append(out, instrs[:i+1]...)
+	out = append(out, extra...)
+	out = append(out, instrs[i+1:]...)
+	return out
+}

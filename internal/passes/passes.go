@@ -1,0 +1,193 @@
+// Package passes implements GlitchResistor's six software-only glitching
+// defenses (paper Section VI) as transformations over the IR and the
+// checked AST:
+//
+//   - ENUM rewriting: uninitialized enums get Reed-Solomon-coded values
+//     with large pairwise Hamming distance (constant diversification);
+//   - Non-trivial return codes: functions returning constants that are
+//     only compared against constants get the same treatment;
+//   - Data integrity: sensitive globals gain an inverted shadow copy in a
+//     separate memory region, checked on every load;
+//   - Branch redundancy: every conditional branch's true edge re-checks
+//     the condition in complemented form;
+//   - Loop hardening: loop guards get the same re-check on the false
+//     (exit) edge;
+//   - Random delay: a PRNG-driven busy loop before every branch breaks
+//     the fixed trigger-to-target timing glitching relies on.
+package passes
+
+import (
+	"fmt"
+
+	"glitchlab/internal/ir"
+	"glitchlab/internal/minic"
+)
+
+// Config selects which defenses are applied. The zero value is the
+// unprotected baseline.
+type Config struct {
+	EnumRewrite bool
+	Returns     bool
+	Integrity   bool
+	Branches    bool
+	Loops       bool
+	Delay       bool
+	// Sensitive lists the globals protected by the integrity defense
+	// (the paper's developer-provided configuration file).
+	Sensitive []string
+
+	// DelayOptIn restricts the random-delay defense to the listed
+	// functions; DelayOptOut exempts the listed functions. The paper's
+	// module supports exactly these two configuration modes
+	// (Section VI-B1); at most one list may be set. An empty
+	// configuration instruments every function.
+	DelayOptIn  []string
+	DelayOptOut []string
+}
+
+// All returns the full defense set, protecting the given sensitive globals.
+func All(sensitive ...string) Config {
+	return Config{
+		EnumRewrite: true, Returns: true, Integrity: true,
+		Branches: true, Loops: true, Delay: true,
+		Sensitive: sensitive,
+	}
+}
+
+// AllButDelay returns every defense except the random delay — the paper's
+// "All\Delay" configuration.
+func AllButDelay(sensitive ...string) Config {
+	c := All(sensitive...)
+	c.Delay = false
+	return c
+}
+
+// None returns the unprotected baseline configuration.
+func None() Config { return Config{} }
+
+// Name returns the paper's label for well-known configurations.
+func (c Config) Name() string {
+	switch {
+	case !c.EnumRewrite && !c.Returns && !c.Integrity && !c.Branches &&
+		!c.Loops && !c.Delay:
+		return "None"
+	case c.EnumRewrite && c.Returns && c.Integrity && c.Branches && c.Loops:
+		if c.Delay {
+			return "All"
+		}
+		return "All\\Delay"
+	case c.Branches && !c.Loops && !c.Delay && !c.Integrity && !c.Returns:
+		return "Branches"
+	case c.Loops && !c.Branches && !c.Delay && !c.Integrity && !c.Returns:
+		return "Loops"
+	case c.Delay && !c.Branches && !c.Loops && !c.Integrity && !c.Returns:
+		return "Delay"
+	case c.Integrity && !c.Branches && !c.Loops && !c.Delay && !c.Returns:
+		return "Integrity"
+	case c.Returns && !c.Branches && !c.Loops && !c.Delay && !c.Integrity:
+		return "Returns"
+	default:
+		return "Custom"
+	}
+}
+
+// Report summarizes what each pass instrumented.
+type Report struct {
+	EnumsRewritten   int
+	EnumValues       int
+	ReturnsRewritten int
+	ShadowedGlobals  int
+	BranchesHardened int
+	LoopsHardened    int
+	DelaysInserted   int
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"enums=%d (values=%d) returns=%d shadows=%d branches=%d loops=%d delays=%d",
+		r.EnumsRewritten, r.EnumValues, r.ReturnsRewritten, r.ShadowedGlobals,
+		r.BranchesHardened, r.LoopsHardened, r.DelaysInserted)
+}
+
+// detectBlockName is the per-function block that reacts to a detected
+// glitch.
+const detectBlockName = "grdetect"
+
+// DetectFunc is the runtime entry invoked on detection; the developer
+// supplies the reaction (paper Section VI-B "Detection Reaction"). The
+// code generator provides a default that parks the CPU at a stop symbol.
+const DetectFunc = "__gr_detected"
+
+// DelayFunc is the runtime random-delay entry.
+const DelayFunc = "__gr_delay"
+
+// RewriteEnums applies the constant-diversification source rewriter to the
+// checked program. It must run before ir.Lower. It mirrors the paper's
+// clang-based ENUM Rewriter: only enums with every member uninitialized are
+// rewritten (explicit values may be protocol constants).
+func RewriteEnums(c *minic.Checked, rep *Report) error {
+	for _, e := range c.Prog.Enums {
+		if !e.AllUninitialized() {
+			continue
+		}
+		codes, err := rsCodes(len(e.Members))
+		if err != nil {
+			return fmt.Errorf("passes: enum %s: %w", e.Name, err)
+		}
+		for i, m := range e.Members {
+			m.Value = codes[i]
+		}
+		rep.EnumsRewritten++
+		rep.EnumValues += len(e.Members)
+	}
+	return nil
+}
+
+// Instrument applies the configured IR-level defenses in a fixed order:
+// return-code hardening, data integrity, branch redundancy, loop
+// hardening, then random delays.
+func Instrument(m *ir.Module, cfg Config, rep *Report) error {
+	if cfg.Returns {
+		if err := hardenReturns(m, rep); err != nil {
+			return err
+		}
+	}
+	if cfg.Integrity {
+		if err := protectGlobals(m, cfg.Sensitive, rep); err != nil {
+			return err
+		}
+	}
+	if cfg.Branches {
+		hardenBranches(m, rep)
+	}
+	if cfg.Loops {
+		hardenLoops(m, rep)
+	}
+	if cfg.Delay {
+		if len(cfg.DelayOptIn) > 0 && len(cfg.DelayOptOut) > 0 {
+			return fmt.Errorf("passes: delay opt-in and opt-out are mutually exclusive")
+		}
+		insertDelays(m, cfg, rep)
+	}
+	return m.Verify()
+}
+
+// ensureDetectBlock returns the function's glitch-reaction block, creating
+// it on first use: it calls the detection handler and then self-loops (the
+// handler is expected not to return, but control flow must stay defined
+// even if an attacker glitches the call).
+func ensureDetectBlock(f *ir.Func) string {
+	if _, ok := f.Block(detectBlockName); ok {
+		return detectBlockName
+	}
+	b := &ir.Block{Name: detectBlockName}
+	b.Instrs = append(b.Instrs,
+		&ir.Instr{Op: ir.OpCall, Callee: DetectFunc, Dst: ir.NoValue,
+			A: ir.NoValue, B: ir.NoValue, GR: true},
+		&ir.Instr{Op: ir.OpJmp, Target: detectBlockName,
+			A: ir.NoValue, GR: true},
+	)
+	f.AddBlock(b)
+	return detectBlockName
+}

@@ -1,0 +1,411 @@
+package passes
+
+import (
+	"testing"
+
+	"glitchlab/internal/ir"
+	"glitchlab/internal/minic"
+	"glitchlab/internal/rs"
+)
+
+func lowerSrc(t *testing.T, src string, rewriteEnums bool) (*ir.Module, *Report) {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	rep := &Report{}
+	if rewriteEnums {
+		if err := RewriteEnums(chk, rep); err != nil {
+			t.Fatalf("enum rewrite: %v", err)
+		}
+	}
+	m, err := ir.Lower(chk)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return m, rep
+}
+
+const guardSrc = `
+volatile unsigned int a;
+void main(void) {
+	while (!a) { }
+	success();
+}
+`
+
+const ifSrc = `
+unsigned int g = 5;
+void main(void) {
+	unsigned int x = g;
+	if (x == 5) {
+		success();
+	}
+	halt();
+}
+`
+
+func TestEnumRewrite(t *testing.T) {
+	prog, err := minic.Parse(`
+		enum status { PENDING, READY, DONE, ERROR };
+		enum wire { ACK = 6, NAK = 21 };
+		void main(void) { halt(); }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{}
+	if err := RewriteEnums(chk, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnumsRewritten != 1 || rep.EnumValues != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Rewritten values must have the paper's minimum pairwise Hamming
+	// distance of 8 and match the Reed-Solomon codes.
+	var vals []uint32
+	for _, m := range chk.Prog.Enums[0].Members {
+		vals = append(vals, m.Value)
+	}
+	if d := rs.MinPairwiseDistance(vals); d < 8 {
+		t.Errorf("rewritten enum min distance = %d, want >= 8", d)
+	}
+	want, _ := rs.Codes(4)
+	for i, v := range vals {
+		if v != want[i] {
+			t.Errorf("member %d = %#x, want %#x", i, v, want[i])
+		}
+	}
+	// Partially initialized enums stay untouched (protocol constants).
+	if chk.EnumMembers["ACK"].Value != 6 || chk.EnumMembers["NAK"].Value != 21 {
+		t.Error("initialized enum was rewritten")
+	}
+}
+
+func TestBranchHardeningStructure(t *testing.T) {
+	m, rep := lowerSrc(t, ifSrc, false)
+	if err := Instrument(m, Config{Branches: true}, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.BranchesHardened != 1 {
+		t.Fatalf("branches hardened = %d, want 1", rep.BranchesHardened)
+	}
+	f, _ := m.Func("main")
+	// The hardened branch's true edge must point at a GR check block
+	// which ends in a GR conditional branch to the detect block.
+	var checkBlk *ir.Block
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term != nil && term.Op == ir.OpCondBr && !term.GR {
+			cb, ok := f.Block(term.TrueBlk)
+			if !ok {
+				t.Fatalf("true edge %q missing", term.TrueBlk)
+			}
+			checkBlk = cb
+		}
+	}
+	if checkBlk == nil {
+		t.Fatal("no hardened branch found")
+	}
+	term := checkBlk.Term()
+	if term == nil || term.Op != ir.OpCondBr || !term.GR {
+		t.Fatalf("check block terminator = %v", term)
+	}
+	if term.FalseBlk != detectBlockName {
+		t.Errorf("check fail edge = %q, want detect", term.FalseBlk)
+	}
+	// The re-check must work on complemented operands: expect xor with
+	// 0xFFFFFFFF instructions in the check block.
+	xors := 0
+	for _, in := range checkBlk.Instrs {
+		if in.Op == ir.OpBin && in.BinOp == ir.BinXor && in.GR {
+			xors++
+		}
+	}
+	if xors < 2 {
+		t.Errorf("check block has %d complement xors, want >= 2", xors)
+	}
+	if _, ok := f.Block(detectBlockName); !ok {
+		t.Error("detect block missing")
+	}
+}
+
+func TestLoopHardeningStructure(t *testing.T) {
+	m, rep := lowerSrc(t, guardSrc, false)
+	if err := Instrument(m, Config{Loops: true}, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.LoopsHardened != 1 {
+		t.Fatalf("loops hardened = %d, want 1", rep.LoopsHardened)
+	}
+	f, _ := m.Func("main")
+	for _, b := range f.Blocks {
+		if !b.IsLoopHeader {
+			continue
+		}
+		term := b.Term()
+		cb, ok := f.Block(term.FalseBlk)
+		if !ok || cb.Term() == nil || !cb.Term().GR {
+			t.Fatalf("loop exit edge not hardened: %v", term)
+		}
+	}
+}
+
+func TestVolatileNotReplicated(t *testing.T) {
+	// The guard loads a volatile global; the redundant check must reuse
+	// the loaded value rather than issuing a second volatile load.
+	m, rep := lowerSrc(t, guardSrc, false)
+	if err := Instrument(m, Config{Branches: true, Loops: true}, rep); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Func("main")
+	volLoads := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoadG && in.GName == "a" {
+				volLoads++
+				if in.GR {
+					t.Error("volatile load was replicated by a defense pass")
+				}
+			}
+		}
+	}
+	if volLoads != 1 {
+		t.Errorf("volatile loads = %d, want 1", volLoads)
+	}
+}
+
+func TestIntegrityStructure(t *testing.T) {
+	src := `
+	unsigned int secret = 7;
+	void main(void) {
+		secret = 9;
+		if (secret == 9) { success(); }
+		halt();
+	}
+	`
+	m, rep := lowerSrc(t, src, false)
+	if err := Instrument(m, Config{Integrity: true, Sensitive: []string{"secret"}}, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShadowedGlobals != 1 {
+		t.Fatalf("shadows = %d", rep.ShadowedGlobals)
+	}
+	shadow, ok := m.Global("__gr_shadow_secret")
+	if !ok || !shadow.IsShadow {
+		t.Fatal("shadow global missing")
+	}
+	g, _ := m.Global("secret")
+	if g.Shadow != shadow.Name || !g.Sensitive {
+		t.Error("primary global not linked to shadow")
+	}
+	f, _ := m.Func("main")
+	var shadowStores, shadowLoads int
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.GName != shadow.Name {
+				continue
+			}
+			switch in.Op {
+			case ir.OpStoreG:
+				shadowStores++
+			case ir.OpLoadG:
+				shadowLoads++
+			}
+			if !in.Volatile || !in.GR {
+				t.Errorf("shadow access not volatile GR: %v", in)
+			}
+		}
+	}
+	if shadowStores != 1 || shadowLoads != 1 {
+		t.Errorf("shadow stores=%d loads=%d, want 1/1", shadowStores, shadowLoads)
+	}
+}
+
+func TestIntegrityUnknownGlobal(t *testing.T) {
+	m, rep := lowerSrc(t, ifSrc, false)
+	err := Instrument(m, Config{Integrity: true, Sensitive: []string{"nosuch"}}, rep)
+	if err == nil {
+		t.Fatal("unknown sensitive global accepted")
+	}
+}
+
+func TestReturnsHardening(t *testing.T) {
+	src := `
+	unsigned int ok(void) {
+		return 1;
+	}
+	unsigned int mixed(unsigned int x) {
+		return x;
+	}
+	void main(void) {
+		if (ok() == 1) { success(); }
+		unsigned int m = mixed(2);
+		if (m == 2) { halt(); }
+		halt();
+	}
+	`
+	m, rep := lowerSrc(t, src, false)
+	if err := Instrument(m, Config{Returns: true}, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReturnsRewritten != 1 {
+		t.Fatalf("returns rewritten = %d, want 1 (only ok())", rep.ReturnsRewritten)
+	}
+	codes, _ := rs.Codes(1)
+	f, _ := m.Func("ok")
+	found := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpConst && in.Imm == codes[0] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("ok() does not return the RS code %#x", codes[0])
+	}
+	// mixed() returns a parameter and must be untouched.
+	fm, _ := m.Func("mixed")
+	for _, b := range fm.Blocks {
+		for _, in := range b.Instrs {
+			if in.GR {
+				t.Errorf("mixed() was instrumented: %v", in)
+			}
+		}
+	}
+}
+
+func TestDelayInsertion(t *testing.T) {
+	m, rep := lowerSrc(t, ifSrc, false)
+	if err := Instrument(m, Config{Delay: true}, rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.DelaysInserted == 0 {
+		t.Fatal("no delays inserted")
+	}
+	f, _ := m.Func("main")
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil || term.Op == ir.OpRet || b.Name == detectBlockName {
+			continue
+		}
+		if len(b.Instrs) < 2 {
+			t.Fatalf("block %q too small for delay", b.Name)
+		}
+		prev := b.Instrs[len(b.Instrs)-2]
+		if prev.Op != ir.OpCall || prev.Callee != DelayFunc {
+			t.Errorf("block %q lacks delay before terminator: %v", b.Name, prev)
+		}
+	}
+}
+
+func TestInstrumentedModulesVerify(t *testing.T) {
+	srcs := []string{guardSrc, ifSrc, `
+	enum status { S0, S1, S2 };
+	volatile unsigned int x;
+	unsigned int classify(unsigned int v) {
+		if (v == 0) { return S0; }
+		if (v < 10) { return S1; }
+		return S2;
+	}
+	void main(void) {
+		for (unsigned int i = 0; i < 3; i = i + 1) {
+			x = x + i;
+		}
+		if (classify(x) == S1) { success(); }
+		halt();
+	}
+	`}
+	for _, src := range srcs {
+		m, rep := lowerSrc(t, src, true)
+		cfg := All()
+		// Only protect globals that exist.
+		if _, ok := m.Global("x"); ok {
+			cfg.Sensitive = []string{"x"}
+		}
+		if err := Instrument(m, cfg, rep); err != nil {
+			t.Fatalf("instrument: %v\n%s", err, m)
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	names := map[string]Config{
+		"None":       None(),
+		"All":        All(),
+		"All\\Delay": AllButDelay(),
+		"Branches":   {Branches: true},
+		"Delay":      {Delay: true},
+		"Integrity":  {Integrity: true},
+		"Loops":      {Loops: true},
+		"Returns":    {Returns: true},
+	}
+	for want, cfg := range names {
+		if got := cfg.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDelayOptInOptOut(t *testing.T) {
+	src := `
+	unsigned int helper(unsigned int x) {
+		if (x == 0) { return 1; }
+		return 2;
+	}
+	void main(void) {
+		unsigned int v = helper(3);
+		if (v == 2) { success(); }
+		halt();
+	}
+	`
+	count := func(cfg Config) (mainDelays, helperDelays int) {
+		m, rep := lowerSrc(t, src, false)
+		if err := Instrument(m, cfg, rep); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpCall && in.Callee == DelayFunc {
+						if f.Name == "main" {
+							mainDelays++
+						} else {
+							helperDelays++
+						}
+					}
+				}
+			}
+		}
+		return
+	}
+	mAll, hAll := count(Config{Delay: true})
+	if mAll == 0 || hAll == 0 {
+		t.Fatalf("default delay config skipped functions: main=%d helper=%d", mAll, hAll)
+	}
+	mIn, hIn := count(Config{Delay: true, DelayOptIn: []string{"main"}})
+	if mIn == 0 || hIn != 0 {
+		t.Errorf("opt-in main: main=%d helper=%d", mIn, hIn)
+	}
+	mOut, hOut := count(Config{Delay: true, DelayOptOut: []string{"main"}})
+	if mOut != 0 || hOut == 0 {
+		t.Errorf("opt-out main: main=%d helper=%d", mOut, hOut)
+	}
+	m, rep := lowerSrc(t, src, false)
+	err := Instrument(m, Config{
+		Delay: true, DelayOptIn: []string{"a"}, DelayOptOut: []string{"b"},
+	}, rep)
+	if err == nil {
+		t.Error("conflicting opt-in and opt-out accepted")
+	}
+}

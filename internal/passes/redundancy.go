@@ -1,0 +1,277 @@
+package passes
+
+import (
+	"fmt"
+
+	"glitchlab/internal/ir"
+)
+
+// defines reports whether in defines a value (Dst is only meaningful for
+// these operations; for the rest it holds its zero value).
+func defines(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpConst, ir.OpLoadSlot, ir.OpLoadG, ir.OpBin, ir.OpNot:
+		return true
+	case ir.OpCall:
+		return in.Dst != ir.NoValue
+	default:
+		return false
+	}
+}
+
+// findDef locates the defining instruction of v inside block b.
+func findDef(b *ir.Block, v ir.Value) *ir.Instr {
+	if v == ir.NoValue {
+		return nil
+	}
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		if in := b.Instrs[i]; defines(in) && in.Dst == v {
+			return in
+		}
+	}
+	return nil
+}
+
+// replicator rebuilds the computation chain of a value with fresh
+// instructions, following the paper's rules: constants, arithmetic and
+// non-volatile loads are replicated; volatile loads, calls and anything
+// defined outside the block are reused as-is (they may have side effects
+// or change between evaluations).
+type replicator struct {
+	f     *ir.Func
+	b     *ir.Block
+	fresh []*ir.Instr
+}
+
+// replicate returns a value equivalent to v, newly computed where
+// possible. The second result reports whether any instruction was actually
+// replicated (if false, the redundant check still re-executes the branch,
+// protecting against branch-instruction corruption but not value
+// corruption — the paper's volatile caveat).
+func (r *replicator) replicate(v ir.Value) (ir.Value, bool) {
+	def := findDef(r.b, v)
+	if def == nil {
+		return v, false // defined in another block: reuse
+	}
+	switch def.Op {
+	case ir.OpConst:
+		dst := r.f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpConst, Dst: dst, Imm: def.Imm,
+			A: ir.NoValue, B: ir.NoValue, GR: true,
+		})
+		return dst, true
+	case ir.OpLoadSlot:
+		if def.Volatile {
+			return v, false
+		}
+		dst := r.f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpLoadSlot, Dst: dst, Slot: def.Slot,
+			A: ir.NoValue, B: ir.NoValue, GR: true,
+		})
+		return dst, true
+	case ir.OpLoadG:
+		if def.Volatile {
+			return v, false
+		}
+		dst := r.f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpLoadG, Dst: dst, GName: def.GName,
+			A: ir.NoValue, B: ir.NoValue, GR: true,
+		})
+		return dst, true
+	case ir.OpBin:
+		a, _ := r.replicate(def.A)
+		b, _ := r.replicate(def.B)
+		dst := r.f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpBin, BinOp: def.BinOp, Dst: dst, A: a, B: b, GR: true,
+		})
+		return dst, true
+	case ir.OpNot:
+		a, _ := r.replicate(def.A)
+		dst := r.f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpNot, Dst: dst, A: a, B: ir.NoValue, GR: true,
+		})
+		return dst, true
+	default:
+		// Calls and stores are never replicated.
+		return v, false
+	}
+}
+
+// buildCheck constructs the redundant-check block for a conditional branch
+// whose condition value is cond and which is known to have evaluated to
+// `outcome` on this edge. The check re-derives the condition — in
+// complemented form when it is a comparison, so that repeating the exact
+// same bit flips cannot satisfy both checks (paper Section VI-B) — and
+// branches to cont if it still agrees, or to the detect block otherwise.
+func buildCheck(f *ir.Func, b *ir.Block, cond ir.Value, outcome bool,
+	cont string, name string) *ir.Block {
+	detect := ensureDetectBlock(f)
+	check := &ir.Block{Name: name}
+	r := &replicator{f: f, b: b}
+
+	var verdict ir.Value // non-zero iff the re-check agrees with outcome
+	def := findDef(b, cond)
+	if def != nil && def.Op == ir.OpBin && def.BinOp.IsComparison() {
+		a, _ := r.replicate(def.A)
+		bb, _ := r.replicate(def.B)
+		// Complement both operands: ~a <pred'> ~b is equivalent to
+		// a <pred> b with the comparison direction swapped, so the
+		// recomputed check uses opposite-polarity data paths.
+		ones := f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpConst, Dst: ones, Imm: 0xFFFFFFFF,
+			A: ir.NoValue, B: ir.NoValue, GR: true,
+		})
+		na := f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpBin, BinOp: ir.BinXor, Dst: na, A: a, B: ones, GR: true,
+		})
+		nb := f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpBin, BinOp: ir.BinXor, Dst: nb, A: bb, B: ones, GR: true,
+		})
+		pred := def.BinOp.Swap()
+		if !outcome {
+			pred = pred.Negate()
+		}
+		verdict = f.NewValue()
+		r.fresh = append(r.fresh, &ir.Instr{
+			Op: ir.OpBin, BinOp: pred, Dst: verdict, A: na, B: nb, GR: true,
+		})
+	} else {
+		// Non-comparison condition: re-derive the truth value.
+		v, _ := r.replicate(cond)
+		verdict = f.NewValue()
+		op := ir.BinNe // agree when truthy
+		if !outcome {
+			op = ir.BinEq // agree when zero
+		}
+		zero := f.NewValue()
+		r.fresh = append(r.fresh,
+			&ir.Instr{Op: ir.OpConst, Dst: zero, Imm: 0,
+				A: ir.NoValue, B: ir.NoValue, GR: true},
+			&ir.Instr{Op: ir.OpBin, BinOp: op, Dst: verdict, A: v, B: zero, GR: true},
+		)
+	}
+	check.Instrs = append(check.Instrs, r.fresh...)
+	check.Instrs = append(check.Instrs, &ir.Instr{
+		Op: ir.OpCondBr, A: verdict,
+		TrueBlk: cont, FalseBlk: detect,
+		Dst: ir.NoValue, B: ir.NoValue, GR: true,
+	})
+	return check
+}
+
+// insertBlockAfter places nb immediately after b in layout order. Layout
+// adjacency matters for glitch robustness: the code generator emits blocks
+// in layout order, so a check block that directly follows its guard is
+// still reached even if the branch instruction into it is glitched into a
+// fall-through (the paper's LLVM passes get the same property from
+// LLVM's block placement).
+func insertBlockAfter(f *ir.Func, b *ir.Block, nb *ir.Block) {
+	for i, cur := range f.Blocks {
+		if cur == b {
+			f.Blocks = append(f.Blocks, nil)
+			copy(f.Blocks[i+2:], f.Blocks[i+1:])
+			f.Blocks[i+1] = nb
+			f.Reindex()
+			return
+		}
+	}
+	f.AddBlock(nb)
+}
+
+// hardenBranches re-checks the true edge of every conditional branch,
+// following the paper's assumption that security-critical operations sit
+// behind the taken edge of a guard.
+func hardenBranches(m *ir.Module, rep *Report) {
+	for _, f := range m.Funcs {
+		n := 0
+		for _, b := range snapshot(f) {
+			term := b.Term()
+			if term == nil || term.Op != ir.OpCondBr || term.GR {
+				continue
+			}
+			name := fmt.Sprintf("%s.grbr%d", b.Name, n)
+			n++
+			check := buildCheck(f, b, term.A, true, term.TrueBlk, name)
+			insertBlockAfter(f, b, check)
+			term.TrueBlk = name
+			rep.BranchesHardened++
+		}
+	}
+}
+
+// hardenLoops re-checks the false (exit) edge of loop guards: the paper's
+// second pass, because for loops the interesting transition is leaving the
+// loop.
+func hardenLoops(m *ir.Module, rep *Report) {
+	for _, f := range m.Funcs {
+		n := 0
+		for _, b := range snapshot(f) {
+			if !b.IsLoopHeader {
+				continue
+			}
+			term := b.Term()
+			if term == nil || term.Op != ir.OpCondBr || term.GR {
+				continue
+			}
+			name := fmt.Sprintf("%s.grlp%d", b.Name, n)
+			n++
+			check := buildCheck(f, b, term.A, false, term.FalseBlk, name)
+			insertBlockAfter(f, b, check)
+			term.FalseBlk = name
+			rep.LoopsHardened++
+		}
+	}
+}
+
+// insertDelays calls the random-delay runtime at the end of every basic
+// block that ends in a branch (conditional or not), so any observable
+// trigger necessarily precedes a random wait (paper Section VI-B1). The
+// opt-in/opt-out lists narrow which functions are instrumented.
+func insertDelays(m *ir.Module, cfg Config, rep *Report) {
+	optIn := map[string]bool{}
+	for _, name := range cfg.DelayOptIn {
+		optIn[name] = true
+	}
+	optOut := map[string]bool{}
+	for _, name := range cfg.DelayOptOut {
+		optOut[name] = true
+	}
+	for _, f := range m.Funcs {
+		if len(optIn) > 0 && !optIn[f.Name] {
+			continue
+		}
+		if optOut[f.Name] {
+			continue
+		}
+		for _, b := range f.Blocks {
+			if b.Name == detectBlockName {
+				continue
+			}
+			term := b.Term()
+			if term == nil || term.Op == ir.OpRet {
+				continue
+			}
+			call := &ir.Instr{
+				Op: ir.OpCall, Callee: DelayFunc, Dst: ir.NoValue,
+				A: ir.NoValue, B: ir.NoValue, GR: true,
+			}
+			b.Instrs = append(b.Instrs[:len(b.Instrs)-1],
+				call, b.Instrs[len(b.Instrs)-1])
+			rep.DelaysInserted++
+		}
+	}
+}
+
+// snapshot copies the block list so passes can append blocks while
+// iterating.
+func snapshot(f *ir.Func) []*ir.Block {
+	return append([]*ir.Block(nil), f.Blocks...)
+}

@@ -1,0 +1,245 @@
+package passes
+
+import (
+	"sort"
+
+	"glitchlab/internal/ir"
+	"glitchlab/internal/rs"
+)
+
+// rsCodes wraps the Reed-Solomon constant generator.
+func rsCodes(count int) ([]uint32, error) {
+	return rs.Codes(count)
+}
+
+// hardenReturns applies the non-trivial-return-codes defense (paper
+// Section VI-A): a function qualifies when every return statement returns
+// a literal constant and every caller uses the result exclusively in
+// equality comparisons against constants. Each distinct returned constant
+// is replaced by a Reed-Solomon code, and the call-site comparison
+// constants are rewritten to match.
+func hardenReturns(m *ir.Module, rep *Report) error {
+	for _, f := range m.Funcs {
+		if !f.ReturnsVal || f.Name == "main" {
+			continue
+		}
+		consts, ok := returnedConstants(f)
+		if !ok || len(consts) == 0 {
+			continue
+		}
+		sites, ok := conformingCallSites(m, f.Name, consts)
+		if !ok {
+			continue
+		}
+		// Map each distinct constant (sorted for determinism) to a code.
+		sorted := make([]uint32, 0, len(consts))
+		for v := range consts {
+			sorted = append(sorted, v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		codes, err := rsCodes(len(sorted))
+		if err != nil {
+			return err
+		}
+		mapping := make(map[uint32]uint32, len(sorted))
+		for i, v := range sorted {
+			mapping[v] = codes[i]
+		}
+		// Rewrite the returns.
+		for _, b := range f.Blocks {
+			term := b.Term()
+			if term == nil || term.Op != ir.OpRet || term.A == ir.NoValue {
+				continue
+			}
+			def := findDef(b, term.A)
+			def.Imm = mapping[def.Imm]
+			def.GR = true
+		}
+		// Rewrite the call-site comparisons.
+		for _, site := range sites {
+			site.Imm = mapping[site.Imm]
+			site.GR = true
+		}
+		rep.ReturnsRewritten++
+	}
+	return nil
+}
+
+// returnedConstants collects the set of constants a function returns; ok
+// is false if any return value is not a block-local constant.
+func returnedConstants(f *ir.Func) (map[uint32]bool, bool) {
+	consts := map[uint32]bool{}
+	for _, b := range f.Blocks {
+		term := b.Term()
+		if term == nil || term.Op != ir.OpRet {
+			continue
+		}
+		if term.A == ir.NoValue {
+			return nil, false
+		}
+		def := findDef(b, term.A)
+		if def == nil || def.Op != ir.OpConst {
+			return nil, false
+		}
+		consts[def.Imm] = true
+	}
+	return consts, true
+}
+
+// conformingCallSites checks every call to callee across the module: each
+// result must be used only in equality comparisons whose other operand is
+// a constant drawn from the callee's return set. It returns the constant
+// definitions to rewrite.
+func conformingCallSites(m *ir.Module, callee string,
+	returned map[uint32]bool) ([]*ir.Instr, bool) {
+	var rewrites []*ir.Instr
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.Callee != callee ||
+					in.Dst == ir.NoValue {
+					continue
+				}
+				consts, ok := resultComparedToConsts(f, in.Dst, returned)
+				if !ok {
+					return nil, false
+				}
+				rewrites = append(rewrites, consts...)
+			}
+		}
+	}
+	return rewrites, true
+}
+
+// resultComparedToConsts finds every use of v in f and checks it is an
+// eq/ne comparison against a constant in the returned set; it returns the
+// constant-defining instructions.
+func resultComparedToConsts(f *ir.Func, v ir.Value,
+	returned map[uint32]bool) ([]*ir.Instr, bool) {
+	var consts []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !uses(in, v) {
+				continue
+			}
+			// The result may be spilled to a local (r = check(...)); the
+			// local then stands in for the result, provided nothing else
+			// writes it.
+			if in.Op == ir.OpStoreSlot && in.A == v {
+				slotConsts, ok := slotComparedToConsts(f, in.Slot, in, returned)
+				if !ok {
+					return nil, false
+				}
+				consts = append(consts, slotConsts...)
+				continue
+			}
+			if in.Op != ir.OpBin || (in.BinOp != ir.BinEq && in.BinOp != ir.BinNe) {
+				return nil, false
+			}
+			other := in.B
+			if other == v {
+				other = in.A
+			}
+			def := findDefAnywhere(f, other)
+			if def == nil || def.Op != ir.OpConst || !returned[def.Imm] {
+				return nil, false
+			}
+			consts = append(consts, def)
+		}
+	}
+	return consts, true
+}
+
+// slotComparedToConsts verifies that a slot holding a hardened call result
+// is written only by that call's spill (theStore) and that every load of it
+// feeds exclusively eq/ne comparisons against constants from the returned
+// set. It returns the comparison-constant definitions to rewrite.
+func slotComparedToConsts(f *ir.Func, slot int, theStore *ir.Instr,
+	returned map[uint32]bool) ([]*ir.Instr, bool) {
+	var consts []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpStoreSlot && in.Slot == slot && in != theStore:
+				return nil, false // aliased write: give up, like the paper
+			case in.Op == ir.OpLoadSlot && in.Slot == slot:
+				// Every use of the loaded value must be a comparison
+				// against an expected constant.
+				cs, ok := valueComparedToConsts(f, in.Dst, returned)
+				if !ok {
+					return nil, false
+				}
+				consts = append(consts, cs...)
+			}
+		}
+	}
+	return consts, true
+}
+
+// valueComparedToConsts is the leaf rule: each use of v must be an eq/ne
+// against a constant from the returned set.
+func valueComparedToConsts(f *ir.Func, v ir.Value,
+	returned map[uint32]bool) ([]*ir.Instr, bool) {
+	var consts []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !uses(in, v) {
+				continue
+			}
+			if in.Op != ir.OpBin || (in.BinOp != ir.BinEq && in.BinOp != ir.BinNe) {
+				return nil, false
+			}
+			other := in.B
+			if other == v {
+				other = in.A
+			}
+			def := findDefAnywhere(f, other)
+			if def == nil || def.Op != ir.OpConst || !returned[def.Imm] {
+				return nil, false
+			}
+			consts = append(consts, def)
+		}
+	}
+	return consts, true
+}
+
+// readOperands returns the values an instruction actually reads (other
+// Value fields hold meaningless zero values for ops that do not use them).
+func readOperands(in *ir.Instr) []ir.Value {
+	switch in.Op {
+	case ir.OpStoreSlot, ir.OpStoreG, ir.OpNot, ir.OpCondBr:
+		return []ir.Value{in.A}
+	case ir.OpBin:
+		return []ir.Value{in.A, in.B}
+	case ir.OpCall:
+		return in.Args
+	case ir.OpRet:
+		if in.A == ir.NoValue {
+			return nil
+		}
+		return []ir.Value{in.A}
+	default:
+		return nil
+	}
+}
+
+// uses reports whether in reads value v.
+func uses(in *ir.Instr, v ir.Value) bool {
+	for _, op := range readOperands(in) {
+		if op == v {
+			return true
+		}
+	}
+	return false
+}
+
+// findDefAnywhere locates a value's defining instruction across all
+// blocks.
+func findDefAnywhere(f *ir.Func, v ir.Value) *ir.Instr {
+	for _, b := range f.Blocks {
+		if def := findDef(b, v); def != nil {
+			return def
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+// Package pipeline models the target's three-stage (fetch / decode /
+// execute) Cortex-M0 pipeline with cycle accuracy, and maps clock-glitch
+// events onto pipeline stages: a glitch during clock cycle N can corrupt the
+// instruction word in the fetch stage (affecting the instruction that
+// executes two issue slots later), corrupt the word latched into execute,
+// corrupt the data bus of an in-flight load, suppress issue entirely, or
+// flip bits in the register file.
+//
+// The paper (Section V) stresses that on a three-stage pipeline it is hard
+// to attribute a glitch to a single instruction; this model reproduces that
+// ambiguity: one glitched cycle can touch both the executing instruction and
+// the one being prefetched.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"glitchlab/internal/emu"
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/isa"
+)
+
+// EventKind selects which pipeline stage a glitch corrupts.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventNone         EventKind = iota
+	EventFetchCorrupt           // corrupt the word in the fetch stage
+	EventExecCorrupt            // corrupt the word latched into execute
+	EventDataCorrupt            // corrupt the data bus of an in-flight load
+	EventSkip                   // suppress issue (instruction becomes a bubble)
+	EventRegCorrupt             // flip bits in the register file
+	EventPCCorrupt              // corrupt the fetch address / program counter
+)
+
+// String returns the event-kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventNone:
+		return "none"
+	case EventFetchCorrupt:
+		return "fetch-corrupt"
+	case EventExecCorrupt:
+		return "exec-corrupt"
+	case EventDataCorrupt:
+		return "data-corrupt"
+	case EventSkip:
+		return "skip"
+	case EventRegCorrupt:
+		return "reg-corrupt"
+	}
+	return fmt.Sprintf("event%d", uint8(k))
+}
+
+// Event is one glitch-induced corruption.
+type Event struct {
+	Kind EventKind
+	// InstMask is applied to the targeted instruction halfword: bits are
+	// cleared (1→0, the dominant clock-glitch effect) unless InstSet.
+	InstMask uint16
+	InstSet  bool
+	// DataMask is applied to a loaded data word or a register.
+	DataMask uint32
+	DataSet  bool
+	// DataResidue replaces the loaded value outright with DataValue —
+	// a short glitch makes the bus capture whatever residue is floating
+	// on it rather than a bit-flipped version of the real value.
+	DataResidue bool
+	DataValue   uint32
+	// Reg is the register file target for EventRegCorrupt (r0-r7).
+	Reg isa.Reg
+}
+
+func (e Event) applyInst(hw uint16) uint16 {
+	if e.InstSet {
+		return hw | e.InstMask
+	}
+	return hw &^ e.InstMask
+}
+
+func (e Event) applyData(v uint32) uint32 {
+	if e.DataResidue {
+		return e.DataValue
+	}
+	if e.DataSet {
+		return v | e.DataMask
+	}
+	return v &^ e.DataMask
+}
+
+// Injector supplies the glitch events for a run. rel is the clock cycle
+// relative to the most recent trigger; window is the trigger occurrence
+// index (0 for the first trigger — multi-glitch experiments see 0 and 1).
+type Injector func(rel int, window int) (Event, bool)
+
+// StopReason describes how a run ended.
+type StopReason uint8
+
+// Stop reasons.
+const (
+	StopHit   StopReason = iota // reached a stop symbol
+	StopHung                    // cycle budget exhausted (still looping)
+	StopFault                   // hardware fault
+)
+
+// String returns the stop-reason name.
+func (r StopReason) String() string {
+	switch r {
+	case StopHit:
+		return "hit"
+	case StopHung:
+		return "hung"
+	case StopFault:
+		return "fault"
+	}
+	return fmt.Sprintf("reason%d", uint8(r))
+}
+
+// Result summarizes one run.
+type Result struct {
+	Reason StopReason
+	Tag    string        // stop symbol name for StopHit
+	Fault  emu.FaultKind // fault kind for StopFault
+	Regs   [16]uint32    // post-mortem register file
+	Cycles uint64
+	Steps  uint64
+}
+
+// fetchAhead is the pipeline depth between fetch and execute: with three
+// stages, the word being fetched during cycle N executes two issue slots
+// after the instruction executing at N.
+const fetchAhead = 2
+
+// Machine drives a board cycle-accurately with optional glitch injection.
+type Machine struct {
+	Board  *firmware.Board
+	Stops  map[uint32]string // address -> tag; run ends when PC reaches one
+	Glitch Injector          // nil for clean runs
+
+	windowStart uint64 // cycle at which the active trigger window began
+	windowIdx   int    // trigger occurrence index (-1 before first trigger)
+
+	step          uint64
+	corruptAt     map[uint64]Event // step index -> instruction corruption
+	dataCorrupt   map[uint64]Event // step index -> load-data corruption
+	skipAt        map[uint64]bool
+	curStepFetch  bool // first fetch of the current step already seen
+	curStep       uint64
+	glitchedSteps uint64
+}
+
+// NewMachine wires a machine to a board.
+func NewMachine(b *firmware.Board) *Machine {
+	m := &Machine{
+		Board:     b,
+		Stops:     map[uint32]string{},
+		windowIdx: -1,
+	}
+	b.OnTrigger = func(cycle uint64, count int) {
+		// The store retires after this hook runs; the next instruction
+		// begins at the store's completion cycle. The paper's triggers
+		// fire one cycle before the targeted instruction, which is the
+		// store's own final cycle — so the window starts at the cycle
+		// following the hook's view of time plus the store cost.
+		m.windowStart = b.CPU.Cycles + 2 // str is a 2-cycle instruction
+		m.windowIdx = count - 1
+	}
+	b.CPU.Hooks.FetchOverride = m.fetchOverride
+	b.CPU.Hooks.LoadOverride = m.loadOverride
+	return m
+}
+
+// AddStop registers a stop symbol.
+func (m *Machine) AddStop(addr uint32, tag string) {
+	m.Stops[addr] = tag
+}
+
+// AddStopSymbol registers a stop at a named program symbol.
+func (m *Machine) AddStopSymbol(name string) {
+	m.Stops[m.Board.MustSymbol(name)] = name
+}
+
+func (m *Machine) fetchOverride(addr uint32, hw uint16) uint16 {
+	// Only the first halfword fetched in a step is the issue word.
+	if m.curStepFetch {
+		return hw
+	}
+	m.curStepFetch = true
+	if m.skipAt[m.curStep] {
+		return 0xbf00 // issue bubble: NOP
+	}
+	if ev, ok := m.corruptAt[m.curStep]; ok {
+		return ev.applyInst(hw)
+	}
+	return hw
+}
+
+func (m *Machine) loadOverride(addr uint32, size uint32, val uint32) uint32 {
+	if ev, ok := m.dataCorrupt[m.curStep]; ok {
+		delete(m.dataCorrupt, m.curStep)
+		return ev.applyData(val)
+	}
+	return val
+}
+
+// peek decodes the instruction at pc, applying any corruption already
+// scheduled for the upcoming step, so that the cycle-cost estimate matches
+// what will execute.
+func (m *Machine) peek(pc uint32) (isa.Inst, bool) {
+	cpu := m.Board.CPU
+	r, ok := cpu.Mem.Region(pc, 2)
+	if !ok || pc%2 != 0 {
+		return isa.Inst{}, false
+	}
+	off := pc - r.Base
+	hw := uint16(r.Data[off]) | uint16(r.Data[off+1])<<8
+	if m.skipAt[m.step] {
+		hw = 0xbf00
+	} else if ev, ok := m.corruptAt[m.step]; ok {
+		hw = ev.applyInst(hw)
+	}
+	var hw2 uint16
+	if isa.Is32Bit(hw) {
+		if r2, ok := cpu.Mem.Region(pc+2, 2); ok {
+			o2 := pc + 2 - r2.Base
+			hw2 = uint16(r2.Data[o2]) | uint16(r2.Data[o2+1])<<8
+		}
+	}
+	return isa.Decode(hw, hw2), true
+}
+
+// GlitchedSteps reports how many issue slots were touched by glitch events
+// in the last run (diagnostic).
+func (m *Machine) GlitchedSteps() uint64 { return m.glitchedSteps }
+
+// Run executes until a stop symbol, a fault, or the cycle budget.
+func (m *Machine) Run(maxCycles uint64) Result {
+	cpu := m.Board.CPU
+	m.step = 0
+	m.windowIdx = -1
+	m.windowStart = 0
+	m.corruptAt = map[uint64]Event{}
+	m.dataCorrupt = map[uint64]Event{}
+	m.skipAt = map[uint64]bool{}
+	m.glitchedSteps = 0
+
+	for {
+		pc := cpu.PC()
+		if tag, ok := m.Stops[pc]; ok {
+			return m.result(StopHit, tag, 0)
+		}
+		if cpu.Cycles >= maxCycles {
+			return m.result(StopHung, "", 0)
+		}
+
+		// Map glitched cycles in this instruction's execute window to
+		// pipeline effects.
+		if m.Glitch != nil && m.windowIdx >= 0 {
+			if in, ok := m.peek(pc); ok {
+				cost := cpu.CostOf(in)
+				start := cpu.Cycles
+				for c := 0; c < cost; c++ {
+					rel := int(int64(start) + int64(c) - int64(m.windowStart))
+					if rel < 0 {
+						continue
+					}
+					ev, hit := m.Glitch(rel, m.windowIdx)
+					if !hit {
+						continue
+					}
+					m.dispatch(ev)
+				}
+			}
+		}
+
+		m.curStep = m.step
+		m.curStepFetch = false
+		_, err := cpu.Step()
+		delete(m.corruptAt, m.step)
+		delete(m.skipAt, m.step)
+		delete(m.dataCorrupt, m.step)
+		m.step++
+		if err != nil {
+			var fault *emu.Fault
+			if errors.As(err, &fault) {
+				return m.result(StopFault, "", fault.Kind)
+			}
+			return m.result(StopFault, "", emu.FaultNone)
+		}
+	}
+}
+
+func (m *Machine) dispatch(ev Event) {
+	m.glitchedSteps++
+	switch ev.Kind {
+	case EventFetchCorrupt:
+		// The word in the fetch stage belongs to the instruction two
+		// issue slots ahead.
+		if _, exists := m.corruptAt[m.step+fetchAhead]; !exists {
+			m.corruptAt[m.step+fetchAhead] = ev
+		}
+	case EventExecCorrupt:
+		if _, exists := m.corruptAt[m.step]; !exists {
+			m.corruptAt[m.step] = ev
+		}
+	case EventDataCorrupt:
+		m.dataCorrupt[m.step] = ev
+	case EventSkip:
+		m.skipAt[m.step] = true
+	case EventRegCorrupt:
+		r := ev.Reg & 7
+		m.Board.CPU.R[r] = ev.applyData(m.Board.CPU.R[r])
+	case EventPCCorrupt:
+		pc := m.Board.CPU.R[isa.PC]
+		m.Board.CPU.R[isa.PC] = ev.applyData(pc) &^ 1
+	}
+}
+
+func (m *Machine) result(reason StopReason, tag string, fault emu.FaultKind) Result {
+	cpu := m.Board.CPU
+	return Result{
+		Reason: reason,
+		Tag:    tag,
+		Fault:  fault,
+		Regs:   cpu.R,
+		Cycles: cpu.Cycles,
+		Steps:  cpu.Steps,
+	}
+}

@@ -1,0 +1,266 @@
+// Package report renders every reproduced table and figure in a layout
+// mirroring the paper's, so reproduction output can be compared against
+// the published numbers side by side. It also carries the paper's static
+// Table VII comparison of software-based defenses.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"glitchlab/internal/campaign"
+	"glitchlab/internal/core"
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/search"
+)
+
+// Figure2 renders one emulation campaign (one sub-figure of Figure 2):
+// per-branch success rates and the failure histogram, as a function of the
+// number of 1s in the bitmask (the paper's x-axis convention: for AND,
+// 0xFFFF is unmodified; for OR and XOR, 0x0000 is).
+func Figure2(results []campaign.CondResult, model mutate.Model, zeroInvalid bool) string {
+	var sb strings.Builder
+	title := fmt.Sprintf("Figure 2: glitch success on ARM Thumb, %s model", model)
+	if zeroInvalid {
+		title += " (0x0000 invalid)"
+	}
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+
+	fmt.Fprintf(&sb, "\nPer-branch success rate over all bit flips (k >= 1):\n")
+	sorted := append([]campaign.CondResult(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].SuccessRate() > sorted[j].SuccessRate()
+	})
+	for _, r := range sorted {
+		fmt.Fprintf(&sb, "  b%-3s %6.2f%%  %s\n", r.Cond, 100*r.SuccessRate(),
+			bar(r.SuccessRate(), 40))
+	}
+
+	fmt.Fprintf(&sb, "\nSuccess rate by number of 1s in the bitmask (mean over branches):\n")
+	fmt.Fprintf(&sb, "  %-6s %-9s %s\n", "ones", "success", "")
+	maxFlips := len(results[0].ByFlips) - 1
+	for k := 0; k <= maxFlips; k++ {
+		var succ, total uint64
+		for _, r := range results {
+			succ += r.ByFlips[k].Counts[campaign.Success]
+			total += r.ByFlips[k].Total
+		}
+		rate := 0.0
+		if total > 0 {
+			rate = float64(succ) / float64(total)
+		}
+		ones := k
+		if model == mutate.AND {
+			ones = 16 - k // AND masks: 1s preserve, 0s flip
+		}
+		label := fmt.Sprintf("%d", ones)
+		if k == 0 {
+			label += " (unmodified)"
+		}
+		fmt.Fprintf(&sb, "  %-16s %6.2f%%  %s\n", label, 100*rate, bar(rate, 40))
+	}
+
+	fmt.Fprintf(&sb, "\nOutcome histogram (all branches, k >= 1):\n")
+	var totals [campaign.NumOutcomes]uint64
+	var grand uint64
+	for _, r := range results {
+		for k := 1; k < len(r.ByFlips); k++ {
+			for o, n := range r.ByFlips[k].Counts {
+				totals[o] += n
+				grand += n
+			}
+		}
+	}
+	for o := 0; o < campaign.NumOutcomes; o++ {
+		rate := float64(totals[o]) / float64(grand)
+		fmt.Fprintf(&sb, "  %-20s %8d (%5.2f%%)  %s\n",
+			campaign.Outcome(o), totals[o], 100*rate, bar(rate, 40))
+	}
+	return sb.String()
+}
+
+// bar renders a proportional ASCII bar.
+func bar(frac float64, width int) string {
+	n := int(frac*float64(width) + 0.5)
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// Table1 renders one guard's single-glitch scan like the paper's Table I:
+// per-cycle instruction attribution, successes, and the post-mortem
+// comparator-register histogram.
+func Table1(r *glitcher.Table1Result) string {
+	var sb strings.Builder
+	reg := fmt.Sprintf("R%d", r.Guard.ComparatorReg())
+	fmt.Fprintf(&sb, "Table I: %s — successful glitches per clock cycle\n", r.Guard)
+	fmt.Fprintf(&sb, "%-6s %-22s %-10s %-12s %s\n",
+		"Cycle", "Instruction", "Successes", reg, "Count")
+	for _, c := range r.PerCycle {
+		first := true
+		vals := c.SortedValues()
+		if len(vals) == 0 {
+			fmt.Fprintf(&sb, "%-6d %-22s %-10d %-12s %s\n",
+				c.Cycle, c.Instruction, c.Successes, "-", "-")
+			continue
+		}
+		for _, v := range vals {
+			if first {
+				fmt.Fprintf(&sb, "%-6d %-22s %-10d %#-12x %d\n",
+					c.Cycle, c.Instruction, c.Successes, v, c.Values[v])
+				first = false
+			} else {
+				fmt.Fprintf(&sb, "%-6s %-22s %-10s %#-12x %d\n",
+					"", "", "", v, c.Values[v])
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "Total  %d/%d (%.3f%%), %d unique values\n",
+		r.Successes, r.Attempts, 100*r.SuccessRate(), r.UniqueValues())
+	kinds := r.KindBreakdown()
+	if len(kinds) > 0 {
+		names := make([]string, 0, len(kinds))
+		for k := range kinds {
+			names = append(names, fmt.Sprintf("%v=%d", k, kinds[k]))
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "Mechanism: %s\n", strings.Join(names, " "))
+	}
+	return sb.String()
+}
+
+// Table2 renders the multi-glitch results like the paper's Table II.
+func Table2(results []*glitcher.Table2Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table II: successful partial and multi-glitch attacks\n")
+	fmt.Fprintf(&sb, "%-6s", "Cycle")
+	for _, r := range results {
+		fmt.Fprintf(&sb, " | %-22s", r.Guard)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-6s", "")
+	for range results {
+		fmt.Fprintf(&sb, " | %-10s %-11s", "Partial", "Full")
+	}
+	sb.WriteString("\n")
+	for c := 0; c < glitcher.LoopCycles; c++ {
+		fmt.Fprintf(&sb, "%-6d", c)
+		for _, r := range results {
+			fmt.Fprintf(&sb, " | %-10d %-11d", r.Partial[c], r.Full[c])
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-6s", "Total")
+	for _, r := range results {
+		p, f := r.Totals()
+		fmt.Fprintf(&sb, " | %-10d %-11d", p, f)
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-6s", "(%)")
+	for _, r := range results {
+		p, f := r.Totals()
+		fmt.Fprintf(&sb, " | %-10.4f %-11.4f",
+			100*float64(p)/float64(r.Attempts), 100*float64(f)/float64(r.Attempts))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Table3 renders the long-glitch results like the paper's Table III.
+func Table3(results []*glitcher.Table3Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table III: successful long glitches\n")
+	fmt.Fprintf(&sb, "%-8s", "Cycles")
+	for _, r := range results {
+		fmt.Fprintf(&sb, " %22s", r.Guard.String())
+	}
+	sb.WriteString("\n")
+	for i := range results[0].Cycles {
+		fmt.Fprintf(&sb, "0-%-6d", results[0].Cycles[i])
+		for _, r := range results {
+			fmt.Fprintf(&sb, " %22d", r.Successes[i])
+		}
+		sb.WriteString("\n")
+	}
+	fmt.Fprintf(&sb, "%-8s", "Total")
+	for _, r := range results {
+		fmt.Fprintf(&sb, " %22d", r.Total())
+	}
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "%-8s", "(%)")
+	for _, r := range results {
+		fmt.Fprintf(&sb, " %21.4f%%", 100*float64(r.Total())/float64(r.Attempts))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// Search renders a Section V-B parameter-search outcome.
+func Search(r *search.Result) string {
+	return "Section V-B optimal-parameter search\n" + r.String() + "\n"
+}
+
+// Table4 renders the boot-time overhead like the paper's Table IV.
+func Table4(t *core.Table4Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table IV: boot-time overhead (clock cycles)\n")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s %12s\n",
+		"Defense", "Cycles", "% Increase", "Constant", "% Adjusted")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s %12d %11.2f%% %10d %11.2f%%\n",
+			r.Name, r.Cycles, t.Increase(r), r.Constant, t.Adjusted(r))
+	}
+	return sb.String()
+}
+
+// Table5 renders the size overhead like the paper's Table V.
+func Table5(t *core.Table5Result) string {
+	var sb strings.Builder
+	base := t.Baseline()
+	pct := func(v, b int) float64 {
+		if b == 0 {
+			return 0
+		}
+		return 100 * float64(v-b) / float64(b)
+	}
+	sb.WriteString("Table V: size overhead (bytes)\n")
+	fmt.Fprintf(&sb, "%-10s %7s %9s %6s %9s %6s %9s %7s %9s\n",
+		"Defense", "text", "text(%)", "data", "data(%)", "bss", "bss(%)",
+		"total", "total(%)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&sb, "%-10s %7d %8.2f%% %6d %8.2f%% %6d %8.2f%% %7d %8.2f%%\n",
+			r.Name,
+			r.Sizes.Text, pct(r.Sizes.Text, base.Text),
+			r.Sizes.Data, pct(r.Sizes.Data, base.Data),
+			r.Sizes.BSS, pct(r.Sizes.BSS, base.BSS),
+			r.Sizes.Total(), pct(r.Sizes.Total(), base.Total()))
+	}
+	return sb.String()
+}
+
+// Table6 renders the defense-efficacy matrix like the paper's Table VI.
+func Table6(t *core.Table6Result) string {
+	var sb strings.Builder
+	sb.WriteString("Table VI: successful glitches and detections with GlitchResistor defenses\n")
+	for _, sc := range core.Table6Scenarios() {
+		byCfg, ok := t.Cells[sc.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n%s\n", sc.Name)
+		for _, attack := range core.Attacks() {
+			fmt.Fprintf(&sb, "  %-10s", attack)
+			for _, cfgName := range []string{"All", "All\\Delay"} {
+				cell := byCfg[cfgName][attack]
+				fmt.Fprintf(&sb, " | %-9s total=%-7d succ=%-5d (%.5f%%) det=%-5d (%.1f%%)",
+					cfgName, cell.Total, cell.Successes, 100*cell.SuccessRate(),
+					cell.Detections, 100*cell.DetectionRate())
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

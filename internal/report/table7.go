@@ -1,0 +1,76 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Defense is one row of the paper's Table VII: a software-based glitching
+// defense and the properties the paper compares.
+type Defense struct {
+	Name               string
+	Generic            bool // applies beyond one algorithm/application
+	Extensible         bool // new defenses can be added to the framework
+	BackwardCompatible bool // no whole-program source rewrite required
+	DataDiversify      bool // constant diversification
+	DataIntegrity      bool
+	ControlFlow        bool // control-flow hardening
+	RandomDelay        bool
+}
+
+// Table7Data reproduces the paper's Table VII verbatim: the comparison of
+// GlitchResistor against prior software-based defenses.
+func Table7Data() []Defense {
+	return []Defense{
+		{Name: "Data Encoding [37],[14]", Generic: false, Extensible: false,
+			BackwardCompatible: false, DataDiversify: true, DataIntegrity: true,
+			ControlFlow: false, RandomDelay: false},
+		{Name: "CAMFAS [17]", Generic: true, Extensible: false,
+			BackwardCompatible: true, DataDiversify: false, DataIntegrity: true,
+			ControlFlow: false, RandomDelay: false},
+		{Name: "Loop Hardening [60]", Generic: false, Extensible: false,
+			BackwardCompatible: true, DataDiversify: false, DataIntegrity: false,
+			ControlFlow: true, RandomDelay: false},
+		{Name: "IIR [58]", Generic: false, Extensible: false,
+			BackwardCompatible: false, DataDiversify: false, DataIntegrity: true,
+			ControlFlow: false, RandomDelay: false},
+		{Name: "CountCompile [11]", Generic: true, Extensible: false,
+			BackwardCompatible: true, DataDiversify: false, DataIntegrity: false,
+			ControlFlow: true, RandomDelay: false},
+		{Name: "CountC [36]", Generic: false, Extensible: false,
+			BackwardCompatible: false, DataDiversify: false, DataIntegrity: false,
+			ControlFlow: true, RandomDelay: false},
+		{Name: "SWIFT [63]", Generic: true, Extensible: false,
+			BackwardCompatible: true, DataDiversify: false, DataIntegrity: true,
+			ControlFlow: true, RandomDelay: false},
+		{Name: "CFCSS [55]", Generic: true, Extensible: false,
+			BackwardCompatible: true, DataDiversify: false, DataIntegrity: false,
+			ControlFlow: true, RandomDelay: false},
+		{Name: "GlitchResistor", Generic: true, Extensible: true,
+			BackwardCompatible: true, DataDiversify: true, DataIntegrity: true,
+			ControlFlow: true, RandomDelay: true},
+	}
+}
+
+func mark(b bool) string {
+	if b {
+		return "+"
+	}
+	return "-"
+}
+
+// Table7 renders the comparison table.
+func Table7() string {
+	var sb strings.Builder
+	sb.WriteString("Table VII: comparison of software-based glitching defenses\n")
+	fmt.Fprintf(&sb, "%-26s %-7s %-10s %-9s %-9s %-9s %-8s %-6s\n",
+		"Defense", "Generic", "Extensible", "BackCompat",
+		"DataDiv", "Integrity", "CtrlFlow", "Delay")
+	for _, d := range Table7Data() {
+		fmt.Fprintf(&sb, "%-26s %-7s %-10s %-9s %-9s %-9s %-8s %-6s\n",
+			d.Name, mark(d.Generic), mark(d.Extensible),
+			mark(d.BackwardCompatible), mark(d.DataDiversify),
+			mark(d.DataIntegrity), mark(d.ControlFlow), mark(d.RandomDelay))
+	}
+	return sb.String()
+}

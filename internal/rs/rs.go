@@ -1,0 +1,136 @@
+// Package rs implements Reed-Solomon encoding over GF(2^8), the substrate
+// GlitchResistor's constant-diversification defenses use to generate sets
+// of values with large pairwise Hamming distance (paper Section VI-A): a
+// two-byte message (the value's index) is encoded with a four-byte ECC, and
+// the ECC becomes the diversified constant. The paper reports a minimum
+// pairwise Hamming distance of 8 for the generated sets.
+package rs
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// primitivePoly is the conventional GF(2^8) reduction polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d).
+const primitivePoly = 0x11d
+
+// field holds the GF(2^8) log/antilog tables.
+type field struct {
+	exp [512]byte
+	log [256]byte
+}
+
+func newField() *field {
+	f := &field{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		f.exp[i] = byte(x)
+		f.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= primitivePoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		f.exp[i] = f.exp[i-255]
+	}
+	return f
+}
+
+func (f *field) mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[int(f.log[a])+int(f.log[b])]
+}
+
+// Encoder computes Reed-Solomon parity bytes of a fixed length.
+type Encoder struct {
+	f      *field
+	eccLen int
+	gen    []byte // generator polynomial, monic, degree eccLen
+}
+
+// NewEncoder returns an encoder producing eccLen parity bytes.
+func NewEncoder(eccLen int) (*Encoder, error) {
+	if eccLen < 1 || eccLen > 254 {
+		return nil, fmt.Errorf("rs: ecc length %d out of range [1,254]", eccLen)
+	}
+	f := newField()
+	// g(x) = (x - a^0)(x - a^1)...(x - a^(eccLen-1)), descending degree.
+	gen := []byte{1}
+	for i := 0; i < eccLen; i++ {
+		gen = mulPoly(f, gen, []byte{1, f.exp[i]})
+	}
+	return &Encoder{f: f, eccLen: eccLen, gen: gen}, nil
+}
+
+// mulPoly multiplies polynomials with coefficients in descending degree
+// order.
+func mulPoly(f *field, a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		for j, cb := range b {
+			out[i+j] ^= f.mul(ca, cb)
+		}
+	}
+	return out
+}
+
+// Encode returns the eccLen parity bytes for msg (systematic encoding:
+// the remainder of msg·x^eccLen divided by the generator).
+func (e *Encoder) Encode(msg []byte) []byte {
+	rem := make([]byte, e.eccLen)
+	for _, m := range msg {
+		factor := m ^ rem[0]
+		copy(rem, rem[1:])
+		rem[e.eccLen-1] = 0
+		if factor == 0 {
+			continue
+		}
+		for i := 0; i < e.eccLen; i++ {
+			// gen[0] is the monic leading coefficient.
+			rem[i] ^= e.f.mul(e.gen[i+1], factor)
+		}
+	}
+	return rem
+}
+
+// Codes generates `count` diversified 32-bit constants: for each index i in
+// [1, count], the two-byte message {lo, hi} is encoded and its four parity
+// bytes become the value, exactly as GlitchResistor's ENUM rewriter and
+// return-code hardener do.
+func Codes(count int) ([]uint32, error) {
+	if count < 1 || count > 1<<16 {
+		return nil, fmt.Errorf("rs: count %d out of range [1, 65536]", count)
+	}
+	enc, err := NewEncoder(4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, count)
+	for i := 1; i <= count; i++ {
+		ecc := enc.Encode([]byte{byte(i), byte(i >> 8)})
+		out[i-1] = uint32(ecc[0]) | uint32(ecc[1])<<8 |
+			uint32(ecc[2])<<16 | uint32(ecc[3])<<24
+	}
+	return out, nil
+}
+
+// MinPairwiseDistance returns the minimum pairwise Hamming distance of the
+// values (and 32 for a single value, the distance to nothing).
+func MinPairwiseDistance(values []uint32) int {
+	minDist := 33
+	for i := 0; i < len(values); i++ {
+		for j := i + 1; j < len(values); j++ {
+			if d := bits.OnesCount32(values[i] ^ values[j]); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	if minDist == 33 {
+		return 32
+	}
+	return minDist
+}

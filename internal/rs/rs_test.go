@@ -1,0 +1,164 @@
+package rs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldTables(t *testing.T) {
+	f := newField()
+	// exp and log are inverse on [1,255].
+	for v := 1; v < 256; v++ {
+		if f.exp[f.log[v]] != byte(v) {
+			t.Fatalf("exp(log(%d)) = %d", v, f.exp[f.log[v]])
+		}
+	}
+	// Multiplication properties.
+	if f.mul(0, 7) != 0 || f.mul(7, 0) != 0 {
+		t.Error("multiplication by zero")
+	}
+	if f.mul(1, 99) != 99 {
+		t.Error("multiplicative identity")
+	}
+	// x * x = x^2 under 0x11d: 2*2=4, 0x80*2 = 0x100 ^ 0x11d = 0x1d.
+	if f.mul(2, 2) != 4 {
+		t.Error("2*2 != 4")
+	}
+	if f.mul(0x80, 2) != 0x1d {
+		t.Errorf("0x80*2 = %#x, want 0x1d", f.mul(0x80, 2))
+	}
+}
+
+func TestFieldMulCommutativeAssociative(t *testing.T) {
+	f := newField()
+	fn := func(a, b, c byte) bool {
+		if f.mul(a, b) != f.mul(b, a) {
+			return false
+		}
+		return f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeIsLinear(t *testing.T) {
+	// RS encoding over GF(2^8) is linear: E(a xor b) == E(a) xor E(b).
+	enc, err := NewEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(a0, a1, b0, b1 byte) bool {
+		ea := enc.Encode([]byte{a0, a1})
+		eb := enc.Encode([]byte{b0, b1})
+		ex := enc.Encode([]byte{a0 ^ b0, a1 ^ b1})
+		for i := range ex {
+			if ex[i] != ea[i]^eb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeZeroMessage(t *testing.T) {
+	enc, err := NewEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range enc.Encode([]byte{0, 0}) {
+		if b != 0 {
+			t.Fatal("zero message must encode to zero parity")
+		}
+	}
+}
+
+// TestPaperConstants pins the reproduction's most direct validation: the
+// paper's Section V "large Hamming distance" experiment compares
+// a = 0xE7D25763 against 0xD3B9AEC6 — and those are exactly the codes this
+// encoder generates for indices 1 and 2. The paper drew its test constants
+// from GlitchResistor's own Reed-Solomon configuration (two-byte message,
+// four-byte ECC over GF(2^8)/0x11d), which this package reimplements
+// byte-for-byte.
+func TestPaperConstants(t *testing.T) {
+	vals, err := Codes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 0xE7D25763 {
+		t.Errorf("code[1] = %#x, want 0xE7D25763 (the paper's initial a)", vals[0])
+	}
+	if vals[1] != 0xD3B9AEC6 {
+		t.Errorf("code[2] = %#x, want 0xD3B9AEC6 (the paper's comparator)", vals[1])
+	}
+}
+
+func TestCodesPairwiseDistance(t *testing.T) {
+	// The paper claims the generated sets ensure a minimum pairwise
+	// Hamming distance of 8; verify up to the full single-byte index
+	// range and a healthy margin for small ENUM-sized sets.
+	for _, tt := range []struct {
+		count   int
+		minDist int
+	}{
+		{2, 16}, {8, 10}, {16, 10}, {64, 10}, {256, 8},
+	} {
+		vals, err := Codes(tt.count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != tt.count {
+			t.Fatalf("Codes(%d) returned %d values", tt.count, len(vals))
+		}
+		if d := MinPairwiseDistance(vals); d < tt.minDist {
+			t.Errorf("Codes(%d) min distance %d, want >= %d", tt.count, d, tt.minDist)
+		}
+	}
+}
+
+func TestCodesDistinctAndNonTrivial(t *testing.T) {
+	vals, err := Codes(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for i, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate code at index %d: %#x", i+1, v)
+		}
+		seen[v] = true
+		if v == 0 || v == uint32(i+1) {
+			t.Errorf("code %d is trivial: %#x", i+1, v)
+		}
+	}
+}
+
+func TestCodesErrors(t *testing.T) {
+	if _, err := Codes(0); err == nil {
+		t.Error("Codes(0) succeeded")
+	}
+	if _, err := Codes(1<<16 + 1); err == nil {
+		t.Error("Codes(65537) succeeded")
+	}
+	if _, err := NewEncoder(0); err == nil {
+		t.Error("NewEncoder(0) succeeded")
+	}
+	if _, err := NewEncoder(255); err == nil {
+		t.Error("NewEncoder(255) succeeded")
+	}
+}
+
+func TestMinPairwiseDistance(t *testing.T) {
+	if d := MinPairwiseDistance([]uint32{0}); d != 32 {
+		t.Errorf("single value distance = %d, want 32", d)
+	}
+	if d := MinPairwiseDistance([]uint32{0, 1}); d != 1 {
+		t.Errorf("distance = %d, want 1", d)
+	}
+	if d := MinPairwiseDistance([]uint32{0, 0xF, 0xFF}); d != 4 {
+		t.Errorf("distance = %d, want 4", d)
+	}
+}

@@ -1,0 +1,136 @@
+// Package search implements the paper's Section V-B algorithm for locating
+// optimal glitch parameters against an unprotected conditional branch: scan
+// the (width, offset) grid with a coarse 10-cycle glitch covering the whole
+// loop, then recursively narrow the temporal precision for the successful
+// points until a parameter set achieves a 100% success rate (10 out of 10
+// attempts).
+package search
+
+import (
+	"fmt"
+	"time"
+
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/pipeline"
+)
+
+// Confirmations is the reliability bar: the paper requires 10/10 successes.
+const Confirmations = 10
+
+// coarseCycles is the width of the initial glitch, covering every
+// instruction in the loop (the paper starts with a 10-cycle clock glitch).
+const coarseCycles = 10
+
+// Result reports the outcome of a parameter search.
+type Result struct {
+	Guard  glitcher.Guard
+	Found  bool
+	Params glitcher.Params // winning parameter point
+	Cycle  int             // winning single clock cycle
+
+	// Attempts and Successes count every glitch fired during the search,
+	// like the paper's "7,031 successful glitches out of 36,869".
+	Attempts  uint64
+	Successes uint64
+	// CoarseHits counts parameter points that succeeded in the coarse
+	// phase.
+	CoarseHits uint64
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// String summarizes the result in the paper's terms.
+func (r *Result) String() string {
+	if !r.Found {
+		return fmt.Sprintf("%s: no reliable parameters found (%d successes in %d attempts)",
+			r.Guard, r.Successes, r.Attempts)
+	}
+	return fmt.Sprintf(
+		"%s: width=%d%% offset=%d%% cycle=%d reliable %d/%d (%d successes in %d attempts, %s)",
+		r.Guard, r.Params.Width, r.Params.Offset, r.Cycle,
+		Confirmations, Confirmations, r.Successes, r.Attempts, r.Elapsed)
+}
+
+// Searcher runs parameter searches against one guard.
+type Searcher struct {
+	Model  *glitcher.Model
+	Guard  glitcher.Guard
+	target *glitcher.Target
+}
+
+// New prepares a searcher for the guard.
+func New(m *glitcher.Model, g glitcher.Guard) (*Searcher, error) {
+	t, err := glitcher.NewTarget(g, g.SingleLoopSource())
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{Model: m, Guard: g, target: t}, nil
+}
+
+func (s *Searcher) attempt(inj pipeline.Injector, res *Result) bool {
+	res.Attempts++
+	r := s.target.Attempt(inj)
+	if r.Reason == pipeline.StopHit {
+		res.Successes++
+		return true
+	}
+	return false
+}
+
+// Find scans for parameters achieving Confirmations/Confirmations
+// reliability with a single-cycle glitch. It returns a Result whether or
+// not a reliable point was found.
+func (s *Searcher) Find() *Result {
+	res := &Result{Guard: s.Guard}
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	found := false
+	glitcher.Grid(func(p glitcher.Params) {
+		if found {
+			return
+		}
+		// Phase 1: coarse glitch across the whole loop.
+		if !s.attempt(s.Model.RangePlan(p, 0, coarseCycles), res) {
+			return
+		}
+		res.CoarseHits++
+		// Phase 2: narrow to each individual clock cycle.
+		for cycle := 0; cycle < coarseCycles && !found; cycle++ {
+			if !s.attempt(s.Model.Plan(p, cycle), res) {
+				continue
+			}
+			// Phase 3: confirm reliability 10/10.
+			reliable := true
+			for i := 1; i < Confirmations; i++ {
+				if !s.attempt(s.Model.Plan(p, cycle), res) {
+					reliable = false
+					break
+				}
+			}
+			if reliable {
+				res.Found = true
+				res.Params = p
+				res.Cycle = cycle
+				found = true
+			}
+		}
+	})
+	return res
+}
+
+// Exhaust runs the coarse phase over the whole grid without early exit,
+// counting every success — used to reproduce the paper's search-cost
+// numbers (success counts across the full scan).
+func (s *Searcher) Exhaust() *Result {
+	res := &Result{Guard: s.Guard}
+	start := time.Now()
+	glitcher.Grid(func(p glitcher.Params) {
+		if s.attempt(s.Model.RangePlan(p, 0, coarseCycles), res) {
+			res.CoarseHits++
+		}
+	})
+	res.Elapsed = time.Since(start)
+	res.Found = res.CoarseHits > 0
+	return res
+}

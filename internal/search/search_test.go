@@ -1,0 +1,76 @@
+package search
+
+import (
+	"testing"
+
+	"glitchlab/internal/glitcher"
+)
+
+func TestFindReliableParameters(t *testing.T) {
+	// Section V-B: the search must locate a single-cycle glitch with
+	// 10/10 reliability against both while(a) and the large-Hamming
+	// comparison, as the paper's tuning did.
+	m := glitcher.NewModel(1)
+	for _, g := range []glitcher.Guard{glitcher.GuardWhileA, glitcher.GuardWhileNeq} {
+		s, err := New(m, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Find()
+		if !res.Found {
+			t.Fatalf("%v: %s", g, res)
+		}
+		if res.Cycle < 0 || res.Cycle >= 10 {
+			t.Errorf("%v: cycle %d out of range", g, res.Cycle)
+		}
+		if res.Successes < Confirmations {
+			t.Errorf("%v: only %d successes recorded", g, res.Successes)
+		}
+		// Re-verify the winning parameters independently.
+		tgt, err := glitcher.NewTarget(g, g.SingleLoopSource())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < Confirmations; i++ {
+			r := tgt.Attempt(m.Plan(res.Params, res.Cycle))
+			if r.Tag != "exit" {
+				t.Fatalf("%v: winning params failed on confirmation %d", g, i)
+			}
+		}
+	}
+}
+
+func TestFindIsDeterministic(t *testing.T) {
+	m := glitcher.NewModel(3)
+	s1, err := New(m, glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(m, glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, r2 := s1.Find(), s2.Find()
+	if r1.Found != r2.Found || r1.Params != r2.Params || r1.Cycle != r2.Cycle ||
+		r1.Attempts != r2.Attempts {
+		t.Fatalf("search not deterministic: %s vs %s", r1, r2)
+	}
+}
+
+func TestExhaustCountsSuccesses(t *testing.T) {
+	m := glitcher.NewModel(1)
+	s, err := New(m, glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Exhaust()
+	if res.Attempts != glitcher.GridSize {
+		t.Fatalf("attempts = %d, want %d", res.Attempts, glitcher.GridSize)
+	}
+	if res.CoarseHits == 0 {
+		t.Fatal("coarse scan found no successes")
+	}
+	if res.CoarseHits != res.Successes {
+		t.Fatalf("hits %d != successes %d", res.CoarseHits, res.Successes)
+	}
+}
