@@ -20,9 +20,19 @@ import (
 	"glitchlab/internal/search"
 )
 
+// skipIfShort keeps `go test -short -bench .` quick in CI: the campaign
+// benchmarks emulate full parameter grids or boots per iteration.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("exhaustive campaign benchmark skipped in -short mode")
+	}
+}
+
 // benchSweep runs one conditional branch's mutation sweep up to maxFlips.
 func benchSweep(b *testing.B, model mutate.Model, zeroInvalid bool) {
 	b.Helper()
+	skipIfShort(b)
 	r, err := campaign.NewRunner(isa.EQ, zeroInvalid)
 	if err != nil {
 		b.Fatal(err)
@@ -51,6 +61,7 @@ func BenchmarkFigure2XOR(b *testing.B) { benchSweep(b, mutate.XOR, false) }
 // benchTable1 scans one clock cycle of one guard over the parameter grid.
 func benchTable1(b *testing.B, g glitcher.Guard) {
 	b.Helper()
+	skipIfShort(b)
 	m := glitcher.NewModel(core.DefaultSeed)
 	t, err := glitcher.NewTarget(g, g.SingleLoopSource())
 	if err != nil {
@@ -83,6 +94,7 @@ func BenchmarkTable1WhileNeq(b *testing.B) { benchTable1(b, glitcher.GuardWhileN
 
 // Table II: multi-glitch (two triggers, same parameters) for one cycle.
 func BenchmarkTable2MultiGlitch(b *testing.B) {
+	skipIfShort(b)
 	m := glitcher.NewModel(core.DefaultSeed)
 	g := glitcher.GuardWhileNotA
 	t, err := glitcher.NewTarget(g, g.DoubleLoopSource())
@@ -102,6 +114,7 @@ func BenchmarkTable2MultiGlitch(b *testing.B) {
 
 // Table III: long glitch (cycles 0-10) over two subsequent loops.
 func BenchmarkTable3LongGlitch(b *testing.B) {
+	skipIfShort(b)
 	m := glitcher.NewModel(core.DefaultSeed)
 	g := glitcher.GuardWhileA
 	t, err := glitcher.NewTarget(g, g.LongGlitchSource())
@@ -125,6 +138,7 @@ func BenchmarkTable3LongGlitch(b *testing.B) {
 
 // Section V-B: the full optimal-parameter search to 10/10 reliability.
 func BenchmarkParamSearch(b *testing.B) {
+	skipIfShort(b)
 	m := glitcher.NewModel(core.DefaultSeed)
 	for i := 0; i < b.N; i++ {
 		s, err := search.New(m, glitcher.GuardWhileA)
@@ -139,6 +153,7 @@ func BenchmarkParamSearch(b *testing.B) {
 
 // Table IV: boot-cycle measurement of the fully defended firmware.
 func BenchmarkTable4BootOverhead(b *testing.B) {
+	skipIfShort(b)
 	res, err := core.Compile(core.EvalFirmware, passes.All(core.EvalSensitive...))
 	if err != nil {
 		b.Fatal(err)
@@ -160,6 +175,7 @@ func BenchmarkTable4BootOverhead(b *testing.B) {
 // Table V: building the firmware under every defense set and measuring
 // section sizes.
 func BenchmarkTable5SizeOverhead(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		t5, err := core.RunTable5()
 		if err != nil {
@@ -173,6 +189,7 @@ func BenchmarkTable5SizeOverhead(b *testing.B) {
 // Table VI: one parameter-grid row (99 offsets at one width) of the
 // best-case single-glitch cell.
 func BenchmarkTable6Defenses(b *testing.B) {
+	skipIfShort(b)
 	model := glitcher.NewModel(core.DefaultSeed)
 	res, err := core.Compile(core.IfSuccessFirmware, passes.AllButDelay())
 	if err != nil {
@@ -198,6 +215,7 @@ func BenchmarkTable6Defenses(b *testing.B) {
 
 // Ablation: how much each individual defense costs to compile and boot.
 func BenchmarkAblationDefenseConfigs(b *testing.B) {
+	skipIfShort(b)
 	for _, cfg := range core.DefenseConfigs(core.EvalSensitive...) {
 		cfg := cfg
 		b.Run(cfg.Name(), func(b *testing.B) {
@@ -224,6 +242,7 @@ func BenchmarkAblationDefenseConfigs(b *testing.B) {
 // Ablation: raw emulator speed (instructions per second), the substrate
 // every experiment stands on.
 func BenchmarkEmulatorThroughput(b *testing.B) {
+	skipIfShort(b)
 	g := glitcher.GuardWhileNotA
 	t, err := glitcher.NewTarget(g, g.SingleLoopSource())
 	if err != nil {
@@ -241,6 +260,7 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 
 // Ablation: decoder throughput over the full 16-bit encoding space.
 func BenchmarkDecoderFullSpace(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		valid := 0
 		for hw := 0; hw < 0x10000; hw++ {

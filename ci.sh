@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, and the race-enabled test suite.
+# -short skips the exhaustive bit-flip campaigns (see campaign tests and
+# bench_test.go); run `go test ./...` for the full tier-1 suite.
+set -eu
+cd "$(dirname "$0")"
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "ci: gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race -short ./...
+
+echo "ci: OK"

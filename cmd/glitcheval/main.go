@@ -5,9 +5,14 @@
 //
 // Usage:
 //
+// It also renders the glitchlint findings table for the evaluation
+// firmware (-exp lint): the static triage of the same build Tables IV-VI
+// measure dynamically.
+//
 //	glitcheval                  # everything (Table VI takes ~1 minute)
 //	glitcheval -exp table4
 //	glitcheval -exp table6 -seed 7
+//	glitcheval -exp lint
 package main
 
 import (
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"os"
 
+	"glitchlab/internal/analyze"
 	"glitchlab/internal/core"
 	"glitchlab/internal/glitcher"
+	"glitchlab/internal/passes"
 	"glitchlab/internal/report"
 )
 
@@ -28,7 +35,7 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table4, table5, table6, table7, all")
+	exp := flag.String("exp", "all", "experiment: table4, table5, table6, table7, lint, all")
 	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed (table6)")
 	verbose := flag.Bool("v", false, "print table6 progress per cell")
 	flag.Parse()
@@ -65,6 +72,20 @@ func run() error {
 		return nil
 	}
 
+	runLint := func() error {
+		_, audit, err := core.CompileAudited(core.EvalFirmware,
+			passes.All(core.EvalSensitive...),
+			analyze.Options{Sensitive: core.EvalSensitive})
+		if err != nil {
+			return err
+		}
+		fmt.Println("Static triage of the evaluation firmware (unprotected):")
+		fmt.Println(report.Findings(audit.Pre))
+		fmt.Println("After the full defense set:")
+		fmt.Println(report.Findings(audit.Post))
+		return audit.Err()
+	}
+
 	switch *exp {
 	case "table4":
 		return runT4()
@@ -75,7 +96,12 @@ func run() error {
 	case "table7":
 		fmt.Println(report.Table7())
 		return nil
+	case "lint":
+		return runLint()
 	case "all":
+		if err := runLint(); err != nil {
+			return err
+		}
 		if err := runT4(); err != nil {
 			return err
 		}

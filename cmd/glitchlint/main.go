@@ -1,0 +1,150 @@
+// Command glitchlint statically analyzes mini-C firmware for the
+// glitchable code shapes the paper identifies (Sections II and VI):
+// single-point-of-failure branches, low-Hamming-distance constants,
+// fail-open defaults, unshadowed sensitive loads, unhardened loop exits,
+// and branch encodings one bit flip away from a different control
+// transfer. It is the static counterpart of the exhaustive emulation
+// campaigns — triage before the glitcher runs.
+//
+// Usage:
+//
+//	glitchlint firmware.c                          # lint the unprotected build
+//	glitchlint -sensitive uwTick firmware.c        # also check integrity coverage
+//	glitchlint -defenses all -audit firmware.c     # verify the defenses fix what they own
+//	glitchlint -json firmware.c                    # machine-readable findings
+//	glitchlint -rules                              # print the rule catalog
+//
+// Exit status: 0 clean, 1 usage or build error, 2 findings at or above
+// -fail-on (or an -audit violation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/core"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/report"
+)
+
+func main() {
+	code, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glitchlint:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func run() (int, error) {
+	defenses := flag.String("defenses", "none",
+		"defense configuration to build under before linting (see glitchresistor)")
+	sensitive := flag.String("sensitive", "",
+		"comma-separated globals whose loads must be integrity-verified")
+	privileged := flag.String("privileged", "",
+		"comma-separated privileged callees (default: success)")
+	minHamming := flag.Int("min-hamming", 0,
+		"minimum acceptable pairwise Hamming distance for constant sets (default 8)")
+	disable := flag.String("disable", "",
+		"comma-separated rule IDs or slugs to skip")
+	failOn := flag.String("fail-on", "low",
+		"exit nonzero when a finding is at or above this severity (info|low|medium|high|none)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	audit := flag.Bool("audit", false,
+		"also fail when an enabled defense pass left a finding it owns")
+	rules := flag.Bool("rules", false, "print the rule catalog and exit")
+	flag.Parse()
+
+	if *rules {
+		printRules()
+		return 0, nil
+	}
+	if flag.NArg() != 1 {
+		return 1, fmt.Errorf("usage: glitchlint [flags] <firmware.c>")
+	}
+	var threshold analyze.Severity
+	if *failOn != "none" {
+		var err error
+		if threshold, err = analyze.ParseSeverity(*failOn); err != nil {
+			return 1, err
+		}
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return 1, err
+	}
+	cfg, err := passes.Parse(*defenses, splitList(*sensitive))
+	if err != nil {
+		return 1, err
+	}
+	opts := analyze.Options{
+		Sensitive:  splitList(*sensitive),
+		Privileged: splitList(*privileged),
+		MinHamming: *minHamming,
+		Disabled:   splitList(*disable),
+	}
+	_, auditRes, err := core.CompileAudited(string(src), cfg, opts)
+	if err != nil {
+		return 1, err
+	}
+	res := auditRes.Post
+
+	if *jsonOut {
+		data, err := res.JSON()
+		if err != nil {
+			return 1, err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(report.Findings(res))
+	}
+
+	code := 0
+	if *failOn != "none" {
+		for _, f := range res.Findings {
+			if f.Severity >= threshold {
+				code = 2
+				break
+			}
+		}
+	}
+	if *audit {
+		if err := auditRes.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "glitchlint: audit:", err)
+			code = 2
+		} else if !*jsonOut {
+			fmt.Printf("audit: every enabled pass removed its findings (pre: %s)\n",
+				auditRes.Pre.Summary())
+		}
+	}
+	return code, nil
+}
+
+func printRules() {
+	fmt.Println("glitchlint rule catalog:")
+	for _, r := range analyze.Rules() {
+		m := r.Meta()
+		scope := "IR"
+		if m.NeedsImage {
+			scope = "Thumb-16"
+		}
+		fixed := m.FixedBy
+		if fixed == "" {
+			fixed = "source change"
+		}
+		fmt.Printf("  %s %-26s %-7s %-8s fixed by: %-13s %s\n",
+			m.ID, m.Slug, m.Severity, scope, fixed, m.Doc)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}

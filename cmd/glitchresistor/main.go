@@ -52,7 +52,7 @@ func run() error {
 		return err
 	}
 
-	cfg, err := parseConfig(*defenses, *sensitive)
+	cfg, err := passes.Parse(*defenses, splitList(*sensitive))
 	if err != nil {
 		return err
 	}
@@ -90,38 +90,10 @@ func run() error {
 	return nil
 }
 
-func parseConfig(defenses, sensitive string) (passes.Config, error) {
-	var sens []string
-	if sensitive != "" {
-		sens = strings.Split(sensitive, ",")
+// splitList splits a comma-separated flag value, returning nil for "".
+func splitList(s string) []string {
+	if s == "" {
+		return nil
 	}
-	switch defenses {
-	case "all":
-		return passes.All(sens...), nil
-	case "all-but-delay":
-		return passes.AllButDelay(sens...), nil
-	case "none":
-		return passes.None(), nil
-	}
-	cfg := passes.Config{Sensitive: sens}
-	for _, name := range strings.Split(defenses, ",") {
-		switch strings.TrimSpace(name) {
-		case "enums":
-			cfg.EnumRewrite = true
-		case "returns":
-			cfg.Returns = true
-		case "integrity":
-			cfg.Integrity = true
-		case "branches":
-			cfg.Branches = true
-		case "loops":
-			cfg.Loops = true
-		case "delay":
-			cfg.Delay = true
-		case "":
-		default:
-			return cfg, fmt.Errorf("unknown defense %q", name)
-		}
-	}
-	return cfg, nil
+	return strings.Split(s, ",")
 }

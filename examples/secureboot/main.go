@@ -1,9 +1,10 @@
 // Secureboot: the paper's motivating scenario. A boot loader verifies a
 // firmware signature before jumping to it; glitching the verification is
 // one of the only ways to compromise it (paper Section II-A). This example
-// attacks an unprotected and a GlitchResistor-protected boot check with
-// the full deterministic clock-glitch parameter scan from Section V and
-// compares success and detection rates.
+// first triages each build statically with glitchlint, then attacks an
+// unprotected and a GlitchResistor-protected boot check with the full
+// deterministic clock-glitch parameter scan from Section V and compares
+// success and detection rates.
 //
 //	go run ./examples/secureboot
 package main
@@ -12,42 +13,12 @@ import (
 	"fmt"
 	"log"
 
+	"glitchlab/internal/analyze"
 	"glitchlab/internal/core"
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/pipeline"
 )
-
-// bootloader checks a (toy) signature word-by-word before booting. The
-// stored image is deliberately unsigned, so a correct boot loader must
-// refuse to boot; only a glitch can reach boot_firmware().
-const bootloader = `
-enum verdict { BAD_SIGNATURE, GOOD_SIGNATURE };
-
-volatile unsigned int image_word;
-
-unsigned int verify_signature(void) {
-	// Accumulate a checksum over four "image words" and compare with the
-	// expected signature. The image is unsigned: the check must fail.
-	unsigned int sum = 0;
-	for (unsigned int i = 0; i < 4; i = i + 1) {
-		sum = sum ^ (image_word + i);
-	}
-	if (sum == 0xD3B9AEC6) {
-		return GOOD_SIGNATURE;
-	}
-	return BAD_SIGNATURE;
-}
-
-void main(void) {
-	image_word = 0x1234;
-	trigger();
-	if (verify_signature() == GOOD_SIGNATURE) {
-		success();       // boot the unsigned firmware: the attack's goal
-	}
-	halt();              // refuse to boot
-}
-`
 
 func main() {
 	if err := run(); err != nil {
@@ -57,9 +28,16 @@ func main() {
 
 func run() error {
 	model := glitcher.NewModel(core.DefaultSeed)
-	for _, cfg := range []passes.Config{passes.None(), passes.AllButDelay(), passes.All()} {
-		res, err := core.Compile(bootloader, cfg)
+	sens := core.SecureBootSensitive
+	lintOpts := analyze.Options{Sensitive: sens}
+	for _, cfg := range []passes.Config{
+		passes.None(), passes.AllButDelay(sens...), passes.All(sens...),
+	} {
+		res, audit, err := core.CompileAudited(core.SecureBootSource, cfg, lintOpts)
 		if err != nil {
+			return err
+		}
+		if err := audit.Err(); err != nil {
 			return err
 		}
 		m, err := core.NewMachine(res.Image)
@@ -75,6 +53,9 @@ func run() error {
 			return fmt.Errorf("%s: clean run booted?! (%v/%q)",
 				cfg.Name(), clean.Reason, clean.Tag)
 		}
+
+		// Static triage: what the campaign below will confirm dynamically.
+		fmt.Printf("%-10s  glitchlint: %s\n", cfg.Name(), audit.Post.Summary())
 
 		// Attack: a 10-cycle glitch burst at each of 11 window starts,
 		// across the full ChipWhisperer-style parameter grid.
@@ -106,8 +87,9 @@ func run() error {
 	}
 	fmt.Println("\nThe checksum guard already compares against a large-Hamming-distance")
 	fmt.Println("constant, so even the unprotected loader is hard to glitch — but its")
-	fmt.Println("rare bypasses are silent. The protected builds detect thousands of")
-	fmt.Println("attempts, turning a tuning campaign into an observable event the")
-	fmt.Println("loader can react to (wipe keys, lock updates, back off).")
+	fmt.Println("rare bypasses are silent. glitchlint flags every weak shape statically;")
+	fmt.Println("the protected builds clear the findings and detect hundreds to")
+	fmt.Println("thousands of attempts, turning a tuning campaign into an observable")
+	fmt.Println("event the loader can react to (wipe keys, lock updates, back off).")
 	return nil
 }

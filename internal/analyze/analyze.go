@@ -1,0 +1,341 @@
+// Package analyze is glitchlint: a static glitch-vulnerability analyzer
+// over the IR and the emitted Thumb-16 code. Where the campaign packages
+// discover glitchable code shapes dynamically — by exhaustively flipping
+// bits and emulating the result — glitchlint recognizes the shapes the
+// paper identifies statically (Sections II and VI): single-point-of-failure
+// branches, low-Hamming-distance constant sets, fail-open defaults,
+// unshadowed sensitive loads, unhardened loop exits, and branch encodings
+// one bit flip away from a different control transfer.
+//
+// Each rule maps to a defense in internal/passes, so the analyzer doubles
+// as a correctness oracle for the defenses: a finding produced on the
+// unprotected build must disappear once the corresponding pass runs (see
+// Unremoved and core.CompileAudited).
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"glitchlab/internal/codegen"
+	"glitchlab/internal/ir"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/passes"
+)
+
+// Severity ranks how directly a finding enables the paper's attack goal.
+type Severity uint8
+
+// Severities, least to most severe.
+const (
+	Info Severity = iota
+	Low
+	Medium
+	High
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	case High:
+		return "high"
+	}
+	return fmt.Sprintf("severity%d", uint8(s))
+}
+
+// MarshalJSON renders the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// ParseSeverity parses a severity name as printed by String.
+func ParseSeverity(name string) (Severity, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "info":
+		return Info, nil
+	case "low":
+		return Low, nil
+	case "medium":
+		return Medium, nil
+	case "high":
+		return High, nil
+	}
+	return Info, fmt.Errorf("analyze: unknown severity %q", name)
+}
+
+// Finding is one glitchable code shape an analysis rule located.
+type Finding struct {
+	Rule     string   `json:"rule"` // stable rule ID, e.g. "GL001"
+	Slug     string   `json:"slug"` // rule slug, e.g. "spof-branch"
+	Severity Severity `json:"severity"`
+	// Location: Func/Block/Instr for IR-level rules (Instr indexes into
+	// the block, -1 when the finding is not tied to one instruction);
+	// Addr additionally locates image-level findings in the emitted code.
+	Func   string `json:"func,omitempty"`
+	Block  string `json:"block,omitempty"`
+	Instr  int    `json:"instr"`
+	Addr   uint32 `json:"addr,omitempty"`
+	Detail string `json:"detail"`         // what was found
+	Hint   string `json:"hint,omitempty"` // how to fix it
+	// FixedBy names the defense pass that removes this finding (a
+	// passes.Config field in lowercase: enums, returns, integrity,
+	// branches, loops), or "" when only a source change can.
+	FixedBy string `json:"fixed_by,omitempty"`
+}
+
+// Location renders the finding's place compactly for human output.
+func (f *Finding) Location() string {
+	loc := "module"
+	switch {
+	case f.Func != "" && f.Block != "":
+		loc = f.Func + "/" + f.Block
+		if f.Instr >= 0 {
+			loc = fmt.Sprintf("%s#%d", loc, f.Instr)
+		}
+	case f.Func != "":
+		loc = f.Func
+	}
+	if f.Addr != 0 {
+		loc = fmt.Sprintf("%s@%#x", loc, f.Addr)
+	}
+	return loc
+}
+
+// RuleMeta describes a rule in the registry.
+type RuleMeta struct {
+	ID       string   `json:"id"`
+	Slug     string   `json:"slug"`
+	Doc      string   `json:"doc"`
+	Severity Severity `json:"severity"`
+	// NeedsImage marks instruction-level rules that require assembled
+	// Thumb-16 code; they are skipped when the target has no image.
+	NeedsImage bool `json:"needs_image"`
+	// FixedBy is the default defense pass for the rule's findings.
+	FixedBy string `json:"fixed_by,omitempty"`
+}
+
+// finding starts a Finding pre-filled from the rule's metadata.
+func (m RuleMeta) finding() Finding {
+	return Finding{
+		Rule: m.ID, Slug: m.Slug, Severity: m.Severity,
+		Instr: -1, FixedBy: m.FixedBy,
+	}
+}
+
+// Rule is one pluggable analysis.
+type Rule interface {
+	Meta() RuleMeta
+	Analyze(t *Target, opts *Options) []Finding
+}
+
+// Target is what a rule inspects. Module is required; Image is the
+// assembled build of the same module and may be nil, in which case
+// image-level rules are skipped.
+type Target struct {
+	Module *ir.Module
+	Image  *codegen.Image
+}
+
+// Options tunes the analysis.
+type Options struct {
+	// Sensitive lists globals whose loads must be integrity-verified, in
+	// addition to any the module already marks Sensitive (the same
+	// developer configuration the integrity pass takes).
+	Sensitive []string
+	// Privileged lists callees that represent the attack goal — the
+	// paper's "boot the firmware" call. Default: success.
+	Privileged []string
+	// MinHamming is the minimum acceptable pairwise Hamming distance for
+	// security-relevant constant sets. Default 8, the distance the
+	// Reed-Solomon coder guarantees.
+	MinHamming int
+	// Models are the fault models used by image-level reachability rules.
+	// Default: AND and OR, the paper's hardware-observed models.
+	Models []mutate.Model
+	// Disabled skips rules by ID or slug.
+	Disabled []string
+}
+
+// withDefaults returns a copy with unset fields defaulted.
+func (o Options) withDefaults() Options {
+	if o.Privileged == nil {
+		o.Privileged = []string{"success"}
+	}
+	if o.MinHamming == 0 {
+		o.MinHamming = 8
+	}
+	if o.Models == nil {
+		o.Models = []mutate.Model{mutate.AND, mutate.OR}
+	}
+	return o
+}
+
+// disabled reports whether the options disable the rule.
+func (o *Options) disabled(m RuleMeta) bool {
+	for _, d := range o.Disabled {
+		if d == m.ID || d == m.Slug {
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns the registry, ordered by rule ID.
+func Rules() []Rule {
+	return []Rule{
+		spofBranch{},
+		lowHamming{},
+		failOpen{},
+		unshadowedLoad{},
+		loopExit{},
+		oneFlipBranch{},
+	}
+}
+
+// Result is one analyzer run.
+type Result struct {
+	Findings []Finding  `json:"findings"`
+	Ran      []RuleMeta `json:"rules"`
+	// Skipped lists rule IDs not run (disabled, or image-level rules on
+	// an image-less target).
+	Skipped []string `json:"skipped,omitempty"`
+}
+
+// Run executes every registered rule against the target and returns the
+// deterministically ordered findings.
+func Run(t *Target, opts Options) (*Result, error) {
+	if t == nil || t.Module == nil {
+		return nil, fmt.Errorf("analyze: target has no module")
+	}
+	opts = opts.withDefaults()
+	res := &Result{}
+	for _, r := range Rules() {
+		meta := r.Meta()
+		if opts.disabled(meta) || (meta.NeedsImage && t.Image == nil) {
+			res.Skipped = append(res.Skipped, meta.ID)
+			continue
+		}
+		res.Findings = append(res.Findings, r.Analyze(t, &opts)...)
+		res.Ran = append(res.Ran, meta)
+	}
+	sort.SliceStable(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Instr != b.Instr {
+			return a.Instr < b.Instr
+		}
+		return a.Addr < b.Addr
+	})
+	return res, nil
+}
+
+// RuleHits counts findings per rule ID.
+func (r *Result) RuleHits() map[string]int {
+	hits := make(map[string]int)
+	for _, f := range r.Findings {
+		hits[f.Rule]++
+	}
+	return hits
+}
+
+// DistinctRules returns the sorted rule IDs with at least one finding.
+func (r *Result) DistinctRules() []string {
+	hits := r.RuleHits()
+	ids := make([]string, 0, len(hits))
+	for id := range hits {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// MaxSeverity returns the most severe finding's severity (Info when there
+// are none).
+func (r *Result) MaxSeverity() Severity {
+	max := Info
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// Summary renders per-rule finding counts on one line, e.g.
+// "GL001 spof-branch ×3, GL005 unhardened-loop-exit ×1".
+func (r *Result) Summary() string {
+	if len(r.Findings) == 0 {
+		return "no findings"
+	}
+	hits := r.RuleHits()
+	var parts []string
+	for _, id := range r.DistinctRules() {
+		slug := ""
+		for _, f := range r.Findings {
+			if f.Rule == id {
+				slug = f.Slug
+				break
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%s %s ×%d", id, slug, hits[id]))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// JSON renders the result in the documented output schema.
+func (r *Result) JSON() ([]byte, error) {
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Unremoved returns the findings of a post-instrumentation analysis that an
+// enabled defense pass was supposed to remove: each is a defense bug (or a
+// shape the pass's documented qualification rules exclude). Findings whose
+// FixedBy pass is not enabled are expected to survive and are not
+// returned.
+func Unremoved(post *Result, cfg passes.Config) []Finding {
+	var out []Finding
+	for _, f := range post.Findings {
+		if passEnabled(cfg, f.FixedBy) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// passEnabled maps a FixedBy name to the corresponding Config field.
+func passEnabled(cfg passes.Config, name string) bool {
+	switch name {
+	case "enums":
+		return cfg.EnumRewrite
+	case "returns":
+		return cfg.Returns
+	case "integrity":
+		return cfg.Integrity
+	case "branches":
+		return cfg.Branches
+	case "loops":
+		return cfg.Loops
+	case "delay":
+		return cfg.Delay
+	}
+	return false
+}

@@ -1,0 +1,366 @@
+package analyze_test
+
+import (
+	"strings"
+	"testing"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/codegen"
+	"glitchlab/internal/ir"
+	"glitchlab/internal/minic"
+	"glitchlab/internal/passes"
+)
+
+// build compiles mini-C through lowering and instrumentation, optionally
+// assembling an image, without going through the core facade.
+func build(t *testing.T, src string, cfg passes.Config, withImage bool) *analyze.Target {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep passes.Report
+	if cfg.EnumRewrite {
+		if err := passes.RewriteEnums(chk, &rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mod, err := ir.Lower(chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Instrument(mod, cfg, &rep); err != nil {
+		t.Fatal(err)
+	}
+	tgt := &analyze.Target{Module: mod}
+	if withImage {
+		img, err := codegen.Build(mod, codegen.Options{Delay: cfg.Delay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt.Image = img
+	}
+	return tgt
+}
+
+func run(t *testing.T, tgt *analyze.Target, opts analyze.Options) *analyze.Result {
+	t.Helper()
+	res, err := analyze.Run(tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// ruleFindings filters a result to one rule ID.
+func ruleFindings(res *analyze.Result, id string) []analyze.Finding {
+	var out []analyze.Finding
+	for _, f := range res.Findings {
+		if f.Rule == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+const guardSrc = `
+volatile unsigned int a;
+
+void main(void) {
+	unsigned int x = 5;
+	while (x > 0) {
+		x = x - 1;
+	}
+	if (x == a) {
+		success();
+	}
+	halt();
+}
+`
+
+func TestSPOFBranchRule(t *testing.T) {
+	res := run(t, build(t, guardSrc, passes.None(), false), analyze.Options{})
+	got := ruleFindings(res, "GL001")
+	if len(got) < 2 {
+		t.Fatalf("GL001 on unprotected guards: %d findings, want >= 2 (loop + if)", len(got))
+	}
+	for _, f := range got {
+		if f.FixedBy != "branches" || f.Func != "main" || f.Block == "" {
+			t.Errorf("GL001 finding malformed: %+v", f)
+		}
+	}
+
+	hardened := run(t, build(t, guardSrc,
+		passes.Config{Branches: true}, false), analyze.Options{})
+	if left := ruleFindings(hardened, "GL001"); len(left) != 0 {
+		t.Errorf("GL001 after branch hardening: %d findings remain: %v", len(left), left)
+	}
+}
+
+func TestLoopExitRule(t *testing.T) {
+	res := run(t, build(t, guardSrc, passes.None(), false), analyze.Options{})
+	got := ruleFindings(res, "GL005")
+	if len(got) != 1 {
+		t.Fatalf("GL005 on unprotected loop: %d findings, want 1", len(got))
+	}
+	if got[0].FixedBy != "loops" {
+		t.Errorf("GL005 FixedBy = %q, want loops", got[0].FixedBy)
+	}
+
+	hardened := run(t, build(t, guardSrc,
+		passes.Config{Loops: true}, false), analyze.Options{})
+	if left := ruleFindings(hardened, "GL005"); len(left) != 0 {
+		t.Errorf("GL005 after loop hardening: %d findings remain: %v", len(left), left)
+	}
+}
+
+const enumSrc = `
+enum status { IDLE, ARMED, FIRED };
+
+volatile unsigned int a;
+
+unsigned int state(void) {
+	if (a == 1) {
+		return ARMED;
+	}
+	return IDLE;
+}
+
+void main(void) {
+	if (state() == ARMED) {
+		success();
+	}
+	halt();
+}
+`
+
+func TestLowHammingRule(t *testing.T) {
+	res := run(t, build(t, enumSrc, passes.None(), false), analyze.Options{})
+	got := ruleFindings(res, "GL002")
+	if len(got) != 2 {
+		t.Fatalf("GL002 on sequential enum + 0/1 returns: %d findings, want 2", len(got))
+	}
+	var sawEnum, sawReturns bool
+	for _, f := range got {
+		switch f.FixedBy {
+		case "enums":
+			sawEnum = true
+			if !strings.Contains(f.Hint, "0x") {
+				t.Errorf("enum hint lacks RS suggestions: %q", f.Hint)
+			}
+		case "returns":
+			sawReturns = true
+			if f.Func != "state" {
+				t.Errorf("returns finding on %q, want state", f.Func)
+			}
+		}
+	}
+	if !sawEnum || !sawReturns {
+		t.Fatalf("GL002 variants: enum=%v returns=%v, want both", sawEnum, sawReturns)
+	}
+
+	// Each sub-shape is cleared by its own pass.
+	fixed := run(t, build(t, enumSrc,
+		passes.Config{EnumRewrite: true, Returns: true}, false), analyze.Options{})
+	if left := ruleFindings(fixed, "GL002"); len(left) != 0 {
+		t.Errorf("GL002 after enums+returns: %d findings remain: %v", len(left), left)
+	}
+}
+
+func TestFailOpenRule(t *testing.T) {
+	const failOpenSrc = `
+volatile unsigned int bad;
+
+void main(void) {
+	if (bad) {
+		halt();
+	}
+	success();
+}
+`
+	res := run(t, build(t, failOpenSrc, passes.None(), false), analyze.Options{})
+	if got := ruleFindings(res, "GL003"); len(got) != 1 {
+		t.Fatalf("GL003 on fail-open guard: %d findings, want 1", len(got))
+	}
+
+	// The fail-closed version keeps the privileged call behind the taken
+	// edge and must not be flagged.
+	const failClosedSrc = `
+volatile unsigned int ok;
+
+void main(void) {
+	if (ok) {
+		success();
+	}
+	halt();
+}
+`
+	res = run(t, build(t, failClosedSrc, passes.None(), false), analyze.Options{})
+	if got := ruleFindings(res, "GL003"); len(got) != 0 {
+		t.Fatalf("GL003 on fail-closed guard: %v, want none", got)
+	}
+
+	// Loop-exit fail-open: escaping while(!a) boots. Loop hardening moves
+	// the exit behind a check block's taken edge, clearing the finding.
+	const loopSrc = `
+volatile unsigned int a;
+
+void main(void) {
+	while (!a) { }
+	success();
+}
+`
+	res = run(t, build(t, loopSrc, passes.None(), false), analyze.Options{})
+	if got := ruleFindings(res, "GL003"); len(got) != 1 {
+		t.Fatalf("GL003 on while(!a) exit: %d findings, want 1", len(got))
+	}
+	res = run(t, build(t, loopSrc, passes.Config{Loops: true}, false), analyze.Options{})
+	if got := ruleFindings(res, "GL003"); len(got) != 0 {
+		t.Fatalf("GL003 after loop hardening: %v, want none", got)
+	}
+}
+
+const sensitiveSrc = `
+volatile unsigned int uwTick;
+
+void main(void) {
+	while (1) {
+		unsigned int t = uwTick;
+		if (t == 0) {
+			success();
+		}
+		uwTick = t + 1;
+	}
+}
+`
+
+func TestUnshadowedLoadRule(t *testing.T) {
+	opts := analyze.Options{Sensitive: []string{"uwTick"}}
+	res := run(t, build(t, sensitiveSrc, passes.None(), false), opts)
+	got := ruleFindings(res, "GL004")
+	if len(got) != 1 {
+		t.Fatalf("GL004 on unshadowed load: %d findings, want 1", len(got))
+	}
+	if got[0].FixedBy != "integrity" {
+		t.Errorf("GL004 FixedBy = %q, want integrity", got[0].FixedBy)
+	}
+
+	// Without the sensitive list nothing marks the global, so the rule
+	// has nothing to check.
+	res = run(t, build(t, sensitiveSrc, passes.None(), false), analyze.Options{})
+	if len(ruleFindings(res, "GL004")) != 0 {
+		t.Error("GL004 fired with no sensitive configuration")
+	}
+
+	protected := build(t, sensitiveSrc,
+		passes.Config{Integrity: true, Sensitive: []string{"uwTick"}}, false)
+	res = run(t, protected, opts)
+	if left := ruleFindings(res, "GL004"); len(left) != 0 {
+		t.Errorf("GL004 after integrity: %d findings remain: %v", len(left), left)
+	}
+}
+
+func TestOneFlipBranchRule(t *testing.T) {
+	res := run(t, build(t, guardSrc, passes.None(), true), analyze.Options{})
+	got := ruleFindings(res, "GL006")
+	if len(got) == 0 {
+		t.Fatal("GL006 found no one-flip-vulnerable branch encodings in an unprotected image")
+	}
+	for _, f := range got {
+		if f.Addr == 0 || f.Func == "" || f.Block == "" {
+			t.Errorf("GL006 finding lacks location: %+v", f)
+		}
+	}
+
+	hardened := run(t, build(t, guardSrc,
+		passes.Config{Branches: true, Loops: true}, true), analyze.Options{})
+	if left := ruleFindings(hardened, "GL006"); len(left) != 0 {
+		t.Errorf("GL006 after branch+loop hardening: %d remain: %v", len(left), left)
+	}
+}
+
+func TestImageRuleSkippedWithoutImage(t *testing.T) {
+	res := run(t, build(t, guardSrc, passes.None(), false), analyze.Options{})
+	found := false
+	for _, id := range res.Skipped {
+		if id == "GL006" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Skipped = %v, want GL006 listed on an image-less target", res.Skipped)
+	}
+	for _, m := range res.Ran {
+		if m.ID == "GL006" {
+			t.Error("GL006 reported as ran without an image")
+		}
+	}
+}
+
+func TestDisabledRules(t *testing.T) {
+	res := run(t, build(t, guardSrc, passes.None(), false),
+		analyze.Options{Disabled: []string{"GL001", "unhardened-loop-exit"}})
+	if n := len(ruleFindings(res, "GL001")) + len(ruleFindings(res, "GL005")); n != 0 {
+		t.Errorf("disabled rules still produced %d findings", n)
+	}
+	if len(res.Skipped) < 2 {
+		t.Errorf("Skipped = %v, want both disabled rules listed", res.Skipped)
+	}
+}
+
+func TestUnremoved(t *testing.T) {
+	// Analyzing an unprotected module and claiming every pass ran must
+	// surface the pass-owned findings as violations.
+	res := run(t, build(t, guardSrc, passes.None(), false), analyze.Options{})
+	violations := analyze.Unremoved(res, passes.All())
+	if len(violations) == 0 {
+		t.Fatal("Unremoved found nothing on an unprotected module under an all-passes config")
+	}
+	for _, f := range violations {
+		if f.FixedBy == "" {
+			t.Errorf("finding with no owning pass reported as unremoved: %+v", f)
+		}
+	}
+	// Under the empty config nothing is owed.
+	if v := analyze.Unremoved(res, passes.None()); len(v) != 0 {
+		t.Errorf("Unremoved under None = %d findings, want 0", len(v))
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	res := run(t, build(t, guardSrc, passes.None(), true), analyze.Options{})
+	if sev := res.MaxSeverity(); sev != analyze.High {
+		t.Errorf("MaxSeverity = %v, want high (GL001 present)", sev)
+	}
+	sum := res.Summary()
+	for _, id := range res.DistinctRules() {
+		if !strings.Contains(sum, id) {
+			t.Errorf("Summary %q missing rule %s", sum, id)
+		}
+	}
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rule": "GL001"`, `"severity": "high"`, `"fixed_by": "branches"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON output missing %q", want)
+		}
+	}
+}
+
+func TestParseSeverity(t *testing.T) {
+	for _, sev := range []analyze.Severity{analyze.Info, analyze.Low, analyze.Medium, analyze.High} {
+		back, err := analyze.ParseSeverity(sev.String())
+		if err != nil || back != sev {
+			t.Errorf("ParseSeverity(%q) = %v, %v", sev.String(), back, err)
+		}
+	}
+	if _, err := analyze.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted an unknown name")
+	}
+}

@@ -1,0 +1,72 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/core"
+	"glitchlab/internal/passes"
+)
+
+// TestSecureBootDifferential is the analyzer/defense cross-validation: on
+// the unprotected secure-boot loader glitchlint must flag at least four
+// distinct vulnerability classes, and on the fully defended build every
+// finding must be gone — the analyzer validates the passes and vice versa.
+func TestSecureBootDifferential(t *testing.T) {
+	opts := analyze.Options{Sensitive: core.SecureBootSensitive}
+
+	unprotected, err := core.Compile(core.SecureBootSource, passes.None())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analyze.Run(
+		&analyze.Target{Module: unprotected.Module, Image: unprotected.Image}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := res.DistinctRules()
+	if len(distinct) < 4 {
+		t.Fatalf("unprotected secure boot: %d distinct rules %v, want >= 4\nfindings: %s",
+			len(distinct), distinct, res.Summary())
+	}
+	for _, id := range []string{"GL001", "GL002", "GL004", "GL005", "GL006"} {
+		if res.RuleHits()[id] == 0 {
+			t.Errorf("unprotected secure boot: expected a %s finding (got %s)",
+				id, res.Summary())
+		}
+	}
+
+	defended, err := core.Compile(core.SecureBootSource,
+		passes.All(core.SecureBootSensitive...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = analyze.Run(
+		&analyze.Target{Module: defended.Module, Image: defended.Image}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Fatalf("fully defended secure boot still has findings: %s\nfirst: %+v",
+			res.Summary(), res.Findings[0])
+	}
+}
+
+// TestSecureBootAudit runs the same comparison through the compile-pipeline
+// hook: with every defense enabled, no finding a pass owns may survive it.
+func TestSecureBootAudit(t *testing.T) {
+	_, audit, err := core.CompileAudited(core.SecureBootSource,
+		passes.All(core.SecureBootSensitive...), analyze.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(audit.Pre.Findings) == 0 {
+		t.Error("pre-defense audit found nothing on the unprotected lowering")
+	}
+	if len(audit.Post.Findings) != 0 {
+		t.Errorf("post-defense audit: %s, want no findings", audit.Post.Summary())
+	}
+}

@@ -1,0 +1,176 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"glitchlab/internal/ir"
+	"glitchlab/internal/isa"
+)
+
+// oneFlipBranch is GL006: an emitted conditional-branch encoding in an
+// unprotected block that a single bit flip under a hardware fault model
+// turns into a different control transfer (a different condition or
+// target, an unconditional branch, or silent fall-through) — the static
+// counterpart of the Section IV emulation campaign, which found exactly
+// these one-flip corruptions dominating glitch successes.
+type oneFlipBranch struct{}
+
+func (oneFlipBranch) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL006", Slug: "one-flip-branch",
+		Doc: "emitted branch encoding one bit flip away from a " +
+			"different control transfer, with no redundant check",
+		Severity: Medium, NeedsImage: true, FixedBy: "branches",
+	}
+}
+
+func (r oneFlipBranch) Analyze(t *Target, opts *Options) []Finding {
+	prog := t.Image.Prog
+	spans := buildSpans(t.Module, prog)
+	var out []Finding
+	for _, addr := range prog.InstAddrs {
+		in, ok := prog.InstAt(addr)
+		if !ok || in.Op != isa.OpBCond {
+			continue
+		}
+		sp := spans.locate(addr)
+		if sp == nil || sp.covered {
+			// Boot/runtime code, or a block a redundant check backs up.
+			continue
+		}
+		hw := uint16(in.Raw)
+		// The halfword after the branch: if a flip turns the branch into
+		// a 32-bit prefix, the CPU pairs it with this word.
+		var next uint16
+		if off := int(addr - prog.Base); off+4 <= len(prog.Code) {
+			next = uint16(prog.Code[off+2]) | uint16(prog.Code[off+3])<<8
+		}
+		total, silent := 0, 0
+		for _, model := range opts.Models {
+			for bit := 0; bit < 16; bit++ {
+				mut := model.Apply(hw, 1<<bit)
+				if mut == hw {
+					continue
+				}
+				total++
+				if silentTransfer(in, mut, next) {
+					silent++
+				}
+			}
+		}
+		if silent == 0 {
+			continue
+		}
+		fd := r.Meta().finding()
+		fd.Func, fd.Block, fd.Addr = sp.fn, sp.blk, addr
+		fd.Detail = fmt.Sprintf(
+			"%d of %d single-bit flips turn %s (%#04x) into a different control transfer undetected",
+			silent, total, in, hw)
+		fd.Hint = "a redundant check behind the branch (-defenses branches) catches the diverted path"
+		out = append(out, fd)
+	}
+	return out
+}
+
+// silentTransfer reports whether the mutated encoding changes the
+// branch's control transfer without raising a fault the CPU would detect.
+// next is the halfword following the branch in memory.
+func silentTransfer(orig isa.Inst, mut, next uint16) bool {
+	if isa.Is32Bit(mut) {
+		// Became a 32-bit prefix: silent only if pairing with the next
+		// word forms a valid BL that carries control away.
+		return isa.Decode(mut, next).Op == isa.OpBL
+	}
+	d := isa.Decode(mut, 0)
+	switch d.Op {
+	case isa.OpInvalid, isa.OpUDF, isa.OpSVC, isa.OpBKPT:
+		return false // faults or traps: detected, not silent
+	case isa.OpBCond:
+		return d.Cond != orig.Cond || d.Imm != orig.Imm
+	default:
+		// Unconditional branches jump away; anything else (a data op)
+		// silently falls through where the branch should have decided.
+		return true
+	}
+}
+
+// span attributes an address range of the emitted code to an IR block.
+type span struct {
+	addr    uint32
+	fn, blk string
+	covered bool
+}
+
+type spanIndex struct {
+	spans []span
+	lo    uint32 // first function's start
+	hi    uint32 // end of the last function (start of the runtime)
+}
+
+// buildSpans maps emitted code addresses back to IR blocks using the
+// per-block labels the code generator emits (f_<func>_<block>), and marks
+// blocks whose control flow a GR check already guards.
+func buildSpans(m *ir.Module, prog *isa.Program) *spanIndex {
+	idx := &spanIndex{}
+	if end, ok := prog.SymbolAddr("success"); ok {
+		idx.hi = end // the runtime follows the last function
+	}
+	first := true
+	for _, f := range m.Funcs {
+		if start, ok := prog.SymbolAddr(f.Name); ok && (first || start < idx.lo) {
+			idx.lo = start
+			first = false
+		}
+		for _, b := range f.Blocks {
+			addr, ok := prog.SymbolAddr(fmt.Sprintf("f_%s_%s", f.Name, b.Name))
+			if !ok {
+				continue
+			}
+			idx.spans = append(idx.spans, span{
+				addr: addr, fn: f.Name, blk: b.Name,
+				covered: blockCovered(f, b),
+			})
+		}
+	}
+	sort.Slice(idx.spans, func(i, j int) bool {
+		return idx.spans[i].addr < idx.spans[j].addr
+	})
+	return idx
+}
+
+// locate returns the block span containing addr, or nil for boot or
+// runtime code.
+func (idx *spanIndex) locate(addr uint32) *span {
+	if addr < idx.lo || (idx.hi != 0 && addr >= idx.hi) {
+		return nil
+	}
+	i := sort.Search(len(idx.spans), func(i int) bool {
+		return idx.spans[i].addr > addr
+	})
+	if i == 0 {
+		return nil
+	}
+	return &idx.spans[i-1]
+}
+
+// blockCovered reports whether a corrupted branch inside b is backed up by
+// pass-inserted redundancy: the block is itself GR-inserted (check blocks
+// verify each other by construction), its terminator is a GR verification
+// branching to detect on disagreement, or its taken edge re-enters a GR
+// check block.
+func blockCovered(f *ir.Func, b *ir.Block) bool {
+	if isGRBlock(b) {
+		return true
+	}
+	term := b.Term()
+	if term == nil || term.Op != ir.OpCondBr {
+		return false
+	}
+	if term.GR {
+		// Integrity verification inserted mid-block: its conditional
+		// branch is itself the redundant check.
+		return true
+	}
+	return isRecheckBlock(f, term.TrueBlk)
+}

@@ -1,0 +1,333 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+
+	"glitchlab/internal/ir"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/rs"
+)
+
+// isGRBlock reports whether every instruction in b was inserted by a
+// defense pass.
+func isGRBlock(b *ir.Block) bool {
+	if len(b.Instrs) == 0 {
+		return false
+	}
+	for _, in := range b.Instrs {
+		if !in.GR {
+			return false
+		}
+	}
+	return true
+}
+
+// isRecheckBlock reports whether the named block is a GR redundant-check
+// block: entirely pass-inserted, terminated by a conditional branch whose
+// disagree edge goes to the detect block.
+func isRecheckBlock(f *ir.Func, name string) bool {
+	b, ok := f.Block(name)
+	if !ok || !isGRBlock(b) {
+		return false
+	}
+	term := b.Term()
+	return term != nil && term.Op == ir.OpCondBr && term.FalseBlk == passes.DetectBlock
+}
+
+// spofBranch is GL001: a conditional branch whose taken edge leads straight
+// to its target with no complemented re-check is a single point of failure
+// — one corrupted compare or branch encoding decides the outcome alone
+// (paper Section VI-B, branch redundancy).
+type spofBranch struct{}
+
+func (spofBranch) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL001", Slug: "spof-branch",
+		Doc: "conditional branch with no complemented re-check on the " +
+			"taken edge (single point of failure)",
+		Severity: High, FixedBy: "branches",
+	}
+}
+
+func (r spofBranch) Analyze(t *Target, opts *Options) []Finding {
+	var out []Finding
+	for _, f := range t.Module.Funcs {
+		for _, b := range f.Blocks {
+			term := b.Term()
+			if term == nil || term.Op != ir.OpCondBr || term.GR {
+				continue
+			}
+			if isRecheckBlock(f, term.TrueBlk) {
+				continue
+			}
+			fd := r.Meta().finding()
+			fd.Func, fd.Block, fd.Instr = f.Name, b.Name, len(b.Instrs)-1
+			fd.Detail = fmt.Sprintf(
+				"taken edge of %q goes directly to %q: one glitched compare or branch decides the outcome",
+				term, term.TrueBlk)
+			fd.Hint = "enable branch redundancy (-defenses branches) to re-check the condition in complemented form"
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// loopExit is GL005: a loop guard whose exit edge is unchecked — glitching
+// the guard once escapes the loop, the paper's while(!ready) anti-pattern
+// (Section VI-B, loop hardening).
+type loopExit struct{}
+
+func (loopExit) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL005", Slug: "unhardened-loop-exit",
+		Doc:      "loop guard with no re-check on the exit edge",
+		Severity: Medium, FixedBy: "loops",
+	}
+}
+
+func (r loopExit) Analyze(t *Target, opts *Options) []Finding {
+	var out []Finding
+	for _, f := range t.Module.Funcs {
+		for _, b := range f.Blocks {
+			if !b.IsLoopHeader {
+				continue
+			}
+			term := b.Term()
+			if term == nil || term.Op != ir.OpCondBr || term.GR {
+				continue
+			}
+			if isRecheckBlock(f, term.FalseBlk) {
+				continue
+			}
+			fd := r.Meta().finding()
+			fd.Func, fd.Block, fd.Instr = f.Name, b.Name, len(b.Instrs)-1
+			fd.Detail = fmt.Sprintf(
+				"loop exit edge of %q leaves to %q unchecked: one glitch escapes the loop",
+				term, term.FalseBlk)
+			fd.Hint = "enable loop hardening (-defenses loops) to re-check the guard on the exit edge"
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// lowHamming is GL002: security-relevant constant sets — enum values and
+// constant-return codes — whose pairwise Hamming distance is small enough
+// that few bit flips turn one valid value into another (paper Section VI-B,
+// constant diversification).
+type lowHamming struct{}
+
+func (lowHamming) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL002", Slug: "low-hamming-const",
+		Doc: "enum or return-code constant set with pairwise Hamming " +
+			"distance below the threshold",
+		Severity: Medium, FixedBy: "enums",
+	}
+}
+
+func (r lowHamming) Analyze(t *Target, opts *Options) []Finding {
+	var out []Finding
+	for _, e := range t.Module.Enums {
+		if len(e.Values) < 2 {
+			continue
+		}
+		d := rs.MinPairwiseDistance(e.Values)
+		if d >= opts.MinHamming {
+			continue
+		}
+		fd := r.Meta().finding()
+		fd.Detail = fmt.Sprintf(
+			"enum %s values have minimum pairwise Hamming distance %d (< %d): few flips map one member onto another",
+			e.Name, d, opts.MinHamming)
+		fd.Hint = suggestCodes(len(e.Values), "-defenses enums")
+		out = append(out, fd)
+	}
+	for _, set := range passes.ReturnConstSets(t.Module) {
+		if len(set.Values) < 2 {
+			continue
+		}
+		d := rs.MinPairwiseDistance(set.Values)
+		if d >= opts.MinHamming {
+			continue
+		}
+		fd := r.Meta().finding()
+		fd.Func = set.Func
+		fd.FixedBy = "returns"
+		fd.Detail = fmt.Sprintf(
+			"return codes of %s have minimum pairwise Hamming distance %d (< %d)",
+			set.Func, d, opts.MinHamming)
+		if set.Hardenable {
+			fd.Hint = suggestCodes(len(set.Values), "-defenses returns")
+		} else {
+			// A call site uses the result outside constant equality
+			// comparisons, so the defense will skip this function.
+			fd.FixedBy = ""
+			fd.Hint = "call sites disqualify automatic hardening; diversify the return constants manually"
+		}
+		out = append(out, fd)
+	}
+	return out
+}
+
+// suggestCodes renders a replacement suggestion from the Reed-Solomon
+// coder the defenses use.
+func suggestCodes(count int, flag string) string {
+	codes, err := rs.Codes(count)
+	if err != nil {
+		return fmt.Sprintf("diversify the constants (%s)", flag)
+	}
+	if len(codes) > 4 {
+		codes = codes[:4]
+	}
+	parts := make([]string, len(codes))
+	for i, c := range codes {
+		parts[i] = fmt.Sprintf("%#08x", c)
+	}
+	return fmt.Sprintf("diversify with Reed-Solomon codes (%s), e.g. %s",
+		flag, strings.Join(parts, ", "))
+}
+
+// failOpen is GL003: the privileged call is reachable from the function
+// entry through fall-through edges alone (jumps and branch-not-taken
+// edges), so the code fails open — corruption that skips or falls through
+// guards reaches it (the paper's Section II secure-boot anti-pattern; the
+// fix is writing the guard so privilege requires taken edges).
+type failOpen struct{}
+
+func (failOpen) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL003", Slug: "fail-open-default",
+		Doc: "privileged call reachable from entry via fall-through " +
+			"(not-taken) edges alone",
+		Severity: High,
+	}
+}
+
+func (r failOpen) Analyze(t *Target, opts *Options) []Finding {
+	priv := map[string]bool{}
+	for _, name := range opts.Privileged {
+		priv[name] = true
+	}
+	var out []Finding
+	for _, f := range t.Module.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		// Walk only the edges a fall-through-biased corruption follows:
+		// unconditional jumps and the not-taken side of conditionals.
+		reached := map[string]bool{f.Blocks[0].Name: true}
+		work := []string{f.Blocks[0].Name}
+		for len(work) > 0 {
+			b, ok := f.Block(work[len(work)-1])
+			work = work[:len(work)-1]
+			if !ok {
+				continue
+			}
+			term := b.Term()
+			if term == nil {
+				continue
+			}
+			var next []string
+			switch term.Op {
+			case ir.OpJmp:
+				next = []string{term.Target}
+			case ir.OpCondBr:
+				next = []string{term.FalseBlk}
+			}
+			for _, n := range next {
+				if !reached[n] {
+					reached[n] = true
+					work = append(work, n)
+				}
+			}
+		}
+		for _, b := range f.Blocks {
+			if !reached[b.Name] {
+				continue
+			}
+			for i, in := range b.Instrs {
+				if in.Op != ir.OpCall || !priv[in.Callee] {
+					continue
+				}
+				fd := r.Meta().finding()
+				fd.Func, fd.Block, fd.Instr = f.Name, b.Name, i
+				fd.Detail = fmt.Sprintf(
+					"privileged call %s() is on the fall-through path from entry: the code fails open",
+					in.Callee)
+				fd.Hint = "invert the guard so the privileged path requires a taken edge (or harden the loop exit it escapes through)"
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// unshadowedLoad is GL004: a load of a sensitive global that is not
+// followed by verification against its inverted shadow copy — a single
+// corrupted load (or a direct memory fault) goes undetected (paper
+// Section VI-B, data integrity).
+type unshadowedLoad struct{}
+
+func (unshadowedLoad) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL004", Slug: "unshadowed-sensitive-load",
+		Doc:      "load of a sensitive global without shadow verification",
+		Severity: Medium, FixedBy: "integrity",
+	}
+}
+
+func (r unshadowedLoad) Analyze(t *Target, opts *Options) []Finding {
+	sens := map[string]bool{}
+	for _, name := range opts.Sensitive {
+		sens[name] = true
+	}
+	for _, g := range t.Module.Globals {
+		if g.Sensitive {
+			sens[g.Name] = true
+		}
+	}
+	var out []Finding
+	for _, f := range t.Module.Funcs {
+		for _, b := range f.Blocks {
+			for i, in := range b.Instrs {
+				if in.Op != ir.OpLoadG || in.GR || !sens[in.GName] {
+					continue
+				}
+				if shadowVerified(t.Module, b, i) {
+					continue
+				}
+				fd := r.Meta().finding()
+				fd.Func, fd.Block, fd.Instr = f.Name, b.Name, i
+				fd.Detail = fmt.Sprintf(
+					"load of sensitive global %s is not verified against a shadow copy",
+					in.GName)
+				fd.Hint = fmt.Sprintf(
+					"enable data integrity for it (-defenses integrity -sensitive %s)",
+					in.GName)
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// shadowVerified reports whether the load at b.Instrs[i] is immediately
+// followed by pass-inserted verification that reads its shadow global.
+func shadowVerified(m *ir.Module, b *ir.Block, i int) bool {
+	g, ok := m.Global(b.Instrs[i].GName)
+	if !ok || g.Shadow == "" {
+		return false
+	}
+	for j := i + 1; j < len(b.Instrs); j++ {
+		in := b.Instrs[j]
+		if !in.GR {
+			return false // verification must precede any further real code
+		}
+		if in.Op == ir.OpLoadG && in.GName == g.Shadow {
+			return true
+		}
+	}
+	return false
+}

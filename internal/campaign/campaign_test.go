@@ -86,6 +86,9 @@ func TestInvertedConditionIsSuccess(t *testing.T) {
 }
 
 func TestSweepCountsExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 65536-encoding sweep skipped in -short mode")
+	}
 	r := mustRunner(t, isa.EQ, false)
 	res := r.Sweep(mutate.AND, 16)
 	if res.Runs != 1<<16 {
@@ -113,6 +116,9 @@ func TestSweepCountsExhaustive(t *testing.T) {
 }
 
 func TestANDBeatsORHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 65536-encoding sweeps skipped in -short mode")
+	}
 	// The paper's central emulation finding: 1→0 flips (AND) skip
 	// branches far more often than 0→1 flips (OR).
 	rAnd := mustRunner(t, isa.EQ, false)
@@ -129,6 +135,9 @@ func TestANDBeatsORHeadline(t *testing.T) {
 }
 
 func TestZeroInvalidBarelyChangesANDRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 65536-encoding sweeps skipped in -short mode")
+	}
 	// Figure 2c's debunking result: making 0x0000 invalid leaves the AND
 	// success rate essentially unchanged, because many other corrupted
 	// encodings still skip the branch.
@@ -178,6 +187,9 @@ func TestOutcomeStrings(t *testing.T) {
 // instructions should convert a meaningful share of would-be effects into
 // detected invalid-instruction faults (and must never help the attacker).
 func TestUDFPaddingHypothesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full 65536-encoding sweeps skipped in -short mode")
+	}
 	plainR := mustRunner(t, isa.EQ, false)
 	padded, err := NewPaddedRunner(isa.EQ, false)
 	if err != nil {

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/ir"
+	"glitchlab/internal/minic"
+	"glitchlab/internal/passes"
+)
+
+// AuditResult is the pre/post static-analysis pair CompileAudited wraps
+// around the defense passes: Pre analyzes an untouched lowering of the
+// source (no enum rewrite, no instrumentation, so it shows everything
+// glitchlint can find), Post analyzes the instrumented module and emitted
+// code, and Unremoved lists the Post findings an enabled pass should have
+// removed — each one a defense bug.
+type AuditResult struct {
+	Pre       *analyze.Result
+	Post      *analyze.Result
+	Unremoved []analyze.Finding
+}
+
+// Err returns a non-nil error when an enabled defense failed to remove a
+// finding it owns.
+func (a *AuditResult) Err() error {
+	if len(a.Unremoved) == 0 {
+		return nil
+	}
+	f := a.Unremoved[0]
+	return fmt.Errorf(
+		"core: %d findings survived their defense pass (first: %s %s at %s: %s)",
+		len(a.Unremoved), f.Rule, f.Slug, f.Location(), f.Detail)
+}
+
+// CompileAudited is Compile with the glitchlint analyzer wired around the
+// defense-injection stage. The analysis options' Sensitive list defaults
+// to the config's, so the pre snapshot flags the loads the integrity pass
+// is about to protect. Build errors abort; audit violations do not — the
+// caller decides via AuditResult.Err.
+func CompileAudited(src string, cfg passes.Config,
+	opts analyze.Options) (*CompileResult, *AuditResult, error) {
+	if opts.Sensitive == nil {
+		opts.Sensitive = cfg.Sensitive
+	}
+	pre, err := analyzeBaseline(src, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := Compile(src, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	post, err := analyze.Run(
+		&analyze.Target{Module: res.Module, Image: res.Image}, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	audit := &AuditResult{
+		Pre:       pre,
+		Post:      post,
+		Unremoved: analyze.Unremoved(post, cfg),
+	}
+	return res, audit, nil
+}
+
+// analyzeBaseline lowers the source with no defenses at all and analyzes
+// the result. A fresh parse keeps the rewriting passes from contaminating
+// the baseline (RewriteEnums mutates the checked AST in place).
+func analyzeBaseline(src string, opts analyze.Options) (*analyze.Result, error) {
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := ir.Lower(chk)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Run(&analyze.Target{Module: mod}, opts)
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/passes"
+)
+
+// TestCompileAuditedEvalFirmware asserts the pipeline hook's central
+// property over the evaluation firmware: under every defense
+// configuration, each enabled pass removes the findings it owns.
+func TestCompileAuditedEvalFirmware(t *testing.T) {
+	configs := []passes.Config{
+		passes.All(EvalSensitive...),
+		passes.AllButDelay(EvalSensitive...),
+		{EnumRewrite: true},
+		{Returns: true},
+		{Integrity: true, Sensitive: EvalSensitive},
+		{Branches: true},
+		{Loops: true},
+	}
+	opts := analyze.Options{Sensitive: EvalSensitive}
+	for _, cfg := range configs {
+		res, audit, err := CompileAudited(EvalFirmware, cfg, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name(), err)
+		}
+		if res.Image == nil {
+			t.Fatalf("%s: no image", cfg.Name())
+		}
+		if err := audit.Err(); err != nil {
+			t.Errorf("%s: %v", cfg.Name(), err)
+		}
+		if len(audit.Pre.Findings) == 0 {
+			t.Errorf("%s: pre-defense analysis found nothing", cfg.Name())
+		}
+	}
+}
+
+// TestCompileAuditedBaselineIsStable checks the pre snapshot ignores the
+// configuration: it always analyzes the untouched lowering.
+func TestCompileAuditedBaselineIsStable(t *testing.T) {
+	opts := analyze.Options{Sensitive: EvalSensitive}
+	_, none, err := CompileAudited(EvalFirmware, passes.None(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, all, err := CompileAudited(EvalFirmware, passes.All(EvalSensitive...), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Pre.Summary() != all.Pre.Summary() {
+		t.Errorf("pre snapshot depends on config:\nnone: %s\nall:  %s",
+			none.Pre.Summary(), all.Pre.Summary())
+	}
+	// Under the empty config nothing is instrumented, so the post image
+	// analysis can only add image-level findings to the pre set.
+	if len(none.Post.Findings) < len(none.Pre.Findings) {
+		t.Errorf("None config removed findings: pre %d, post %d",
+			len(none.Pre.Findings), len(none.Post.Findings))
+	}
+	if err := none.Err(); err != nil {
+		t.Errorf("None config owes no findings, got %v", err)
+	}
+}
+
+// TestCompileAuditedLoopFailOpen documents the loop-hardening side effect
+// the fail-open rule relies on: while(!a){} success() fails open until the
+// exit edge re-check moves success behind a taken edge.
+func TestCompileAuditedLoopFailOpen(t *testing.T) {
+	_, audit, err := CompileAudited(WhileNotAFirmware, passes.None(), analyze.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audit.Post.RuleHits()["GL003"] == 0 {
+		t.Errorf("unprotected while(!a): no GL003 finding (got %s)", audit.Post.Summary())
+	}
+
+	_, audit, err = CompileAudited(WhileNotAFirmware, passes.All(), analyze.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := audit.Post.RuleHits()["GL003"]; n != 0 {
+		t.Errorf("defended while(!a): %d GL003 findings remain", n)
+	}
+}

@@ -51,6 +51,44 @@ void main(void) {
 // EvalSensitive lists the globals the evaluation firmware marks sensitive.
 var EvalSensitive = []string{"uwTick"}
 
+// SecureBootSource is the paper's Section II motivating scenario, shared
+// by the secureboot example and the glitchlint differential tests: a boot
+// loader accumulates a checksum over four words of a deliberately unsigned
+// image and boots only if it matches the expected signature, so only a
+// glitch can reach success(). image_word is the sensitive global a
+// protected build shadows.
+const SecureBootSource = `
+enum verdict { BAD_SIGNATURE, GOOD_SIGNATURE };
+
+volatile unsigned int image_word;
+
+unsigned int verify_signature(void) {
+	// Accumulate a checksum over four "image words" and compare with the
+	// expected signature. The image is unsigned: the check must fail.
+	unsigned int sum = 0;
+	for (unsigned int i = 0; i < 4; i = i + 1) {
+		sum = sum ^ (image_word + i);
+	}
+	if (sum == 0xD3B9AEC6) {
+		return GOOD_SIGNATURE;
+	}
+	return BAD_SIGNATURE;
+}
+
+void main(void) {
+	image_word = 0x1234;
+	trigger();
+	if (verify_signature() == GOOD_SIGNATURE) {
+		success();       // boot the unsigned firmware: the attack's goal
+	}
+	halt();              // refuse to boot
+}
+`
+
+// SecureBootSensitive lists the secure-boot globals the integrity defense
+// protects.
+var SecureBootSensitive = []string{"image_word"}
+
 // WhileNotAFirmware is Table VI's worst-case scenario: the most
 // single-glitch-vulnerable guard from Section V, compiled with defenses.
 // The guarded variable is volatile, which the paper notes hobbles the

@@ -4,11 +4,51 @@ import "fmt"
 
 // Verify checks module well-formedness: every block ends in exactly one
 // terminator, every branch target exists, values are defined before use
-// within a block chain, and slots/globals referenced are in range.
+// within a block chain, slots/globals referenced are in range, and the
+// shadow-global pairing the integrity defense establishes is consistent.
 func (m *Module) Verify() error {
+	if err := verifyGlobals(m); err != nil {
+		return fmt.Errorf("ir: %w", err)
+	}
 	for _, f := range m.Funcs {
 		if err := verifyFunc(m, f); err != nil {
 			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// verifyGlobals checks the integrity-defense invariants: a global's shadow
+// must exist, be marked IsShadow, belong to exactly one Sensitive owner,
+// and shadows must not chain; conversely every IsShadow global must have
+// an owner.
+func verifyGlobals(m *Module) error {
+	owner := map[string]string{}
+	for _, g := range m.Globals {
+		if g.Shadow == "" {
+			continue
+		}
+		if g.IsShadow {
+			return fmt.Errorf("shadow global %q has its own shadow %q", g.Name, g.Shadow)
+		}
+		if !g.Sensitive {
+			return fmt.Errorf("global %q has shadow %q but is not sensitive", g.Name, g.Shadow)
+		}
+		sh, ok := m.Global(g.Shadow)
+		if !ok {
+			return fmt.Errorf("shadow %q of global %q does not exist", g.Shadow, g.Name)
+		}
+		if !sh.IsShadow {
+			return fmt.Errorf("shadow %q of global %q is not marked as a shadow", g.Shadow, g.Name)
+		}
+		if prev, dup := owner[g.Shadow]; dup {
+			return fmt.Errorf("shadow %q claimed by both %q and %q", g.Shadow, prev, g.Name)
+		}
+		owner[g.Shadow] = g.Name
+	}
+	for _, g := range m.Globals {
+		if g.IsShadow && owner[g.Name] == "" {
+			return fmt.Errorf("shadow global %q is not paired with a sensitive global", g.Name)
 		}
 	}
 	return nil
@@ -28,6 +68,9 @@ func verifyFunc(m *Module, f *Func) error {
 	for _, b := range f.Blocks {
 		if len(b.Instrs) == 0 {
 			return fmt.Errorf("block %q empty", b.Name)
+		}
+		if b.Term() == nil {
+			return fmt.Errorf("block %q has no terminator", b.Name)
 		}
 		for i, in := range b.Instrs {
 			isLast := i == len(b.Instrs)-1

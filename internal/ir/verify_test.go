@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// wellFormed builds a minimal valid module the rejection tests then break.
+func wellFormed() *Module {
+	f := &Func{Name: "main", NumValues: 1}
+	f.AddBlock(&Block{Name: "entry", Instrs: []*Instr{
+		{Op: OpConst, Dst: 0, Imm: 1, A: NoValue, B: NoValue},
+		{Op: OpRet, A: NoValue},
+	}})
+	return &Module{Funcs: []*Func{f}}
+}
+
+func wantVerifyError(t *testing.T, m *Module, substr string) {
+	t.Helper()
+	err := m.Verify()
+	if err == nil {
+		t.Fatalf("Verify accepted a module that should fail with %q", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("Verify error = %q, want it to mention %q", err, substr)
+	}
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	if err := wellFormed().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejectsMissingTerminator(t *testing.T) {
+	m := wellFormed()
+	b := m.Funcs[0].Blocks[0]
+	b.Instrs = b.Instrs[:1] // drop the ret: block no longer terminates
+	wantVerifyError(t, m, "no terminator")
+}
+
+func TestVerifyRejectsUndefinedBranchTargets(t *testing.T) {
+	m := wellFormed()
+	b := m.Funcs[0].Blocks[0]
+	b.Instrs[1] = &Instr{Op: OpJmp, Target: "nowhere", A: NoValue}
+	wantVerifyError(t, m, `unknown target "nowhere"`)
+
+	m = wellFormed()
+	b = m.Funcs[0].Blocks[0]
+	b.Instrs[1] = &Instr{Op: OpCondBr, A: 0, TrueBlk: "entry", FalseBlk: "lost"}
+	wantVerifyError(t, m, "unknown branch target")
+}
+
+func TestVerifyRejectsMissingShadow(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "key", Sensitive: true, Shadow: "__gr_shadow_key"},
+	}
+	wantVerifyError(t, m, `shadow "__gr_shadow_key" of global "key" does not exist`)
+}
+
+func TestVerifyRejectsShadowNotMarked(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "key", Sensitive: true, Shadow: "__gr_shadow_key"},
+		{Name: "__gr_shadow_key"}, // exists but lacks IsShadow
+	}
+	wantVerifyError(t, m, "not marked as a shadow")
+}
+
+func TestVerifyRejectsShadowOnInsensitiveGlobal(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "key", Shadow: "__gr_shadow_key"}, // shadowed but not Sensitive
+		{Name: "__gr_shadow_key", IsShadow: true},
+	}
+	wantVerifyError(t, m, "not sensitive")
+}
+
+func TestVerifyRejectsOrphanShadow(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "__gr_shadow_key", IsShadow: true}, // no owner references it
+	}
+	wantVerifyError(t, m, "not paired with a sensitive global")
+}
+
+func TestVerifyRejectsChainedShadow(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "key", Sensitive: true, Shadow: "s1"},
+		{Name: "s1", IsShadow: true, Shadow: "s2"}, // shadows must not chain
+		{Name: "s2", IsShadow: true},
+	}
+	wantVerifyError(t, m, "has its own shadow")
+}
+
+func TestVerifyRejectsSharedShadow(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "a", Sensitive: true, Shadow: "s"},
+		{Name: "b", Sensitive: true, Shadow: "s"},
+		{Name: "s", IsShadow: true},
+	}
+	wantVerifyError(t, m, `shadow "s" claimed by both`)
+}
+
+func TestVerifyAcceptsIntegrityPairing(t *testing.T) {
+	m := wellFormed()
+	m.Globals = []*Global{
+		{Name: "key", Sensitive: true, Shadow: "__gr_shadow_key"},
+		{Name: "__gr_shadow_key", IsShadow: true},
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

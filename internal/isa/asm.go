@@ -34,6 +34,29 @@ func (p *Program) SymbolAddr(name string) (uint32, bool) {
 	return a, ok
 }
 
+// InstAt decodes the instruction stored at addr. ok is false when addr is
+// unaligned, outside the program, or a 32-bit encoding is truncated. The
+// caller is responsible for addr pointing at code rather than data
+// (Program.InstAddrs lists the instruction addresses).
+func (p *Program) InstAt(addr uint32) (Inst, bool) {
+	if addr < p.Base || addr%2 != 0 {
+		return Inst{}, false
+	}
+	off := int(addr - p.Base)
+	if off+2 > len(p.Code) {
+		return Inst{}, false
+	}
+	hw := uint16(p.Code[off]) | uint16(p.Code[off+1])<<8
+	var hw2 uint16
+	if Is32Bit(hw) {
+		if off+4 > len(p.Code) {
+			return Inst{}, false
+		}
+		hw2 = uint16(p.Code[off+2]) | uint16(p.Code[off+3])<<8
+	}
+	return Decode(hw, hw2), true
+}
+
 type asmItem struct {
 	line   int
 	addr   uint32

@@ -18,6 +18,7 @@ package passes
 
 import (
 	"fmt"
+	"strings"
 
 	"glitchlab/internal/ir"
 	"glitchlab/internal/minic"
@@ -110,9 +111,10 @@ func (r *Report) String() string {
 		r.BranchesHardened, r.LoopsHardened, r.DelaysInserted)
 }
 
-// detectBlockName is the per-function block that reacts to a detected
-// glitch.
-const detectBlockName = "grdetect"
+// DetectBlock is the per-function block that reacts to a detected glitch.
+// Static analysis (internal/analyze) uses it to recognize GR-inserted
+// check blocks by their detect edge.
+const DetectBlock = "grdetect"
 
 // DetectFunc is the runtime entry invoked on detection; the developer
 // supplies the reaction (paper Section VI-B "Detection Reaction"). The
@@ -173,21 +175,57 @@ func Instrument(m *ir.Module, cfg Config, rep *Report) error {
 	return m.Verify()
 }
 
+// Parse builds a Config from a comma-separated defense list and a list of
+// sensitive globals, the syntax both CLIs share. Recognized defense names
+// are enums, returns, integrity, branches, loops and delay, plus the
+// shorthands "all", "all-but-delay" and "none".
+func Parse(defenses string, sensitive []string) (Config, error) {
+	switch defenses {
+	case "all":
+		return All(sensitive...), nil
+	case "all-but-delay":
+		return AllButDelay(sensitive...), nil
+	case "none":
+		return None(), nil
+	}
+	cfg := Config{Sensitive: sensitive}
+	for _, name := range strings.Split(defenses, ",") {
+		switch strings.TrimSpace(name) {
+		case "enums":
+			cfg.EnumRewrite = true
+		case "returns":
+			cfg.Returns = true
+		case "integrity":
+			cfg.Integrity = true
+		case "branches":
+			cfg.Branches = true
+		case "loops":
+			cfg.Loops = true
+		case "delay":
+			cfg.Delay = true
+		case "":
+		default:
+			return cfg, fmt.Errorf("unknown defense %q", name)
+		}
+	}
+	return cfg, nil
+}
+
 // ensureDetectBlock returns the function's glitch-reaction block, creating
 // it on first use: it calls the detection handler and then self-loops (the
 // handler is expected not to return, but control flow must stay defined
 // even if an attacker glitches the call).
 func ensureDetectBlock(f *ir.Func) string {
-	if _, ok := f.Block(detectBlockName); ok {
-		return detectBlockName
+	if _, ok := f.Block(DetectBlock); ok {
+		return DetectBlock
 	}
-	b := &ir.Block{Name: detectBlockName}
+	b := &ir.Block{Name: DetectBlock}
 	b.Instrs = append(b.Instrs,
 		&ir.Instr{Op: ir.OpCall, Callee: DetectFunc, Dst: ir.NoValue,
 			A: ir.NoValue, B: ir.NoValue, GR: true},
-		&ir.Instr{Op: ir.OpJmp, Target: detectBlockName,
+		&ir.Instr{Op: ir.OpJmp, Target: DetectBlock,
 			A: ir.NoValue, GR: true},
 	)
 	f.AddBlock(b)
-	return detectBlockName
+	return DetectBlock
 }

@@ -120,7 +120,7 @@ func TestBranchHardeningStructure(t *testing.T) {
 	if term == nil || term.Op != ir.OpCondBr || !term.GR {
 		t.Fatalf("check block terminator = %v", term)
 	}
-	if term.FalseBlk != detectBlockName {
+	if term.FalseBlk != DetectBlock {
 		t.Errorf("check fail edge = %q, want detect", term.FalseBlk)
 	}
 	// The re-check must work on complemented operands: expect xor with
@@ -134,7 +134,7 @@ func TestBranchHardeningStructure(t *testing.T) {
 	if xors < 2 {
 		t.Errorf("check block has %d complement xors, want >= 2", xors)
 	}
-	if _, ok := f.Block(detectBlockName); !ok {
+	if _, ok := f.Block(DetectBlock); !ok {
 		t.Error("detect block missing")
 	}
 }
@@ -296,7 +296,7 @@ func TestDelayInsertion(t *testing.T) {
 	f, _ := m.Func("main")
 	for _, b := range f.Blocks {
 		term := b.Term()
-		if term == nil || term.Op == ir.OpRet || b.Name == detectBlockName {
+		if term == nil || term.Op == ir.OpRet || b.Name == DetectBlock {
 			continue
 		}
 		if len(b.Instrs) < 2 {

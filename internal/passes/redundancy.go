@@ -252,7 +252,7 @@ func insertDelays(m *ir.Module, cfg Config, rep *Report) {
 			continue
 		}
 		for _, b := range f.Blocks {
-			if b.Name == detectBlockName {
+			if b.Name == DetectBlock {
 				continue
 			}
 			term := b.Term()

@@ -65,6 +65,44 @@ func hardenReturns(m *ir.Module, rep *Report) error {
 	return nil
 }
 
+// ReturnConstSet describes one function whose every return statement
+// returns a literal constant — the shape the non-trivial-return-codes
+// defense targets. Hardenable additionally requires every call site to use
+// the result only in equality comparisons against returned constants (the
+// same qualification hardenReturns applies); when false the defense will
+// skip the function and any low-distance return set needs a manual fix.
+type ReturnConstSet struct {
+	Func       string
+	Values     []uint32 // distinct returned constants, ascending
+	Hardenable bool
+}
+
+// ReturnConstSets surveys the module for constant-return functions, the
+// analysis half of hardenReturns exposed for static analyzers. main and
+// void functions are excluded, as the defense excludes them.
+func ReturnConstSets(m *ir.Module) []ReturnConstSet {
+	var sets []ReturnConstSet
+	for _, f := range m.Funcs {
+		if !f.ReturnsVal || f.Name == "main" {
+			continue
+		}
+		consts, ok := returnedConstants(f)
+		if !ok || len(consts) == 0 {
+			continue
+		}
+		values := make([]uint32, 0, len(consts))
+		for v := range consts {
+			values = append(values, v)
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		_, conforms := conformingCallSites(m, f.Name, consts)
+		sets = append(sets, ReturnConstSet{
+			Func: f.Name, Values: values, Hardenable: conforms,
+		})
+	}
+	return sets
+}
+
 // returnedConstants collects the set of constants a function returns; ok
 // is false if any return value is not a block-local constant.
 func returnedConstants(f *ir.Func) (map[uint32]bool, bool) {

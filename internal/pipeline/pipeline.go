@@ -50,6 +50,8 @@ func (k EventKind) String() string {
 		return "skip"
 	case EventRegCorrupt:
 		return "reg-corrupt"
+	case EventPCCorrupt:
+		return "pc-corrupt"
 	}
 	return fmt.Sprintf("event%d", uint8(k))
 }

@@ -254,3 +254,22 @@ func TestMultiWindowIndices(t *testing.T) {
 		t.Errorf("windows seen = %v, want 0 and 1", seen)
 	}
 }
+
+func TestEventKindStrings(t *testing.T) {
+	// Every defined kind must render a name, not the numeric fallback —
+	// EventPCCorrupt regressed to "event6" once.
+	names := map[EventKind]string{
+		EventNone:         "none",
+		EventFetchCorrupt: "fetch-corrupt",
+		EventExecCorrupt:  "exec-corrupt",
+		EventDataCorrupt:  "data-corrupt",
+		EventSkip:         "skip",
+		EventRegCorrupt:   "reg-corrupt",
+		EventPCCorrupt:    "pc-corrupt",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"glitchlab/internal/analyze"
+)
+
+// Findings renders a glitchlint result as a table in the same style as the
+// paper's evaluation tables, followed by one remediation hint per rule.
+func Findings(res *analyze.Result) string {
+	var sb strings.Builder
+	title := fmt.Sprintf("glitchlint: %d findings (%d rules ran, %d skipped)",
+		len(res.Findings), len(res.Ran), len(res.Skipped))
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(res.Findings) == 0 {
+		sb.WriteString("\nNo glitchable code shapes found.\n")
+		return sb.String()
+	}
+
+	locW := len("Location")
+	for i := range res.Findings {
+		if l := len(res.Findings[i].Location()); l > locW {
+			locW = l
+		}
+	}
+	fmt.Fprintf(&sb, "\n%-6s %-8s %-*s %s\n", "Rule", "Severity", locW, "Location", "Finding")
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		fmt.Fprintf(&sb, "%-6s %-8s %-*s %s\n",
+			f.Rule, f.Severity, locW, f.Location(), f.Detail)
+	}
+
+	sb.WriteString("\nRemediation:\n")
+	seen := map[string]bool{}
+	for i := range res.Findings {
+		f := &res.Findings[i]
+		if seen[f.Rule] || f.Hint == "" {
+			continue
+		}
+		seen[f.Rule] = true
+		fmt.Fprintf(&sb, "  %s %s: %s\n", f.Rule, f.Slug, f.Hint)
+	}
+	return sb.String()
+}

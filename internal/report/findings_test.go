@@ -1,0 +1,86 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"glitchlab/internal/analyze"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedResult is a hand-built analyzer result so the golden file exercises
+// the renderer, not the analyzer.
+func fixedResult() *analyze.Result {
+	return &analyze.Result{
+		Findings: []analyze.Finding{
+			{
+				Rule: "GL001", Slug: "spof-branch", Severity: analyze.High,
+				Func: "main", Block: "entry", Instr: 4,
+				Detail:  "taken edge of the guard goes directly to the boot block",
+				Hint:    "enable branch redundancy (-defenses branches)",
+				FixedBy: "branches",
+			},
+			{
+				Rule: "GL002", Slug: "low-hamming-const", Severity: analyze.Medium,
+				Instr:  -1,
+				Detail: "enum verdict values have minimum pairwise Hamming distance 1 (< 8)",
+				Hint:   "diversify with Reed-Solomon codes (-defenses enums), e.g. 0xe7d25763, 0xd3b9aec6",
+			},
+			{
+				Rule: "GL004", Slug: "unshadowed-sensitive-load", Severity: analyze.Medium,
+				Func: "verify_signature", Block: "body", Instr: 1,
+				Detail:  "load of sensitive global image_word is not verified against a shadow copy",
+				Hint:    "enable data integrity for it (-defenses integrity -sensitive image_word)",
+				FixedBy: "integrity",
+			},
+			{
+				Rule: "GL006", Slug: "one-flip-branch", Severity: analyze.Medium,
+				Func: "verify_signature", Block: "for0", Instr: -1, Addr: 0x8124,
+				Detail:  "11 of 29 single-bit flips turn bcc (0xd301) into a different control transfer undetected",
+				Hint:    "a redundant check behind the branch (-defenses branches) catches the diverted path",
+				FixedBy: "branches",
+			},
+		},
+		Ran: []analyze.RuleMeta{
+			{ID: "GL001"}, {ID: "GL002"}, {ID: "GL003"},
+			{ID: "GL004"}, {ID: "GL005"}, {ID: "GL006"},
+		},
+	}
+}
+
+func TestFindingsGolden(t *testing.T) {
+	got := Findings(fixedResult())
+	path := filepath.Join("testdata", "findings.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings table drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to regenerate)",
+			got, want)
+	}
+}
+
+func TestFindingsEmpty(t *testing.T) {
+	out := Findings(&analyze.Result{
+		Ran:     []analyze.RuleMeta{{ID: "GL001"}},
+		Skipped: []string{"GL006"},
+	})
+	for _, want := range []string{"0 findings", "1 rules ran, 1 skipped", "No glitchable code shapes found."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("empty findings table missing %q:\n%s", want, out)
+		}
+	}
+}
