@@ -15,6 +15,7 @@ import (
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/isa"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/pipeline"
 	"glitchlab/internal/search"
@@ -57,6 +58,42 @@ func BenchmarkFigure2ANDZeroInvalid(b *testing.B) { benchSweep(b, mutate.AND, tr
 
 // Section IV text: the bidirectional XOR control.
 func BenchmarkFigure2XOR(b *testing.B) { benchSweep(b, mutate.XOR, false) }
+
+// BenchmarkCampaignBare is the uninstrumented baseline for the
+// observability-overhead pair below: one branch's k = 0..2 sweep with no
+// observer attached, the exact hot path Figure 2 regeneration uses.
+func BenchmarkCampaignBare(b *testing.B) {
+	skipIfShort(b)
+	r, err := campaign.NewRunner(isa.EQ, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Sweep(mutate.AND, 2); res.Runs == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkCampaignInstrumented is the same sweep with a full observer
+// (counters, histogram, fault hook) but no trace sink — the configuration
+// `-metrics` runs in. Compare against BenchmarkCampaignBare: the contract
+// is <5% overhead (see BENCH_obs.json).
+func BenchmarkCampaignInstrumented(b *testing.B) {
+	skipIfShort(b)
+	r, err := campaign.NewRunner(isa.EQ, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Obs = campaign.NewObserver(obs.NewRegistry(), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Sweep(mutate.AND, 2); res.Runs == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
 
 // benchTable1 scans one clock cycle of one guard over the parameter grid.
 func benchTable1(b *testing.B, g glitcher.Guard) {

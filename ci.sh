@@ -16,4 +16,9 @@ go vet ./...
 go build ./...
 go test -race -short ./...
 
+# Observability gates: hammer the metrics registry and tracer under the
+# race detector and smoke-test the -serve HTTP surface end to end.
+go test -race ./internal/obs/ ./internal/campaign/ ./internal/report/
+go test -run TestMetricsEndpoint ./internal/obs/
+
 echo "ci: OK"

@@ -8,6 +8,9 @@
 //	glitchemu -model and           # one model
 //	glitchemu -model and -zero-invalid
 //	glitchemu -max-flips 4         # partial sweep (cheaper)
+//	glitchemu -metrics             # print a metrics snapshot afterwards
+//	glitchemu -trace c.jsonl       # structured JSONL trace of the campaign
+//	glitchemu -serve :8080         # live /metrics and /debug/pprof
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"glitchlab/internal/campaign"
 	"glitchlab/internal/core"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs"
 	"glitchlab/internal/report"
 )
 
@@ -35,7 +39,14 @@ func run() error {
 	padUDF := flag.Bool("pad-udf", false,
 		"fill unreachable slots with UDF (Section IV hardening hypothesis)")
 	maxFlips := flag.Int("max-flips", 16, "maximum number of flipped bits per mask")
+	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := cli.Start(obs.Default)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	type variant struct {
 		model       mutate.Model
@@ -58,17 +69,23 @@ func run() error {
 	}
 
 	for _, v := range variants {
+		var o *campaign.Observer
+		if cli.Enabled() {
+			o = campaign.NewObserver(obs.Default, sess.Tracer)
+			o.OnProgress(0, sess.Progress("campaign "+v.model.String()))
+		}
 		var results []campaign.CondResult
 		var err error
 		if *padUDF {
-			results, err = core.RunUDFHardening(v.model, *maxFlips)
+			results, err = core.RunUDFHardening(v.model, *maxFlips, o)
 		} else {
-			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips)
+			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, o)
 		}
 		if err != nil {
 			return err
 		}
 		fmt.Println(report.Figure2(results, v.model, v.zeroInvalid))
 	}
+	sess.DumpMetrics(os.Stdout, report.Metrics)
 	return nil
 }

@@ -3,16 +3,19 @@
 // (defense efficacy under single, long and windowed glitch attacks), and
 // prints the Table VII defense comparison.
 //
-// Usage:
-//
 // It also renders the glitchlint findings table for the evaluation
 // firmware (-exp lint): the static triage of the same build Tables IV-VI
-// measure dynamically.
+// measure dynamically. -exp figure2 reruns a Section IV emulation
+// campaign from here so its outcome counters and the rendered figure can
+// be cross-checked in one process.
+//
+// Usage:
 //
 //	glitcheval                  # everything (Table VI takes ~1 minute)
 //	glitcheval -exp table4
 //	glitcheval -exp table6 -seed 7
 //	glitcheval -exp lint
+//	glitcheval -exp figure2 -metrics -trace run.jsonl
 package main
 
 import (
@@ -21,8 +24,11 @@ import (
 	"os"
 
 	"glitchlab/internal/analyze"
+	"glitchlab/internal/campaign"
 	"glitchlab/internal/core"
 	"glitchlab/internal/glitcher"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/report"
 )
@@ -35,10 +41,23 @@ func main() {
 }
 
 func run() error {
-	exp := flag.String("exp", "all", "experiment: table4, table5, table6, table7, lint, all")
+	exp := flag.String("exp", "all",
+		"experiment: table4, table5, table6, table7, lint, figure2, all")
 	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed (table6)")
 	verbose := flag.Bool("v", false, "print table6 progress per cell")
+	modelFlag := flag.String("model", "and", "figure2 mutation model: and, or, xor")
+	zeroInvalid := flag.Bool("zero-invalid", false,
+		"figure2: treat the all-zero encoding as invalid (Figure 2c)")
+	maxFlips := flag.Int("max-flips", 16,
+		"figure2: maximum number of flipped bits per mask")
+	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := cli.Start(obs.Default)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	runT4 := func() error {
 		t4, err := core.RunTable4()
@@ -64,7 +83,11 @@ func run() error {
 					sc, cfg, a, cell.Successes, cell.Detections)
 			}
 		}
-		t6, err := core.RunTable6(glitcher.NewModel(*seed), progress)
+		m := glitcher.NewModel(*seed)
+		if cli.Enabled() {
+			m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
+		}
+		t6, err := core.RunTable6(m, progress)
 		if err != nil {
 			return err
 		}
@@ -86,6 +109,25 @@ func run() error {
 		return audit.Err()
 	}
 
+	runFig2 := func() error {
+		model, err := mutate.ParseModel(*modelFlag)
+		if err != nil {
+			return err
+		}
+		var o *campaign.Observer
+		if cli.Enabled() {
+			o = campaign.NewObserver(obs.Default, sess.Tracer)
+			o.OnProgress(0, sess.Progress("figure2 "+model.String()))
+		}
+		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.Figure2(results, model, *zeroInvalid))
+		return nil
+	}
+
+	defer sess.DumpMetrics(os.Stdout, report.Metrics)
 	switch *exp {
 	case "table4":
 		return runT4()
@@ -98,6 +140,8 @@ func run() error {
 		return nil
 	case "lint":
 		return runLint()
+	case "figure2":
+		return runFig2()
 	case "all":
 		if err := runLint(); err != nil {
 			return err

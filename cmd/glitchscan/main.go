@@ -8,6 +8,9 @@
 //	glitchscan                 # everything
 //	glitchscan -exp table1a    # one experiment
 //	glitchscan -seed 7         # a different fault-model landscape
+//	glitchscan -metrics        # print a metrics snapshot afterwards
+//	glitchscan -trace s.jsonl  # structured JSONL trace of the scan
+//	glitchscan -serve :8080    # live /metrics and /debug/pprof
 //
 // Experiments: table1a table1b table1c table1 table2 table3 search
 package main
@@ -18,6 +21,8 @@ import (
 	"os"
 
 	"glitchlab/internal/core"
+	"glitchlab/internal/glitcher"
+	"glitchlab/internal/obs"
 	"glitchlab/internal/report"
 )
 
@@ -32,43 +37,65 @@ func run() error {
 	exp := flag.String("exp", "all",
 		"experiment: table1a, table1b, table1c, table1, table2, table3, search, all")
 	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed")
+	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
+	sess, err := cli.Start(obs.Default)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	m := glitcher.NewModel(*seed)
+	if cli.Enabled() {
+		m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
+	}
+
+	if err := runExp(*exp, m); err != nil {
+		return err
+	}
+	if cli.Metrics {
+		sess.DumpMetrics(os.Stdout, report.Metrics)
+	}
+	return nil
+}
+
+func runExp(exp string, m *glitcher.Model) error {
 	wantT1 := map[string]int{"table1a": 0, "table1b": 1, "table1c": 2}
-	switch *exp {
+	switch exp {
 	case "table1a", "table1b", "table1c":
-		results, err := core.RunTable1(*seed)
+		results, err := core.RunTable1(m)
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table1(results[wantT1[*exp]]))
+		fmt.Println(report.Table1(results[wantT1[exp]]))
 		return nil
 	case "table1":
-		return printTable1(*seed)
+		return printTable1(m)
 	case "table2":
-		return printTable2(*seed)
+		return printTable2(m)
 	case "table3":
-		return printTable3(*seed)
+		return printTable3(m)
 	case "search":
-		return printSearch(*seed)
+		return printSearch(m)
 	case "all":
-		if err := printTable1(*seed); err != nil {
+		if err := printTable1(m); err != nil {
 			return err
 		}
-		if err := printTable2(*seed); err != nil {
+		if err := printTable2(m); err != nil {
 			return err
 		}
-		if err := printTable3(*seed); err != nil {
+		if err := printTable3(m); err != nil {
 			return err
 		}
-		return printSearch(*seed)
+		return printSearch(m)
 	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
+		return fmt.Errorf("unknown experiment %q", exp)
 	}
 }
 
-func printTable1(seed uint64) error {
-	results, err := core.RunTable1(seed)
+func printTable1(m *glitcher.Model) error {
+	results, err := core.RunTable1(m)
 	if err != nil {
 		return err
 	}
@@ -78,8 +105,8 @@ func printTable1(seed uint64) error {
 	return nil
 }
 
-func printTable2(seed uint64) error {
-	results, err := core.RunTable2(seed)
+func printTable2(m *glitcher.Model) error {
+	results, err := core.RunTable2(m)
 	if err != nil {
 		return err
 	}
@@ -87,8 +114,8 @@ func printTable2(seed uint64) error {
 	return nil
 }
 
-func printTable3(seed uint64) error {
-	results, err := core.RunTable3(seed)
+func printTable3(m *glitcher.Model) error {
+	results, err := core.RunTable3(m)
 	if err != nil {
 		return err
 	}
@@ -96,8 +123,8 @@ func printTable3(seed uint64) error {
 	return nil
 }
 
-func printSearch(seed uint64) error {
-	results, err := core.RunSearch(seed)
+func printSearch(m *glitcher.Model) error {
+	results, err := core.RunSearch(m)
 	if err != nil {
 		return err
 	}

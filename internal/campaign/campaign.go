@@ -143,6 +143,10 @@ type Runner struct {
 	cpu        *emu.CPU
 	mem        *emu.Memory
 	flash      *emu.Region
+
+	// Obs instruments every execution when non-nil; the nil default keeps
+	// the sweep hot path bare.
+	Obs *Observer
 }
 
 // NewRunner assembles the snippet for cond and prepares an emulator.
@@ -218,6 +222,13 @@ func (r *Runner) BranchEncoding() uint16 { return r.original }
 // RunOne executes the snippet with the branch halfword replaced by word and
 // classifies the result.
 func (r *Runner) RunOne(word uint16) Outcome {
+	out, _ := r.runOne(word)
+	return out
+}
+
+// runOne additionally returns the raising fault (nil for clean or hung
+// executions), which the observer records as the trace fault class.
+func (r *Runner) runOne(word uint16) (Outcome, *emu.Fault) {
 	r.flash.Data[r.branchOff] = byte(word)
 	r.flash.Data[r.branchOff+1] = byte(word >> 8)
 	defer func() {
@@ -230,30 +241,30 @@ func (r *Runner) RunOne(word uint16) Outcome {
 	return classify(r.cpu, err)
 }
 
-func classify(c *emu.CPU, err error) Outcome {
+func classify(c *emu.CPU, err error) (Outcome, *emu.Fault) {
 	if err != nil {
 		var fault *emu.Fault
 		if errors.As(err, &fault) {
 			switch fault.Kind {
 			case emu.FaultBadRead:
-				return BadRead
+				return BadRead, fault
 			case emu.FaultBadFetch:
-				return BadFetch
+				return BadFetch, fault
 			case emu.FaultInvalidInst, emu.FaultUndefined:
-				return InvalidInst
+				return InvalidInst, fault
 			default:
-				return Failed
+				return Failed, fault
 			}
 		}
-		return Failed // step limit or other unrecognized error
+		return Failed, nil // step limit or other unrecognized error
 	}
 	switch {
 	case c.R[markerSuccess] == SuccessMarker:
-		return Success
+		return Success, nil
 	case c.R[markerNormal] == NormalMarker:
-		return NoEffect
+		return NoEffect, nil
 	default:
-		return Failed
+		return Failed, nil
 	}
 }
 
@@ -303,13 +314,24 @@ func (r *Runner) Sweep(model mutate.Model, maxFlips int) CondResult {
 	if maxFlips > 16 {
 		maxFlips = 16
 	}
+	if r.Obs != nil {
+		r.Obs.attach(r.cpu)
+		defer r.Obs.flush()
+		defer r.Obs.span("campaign.sweep", map[string]any{
+			"cond": "b" + r.cond.String(), "model": model.String(),
+		}).End()
+	}
 	res := CondResult{Cond: r.cond, Model: model}
 	for k := 0; k <= maxFlips; k++ {
 		fr := FlipResult{Flips: k}
 		mutate.Masks(16, k, func(mask uint16) bool {
-			out := r.RunOne(model.Apply(r.original, mask))
+			word := model.Apply(r.original, mask)
+			out, fault := r.runOne(word)
 			fr.Counts[out]++
 			fr.Total++
+			if r.Obs != nil {
+				r.Obs.record(r, model, k, mask, word, out, fault)
+			}
 			return true
 		})
 		for o, n := range fr.Counts {
@@ -327,13 +349,42 @@ type Config struct {
 	ZeroInvalid bool // Figure 2c: treat all-zero encoding as invalid
 	PadUDF      bool // Section IV hypothesis: UDF-fill unreachable slots
 	MaxFlips    int  // bound on flipped bits (16 = exhaustive)
+
+	// Obs, when non-nil, instruments every execution of the campaign
+	// (counters, steps histogram, progress ticks, trace records).
+	Obs *Observer
+}
+
+// PlannedRuns returns the number of executions a campaign over all
+// conditional branches will perform — the progress denominator.
+func PlannedRuns(maxFlips int) uint64 {
+	if maxFlips <= 0 || maxFlips > 16 {
+		maxFlips = 16
+	}
+	var perCond uint64
+	for k := 0; k <= maxFlips; k++ {
+		perCond += mutate.Binomial(16, k)
+	}
+	return perCond * uint64(len(isa.BranchConds()))
 }
 
 // Run executes the campaign for every conditional branch and returns
-// results in the BranchConds order.
+// results in the BranchConds order. Before returning it asserts the
+// outcome accounting invariant on every result, so rendered totals and
+// observer counters can never drift apart silently.
 func Run(cfg Config) ([]CondResult, error) {
 	if cfg.MaxFlips <= 0 {
 		cfg.MaxFlips = 16
+	}
+	cfg.Obs.setTotal(PlannedRuns(cfg.MaxFlips))
+	if cfg.Obs != nil {
+		defer cfg.Obs.finish()
+		defer cfg.Obs.span("campaign.run", map[string]any{
+			"model":        cfg.Model.String(),
+			"zero_invalid": cfg.ZeroInvalid,
+			"pad_udf":      cfg.PadUDF,
+			"max_flips":    cfg.MaxFlips,
+		}).End()
 	}
 	results := make([]CondResult, 0, 14)
 	for _, cond := range isa.BranchConds() {
@@ -347,7 +398,56 @@ func Run(cfg Config) ([]CondResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.Obs = cfg.Obs
 		results = append(results, r.Sweep(cfg.Model, cfg.MaxFlips))
 	}
+	if err := VerifyAccounting(results); err != nil {
+		return nil, err
+	}
 	return results, nil
+}
+
+// CheckAccounting verifies the result's internal bookkeeping: every
+// FlipResult's per-outcome counts sum to the number of masks tried for
+// that flip count (C(16, k)), the outcome totals equal the per-k sums,
+// and Runs equals the grand total. This is the invariant that keeps
+// observer counters and Figure 2 totals in lockstep.
+func (c CondResult) CheckAccounting() error {
+	var totals [NumOutcomes]uint64
+	var runs uint64
+	for _, fr := range c.ByFlips {
+		var sum uint64
+		for o, n := range fr.Counts {
+			sum += n
+			totals[o] += n
+		}
+		if sum != fr.Total {
+			return fmt.Errorf("campaign: b%v k=%d outcome counts sum to %d, %d masks tried",
+				c.Cond, fr.Flips, sum, fr.Total)
+		}
+		if want := mutate.Binomial(16, fr.Flips); fr.Total != want {
+			return fmt.Errorf("campaign: b%v k=%d tried %d masks, want C(16,%d)=%d",
+				c.Cond, fr.Flips, fr.Total, fr.Flips, want)
+		}
+		runs += fr.Total
+	}
+	if totals != c.Totals {
+		return fmt.Errorf("campaign: b%v outcome totals %v drifted from per-k sums %v",
+			c.Cond, c.Totals, totals)
+	}
+	if runs != c.Runs {
+		return fmt.Errorf("campaign: b%v runs=%d but per-k totals sum to %d",
+			c.Cond, c.Runs, runs)
+	}
+	return nil
+}
+
+// VerifyAccounting checks the accounting invariant across a whole campaign.
+func VerifyAccounting(results []CondResult) error {
+	for _, res := range results {
+		if err := res.CheckAccounting(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

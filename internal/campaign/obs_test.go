@@ -1,0 +1,148 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"glitchlab/internal/isa"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs"
+)
+
+// TestAccountingInvariant is the satellite fix for the outcome-accounting
+// edge case: per-outcome counts must always sum to the number of masks
+// tried, per flip count and in total, so metrics and Figure 2 totals can
+// never drift apart.
+func TestAccountingInvariant(t *testing.T) {
+	results, err := Run(Config{Model: mutate.XOR, MaxFlips: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAccounting(results); err != nil {
+		t.Errorf("fresh campaign violates accounting: %v", err)
+	}
+
+	// Every class of drift must be caught.
+	corrupt := func(name string, mutate func(*CondResult)) {
+		c := results[0]
+		c.ByFlips = append([]FlipResult(nil), c.ByFlips...)
+		mutate(&c)
+		if err := c.CheckAccounting(); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+	corrupt("outcome count drift", func(c *CondResult) {
+		fr := c.ByFlips[1]
+		fr.Counts[Success]++
+		c.ByFlips[1] = fr
+	})
+	corrupt("total drift", func(c *CondResult) {
+		fr := c.ByFlips[2]
+		fr.Total++
+		c.ByFlips[2] = fr
+	})
+	corrupt("grand total drift", func(c *CondResult) { c.Runs++ })
+	corrupt("per-outcome total drift", func(c *CondResult) { c.Totals[Failed]++ })
+}
+
+// TestObserverMatchesResults pins the acceptance invariant: the observer's
+// per-outcome counters must equal the campaign's k >= 1 outcome totals
+// exactly, with the k = 0 controls counted separately.
+func TestObserverMatchesResults(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := NewObserver(reg, nil)
+	var ticks int
+	o.OnProgress(100, func(done, total uint64) { ticks++ })
+
+	const maxFlips = 2
+	results, err := Run(Config{Model: mutate.AND, MaxFlips: maxFlips, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want [NumOutcomes]uint64
+	var controls, runs uint64
+	for _, res := range results {
+		runs += res.Runs
+		for _, fr := range res.ByFlips {
+			if fr.Flips == 0 {
+				for _, n := range fr.Counts {
+					controls += n
+				}
+				continue
+			}
+			for oc, n := range fr.Counts {
+				want[oc] += n
+			}
+		}
+	}
+	for oc := 0; oc < NumOutcomes; oc++ {
+		if got := reg.Counter(OutcomeMetric(Outcome(oc))).Value(); got != want[oc] {
+			t.Errorf("%s counter = %d, want %d", Outcome(oc), got, want[oc])
+		}
+	}
+	if got := reg.Counter(MetricControls).Value(); got != controls {
+		t.Errorf("control counter = %d, want %d", got, controls)
+	}
+	if got := reg.Counter(MetricRuns).Value(); got != runs {
+		t.Errorf("runs counter = %d, want %d", got, runs)
+	}
+	if planned := PlannedRuns(maxFlips); runs != planned {
+		t.Errorf("runs = %d, PlannedRuns = %d", runs, planned)
+	}
+	if ticks == 0 {
+		t.Error("no progress ticks delivered")
+	}
+	h := reg.Histogram(MetricSteps, nil)
+	if h.Count() != runs {
+		t.Errorf("steps histogram count = %d, want %d", h.Count(), runs)
+	}
+	if reg.Counter(MetricRetired).Value() == 0 {
+		t.Error("no retired instructions counted")
+	}
+}
+
+// TestObserverFaultCounters checks the emu OnFault hook wiring: an
+// invalid-instruction substitution must land in the fault counter.
+func TestObserverFaultCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := mustRunner(t, isa.EQ, false)
+	r.Obs = NewObserver(reg, nil)
+	res := r.Sweep(mutate.AND, 1)
+	if res.Runs != 17 {
+		t.Fatalf("runs = %d, want 17", res.Runs)
+	}
+	snap := reg.Snapshot()
+	var faults uint64
+	for _, c := range snap.Counters {
+		if strings.HasPrefix(c.Name, "emu.faults.") {
+			faults += c.Value
+		}
+	}
+	if res.Totals[InvalidInst]+res.Totals[BadRead]+res.Totals[BadFetch] > 0 && faults == 0 {
+		t.Error("fault outcomes observed but no emu.faults counters incremented")
+	}
+}
+
+// TestObserverTrace checks per-execution records land in the sink and
+// failures in the post-mortem ring.
+func TestObserverTrace(t *testing.T) {
+	var sb strings.Builder
+	tr := obs.NewTracer(&sb)
+	tr.SetSampling(1)
+	reg := obs.NewRegistry()
+	r := mustRunner(t, isa.EQ, false)
+	r.Obs = NewObserver(reg, tr)
+	res := r.Sweep(mutate.AND, 2)
+	tr.Close()
+	out := sb.String()
+	if n := strings.Count(out, `"type":"event"`); uint64(n) != res.Runs {
+		t.Errorf("trace has %d event records, want %d", n, res.Runs)
+	}
+	if res.Totals[Failed] > 0 && strings.Count(out, `"type":"failure"`) == 0 {
+		t.Error("failures classified but none captured in the ring")
+	}
+	if !strings.Contains(out, `"type":"span"`) {
+		t.Error("no sweep span recorded")
+	}
+}

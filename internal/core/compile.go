@@ -6,11 +6,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"glitchlab/internal/codegen"
 	"glitchlab/internal/firmware"
 	"glitchlab/internal/ir"
 	"glitchlab/internal/minic"
+	"glitchlab/internal/obs"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/pipeline"
 )
@@ -23,15 +25,36 @@ type CompileResult struct {
 	Config passes.Config
 }
 
+// stageBuckets hold per-compile-stage wall times in microseconds.
+var stageBuckets = obs.ExpBuckets(10, 4, 8)
+
+// stage runs one Compile step and records compile.<name>.duration_us.
+func stage(name string, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	obs.Default.Histogram("compile."+name+".duration_us", stageBuckets).
+		Observe(float64(time.Since(start).Microseconds()))
+	return err
+}
+
 // Compile runs the full GlitchResistor pipeline on mini-C source: parse,
 // check, rewrite enums, lower, instrument, and generate Thumb firmware.
+// Each stage's duration lands in obs.Default (compile.<stage>.duration_us),
+// and successful builds publish the image's segment sizes
+// (compile.image.{text,data,bss,total}_bytes) plus compile.builds_total.
 func Compile(src string, cfg passes.Config) (*CompileResult, error) {
-	prog, err := minic.Parse(src)
-	if err != nil {
+	var prog *minic.Program
+	if err := stage("parse", func() (err error) {
+		prog, err = minic.Parse(src)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	chk, err := minic.Check(prog)
-	if err != nil {
+	var chk *minic.Checked
+	if err := stage("check", func() (err error) {
+		chk, err = minic.Check(prog)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	res := &CompileResult{Config: cfg}
@@ -40,19 +63,32 @@ func Compile(src string, cfg passes.Config) (*CompileResult, error) {
 			return nil, err
 		}
 	}
-	mod, err := ir.Lower(chk)
-	if err != nil {
+	var mod *ir.Module
+	if err := stage("lower", func() (err error) {
+		mod, err = ir.Lower(chk)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	if err := passes.Instrument(mod, cfg, &res.Report); err != nil {
+	if err := stage("instrument", func() error {
+		return passes.Instrument(mod, cfg, &res.Report)
+	}); err != nil {
 		return nil, err
 	}
-	img, err := codegen.Build(mod, codegen.Options{Delay: cfg.Delay})
-	if err != nil {
+	var img *codegen.Image
+	if err := stage("codegen", func() (err error) {
+		img, err = codegen.Build(mod, codegen.Options{Delay: cfg.Delay})
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	res.Image = img
 	res.Module = mod
+	obs.Default.Counter("compile.builds_total").Inc()
+	obs.Default.Gauge("compile.image.text_bytes").Set(float64(img.Sizes.Text))
+	obs.Default.Gauge("compile.image.data_bytes").Set(float64(img.Sizes.Data))
+	obs.Default.Gauge("compile.image.bss_bytes").Set(float64(img.Sizes.BSS))
+	obs.Default.Gauge("compile.image.total_bytes").Set(float64(img.Sizes.Total()))
 	return res, nil
 }
 

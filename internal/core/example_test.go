@@ -69,7 +69,7 @@ func ExampleNewMachine() {
 
 // ExampleRunTable1 runs one of the paper's Table I scans.
 func ExampleRunTable1() {
-	results, err := core.RunTable1(core.DefaultSeed)
+	results, err := core.RunTable1(glitcher.NewModel(core.DefaultSeed))
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -77,7 +77,6 @@ func ExampleRunTable1() {
 	for _, r := range results {
 		fmt.Printf("%s attempts=%d\n", r.Guard, r.Attempts)
 	}
-	_ = glitcher.GridSize
 	// Output:
 	// while(!a) attempts=78408
 	// while(a) attempts=78408

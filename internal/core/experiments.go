@@ -11,12 +11,14 @@ import (
 // number in EXPERIMENTS.md is exactly reproducible.
 const DefaultSeed = 1
 
-// RunFigure2 executes one Figure 2 emulation campaign variant.
-func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips int) ([]campaign.CondResult, error) {
+// RunFigure2 executes one Figure 2 emulation campaign variant. o, when
+// non-nil, instruments every execution (pass nil for a bare run).
+func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips int, o *campaign.Observer) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:       model,
 		ZeroInvalid: zeroInvalid,
 		MaxFlips:    maxFlips,
+		Obs:         o,
 	})
 }
 
@@ -25,17 +27,18 @@ func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips int) ([]campaign.
 // with permanently-undefined instructions, testing the paper's hypothesis
 // that "adding invalid instructions in between valid instructions would
 // likely thwart many glitching attempts".
-func RunUDFHardening(model mutate.Model, maxFlips int) ([]campaign.CondResult, error) {
+func RunUDFHardening(model mutate.Model, maxFlips int, o *campaign.Observer) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:    model,
 		PadUDF:   true,
 		MaxFlips: maxFlips,
+		Obs:      o,
 	})
 }
 
-// RunTable1 executes the single-glitch scans for all three guards.
-func RunTable1(seed uint64) ([]*glitcher.Table1Result, error) {
-	m := glitcher.NewModel(seed)
+// RunTable1 executes the single-glitch scans for all three guards against
+// the given fault model (attach Model.Obs beforehand to instrument them).
+func RunTable1(m *glitcher.Model) ([]*glitcher.Table1Result, error) {
 	var out []*glitcher.Table1Result
 	for _, g := range glitcher.Guards() {
 		r, err := m.RunTable1(g)
@@ -48,8 +51,7 @@ func RunTable1(seed uint64) ([]*glitcher.Table1Result, error) {
 }
 
 // RunTable2 executes the multi-glitch scans for all three guards.
-func RunTable2(seed uint64) ([]*glitcher.Table2Result, error) {
-	m := glitcher.NewModel(seed)
+func RunTable2(m *glitcher.Model) ([]*glitcher.Table2Result, error) {
 	var out []*glitcher.Table2Result
 	for _, g := range glitcher.Guards() {
 		r, err := m.RunTable2(g)
@@ -62,8 +64,7 @@ func RunTable2(seed uint64) ([]*glitcher.Table2Result, error) {
 }
 
 // RunTable3 executes the long-glitch scans for all three guards.
-func RunTable3(seed uint64) ([]*glitcher.Table3Result, error) {
-	m := glitcher.NewModel(seed)
+func RunTable3(m *glitcher.Model) ([]*glitcher.Table3Result, error) {
 	var out []*glitcher.Table3Result
 	for _, g := range glitcher.Guards() {
 		r, err := m.RunTable3(g)
@@ -78,8 +79,7 @@ func RunTable3(seed uint64) ([]*glitcher.Table3Result, error) {
 // RunSearch executes the Section V-B optimal-parameter search against the
 // two guards the paper tuned (while(a) and the large-Hamming-distance
 // comparison).
-func RunSearch(seed uint64) ([]*search.Result, error) {
-	m := glitcher.NewModel(seed)
+func RunSearch(m *glitcher.Model) ([]*search.Result, error) {
 	var out []*search.Result
 	for _, g := range []glitcher.Guard{glitcher.GuardWhileA, glitcher.GuardWhileNeq} {
 		s, err := search.New(m, g)

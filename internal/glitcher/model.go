@@ -51,6 +51,10 @@ type Model struct {
 	// glitch generator's recovery limits that make multi-glitches harder
 	// (paper Section V-C).
 	Recharge float64
+
+	// Obs, when non-nil, instruments every scan and search driven through
+	// this model (attempt/success counters, grid coverage, trace records).
+	Obs *Obs
 }
 
 // NewModel returns a model with the calibration used throughout the

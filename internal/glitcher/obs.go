@@ -1,0 +1,195 @@
+package glitcher
+
+import (
+	"glitchlab/internal/emu"
+	"glitchlab/internal/obs"
+	"glitchlab/internal/pipeline"
+)
+
+// Metric names the scan observer maintains.
+const (
+	MetricAttempts   = "scan.attempts_total"
+	MetricSuccesses  = "scan.successes_total"
+	MetricSteps      = "scan.steps_retired_total"
+	MetricGridPoints = "scan.grid.points"         // parameter points per cycle (constant)
+	MetricGridTried  = "scan.grid.tried_points"   // distinct cells attempted so far
+	MetricGridHit    = "scan.grid.success_points" // distinct cells with >= 1 success
+	MetricCoverage   = "scan.grid.coverage"       // tried / points
+	MetricBestRate   = "scan.grid.best_rate"      // best per-cell success rate
+	MetricBestWidth  = "scan.grid.best_width"     // width of the best cell
+	MetricBestOffset = "scan.grid.best_offset"    // offset of the best cell
+	metricFaults     = "emu.faults."              // shared namespace with campaign
+)
+
+// Obs instruments parameter-space scans and searches: attempt/success
+// counters, per-(width, offset)-cell success-rate accounting with summary
+// coverage gauges, emulator fault counters, and trace records. Attach one
+// to Model.Obs before running scans; a nil *Obs disables instrumentation.
+// Obs is not safe for concurrent scans (the scan drivers are sequential).
+type Obs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	attempts  *obs.Counter
+	successes *obs.Counter
+	steps     *obs.Counter
+
+	points, tried, hit              *obs.Gauge
+	coverage                        *obs.Gauge
+	bestRate, bestWidth, bestOffset *obs.Gauge
+
+	cellTries [GridSize]uint32
+	cellHits  [GridSize]uint32
+	nTried    int
+	nHit      int
+	best      float64
+}
+
+// NewObs builds a scan observer recording into reg and, when tracer is
+// non-nil, emitting trace records.
+func NewObs(reg *obs.Registry, tracer *obs.Tracer) *Obs {
+	o := &Obs{
+		reg:        reg,
+		tracer:     tracer,
+		attempts:   reg.Counter(MetricAttempts),
+		successes:  reg.Counter(MetricSuccesses),
+		steps:      reg.Counter(MetricSteps),
+		points:     reg.Gauge(MetricGridPoints),
+		tried:      reg.Gauge(MetricGridTried),
+		hit:        reg.Gauge(MetricGridHit),
+		coverage:   reg.Gauge(MetricCoverage),
+		bestRate:   reg.Gauge(MetricBestRate),
+		bestWidth:  reg.Gauge(MetricBestWidth),
+		bestOffset: reg.Gauge(MetricBestOffset),
+	}
+	o.points.Set(GridSize)
+	return o
+}
+
+// cellIndex maps a parameter point to its heatmap slot.
+func cellIndex(p Params) int {
+	return (p.Width+ParamRange)*(2*ParamRange+1) + (p.Offset + ParamRange)
+}
+
+// AttachTarget wires the observer's fault counters into a target's CPU.
+func (o *Obs) AttachTarget(t *Target) {
+	if o == nil {
+		return
+	}
+	t.Board.CPU.Hooks.OnFault = func(f *emu.Fault) {
+		o.reg.Counter(metricFaults + metricSegment(f.Kind.String())).Inc()
+	}
+}
+
+// metricSegment lowercases a display name into a metric-name segment.
+func metricSegment(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c == ' ' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Attempt accounts one glitch attempt at parameter point p.
+func (o *Obs) Attempt(p Params, r pipeline.Result) {
+	if o == nil {
+		return
+	}
+	o.attempts.Inc()
+	o.steps.Add(r.Steps)
+	i := cellIndex(p)
+	if o.cellTries[i] == 0 {
+		o.nTried++
+		o.tried.Set(float64(o.nTried))
+		o.coverage.Set(float64(o.nTried) / GridSize)
+	}
+	o.cellTries[i]++
+	success := r.Reason == pipeline.StopHit
+	if success {
+		o.successes.Inc()
+		if o.cellHits[i] == 0 {
+			o.nHit++
+			o.hit.Set(float64(o.nHit))
+		}
+		o.cellHits[i]++
+	}
+	// Track the best cell seen so far (rates can decay as a cell gathers
+	// failed attempts; the gauge is "best ever observed", which is what a
+	// live dashboard wants during a scan).
+	if rate := float64(o.cellHits[i]) / float64(o.cellTries[i]); rate > o.best {
+		o.best = rate
+		o.bestRate.Set(rate)
+		o.bestWidth.Set(float64(p.Width))
+		o.bestOffset.Set(float64(p.Offset))
+	}
+	if o.tracer != nil && (success || r.Reason == pipeline.StopFault) {
+		attrs := map[string]any{
+			"width":  p.Width,
+			"offset": p.Offset,
+			"reason": r.Reason.String(),
+			"steps":  r.Steps,
+			"cycles": r.Cycles,
+		}
+		if success {
+			attrs["tag"] = r.Tag
+			o.tracer.Event("scan.success", attrs)
+		} else {
+			attrs["fault"] = r.Fault.String()
+			o.tracer.Failure("scan.attempt", attrs)
+		}
+	}
+}
+
+// NoEffect accounts a parameter point the deterministic model proves
+// cannot disturb the run: the scan skips the emulation, but the paper's
+// hardware rig would have burned a real attempt there, and the scan
+// results count it, so the observer must too.
+func (o *Obs) NoEffect(p Params) {
+	if o == nil {
+		return
+	}
+	o.attempts.Inc()
+	i := cellIndex(p)
+	if o.cellTries[i] == 0 {
+		o.nTried++
+		o.tried.Set(float64(o.nTried))
+		o.coverage.Set(float64(o.nTried) / GridSize)
+	}
+	o.cellTries[i]++
+}
+
+// CellRate returns the observed success rate of one (width, offset) cell
+// and the number of attempts behind it.
+func (o *Obs) CellRate(p Params) (rate float64, attempts uint64) {
+	if o == nil {
+		return 0, 0
+	}
+	i := cellIndex(p)
+	if o.cellTries[i] == 0 {
+		return 0, 0
+	}
+	return float64(o.cellHits[i]) / float64(o.cellTries[i]), uint64(o.cellTries[i])
+}
+
+// Span opens a tracer span (nil-safe).
+func (o *Obs) Span(name string, attrs map[string]any) *obs.Span {
+	if o == nil {
+		return nil
+	}
+	return o.tracer.StartSpan(name, attrs)
+}
+
+// Event emits a tracer event (nil-safe).
+func (o *Obs) Event(name string, attrs map[string]any) {
+	if o == nil {
+		return
+	}
+	o.tracer.Event(name, attrs)
+}
+
+// guardAttrs is the common span attribute set for per-guard scans.
+func guardAttrs(g Guard) map[string]any {
+	return map[string]any{"guard": g.String()}
+}

@@ -154,6 +154,8 @@ func (m *Model) RunTable1(g Guard) (*Table1Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Obs.AttachTarget(t)
+	defer m.Obs.Span("scan.table1", guardAttrs(g)).End()
 	res := &Table1Result{Guard: g}
 	cmpReg := g.ComparatorReg()
 	for cycle := 0; cycle < LoopCycles; cycle++ {
@@ -170,9 +172,11 @@ func (m *Model) RunTable1(g Guard) (*Table1Result, error) {
 			// skip the emulation (identical outcome, less time).
 			ev, hit := m.EventAt(p, cycle, 0)
 			if !hit {
+				m.Obs.NoEffect(p)
 				return
 			}
 			r := t.Attempt(m.Plan(p, cycle))
+			m.Obs.Attempt(p, r)
 			if r.Reason == pipeline.StopHit {
 				cc.Successes++
 				cc.Values[r.Regs[cmpReg]]++
@@ -211,6 +215,8 @@ func (m *Model) RunTable2(g Guard) (*Table2Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Obs.AttachTarget(t)
+	defer m.Obs.Span("scan.table2", guardAttrs(g)).End()
 	res := &Table2Result{
 		Guard:   g,
 		Partial: make([]uint64, LoopCycles),
@@ -222,9 +228,11 @@ func (m *Model) RunTable2(g Guard) (*Table2Result, error) {
 			// No event in the first window means the first loop can
 			// never be escaped — neither partial nor full.
 			if _, hit := m.EventAt(p, cycle, 0); !hit {
+				m.Obs.NoEffect(p)
 				return
 			}
 			r := t.Attempt(m.Plan(p, cycle))
+			m.Obs.Attempt(p, r)
 			switch {
 			case r.Reason == pipeline.StopHit:
 				res.Full[cycle]++
@@ -263,6 +271,8 @@ func (m *Model) RunTable3(g Guard) (*Table3Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Obs.AttachTarget(t)
+	defer m.Obs.Span("scan.table3", guardAttrs(g)).End()
 	res := &Table3Result{Guard: g}
 	for n := 10; n <= 20; n++ {
 		var succ uint64
@@ -273,9 +283,11 @@ func (m *Model) RunTable3(g Guard) (*Table3Result, error) {
 				_, any = m.EventAt(p, rel, 0)
 			}
 			if !any {
+				m.Obs.NoEffect(p)
 				return
 			}
 			r := t.Attempt(m.RangePlan(p, 0, n))
+			m.Obs.Attempt(p, r)
 			if r.Reason == pipeline.StopHit {
 				succ++
 			}

@@ -1,0 +1,262 @@
+// Package obs is glitchlab's observability layer: a stdlib-only metrics
+// registry (counters, gauges, fixed-bucket histograms) with text/JSON
+// snapshot renderers, an expvar publisher and an optional net/http
+// endpoint, plus a structured trace layer that emits JSONL span and event
+// records with sampling and a "last N failures" ring buffer.
+//
+// The paper's evaluation rests on long exhaustive sweeps — the Section IV
+// bit-flip campaigns behind Figure 2 and the Section V parameter scans
+// behind Tables I-III — which previously ran as black boxes. This package
+// gives every layer of the stack (emulator, campaign, glitcher, compiler
+// pipeline) a common place to report progress, rates and timings, and is
+// the substrate later sharded/parallel campaign work builds on.
+//
+// All metric types are safe for concurrent use. The hot paths are a single
+// atomic add (Counter.Add, Gauge.Set) or a bucket search plus two atomic
+// adds (Histogram.Observe); instrumented code should look metrics up once
+// and cache the pointers rather than calling Registry.Counter per event.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits of the current value
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (compare-and-swap loop, safe under contention).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; observations above the last bound land
+// in an implicit overflow bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+}
+
+// addFloat atomically adds delta to a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, delta float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistShard is a single-goroutine accumulation buffer for a Histogram.
+// Hot loops that observe per emulated execution (the Section IV campaigns
+// retire millions of runs at a few hundred nanoseconds each) observe into
+// a shard at plain-memory cost and merge into the shared histogram with
+// Flush at progress boundaries; readers of the histogram lag by at most
+// one flush interval.
+type HistShard struct {
+	h       *Histogram
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// Shard returns a fresh accumulation buffer for h. Not safe for concurrent
+// use; give each goroutine its own shard.
+func (h *Histogram) Shard() *HistShard {
+	return &HistShard{h: h, buckets: make([]uint64, len(h.buckets))}
+}
+
+// Observe records one observation into the shard (no atomics).
+func (s *HistShard) Observe(v float64) {
+	// Linear scan instead of binary search: campaign step counts live in
+	// the first few buckets, so this exits in 1-3 comparisons.
+	b := s.h.bounds
+	i := 0
+	for i < len(b) && v > b[i] {
+		i++
+	}
+	s.buckets[i]++
+	s.count++
+	s.sum += v
+}
+
+// ObservePow2 records an integer observation into a shard whose histogram
+// was built with ExpBuckets(1, 2, n): the bucket index is one bit-length
+// instruction instead of a bounds scan, which matters when observing per
+// emulated execution. Using it on any other bucket layout miscounts.
+func (s *HistShard) ObservePow2(v uint64) {
+	i := 0
+	if v > 1 {
+		i = bits.Len64(v - 1)
+	}
+	if i >= len(s.buckets) {
+		i = len(s.buckets) - 1
+	}
+	s.buckets[i]++
+	s.count++
+	s.sum += float64(v)
+}
+
+// Flush merges the shard into its histogram and resets the shard.
+func (s *HistShard) Flush() {
+	if s.count == 0 {
+		return
+	}
+	for i, n := range s.buckets {
+		if n != 0 {
+			s.h.buckets[i].Add(n)
+			s.buckets[i] = 0
+		}
+	}
+	s.h.count.Add(s.count)
+	addFloat(&s.h.sumBits, s.sum)
+	s.count, s.sum = 0, 0
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// ExpBuckets returns n bounds start, start*factor, start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n bounds start, start+step, start+2*step, ...
+func LinearBuckets(start, step float64, n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start + float64(i)*step
+	}
+	return b
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the compiler pipeline and the CLIs
+// record into.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every registered metric (tests and repeated experiment runs
+// within one process).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMetricsEndpoint scrapes the HTTP surface the -serve flag exposes.
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.hits").Add(3)
+	r.Gauge("test.rate").Set(0.5)
+	r.Histogram("test.steps", []float64{1, 10}).Observe(4)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"counter test.hits 3",
+		"gauge test.rate 0.5",
+		"histogram test.steps count=1 sum=4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json is not valid JSON: %v", err)
+	}
+	if len(snap.Counters) != 1 || snap.Counters[0].Value != 3 {
+		t.Errorf("/metrics.json counters = %+v", snap.Counters)
+	}
+
+	if body := get(t, srv.URL+"/debug/vars"); !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/debug/vars is not a JSON object:\n%.200s", body)
+	}
+	if body := get(t, srv.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.PublishExpvar("obs_test_registry")
+	r.PublishExpvar("obs_test_registry") // second publish must not panic
+}

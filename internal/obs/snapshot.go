@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// BucketValue is one histogram bucket: the count of observations at or
+// below the upper bound (non-cumulative: each observation appears in
+// exactly one bucket).
+type BucketValue struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name     string        `json:"name"`
+	Count    uint64        `json:"count"`
+	Sum      float64       `json:"sum"`
+	Buckets  []BucketValue `json:"buckets"`
+	Overflow uint64        `json:"overflow"` // observations above the last bound
+}
+
+// Snapshot is a point-in-time copy of a registry, sorted by name so text
+// and JSON renderings are deterministic.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i, b := range h.bounds {
+			hv.Buckets = append(hv.Buckets, BucketValue{
+				UpperBound: b,
+				Count:      h.buckets[i].Load(),
+			})
+		}
+		hv.Overflow = h.buckets[len(h.bounds)].Load()
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// fmtFloat renders a float compactly (no trailing zeros, no exponent for
+// the magnitudes metrics use).
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Text renders the snapshot in a flat, line-oriented format:
+//
+//	counter <name> <value>
+//	gauge <name> <value>
+//	histogram <name> count=<n> sum=<s>
+//	  le <bound> <count>
+//	  overflow <count>
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&sb, "counter %s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&sb, "gauge %s %s\n", g.Name, fmtFloat(g.Value))
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&sb, "histogram %s count=%d sum=%s\n", h.Name, h.Count, fmtFloat(h.Sum))
+		for _, b := range h.Buckets {
+			fmt.Fprintf(&sb, "  le %s %d\n", fmtFloat(b.UpperBound), b.Count)
+		}
+		fmt.Fprintf(&sb, "  overflow %d\n", h.Overflow)
+	}
+	return sb.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// publishMu guards against double expvar registration, which panics.
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry under the given expvar name (shown by
+// the standard /debug/vars endpoint). Publishing the same name twice is a
+// no-op rather than the package-level panic expvar.Publish raises.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Record is one JSONL trace line. The schema (documented in the README's
+// Observability section):
+//
+//	{"type":"span",   "name":..., "t_us":..., "dur_us":..., "attrs":{...}}
+//	{"type":"event",  "name":..., "t_us":..., "attrs":{...}}
+//	{"type":"failure","name":..., "t_us":..., "attrs":{...}}
+//	{"type":"summary","t_us":..., "attrs":{...}}
+//
+// t_us is microseconds since the tracer was created (monotonic). Span
+// records carry the span's start in t_us and its duration in dur_us.
+// Failure records are re-emitted from the post-mortem ring buffer when the
+// tracer is closed, so the tail of the file always holds the last
+// FailureRing classified-failure executions even under heavy sampling.
+type Record struct {
+	Type  string         `json:"type"`
+	Name  string         `json:"name,omitempty"`
+	TUs   int64          `json:"t_us"`
+	DurUs int64          `json:"dur_us,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// DefaultFailureRing is the default post-mortem capture depth.
+const DefaultFailureRing = 64
+
+// Tracer emits structured trace records to a JSONL sink. A nil *Tracer is
+// valid and every method on it is a no-op, so instrumentation can call
+// unconditionally. All methods are safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	w       io.Writer
+	enc     *json.Encoder
+	clock   func() time.Time
+	start   time.Time
+	every   uint64 // emit every Nth event record; 0 = emit none
+	seen    uint64
+	emitted uint64
+	spans   uint64
+	ring    []Record
+	ringLen int
+	next    int
+	closed  bool
+}
+
+// NewTracer returns a tracer writing JSONL to w (which may be nil: records
+// are counted and failures ring-buffered, but nothing is written). Sampling
+// defaults to every event; tune with SetSampling.
+func NewTracer(w io.Writer) *Tracer {
+	t := &Tracer{
+		w:     w,
+		clock: time.Now,
+		every: 1,
+		ring:  make([]Record, DefaultFailureRing),
+	}
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	}
+	t.start = t.clock()
+	return t
+}
+
+// SetClock replaces the tracer's time source (tests use a fixed clock for
+// golden files). It also resets the tracer's start instant.
+func (t *Tracer) SetClock(clock func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.clock = clock
+	t.start = clock()
+}
+
+// SetSampling keeps one event record in every n. n <= 0 disables event
+// records entirely (spans and the failure ring are always kept).
+func (t *Tracer) SetSampling(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	t.every = uint64(n)
+}
+
+// SetFailureRing resizes the post-mortem ring buffer to keep the last n
+// failure records.
+func (t *Tracer) SetFailureRing(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	t.ring = make([]Record, n)
+	t.ringLen = 0
+	t.next = 0
+}
+
+func (t *Tracer) sinceUs() int64 {
+	return t.clock().Sub(t.start).Microseconds()
+}
+
+func (t *Tracer) write(rec Record) {
+	if t.enc != nil && !t.closed {
+		_ = t.enc.Encode(rec) // tracing must never fail the experiment
+	}
+}
+
+// Span measures one timed region.
+type Span struct {
+	t     *Tracer
+	name  string
+	attrs map[string]any
+	start time.Time
+	tUs   int64
+}
+
+// StartSpan opens a span; call End to record it. Attrs may be nil.
+func (t *Tracer) StartSpan(name string, attrs map[string]any) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &Span{t: t, name: name, attrs: attrs, start: t.clock(), tUs: t.sinceUs()}
+}
+
+// End records the span with its monotonic duration. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil || s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans++
+	t.write(Record{
+		Type:  "span",
+		Name:  s.name,
+		TUs:   s.tUs,
+		DurUs: t.clock().Sub(s.start).Microseconds(),
+		Attrs: s.attrs,
+	})
+}
+
+// Event records one per-execution event, subject to sampling.
+func (t *Tracer) Event(name string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seen++
+	if t.every == 0 || t.seen%t.every != 0 {
+		return
+	}
+	t.emitted++
+	t.write(Record{Type: "event", Name: name, TUs: t.sinceUs(), Attrs: attrs})
+}
+
+// Failure captures a failed execution into the post-mortem ring buffer
+// (always, regardless of sampling). The ring's contents are appended to
+// the sink as "failure" records when the tracer is closed.
+func (t *Tracer) Failure(name string, attrs map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == 0 {
+		return
+	}
+	t.ring[t.next] = Record{Type: "failure", Name: name, TUs: t.sinceUs(), Attrs: attrs}
+	t.next = (t.next + 1) % len(t.ring)
+	if t.ringLen < len(t.ring) {
+		t.ringLen++
+	}
+}
+
+// Failures returns the ring buffer's contents, oldest first.
+func (t *Tracer) Failures() []Record {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failuresLocked()
+}
+
+func (t *Tracer) failuresLocked() []Record {
+	out := make([]Record, 0, t.ringLen)
+	for i := 0; i < t.ringLen; i++ {
+		idx := (t.next - t.ringLen + i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// Close flushes the failure ring and a summary record to the sink. The
+// tracer is unusable afterwards. Safe on a nil tracer.
+func (t *Tracer) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	for _, rec := range t.failuresLocked() {
+		t.write(rec)
+	}
+	t.write(Record{
+		Type: "summary",
+		TUs:  t.sinceUs(),
+		Attrs: map[string]any{
+			"events_seen":       t.seen,
+			"events_emitted":    t.emitted,
+			"spans":             t.spans,
+			"failures_captured": uint64(t.ringLen),
+		},
+	})
+	t.closed = true
+}

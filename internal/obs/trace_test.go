@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fixedClock advances 100µs per reading, making every t_us/dur_us in the
+// trace deterministic for the golden file.
+func fixedClock() func() time.Time {
+	base := time.Unix(1700000000, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * 100 * time.Microsecond)
+	}
+}
+
+func TestTracerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetClock(fixedClock())
+	tr.SetSampling(2)
+	tr.SetFailureRing(2)
+
+	span := tr.StartSpan("campaign.run", map[string]any{"model": "AND"})
+	tr.Event("campaign.exec", map[string]any{"mask": "0x0001", "outcome": "Success"})
+	tr.Event("campaign.exec", map[string]any{"mask": "0x0002", "outcome": "Detected"})
+	tr.Failure("campaign.exec", map[string]any{"mask": "0x0003", "outcome": "Failed"})
+	tr.Failure("campaign.exec", map[string]any{"mask": "0x0004", "outcome": "Failed"})
+	tr.Failure("campaign.exec", map[string]any{"mask": "0x0005", "outcome": "Failed"})
+	span.End()
+	tr.Close()
+
+	// Every line must parse as a Record on its own.
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if rec.Type == "" {
+			t.Fatalf("line %d has no type: %s", lines, sc.Text())
+		}
+	}
+	// 1 sampled event (2 of 2 seen, every=2) + 1 span + 2 ring failures
+	// (ring size 2, oldest of 3 dropped) + 1 summary.
+	if lines != 5 {
+		t.Errorf("trace has %d lines, want 5:\n%s", lines, buf.String())
+	}
+
+	path := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace drifted from golden file.\n--- got ---\n%s--- want ---\n%s(run with -update to regenerate)",
+			buf.String(), want)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.SetSampling(3)
+	for i := 0; i < 10; i++ {
+		tr.Event("e", nil)
+	}
+	if tr.emitted != 3 { // events 3, 6, 9
+		t.Errorf("emitted = %d, want 3", tr.emitted)
+	}
+	tr.SetSampling(0)
+	tr.Event("e", nil)
+	if tr.emitted != 3 {
+		t.Errorf("sampling 0 still emitted: %d", tr.emitted)
+	}
+}
+
+func TestFailureRingEviction(t *testing.T) {
+	tr := NewTracer(nil) // nil sink: ring still works
+	tr.SetFailureRing(3)
+	for i := 0; i < 5; i++ {
+		tr.Failure("f", map[string]any{"i": i})
+	}
+	got := tr.Failures()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(got))
+	}
+	for i, rec := range got {
+		if want := i + 2; rec.Attrs["i"] != want { // oldest first: 2, 3, 4
+			t.Errorf("ring[%d].i = %v, want %d", i, rec.Attrs["i"], want)
+		}
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetClock(fixedClock())
+	tr.SetSampling(5)
+	tr.SetFailureRing(5)
+	tr.Event("e", nil)
+	tr.Failure("f", nil)
+	span := tr.StartSpan("s", nil)
+	span.End()
+	if got := tr.Failures(); got != nil {
+		t.Errorf("nil tracer failures = %v", got)
+	}
+	tr.Close()
+}
+
+func TestTracerCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Close()
+	n := buf.Len()
+	tr.Close()
+	tr.Event("e", nil) // after close: counted but never written
+	if buf.Len() != n {
+		t.Errorf("writes after Close: %q", buf.String())
+	}
+}

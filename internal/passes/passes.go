@@ -19,9 +19,11 @@ package passes
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"glitchlab/internal/ir"
 	"glitchlab/internal/minic"
+	"glitchlab/internal/obs"
 )
 
 // Config selects which defenses are applied. The zero value is the
@@ -124,11 +126,46 @@ const DetectFunc = "__gr_detected"
 // DelayFunc is the runtime random-delay entry.
 const DelayFunc = "__gr_delay"
 
+// durationBuckets hold per-pass wall times (µs) from sub-10µs rewrites to
+// multi-millisecond whole-module instrumentation.
+var durationBuckets = obs.ExpBuckets(10, 4, 8)
+
+// countInstrs sizes a module in IR instructions, the unit the per-pass
+// size-delta metrics are measured in.
+func countInstrs(m *ir.Module) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}
+
+// timed runs one defense pass, recording its duration and IR size delta
+// into the default metrics registry (passes.<name>.duration_us,
+// passes.<name>.instr_delta).
+func timed(name string, m *ir.Module, fn func() error) error {
+	start := time.Now()
+	before := countInstrs(m)
+	err := fn()
+	obs.Default.Histogram("passes."+name+".duration_us", durationBuckets).
+		Observe(float64(time.Since(start).Microseconds()))
+	obs.Default.Gauge("passes." + name + ".instr_delta").
+		Add(float64(countInstrs(m) - before))
+	return err
+}
+
 // RewriteEnums applies the constant-diversification source rewriter to the
 // checked program. It must run before ir.Lower. It mirrors the paper's
 // clang-based ENUM Rewriter: only enums with every member uninitialized are
 // rewritten (explicit values may be protocol constants).
 func RewriteEnums(c *minic.Checked, rep *Report) error {
+	start := time.Now()
+	defer func() {
+		obs.Default.Histogram("passes.enums.duration_us", durationBuckets).
+			Observe(float64(time.Since(start).Microseconds()))
+	}()
 	for _, e := range c.Prog.Enums {
 		if !e.AllUninitialized() {
 			continue
@@ -151,28 +188,28 @@ func RewriteEnums(c *minic.Checked, rep *Report) error {
 // hardening, then random delays.
 func Instrument(m *ir.Module, cfg Config, rep *Report) error {
 	if cfg.Returns {
-		if err := hardenReturns(m, rep); err != nil {
+		if err := timed("returns", m, func() error { return hardenReturns(m, rep) }); err != nil {
 			return err
 		}
 	}
 	if cfg.Integrity {
-		if err := protectGlobals(m, cfg.Sensitive, rep); err != nil {
+		if err := timed("integrity", m, func() error { return protectGlobals(m, cfg.Sensitive, rep) }); err != nil {
 			return err
 		}
 	}
 	if cfg.Branches {
-		hardenBranches(m, rep)
+		_ = timed("branches", m, func() error { hardenBranches(m, rep); return nil })
 	}
 	if cfg.Loops {
-		hardenLoops(m, rep)
+		_ = timed("loops", m, func() error { hardenLoops(m, rep); return nil })
 	}
 	if cfg.Delay {
 		if len(cfg.DelayOptIn) > 0 && len(cfg.DelayOptOut) > 0 {
 			return fmt.Errorf("passes: delay opt-in and opt-out are mutually exclusive")
 		}
-		insertDelays(m, cfg, rep)
+		_ = timed("delay", m, func() error { insertDelays(m, cfg, rep); return nil })
 	}
-	return m.Verify()
+	return timed("verify", m, m.Verify)
 }
 
 // Parse builds a Config from a comma-separated defense list and a list of

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"glitchlab/internal/obs"
+)
+
+// Metrics renders a registry snapshot as a readable table: counters, then
+// gauges, then histograms, each sorted by name. It is the -metrics output
+// of the experiment CLIs; the layout is deterministic so runs can be
+// diffed (and golden-tested).
+func Metrics(s obs.Snapshot) string {
+	var sb strings.Builder
+	title := "Metrics snapshot"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+
+	width := 0
+	for _, c := range s.Counters {
+		width = max(width, len(c.Name))
+	}
+	for _, g := range s.Gauges {
+		width = max(width, len(g.Name))
+	}
+
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(&sb, "\nCounters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&sb, "  %-*s %12d\n", width, c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(&sb, "\nGauges:\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&sb, "  %-*s %12s\n", width, g.Name, num(g.Value))
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&sb, "\nHistograms:\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&sb, "  %s  count=%d sum=%s\n", h.Name, h.Count, num(h.Sum))
+			for _, b := range h.Buckets {
+				fmt.Fprintf(&sb, "    le %-10s %12d\n", num(b.UpperBound), b.Count)
+			}
+			if h.Overflow > 0 {
+				fmt.Fprintf(&sb, "    %-13s %12d\n", "overflow", h.Overflow)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// num formats a float compactly and deterministically (no trailing zeros,
+// integers without a decimal point).
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

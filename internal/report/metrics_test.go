@@ -1,0 +1,49 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"glitchlab/internal/obs"
+)
+
+// fixedSnapshot builds a registry with one metric of each kind so the
+// golden file exercises every branch of the renderer.
+func fixedSnapshot() obs.Snapshot {
+	r := obs.NewRegistry()
+	r.Counter("campaign.outcome.success").Add(1660)
+	r.Counter("campaign.runs_total").Add(3932160)
+	r.Gauge("scan.grid.coverage").Set(0.815)
+	r.Gauge("compile.image.text_bytes").Set(612)
+	h := r.Histogram("campaign.steps", obs.ExpBuckets(1, 4, 4))
+	h.Observe(3)
+	h.Observe(17)
+	h.Observe(1000)
+	return r.Snapshot()
+}
+
+func TestMetricsGolden(t *testing.T) {
+	got := Metrics(fixedSnapshot())
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics table drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to regenerate)",
+			got, want)
+	}
+}
+
+func TestMetricsEmptySnapshot(t *testing.T) {
+	got := Metrics(obs.Snapshot{})
+	if got == "" {
+		t.Fatal("empty snapshot renders nothing")
+	}
+}

@@ -12,7 +12,7 @@ import (
 )
 
 func TestFigure2Rendering(t *testing.T) {
-	results, err := core.RunFigure2(mutate.AND, false, 1)
+	results, err := core.RunFigure2(mutate.AND, false, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestTable7Static(t *testing.T) {
 func TestOutcomeTotalsConsistency(t *testing.T) {
 	// Figure 2 rendering must not lose runs: histogram total equals the
 	// number of mutated executions.
-	results, err := core.RunFigure2(mutate.AND, false, 2)
+	results, err := core.RunFigure2(mutate.AND, false, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

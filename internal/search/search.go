@@ -64,12 +64,14 @@ func New(m *glitcher.Model, g glitcher.Guard) (*Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.Obs.AttachTarget(t)
 	return &Searcher{Model: m, Guard: g, target: t}, nil
 }
 
-func (s *Searcher) attempt(inj pipeline.Injector, res *Result) bool {
+func (s *Searcher) attempt(p glitcher.Params, inj pipeline.Injector, res *Result) bool {
 	res.Attempts++
 	r := s.target.Attempt(inj)
+	s.Model.Obs.Attempt(p, r)
 	if r.Reason == pipeline.StopHit {
 		res.Successes++
 		return true
@@ -84,6 +86,9 @@ func (s *Searcher) Find() *Result {
 	res := &Result{Guard: s.Guard}
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
+	defer s.Model.Obs.Span("search.find", map[string]any{
+		"guard": s.Guard.String(),
+	}).End()
 
 	found := false
 	glitcher.Grid(func(p glitcher.Params) {
@@ -91,19 +96,22 @@ func (s *Searcher) Find() *Result {
 			return
 		}
 		// Phase 1: coarse glitch across the whole loop.
-		if !s.attempt(s.Model.RangePlan(p, 0, coarseCycles), res) {
+		if !s.attempt(p, s.Model.RangePlan(p, 0, coarseCycles), res) {
 			return
 		}
 		res.CoarseHits++
+		s.Model.Obs.Event("search.coarse_hit", map[string]any{
+			"guard": s.Guard.String(), "width": p.Width, "offset": p.Offset,
+		})
 		// Phase 2: narrow to each individual clock cycle.
 		for cycle := 0; cycle < coarseCycles && !found; cycle++ {
-			if !s.attempt(s.Model.Plan(p, cycle), res) {
+			if !s.attempt(p, s.Model.Plan(p, cycle), res) {
 				continue
 			}
 			// Phase 3: confirm reliability 10/10.
 			reliable := true
 			for i := 1; i < Confirmations; i++ {
-				if !s.attempt(s.Model.Plan(p, cycle), res) {
+				if !s.attempt(p, s.Model.Plan(p, cycle), res) {
 					reliable = false
 					break
 				}
@@ -113,6 +121,10 @@ func (s *Searcher) Find() *Result {
 				res.Params = p
 				res.Cycle = cycle
 				found = true
+				s.Model.Obs.Event("search.reliable", map[string]any{
+					"guard": s.Guard.String(), "width": p.Width,
+					"offset": p.Offset, "cycle": cycle,
+				})
 			}
 		}
 	})
@@ -125,8 +137,11 @@ func (s *Searcher) Find() *Result {
 func (s *Searcher) Exhaust() *Result {
 	res := &Result{Guard: s.Guard}
 	start := time.Now()
+	defer s.Model.Obs.Span("search.exhaust", map[string]any{
+		"guard": s.Guard.String(),
+	}).End()
 	glitcher.Grid(func(p glitcher.Params) {
-		if s.attempt(s.Model.RangePlan(p, 0, coarseCycles), res) {
+		if s.attempt(p, s.Model.RangePlan(p, 0, coarseCycles), res) {
 			res.CoarseHits++
 		}
 	})
