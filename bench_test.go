@@ -8,6 +8,7 @@ package glitchlab
 // The cmd/ tools run the full versions.
 
 import (
+	"fmt"
 	"testing"
 
 	"glitchlab/internal/campaign"
@@ -92,6 +93,54 @@ func BenchmarkCampaignInstrumented(b *testing.B) {
 		if res := r.Sweep(mutate.AND, 2); res.Runs == 0 {
 			b.Fatal("empty sweep")
 		}
+	}
+}
+
+// BenchmarkCampaignParallel measures the worker-sharded campaign engine
+// against its serial baseline: the full Figure 2 pipeline (all 14 branch
+// conditions, k = 0..5, ~96k mutated executions) at 1, 2, 4 and 8
+// workers. The sub-benchmark results feed BENCH_parallel.json; on an
+// N-core host the speedup saturates near N regardless of the worker
+// count above it.
+func BenchmarkCampaignParallel(b *testing.B) {
+	skipIfShort(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results, err := campaign.Run(campaign.Config{
+					Model:    mutate.AND,
+					MaxFlips: 5,
+					Workers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) == 0 {
+					b.Fatal("empty campaign")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScanParallel measures the band-sharded grid-scan engine: one
+// guard's full Table I scan (8 cycles x 9,801 points) at 1, 2 and 4
+// workers.
+func BenchmarkScanParallel(b *testing.B) {
+	skipIfShort(b)
+	m := glitcher.NewModel(core.DefaultSeed)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := m.RunTable1Workers(glitcher.GuardWhileA, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Attempts == 0 {
+					b.Fatal("empty scan")
+				}
+			}
+		})
 	}
 }
 

@@ -21,4 +21,12 @@ go test -race -short ./...
 go test -race ./internal/obs/ ./internal/campaign/ ./internal/report/
 go test -run TestMetricsEndpoint ./internal/obs/
 
+# Parallel-engine gates under the race detector: a sharded campaign slice
+# with an attached observer (worker shards, progress ticks, accounting)
+# and the sharded-scan observer merge. The full-grid golden-equivalence
+# tests stay in the non-short suite; these small slices keep CI fast.
+go test -race -run 'TestParallelObserverAccounting|TestParallelMoreWorkersThanUnits|TestRunNilObs' ./internal/campaign/
+go test -race -run 'TestObsShardFlushMatchesSerial|TestWidthBands|TestGridBand' ./internal/glitcher/
+go run ./cmd/glitchemu -model and -max-flips 2 -workers 4 >/dev/null
+
 echo "ci: OK"

@@ -8,6 +8,7 @@
 //	glitchemu -model and           # one model
 //	glitchemu -model and -zero-invalid
 //	glitchemu -max-flips 4         # partial sweep (cheaper)
+//	glitchemu -workers 1           # serial run (default: one worker per CPU)
 //	glitchemu -metrics             # print a metrics snapshot afterwards
 //	glitchemu -trace c.jsonl       # structured JSONL trace of the campaign
 //	glitchemu -serve :8080         # live /metrics and /debug/pprof
@@ -39,6 +40,8 @@ func run() error {
 	padUDF := flag.Bool("pad-udf", false,
 		"fill unreachable slots with UDF (Section IV hardening hypothesis)")
 	maxFlips := flag.Int("max-flips", 16, "maximum number of flipped bits per mask")
+	workers := flag.Int("workers", campaign.DefaultWorkers(),
+		"worker goroutines sharding the campaign (1 = serial; results are identical)")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -77,9 +80,9 @@ func run() error {
 		var results []campaign.CondResult
 		var err error
 		if *padUDF {
-			results, err = core.RunUDFHardening(v.model, *maxFlips, o)
+			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, o)
 		} else {
-			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, o)
+			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, o)
 		}
 		if err != nil {
 			return err

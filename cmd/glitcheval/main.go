@@ -50,6 +50,8 @@ func run() error {
 		"figure2: treat the all-zero encoding as invalid (Figure 2c)")
 	maxFlips := flag.Int("max-flips", 16,
 		"figure2: maximum number of flipped bits per mask")
+	workers := flag.Int("workers", campaign.DefaultWorkers(),
+		"figure2: worker goroutines sharding the campaign (1 = serial)")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -119,7 +121,7 @@ func run() error {
 			o = campaign.NewObserver(obs.Default, sess.Tracer)
 			o.OnProgress(0, sess.Progress("figure2 "+model.String()))
 		}
-		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, o)
+		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, o)
 		if err != nil {
 			return err
 		}

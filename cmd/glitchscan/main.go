@@ -8,6 +8,7 @@
 //	glitchscan                 # everything
 //	glitchscan -exp table1a    # one experiment
 //	glitchscan -seed 7         # a different fault-model landscape
+//	glitchscan -workers 1      # serial scans (default: one worker per CPU)
 //	glitchscan -metrics        # print a metrics snapshot afterwards
 //	glitchscan -trace s.jsonl  # structured JSONL trace of the scan
 //	glitchscan -serve :8080    # live /metrics and /debug/pprof
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"glitchlab/internal/campaign"
 	"glitchlab/internal/core"
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/obs"
@@ -37,6 +39,8 @@ func run() error {
 	exp := flag.String("exp", "all",
 		"experiment: table1a, table1b, table1c, table1, table2, table3, search, all")
 	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed")
+	workers := flag.Int("workers", campaign.DefaultWorkers(),
+		"worker goroutines sharding each grid scan (1 = serial; results are identical)")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -51,7 +55,7 @@ func run() error {
 		m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
 	}
 
-	if err := runExp(*exp, m); err != nil {
+	if err := runExp(*exp, m, *workers); err != nil {
 		return err
 	}
 	if cli.Metrics {
@@ -60,32 +64,32 @@ func run() error {
 	return nil
 }
 
-func runExp(exp string, m *glitcher.Model) error {
+func runExp(exp string, m *glitcher.Model, workers int) error {
 	wantT1 := map[string]int{"table1a": 0, "table1b": 1, "table1c": 2}
 	switch exp {
 	case "table1a", "table1b", "table1c":
-		results, err := core.RunTable1(m)
+		results, err := core.RunTable1(m, workers)
 		if err != nil {
 			return err
 		}
 		fmt.Println(report.Table1(results[wantT1[exp]]))
 		return nil
 	case "table1":
-		return printTable1(m)
+		return printTable1(m, workers)
 	case "table2":
-		return printTable2(m)
+		return printTable2(m, workers)
 	case "table3":
-		return printTable3(m)
+		return printTable3(m, workers)
 	case "search":
 		return printSearch(m)
 	case "all":
-		if err := printTable1(m); err != nil {
+		if err := printTable1(m, workers); err != nil {
 			return err
 		}
-		if err := printTable2(m); err != nil {
+		if err := printTable2(m, workers); err != nil {
 			return err
 		}
-		if err := printTable3(m); err != nil {
+		if err := printTable3(m, workers); err != nil {
 			return err
 		}
 		return printSearch(m)
@@ -94,8 +98,8 @@ func runExp(exp string, m *glitcher.Model) error {
 	}
 }
 
-func printTable1(m *glitcher.Model) error {
-	results, err := core.RunTable1(m)
+func printTable1(m *glitcher.Model, workers int) error {
+	results, err := core.RunTable1(m, workers)
 	if err != nil {
 		return err
 	}
@@ -105,8 +109,8 @@ func printTable1(m *glitcher.Model) error {
 	return nil
 }
 
-func printTable2(m *glitcher.Model) error {
-	results, err := core.RunTable2(m)
+func printTable2(m *glitcher.Model, workers int) error {
+	results, err := core.RunTable2(m, workers)
 	if err != nil {
 		return err
 	}
@@ -114,8 +118,8 @@ func printTable2(m *glitcher.Model) error {
 	return nil
 }
 
-func printTable3(m *glitcher.Model) error {
-	results, err := core.RunTable3(m)
+func printTable3(m *glitcher.Model, workers int) error {
+	results, err := core.RunTable3(m, workers)
 	if err != nil {
 		return err
 	}

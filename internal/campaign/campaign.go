@@ -323,24 +323,37 @@ func (r *Runner) Sweep(model mutate.Model, maxFlips int) CondResult {
 	}
 	res := CondResult{Cond: r.cond, Model: model}
 	for k := 0; k <= maxFlips; k++ {
-		fr := FlipResult{Flips: k}
-		mutate.Masks(16, k, func(mask uint16) bool {
-			word := model.Apply(r.original, mask)
-			out, fault := r.runOne(word)
-			fr.Counts[out]++
-			fr.Total++
-			if r.Obs != nil {
-				r.Obs.record(r, model, k, mask, word, out, fault)
-			}
-			return true
-		})
-		for o, n := range fr.Counts {
-			res.Totals[o] += n
-		}
-		res.Runs += fr.Total
-		res.ByFlips = append(res.ByFlips, fr)
+		res.merge(r.sweepFlips(model, k))
 	}
 	return res
+}
+
+// sweepFlips runs every mask of one flip count — the unit of work the
+// parallel campaign engine shards by.
+func (r *Runner) sweepFlips(model mutate.Model, k int) FlipResult {
+	fr := FlipResult{Flips: k}
+	mutate.Masks(16, k, func(mask uint16) bool {
+		word := model.Apply(r.original, mask)
+		out, fault := r.runOne(word)
+		fr.Counts[out]++
+		fr.Total++
+		if r.Obs != nil {
+			r.Obs.record(r, model, k, mask, word, out, fault)
+		}
+		return true
+	})
+	return fr
+}
+
+// merge appends one flip count's results. FlipResults must arrive in
+// ascending-k order, which is what makes sharded sweeps byte-identical to
+// serial ones after the ordered merge.
+func (c *CondResult) merge(fr FlipResult) {
+	for o, n := range fr.Counts {
+		c.Totals[o] += n
+	}
+	c.Runs += fr.Total
+	c.ByFlips = append(c.ByFlips, fr)
 }
 
 // Config selects a Figure 2 campaign variant.
@@ -350,8 +363,16 @@ type Config struct {
 	PadUDF      bool // Section IV hypothesis: UDF-fill unreachable slots
 	MaxFlips    int  // bound on flipped bits (16 = exhaustive)
 
+	// Workers shards the campaign across goroutines by (condition,
+	// flip-count) work units; each unit runs on its own emulator, and the
+	// merge preserves BranchConds/ascending-k order, so results are
+	// byte-identical to a serial run. <= 1 runs serially.
+	Workers int
+
 	// Obs, when non-nil, instruments every execution of the campaign
-	// (counters, steps histogram, progress ticks, trace records).
+	// (counters, steps histogram, progress ticks, trace records). Parallel
+	// campaigns record through per-worker shards of this observer; counter
+	// totals match the serial numbers exactly.
 	Obs *Observer
 }
 
@@ -376,33 +397,50 @@ func Run(cfg Config) ([]CondResult, error) {
 	if cfg.MaxFlips <= 0 {
 		cfg.MaxFlips = 16
 	}
-	cfg.Obs.setTotal(PlannedRuns(cfg.MaxFlips))
 	if cfg.Obs != nil {
+		cfg.Obs.setTotal(PlannedRuns(cfg.MaxFlips))
 		defer cfg.Obs.finish()
 		defer cfg.Obs.span("campaign.run", map[string]any{
 			"model":        cfg.Model.String(),
 			"zero_invalid": cfg.ZeroInvalid,
 			"pad_udf":      cfg.PadUDF,
 			"max_flips":    cfg.MaxFlips,
+			"workers":      cfg.Workers,
 		}).End()
 	}
-	results := make([]CondResult, 0, 14)
+	var results []CondResult
+	var err error
+	if cfg.Workers > 1 {
+		results, err = runParallel(cfg)
+	} else {
+		results, err = runSerial(cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyAccounting(results); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// newRunnerFor builds the campaign variant's runner for one condition.
+func newRunnerFor(cfg Config, cond isa.Cond) (*Runner, error) {
+	if cfg.PadUDF {
+		return NewPaddedRunner(cond, cfg.ZeroInvalid)
+	}
+	return NewRunner(cond, cfg.ZeroInvalid)
+}
+
+func runSerial(cfg Config) ([]CondResult, error) {
+	results := make([]CondResult, 0, len(isa.BranchConds()))
 	for _, cond := range isa.BranchConds() {
-		var r *Runner
-		var err error
-		if cfg.PadUDF {
-			r, err = NewPaddedRunner(cond, cfg.ZeroInvalid)
-		} else {
-			r, err = NewRunner(cond, cfg.ZeroInvalid)
-		}
+		r, err := newRunnerFor(cfg, cond)
 		if err != nil {
 			return nil, err
 		}
 		r.Obs = cfg.Obs
 		results = append(results, r.Sweep(cfg.Model, cfg.MaxFlips))
-	}
-	if err := VerifyAccounting(results); err != nil {
-		return nil, err
 	}
 	return results, nil
 }

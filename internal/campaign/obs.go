@@ -3,6 +3,8 @@ package campaign
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"glitchlab/internal/emu"
 	"glitchlab/internal/mutate"
@@ -41,13 +43,19 @@ func OutcomeMetric(o Outcome) string {
 // and sampled per-execution trace records with a last-N-failures ring.
 // A nil *Observer disables all instrumentation (the bare hot path).
 //
-// The per-execution path writes only plain (non-atomic) fields; the shared
-// registry metrics are updated at every progress boundary (OnProgress's
-// interval, DefaultProgressEvery unless changed), at the end of each
-// branch sweep and when the campaign finishes. A live /metrics scrape
-// therefore lags the campaign by at most one progress interval — the cost
-// of keeping instrumented sweeps within a few percent of bare ones (see
+// The per-execution path writes only plain (non-atomic) fields plus one
+// atomic add on the shared progress counter; the shared registry metrics
+// are updated at every progress boundary (OnProgress's interval,
+// DefaultProgressEvery unless changed), at the end of each branch sweep
+// and when the campaign finishes. A live /metrics scrape therefore lags
+// the campaign by at most one progress interval — the cost of keeping
+// instrumented sweeps within a few percent of bare ones (see
 // BenchmarkCampaignInstrumented).
+//
+// An Observer is single-goroutine; parallel campaigns give every worker
+// its own Shard. Shards share the registry counters, the tracer and the
+// progress accounting, so flushed totals are exactly the serial numbers
+// no matter how the work was split.
 type Observer struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -57,6 +65,7 @@ type Observer struct {
 	retired  *obs.Counter
 	outcomes [NumOutcomes]*obs.Counter
 	faults   [emu.FaultSupervisor + 1]*obs.Counter
+	hist     *obs.Histogram
 	steps    *obs.HistShard
 
 	// local accumulation since the last flush
@@ -66,7 +75,16 @@ type Observer struct {
 
 	progress      func(done, total uint64)
 	progressEvery uint64
-	done, total   uint64
+	prog          *progressState
+}
+
+// progressState is the campaign-wide progress accounting, shared by every
+// shard of one Observer so ticks and denominators stay coherent when the
+// campaign is split across workers.
+type progressState struct {
+	done  atomic.Uint64
+	total atomic.Uint64
+	mu    sync.Mutex // serializes the user progress callback
 }
 
 // NewObserver builds an observer recording into reg and, when tracer is
@@ -79,9 +97,11 @@ func NewObserver(reg *obs.Registry, tracer *obs.Tracer) *Observer {
 		runs:          reg.Counter(MetricRuns),
 		controls:      reg.Counter(MetricControls),
 		retired:       reg.Counter(MetricRetired),
-		steps:         reg.Histogram(MetricSteps, obs.ExpBuckets(1, 2, 10)).Shard(),
+		hist:          reg.Histogram(MetricSteps, obs.ExpBuckets(1, 2, 10)),
 		progressEvery: DefaultProgressEvery,
+		prog:          &progressState{},
 	}
+	o.steps = o.hist.Shard()
 	for i := range o.outcomes {
 		o.outcomes[i] = reg.Counter(OutcomeMetric(Outcome(i)))
 	}
@@ -103,10 +123,26 @@ func (o *Observer) OnProgress(every uint64, fn func(done, total uint64)) {
 // setTotal announces the campaign's planned execution count (progress
 // denominators; 0 means unknown).
 func (o *Observer) setTotal(total uint64) {
+	o.prog.total.Store(total)
+}
+
+// Shard returns an observer that records into the same registry metrics,
+// tracer and progress accounting as o but buffers its per-execution
+// accumulation privately, so each campaign worker can instrument its own
+// runners without locks. Flush boundaries are unchanged (progress ticks
+// and sweep ends); the parent's finish flushes only the parent, so every
+// shard must be flushed before the campaign's results are merged. A nil
+// receiver shards to nil, keeping the bare hot path bare.
+func (o *Observer) Shard() *Observer {
 	if o == nil {
-		return
+		return nil
 	}
-	o.total = total
+	s := *o
+	s.lruns, s.lcontrols, s.lretired = 0, 0, 0
+	s.loutcomes = [NumOutcomes]uint64{}
+	s.lfaults = [emu.FaultSupervisor + 1]uint64{}
+	s.steps = o.hist.Shard()
+	return &s
 }
 
 // attach wires the observer's fault accounting into a runner's CPU.
@@ -162,12 +198,10 @@ func (o *Observer) record(r *Runner, model mutate.Model, flips int, mask, word u
 	o.steps.ObservePow2(steps) // MetricSteps uses ExpBuckets(1, 2, 10)
 	o.lretired += steps
 
-	o.done++
-	if o.done%o.progressEvery == 0 {
+	done := o.prog.done.Add(1)
+	if done%o.progressEvery == 0 {
 		o.flush()
-		if o.progress != nil {
-			o.progress(o.done, o.total)
-		}
+		o.tick(done)
 	}
 
 	if o.tracer == nil {
@@ -197,15 +231,23 @@ func (o *Observer) record(r *Runner, model mutate.Model, flips int, mask, word u
 	}
 }
 
+// tick reports progress to the user callback, serialized across shards.
+func (o *Observer) tick(done uint64) {
+	if o.progress == nil {
+		return
+	}
+	o.prog.mu.Lock()
+	o.progress(done, o.prog.total.Load())
+	o.prog.mu.Unlock()
+}
+
 // finish flushes the accumulation and emits the final progress tick.
 func (o *Observer) finish() {
 	if o == nil {
 		return
 	}
 	o.flush()
-	if o.progress != nil {
-		o.progress(o.done, o.total)
-	}
+	o.tick(o.prog.done.Load())
 }
 
 // span opens a tracer span (nil-safe passthrough).

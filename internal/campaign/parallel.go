@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"glitchlab/internal/isa"
+	"glitchlab/internal/mutate"
+)
+
+// DefaultWorkers is the default shard count for parallel campaigns and
+// scans: one worker per schedulable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// unit is one shard of a campaign: every mask of one flip count against
+// one conditional branch. Units are fully independent — each gets its own
+// Runner (private CPU and memory), so workers share no mutable state and
+// the merge can place every FlipResult in its predetermined slot.
+type unit struct {
+	condIdx int
+	flips   int
+}
+
+// runParallel executes the campaign sharded across cfg.Workers goroutines.
+// Work units are handed out largest-first (C(16,k) peaks at k=8) so the
+// expensive middle flip counts do not end up serialized on one worker; the
+// merge reassembles results in BranchConds/ascending-k order, making the
+// output byte-identical to runSerial's.
+func runParallel(cfg Config) ([]CondResult, error) {
+	conds := isa.BranchConds()
+	units := make([]unit, 0, len(conds)*(cfg.MaxFlips+1))
+	for ci := range conds {
+		for k := 0; k <= cfg.MaxFlips; k++ {
+			units = append(units, unit{condIdx: ci, flips: k})
+		}
+	}
+	sort.SliceStable(units, func(i, j int) bool {
+		return mutate.Binomial(16, units[i].flips) > mutate.Binomial(16, units[j].flips)
+	})
+
+	workers := cfg.Workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	// Every (condIdx, flips) slot is written by exactly one unit, so the
+	// grid needs no locking; only the error slot is contended.
+	grid := make([][]FlipResult, len(conds))
+	for i := range grid {
+		grid[i] = make([]FlipResult, cfg.MaxFlips+1)
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shard := cfg.Obs.Shard()
+			defer shard.flush()
+			// One runner per (condition, variant) per worker; rebuilding
+			// it for every flip-count unit of the same condition would
+			// only redo the assembly.
+			runners := make(map[int]*Runner, len(conds))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(units) || firstErr.Load() != nil {
+					return
+				}
+				u := units[i]
+				r := runners[u.condIdx]
+				if r == nil {
+					var err error
+					r, err = newRunnerFor(cfg, conds[u.condIdx])
+					if err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+					r.Obs = shard
+					if shard != nil {
+						shard.attach(r.cpu)
+					}
+					runners[u.condIdx] = r
+				}
+				grid[u.condIdx][u.flips] = r.sweepFlips(cfg.Model, u.flips)
+			}
+		}()
+	}
+	wg.Wait()
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
+	}
+
+	results := make([]CondResult, 0, len(conds))
+	for ci, cond := range conds {
+		res := CondResult{Cond: cond, Model: cfg.Model}
+		for k := 0; k <= cfg.MaxFlips; k++ {
+			res.merge(grid[ci][k])
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

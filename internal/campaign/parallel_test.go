@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs"
+)
+
+// runBoth executes the same campaign serially and with the given worker
+// count, each against its own registry-backed observer, and returns both
+// sides for comparison.
+func runBoth(t *testing.T, cfg Config, workers int) (serial, parallel []CondResult, sreg, preg *obs.Registry) {
+	t.Helper()
+	sreg, preg = obs.NewRegistry(), obs.NewRegistry()
+
+	scfg := cfg
+	scfg.Workers = 1
+	scfg.Obs = NewObserver(sreg, nil)
+	serial, err := Run(scfg)
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+
+	pcfg := cfg
+	pcfg.Workers = workers
+	pcfg.Obs = NewObserver(preg, nil)
+	parallel, err = Run(pcfg)
+	if err != nil {
+		t.Fatalf("parallel run (workers=%d): %v", workers, err)
+	}
+	return serial, parallel, sreg, preg
+}
+
+// TestParallelMatchesSerial is the campaign's golden-equivalence contract:
+// a sharded run must reproduce the serial results field for field — same
+// conditions in the same order, same per-flip-count outcome counts — and
+// its observer must land on the identical registry state (counters,
+// histogram buckets and sums included).
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, variant := range []Config{
+		{Model: mutate.AND, MaxFlips: 3},
+		{Model: mutate.OR, MaxFlips: 2, ZeroInvalid: true},
+		{Model: mutate.XOR, MaxFlips: 2, PadUDF: true},
+	} {
+		serial, parallel, sreg, preg := runBoth(t, variant, 4)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%v variant: parallel results differ from serial", variant.Model)
+		}
+		if ss, ps := sreg.Snapshot(), preg.Snapshot(); !reflect.DeepEqual(ss, ps) {
+			t.Errorf("%v variant: parallel observer state differs from serial:\n%s\nvs\n%s",
+				variant.Model, ss.Text(), ps.Text())
+		}
+	}
+}
+
+// TestParallelMoreWorkersThanUnits covers the degenerate split where the
+// worker count exceeds the number of (condition, flip-count) units.
+func TestParallelMoreWorkersThanUnits(t *testing.T) {
+	serial, parallel, _, _ := runBoth(t, Config{Model: mutate.AND, MaxFlips: 1}, 64)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("parallel results differ from serial with surplus workers")
+	}
+}
+
+// TestParallelObserverAccounting hammers the sharded engine with an
+// attached observer and frequent progress ticks (run under -race in CI):
+// accounting must hold, the counters must add up to the planned totals,
+// and the progress callback must observe the final done == total tick.
+func TestParallelObserverAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := NewObserver(reg, nil)
+	var lastDone, ticks atomic.Uint64
+	o.OnProgress(8, func(done, total uint64) {
+		ticks.Add(1)
+		lastDone.Store(done)
+		if total != PlannedRuns(2) {
+			t.Errorf("progress total = %d, want %d", total, PlannedRuns(2))
+		}
+	})
+	results, err := Run(Config{Model: mutate.AND, MaxFlips: 2, Workers: 8, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAccounting(results); err != nil {
+		t.Fatal(err)
+	}
+	want := PlannedRuns(2)
+	if got := reg.Counter(MetricRuns).Value(); got != want {
+		t.Errorf("%s = %d, want %d", MetricRuns, got, want)
+	}
+	nConds := uint64(len(results))
+	if got := reg.Counter(MetricControls).Value(); got != nConds {
+		t.Errorf("%s = %d, want %d", MetricControls, got, nConds)
+	}
+	var outcomes uint64
+	for i := 0; i < NumOutcomes; i++ {
+		outcomes += reg.Counter(OutcomeMetric(Outcome(i))).Value()
+	}
+	if outcomes != want-nConds {
+		t.Errorf("outcome counters sum to %d, want %d (runs minus controls)", outcomes, want-nConds)
+	}
+	if ticks.Load() == 0 {
+		t.Error("progress callback never fired")
+	}
+	if got := lastDone.Load(); got != want {
+		t.Errorf("final progress tick done = %d, want %d", got, want)
+	}
+}
+
+// TestRunNilObs is the regression test for the unguarded setTotal call:
+// a campaign with no observer must run clean both serially and sharded.
+func TestRunNilObs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		results, err := Run(Config{Model: mutate.AND, MaxFlips: 1, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := VerifyAccounting(results); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+	}
+}

@@ -12,12 +12,15 @@ import (
 const DefaultSeed = 1
 
 // RunFigure2 executes one Figure 2 emulation campaign variant. o, when
-// non-nil, instruments every execution (pass nil for a bare run).
-func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips int, o *campaign.Observer) ([]campaign.CondResult, error) {
+// non-nil, instruments every execution (pass nil for a bare run). workers
+// shards the campaign across goroutines; <= 1 runs serially, and the
+// results are identical either way.
+func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *campaign.Observer) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:       model,
 		ZeroInvalid: zeroInvalid,
 		MaxFlips:    maxFlips,
+		Workers:     workers,
 		Obs:         o,
 	})
 }
@@ -27,21 +30,23 @@ func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips int, o *campaign.
 // with permanently-undefined instructions, testing the paper's hypothesis
 // that "adding invalid instructions in between valid instructions would
 // likely thwart many glitching attempts".
-func RunUDFHardening(model mutate.Model, maxFlips int, o *campaign.Observer) ([]campaign.CondResult, error) {
+func RunUDFHardening(model mutate.Model, maxFlips, workers int, o *campaign.Observer) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:    model,
 		PadUDF:   true,
 		MaxFlips: maxFlips,
+		Workers:  workers,
 		Obs:      o,
 	})
 }
 
 // RunTable1 executes the single-glitch scans for all three guards against
-// the given fault model (attach Model.Obs beforehand to instrument them).
-func RunTable1(m *glitcher.Model) ([]*glitcher.Table1Result, error) {
+// the given fault model (attach Model.Obs beforehand to instrument them),
+// sharding each scan across workers goroutines (<= 1 for serial).
+func RunTable1(m *glitcher.Model, workers int) ([]*glitcher.Table1Result, error) {
 	var out []*glitcher.Table1Result
 	for _, g := range glitcher.Guards() {
-		r, err := m.RunTable1(g)
+		r, err := m.RunTable1Workers(g, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -51,10 +56,10 @@ func RunTable1(m *glitcher.Model) ([]*glitcher.Table1Result, error) {
 }
 
 // RunTable2 executes the multi-glitch scans for all three guards.
-func RunTable2(m *glitcher.Model) ([]*glitcher.Table2Result, error) {
+func RunTable2(m *glitcher.Model, workers int) ([]*glitcher.Table2Result, error) {
 	var out []*glitcher.Table2Result
 	for _, g := range glitcher.Guards() {
-		r, err := m.RunTable2(g)
+		r, err := m.RunTable2Workers(g, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -64,10 +69,10 @@ func RunTable2(m *glitcher.Model) ([]*glitcher.Table2Result, error) {
 }
 
 // RunTable3 executes the long-glitch scans for all three guards.
-func RunTable3(m *glitcher.Model) ([]*glitcher.Table3Result, error) {
+func RunTable3(m *glitcher.Model, workers int) ([]*glitcher.Table3Result, error) {
 	var out []*glitcher.Table3Result
 	for _, g := range glitcher.Guards() {
-		r, err := m.RunTable3(g)
+		r, err := m.RunTable3Workers(g, workers)
 		if err != nil {
 			return nil, err
 		}

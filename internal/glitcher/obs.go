@@ -1,6 +1,8 @@
 package glitcher
 
 import (
+	"sync"
+
 	"glitchlab/internal/emu"
 	"glitchlab/internal/obs"
 	"glitchlab/internal/pipeline"
@@ -25,10 +27,13 @@ const (
 // counters, per-(width, offset)-cell success-rate accounting with summary
 // coverage gauges, emulator fault counters, and trace records. Attach one
 // to Model.Obs before running scans; a nil *Obs disables instrumentation.
-// Obs is not safe for concurrent scans (the scan drivers are sequential).
+// Obs itself is single-goroutine (the serial scan drivers call it
+// directly); sharded scans give every worker its own ObsShard, whose
+// Flush merges into the parent under mu — the only lock on the scan path.
 type Obs struct {
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	mu     sync.Mutex // guards the cell fields during shard merges
 
 	attempts  *obs.Counter
 	successes *obs.Counter
@@ -124,21 +129,28 @@ func (o *Obs) Attempt(p Params, r pipeline.Result) {
 		o.bestWidth.Set(float64(p.Width))
 		o.bestOffset.Set(float64(p.Offset))
 	}
-	if o.tracer != nil && (success || r.Reason == pipeline.StopFault) {
-		attrs := map[string]any{
-			"width":  p.Width,
-			"offset": p.Offset,
-			"reason": r.Reason.String(),
-			"steps":  r.Steps,
-			"cycles": r.Cycles,
-		}
-		if success {
-			attrs["tag"] = r.Tag
-			o.tracer.Event("scan.success", attrs)
-		} else {
-			attrs["fault"] = r.Fault.String()
-			o.tracer.Failure("scan.attempt", attrs)
-		}
+	o.trace(p, r, success)
+}
+
+// trace emits the per-attempt trace records (successes and faults). The
+// tracer is safe for concurrent use, so shards call this directly.
+func (o *Obs) trace(p Params, r pipeline.Result, success bool) {
+	if o.tracer == nil || (!success && r.Reason != pipeline.StopFault) {
+		return
+	}
+	attrs := map[string]any{
+		"width":  p.Width,
+		"offset": p.Offset,
+		"reason": r.Reason.String(),
+		"steps":  r.Steps,
+		"cycles": r.Cycles,
+	}
+	if success {
+		attrs["tag"] = r.Tag
+		o.tracer.Event("scan.success", attrs)
+	} else {
+		attrs["fault"] = r.Fault.String()
+		o.tracer.Failure("scan.attempt", attrs)
 	}
 }
 
@@ -192,4 +204,118 @@ func (o *Obs) Event(name string, attrs map[string]any) {
 // guardAttrs is the common span attribute set for per-guard scans.
 func guardAttrs(g Guard) map[string]any {
 	return map[string]any{"guard": g.String()}
+}
+
+// cellParams is the inverse of cellIndex.
+func cellParams(i int) Params {
+	side := 2*ParamRange + 1
+	return Params{Width: i/side - ParamRange, Offset: i%side - ParamRange}
+}
+
+// ObsShard is a per-worker observation buffer for sharded scans, built on
+// the same batching idea as obs.HistShard: the per-attempt path writes
+// plain worker-local memory, and Flush merges everything into the parent
+// Obs in one locked pass. Because every attempt lands in exactly one
+// shard and every shard is flushed before a sharded scan returns, the
+// flushed counters and coverage gauges equal the serial scan's exactly.
+// A nil *ObsShard (from a nil parent) disables instrumentation.
+type ObsShard struct {
+	o                   *Obs
+	attempts, successes uint64
+	steps               uint64
+	cellTries, cellHits []uint32
+}
+
+// Shard returns a fresh worker-local observation buffer, or nil when o is
+// nil. Not safe for concurrent use; give each worker its own shard.
+func (o *Obs) Shard() *ObsShard {
+	if o == nil {
+		return nil
+	}
+	return &ObsShard{
+		o:         o,
+		cellTries: make([]uint32, GridSize),
+		cellHits:  make([]uint32, GridSize),
+	}
+}
+
+// Attempt accounts one glitch attempt at parameter point p.
+func (s *ObsShard) Attempt(p Params, r pipeline.Result) {
+	if s == nil {
+		return
+	}
+	s.attempts++
+	s.steps += r.Steps
+	i := cellIndex(p)
+	s.cellTries[i]++
+	success := r.Reason == pipeline.StopHit
+	if success {
+		s.successes++
+		s.cellHits[i]++
+	}
+	s.o.trace(p, r, success)
+}
+
+// NoEffect accounts a parameter point the model proves cannot disturb the
+// run (see Obs.NoEffect).
+func (s *ObsShard) NoEffect(p Params) {
+	if s == nil {
+		return
+	}
+	s.attempts++
+	s.cellTries[cellIndex(p)]++
+}
+
+// Flush merges the shard into its parent Obs and resets the shard. The
+// shared counters take batched atomic adds; the cell heatmap, coverage
+// gauges and best-cell gauges are updated under the parent's merge lock.
+// The best-cell gauge is evaluated at merge granularity, so its transient
+// trajectory can differ from a serial scan's (a cell's rate is seen after
+// a whole band of attempts, not after each one); the final coverage and
+// tried/hit cell counts are exact.
+func (s *ObsShard) Flush() {
+	if s == nil {
+		return
+	}
+	o := s.o
+	if s.attempts != 0 {
+		o.attempts.Add(s.attempts)
+	}
+	if s.successes != 0 {
+		o.successes.Add(s.successes)
+	}
+	if s.steps != 0 {
+		o.steps.Add(s.steps)
+	}
+	o.mu.Lock()
+	for i, n := range s.cellTries {
+		if n == 0 {
+			continue
+		}
+		if o.cellTries[i] == 0 {
+			o.nTried++
+		}
+		o.cellTries[i] += n
+		if h := s.cellHits[i]; h != 0 {
+			if o.cellHits[i] == 0 {
+				o.nHit++
+			}
+			o.cellHits[i] += h
+		}
+		if rate := float64(o.cellHits[i]) / float64(o.cellTries[i]); rate > o.best {
+			p := cellParams(i)
+			o.best = rate
+			o.bestRate.Set(rate)
+			o.bestWidth.Set(float64(p.Width))
+			o.bestOffset.Set(float64(p.Offset))
+		}
+	}
+	o.tried.Set(float64(o.nTried))
+	o.coverage.Set(float64(o.nTried) / GridSize)
+	o.hit.Set(float64(o.nHit))
+	o.mu.Unlock()
+	s.attempts, s.successes, s.steps = 0, 0, 0
+	for i := range s.cellTries {
+		s.cellTries[i], s.cellHits[i] = 0, 0
+	}
 }

@@ -1,0 +1,220 @@
+package glitcher
+
+import (
+	"reflect"
+	"testing"
+
+	"glitchlab/internal/obs"
+)
+
+func TestWidthBandsPartitionGrid(t *testing.T) {
+	rows := 2*ParamRange + 1
+	for _, n := range []int{1, 2, 3, 4, 7, 8, rows, rows + 50} {
+		bands := WidthBands(n)
+		want := n
+		if want > rows {
+			want = rows
+		}
+		if len(bands) != want {
+			t.Fatalf("WidthBands(%d) returned %d bands, want %d", n, len(bands), want)
+		}
+		lo := -ParamRange
+		covered := 0
+		for _, b := range bands {
+			if b[0] != lo {
+				t.Fatalf("WidthBands(%d): band starts at %d, want %d (gap or overlap)", n, b[0], lo)
+			}
+			size := b[1] - b[0]
+			if size < 1 {
+				t.Fatalf("WidthBands(%d): empty band %v", n, b)
+			}
+			covered += size
+			lo = b[1]
+		}
+		if lo != ParamRange+1 || covered != rows {
+			t.Fatalf("WidthBands(%d) covers %d rows ending at %d, want %d ending at %d",
+				n, covered, lo, rows, ParamRange+1)
+		}
+		// Near-equal: sizes differ by at most one row.
+		min, max := rows, 0
+		for _, b := range bands {
+			if s := b[1] - b[0]; s < min {
+				min = s
+			} else if s > max {
+				max = s
+			}
+		}
+		if max > min+1 {
+			t.Fatalf("WidthBands(%d): band sizes range %d..%d, want spread <= 1", n, min, max)
+		}
+	}
+}
+
+func TestGridUntilStops(t *testing.T) {
+	n := 0
+	full := GridUntil(func(p Params) bool {
+		n++
+		return n < 100
+	})
+	if full || n != 100 {
+		t.Fatalf("GridUntil visited %d points (full=%v), want exactly 100 then stop", n, full)
+	}
+	n = 0
+	if !GridUntil(func(Params) bool { n++; return true }) || n != GridSize {
+		t.Fatalf("GridUntil without cancel visited %d points, want %d", n, GridSize)
+	}
+}
+
+func TestGridBandMatchesGridOrder(t *testing.T) {
+	var whole, banded []Params
+	Grid(func(p Params) { whole = append(whole, p) })
+	for _, b := range WidthBands(4) {
+		GridBand(b[0], b[1], func(p Params) bool {
+			banded = append(banded, p)
+			return true
+		})
+	}
+	if !reflect.DeepEqual(whole, banded) {
+		t.Fatal("concatenated WidthBands(4) traversal differs from Grid order")
+	}
+}
+
+// scanCounters are the observer metrics that must match exactly between a
+// serial scan and a sharded one. (The best-cell gauges are excluded by
+// design: the serial scan tracks "best rate ever observed" per attempt,
+// while shards evaluate cells at merge granularity.)
+var scanCounters = []string{
+	MetricAttempts, MetricSuccesses, MetricSteps,
+	MetricGridTried, MetricGridHit, MetricCoverage,
+}
+
+func newScanObs() (*Obs, *obs.Registry) {
+	reg := obs.NewRegistry()
+	return NewObs(reg, nil), reg
+}
+
+func checkScanCounters(t *testing.T, label string, sreg, preg *obs.Registry) {
+	t.Helper()
+	ss, ps := sreg.Snapshot(), preg.Snapshot()
+	sm := map[string]float64{}
+	for _, c := range ss.Counters {
+		sm[c.Name] = float64(c.Value)
+	}
+	for _, g := range ss.Gauges {
+		sm[g.Name] = g.Value
+	}
+	pm := map[string]float64{}
+	for _, c := range ps.Counters {
+		pm[c.Name] = float64(c.Value)
+	}
+	for _, g := range ps.Gauges {
+		pm[g.Name] = g.Value
+	}
+	for _, name := range scanCounters {
+		if sm[name] != pm[name] {
+			t.Errorf("%s: %s = %v sharded, want %v (serial)", label, name, pm[name], sm[name])
+		}
+	}
+}
+
+// TestTable1WorkersMatchesSerial is the scan-side golden-equivalence
+// contract: a band-sharded Table I scan must reproduce the serial result
+// field for field, and the flushed observer counters must match exactly.
+func TestTable1WorkersMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid scan")
+	}
+	m := NewModel(7)
+	sobs, sreg := newScanObs()
+	m.Obs = sobs
+	serial, err := m.RunTable1(GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pobs, preg := newScanObs()
+	m.Obs = pobs
+	parallel, err := m.RunTable1Workers(GuardWhileA, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("sharded Table I differs from serial")
+	}
+	checkScanCounters(t, "table1", sreg, preg)
+}
+
+func TestTable2WorkersMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid scan")
+	}
+	m := NewModel(7)
+	serial, err := m.RunTable2(GuardWhileNeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := m.RunTable2Workers(GuardWhileNeq, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("sharded Table II differs from serial")
+	}
+}
+
+func TestTable3WorkersMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid scan")
+	}
+	m := NewModel(7)
+	serial, err := m.RunTable3(GuardWhileNotA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := m.RunTable3Workers(GuardWhileNotA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("sharded Table III differs from serial")
+	}
+}
+
+// TestObsShardFlushMatchesSerial feeds the same attempt stream through a
+// serial Obs and through several shards, and requires identical counter
+// and heatmap state after the flush.
+func TestObsShardFlushMatchesSerial(t *testing.T) {
+	m := NewModel(11)
+	tgt, err := NewTarget(GuardWhileA, GuardWhileA.SingleLoopSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sobs, sreg := newScanObs()
+	pobs, preg := newScanObs()
+	shards := []*ObsShard{pobs.Shard(), pobs.Shard(), pobs.Shard()}
+
+	i := 0
+	GridBand(-ParamRange, -ParamRange+6, func(p Params) bool {
+		if _, hit := m.EventAt(p, 4, 0); !hit {
+			sobs.NoEffect(p)
+			shards[i%len(shards)].NoEffect(p)
+		} else {
+			r := tgt.Attempt(m.Plan(p, 4))
+			sobs.Attempt(p, r)
+			shards[i%len(shards)].Attempt(p, r)
+		}
+		i++
+		return true
+	})
+	for _, s := range shards {
+		s.Flush()
+	}
+	checkScanCounters(t, "shard flush", sreg, preg)
+	Grid(func(p Params) {
+		sr, sa := sobs.CellRate(p)
+		pr, pa := pobs.CellRate(p)
+		if sr != pr || sa != pa {
+			t.Fatalf("cell %+v: shard-merged rate %v/%d, serial %v/%d", p, pr, pa, sr, sa)
+		}
+	})
+}

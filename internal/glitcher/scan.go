@@ -3,6 +3,7 @@ package glitcher
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"glitchlab/internal/firmware"
 	"glitchlab/internal/pipeline"
@@ -147,47 +148,149 @@ func (r *Table1Result) UniqueValues() int {
 	return len(set)
 }
 
+// scanObs is the per-attempt observation sink: the serial *Obs or a
+// sharded worker's *ObsShard. Both are nil-safe, so a bare scan passes a
+// typed nil straight through.
+type scanObs interface {
+	Attempt(p Params, r pipeline.Result)
+	NoEffect(p Params)
+}
+
+// scanCycleBand runs the Table I body for one clock cycle over the width
+// band [lo, hi), returning the band's partial per-cycle counts. It is the
+// shared kernel of the serial and sharded single-glitch scans.
+func (m *Model) scanCycleBand(t *Target, cycle, lo, hi int, sink scanObs) CycleCount {
+	cmpReg := t.Guard.ComparatorReg()
+	cc := CycleCount{
+		Cycle:       cycle,
+		Instruction: t.Guard.cycleInstruction(cycle),
+		Values:      map[uint32]uint64{},
+		ByKind:      map[pipeline.EventKind]uint64{},
+	}
+	GridBand(lo, hi, func(p Params) bool {
+		cc.Attempts++
+		// The model is deterministic, so a parameter point that
+		// produces no event at this cycle cannot affect the run;
+		// skip the emulation (identical outcome, less time).
+		ev, hit := m.EventAt(p, cycle, 0)
+		if !hit {
+			sink.NoEffect(p)
+			return true
+		}
+		r := t.Attempt(m.Plan(p, cycle))
+		sink.Attempt(p, r)
+		if r.Reason == pipeline.StopHit {
+			cc.Successes++
+			cc.Values[r.Regs[cmpReg]]++
+			cc.ByKind[ev.Kind]++
+		}
+		return true
+	})
+	return cc
+}
+
+// merge adds a band's partial counts into cc (which must be for the same
+// cycle).
+func (c *CycleCount) merge(part CycleCount) {
+	c.Attempts += part.Attempts
+	c.Successes += part.Successes
+	for v, n := range part.Values {
+		c.Values[v] += n
+	}
+	for k, n := range part.ByKind {
+		c.ByKind[k] += n
+	}
+}
+
+// addCycle appends one cycle's counts to the table.
+func (r *Table1Result) addCycle(cc CycleCount) {
+	r.Attempts += cc.Attempts
+	r.Successes += cc.Successes
+	r.PerCycle = append(r.PerCycle, cc)
+}
+
 // RunTable1 performs the paper's Table I scan for one guard: for each of
 // the loop's clock cycles, every (width, offset) pair is attempted once.
 func (m *Model) RunTable1(g Guard) (*Table1Result, error) {
-	t, err := NewTarget(g, g.SingleLoopSource())
+	return m.RunTable1Workers(g, 1)
+}
+
+// RunTable1Workers is RunTable1 sharded across workers goroutines: the
+// parameter grid is partitioned into contiguous width bands, each worker
+// scans its band across every clock cycle on its own cloned Target, and
+// the per-cycle counts merge by addition — the result is identical to the
+// serial scan, per-cycle and in total.
+func (m *Model) RunTable1Workers(g Guard, workers int) (*Table1Result, error) {
+	defer m.Obs.Span("scan.table1", guardAttrs(g)).End()
+	res := &Table1Result{Guard: g}
+	merged, err := runBands(m, g, g.SingleLoopSource(), workers,
+		func(t *Target, lo, hi int, sink scanObs) []CycleCount {
+			parts := make([]CycleCount, 0, LoopCycles)
+			for cycle := 0; cycle < LoopCycles; cycle++ {
+				parts = append(parts, m.scanCycleBand(t, cycle, lo, hi, sink))
+			}
+			return parts
+		},
+		func(dst *CycleCount, part CycleCount) { dst.merge(part) })
 	if err != nil {
 		return nil, err
 	}
-	m.Obs.AttachTarget(t)
-	defer m.Obs.Span("scan.table1", guardAttrs(g)).End()
-	res := &Table1Result{Guard: g}
-	cmpReg := g.ComparatorReg()
-	for cycle := 0; cycle < LoopCycles; cycle++ {
-		cc := CycleCount{
-			Cycle:       cycle,
-			Instruction: g.cycleInstruction(cycle),
-			Values:      map[uint32]uint64{},
-			ByKind:      map[pipeline.EventKind]uint64{},
-		}
-		Grid(func(p Params) {
-			cc.Attempts++
-			// The model is deterministic, so a parameter point that
-			// produces no event at this cycle cannot affect the run;
-			// skip the emulation (identical outcome, less time).
-			ev, hit := m.EventAt(p, cycle, 0)
-			if !hit {
-				m.Obs.NoEffect(p)
-				return
-			}
-			r := t.Attempt(m.Plan(p, cycle))
-			m.Obs.Attempt(p, r)
-			if r.Reason == pipeline.StopHit {
-				cc.Successes++
-				cc.Values[r.Regs[cmpReg]]++
-				cc.ByKind[ev.Kind]++
-			}
-		})
-		res.Attempts += cc.Attempts
-		res.Successes += cc.Successes
-		res.PerCycle = append(res.PerCycle, cc)
+	for _, cc := range merged {
+		res.addCycle(cc)
 	}
 	return res, nil
+}
+
+// runBands drives one guard scan over the grid's width bands: a worker
+// per band, each with its own Target (boards are mutable, so none is ever
+// shared) and its own observer shard, flushed before the merge. scan must
+// return one cell per scanned unit (cycle or range index), in the same
+// order for every band; the cells are summed across bands in band order
+// with mergeCell, which makes the final counts independent of how many
+// bands the grid was split into.
+func runBands[T any](m *Model, g Guard, src string, workers int,
+	scan func(t *Target, lo, hi int, sink scanObs) []T,
+	mergeCell func(dst *T, part T)) ([]T, error) {
+	bands := WidthBands(workers)
+	if len(bands) == 1 {
+		t, err := NewTarget(g, src)
+		if err != nil {
+			return nil, err
+		}
+		m.Obs.AttachTarget(t)
+		return scan(t, -ParamRange, ParamRange+1, m.Obs), nil
+	}
+	parts := make([][]T, len(bands))
+	errs := make([]error, len(bands))
+	var wg sync.WaitGroup
+	for bi, band := range bands {
+		wg.Add(1)
+		go func(bi, lo, hi int) {
+			defer wg.Done()
+			t, err := NewTarget(g, src)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			m.Obs.AttachTarget(t)
+			shard := m.Obs.Shard()
+			defer shard.Flush()
+			parts[bi] = scan(t, lo, hi, shard)
+		}(bi, band[0], band[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := parts[0]
+	for _, part := range parts[1:] {
+		for i := range merged {
+			mergeCell(&merged[i], part[i])
+		}
+	}
+	return merged, nil
 }
 
 // Table2Result is one guard's multi-glitch scan (Table II).
@@ -207,41 +310,75 @@ func (r *Table2Result) Totals() (partial, full uint64) {
 	return partial, full
 }
 
+// table2Cell is one (cycle, band) slice of the multi-glitch scan.
+type table2Cell struct {
+	attempts, partial, full uint64
+}
+
+// scanTable2Band runs the Table II body for one clock cycle over the
+// width band [lo, hi).
+func (m *Model) scanTable2Band(t *Target, cycle, lo, hi int, sink scanObs) table2Cell {
+	var cell table2Cell
+	GridBand(lo, hi, func(p Params) bool {
+		cell.attempts++
+		// No event in the first window means the first loop can never be
+		// escaped — neither partial nor full.
+		if _, hit := m.EventAt(p, cycle, 0); !hit {
+			sink.NoEffect(p)
+			return true
+		}
+		r := t.Attempt(m.Plan(p, cycle))
+		sink.Attempt(p, r)
+		switch {
+		case r.Reason == pipeline.StopHit:
+			cell.full++
+		case t.Board.TriggerCount >= 2:
+			// The second trigger fired, so the first loop was escaped — a
+			// partial glitch.
+			cell.partial++
+		}
+		return true
+	})
+	return cell
+}
+
 // RunTable2 performs the multi-glitch experiment: two identical loops, each
 // with its own trigger; the same glitch parameters are delivered in both
 // windows.
 func (m *Model) RunTable2(g Guard) (*Table2Result, error) {
-	t, err := NewTarget(g, g.DoubleLoopSource())
+	return m.RunTable2Workers(g, 1)
+}
+
+// RunTable2Workers is RunTable2 sharded across width bands (see
+// RunTable1Workers); the per-cycle partial/full counts are identical to
+// the serial scan's.
+func (m *Model) RunTable2Workers(g Guard, workers int) (*Table2Result, error) {
+	defer m.Obs.Span("scan.table2", guardAttrs(g)).End()
+	merged, err := runBands(m, g, g.DoubleLoopSource(), workers,
+		func(t *Target, lo, hi int, sink scanObs) []table2Cell {
+			parts := make([]table2Cell, 0, LoopCycles)
+			for cycle := 0; cycle < LoopCycles; cycle++ {
+				parts = append(parts, m.scanTable2Band(t, cycle, lo, hi, sink))
+			}
+			return parts
+		},
+		func(dst *table2Cell, part table2Cell) {
+			dst.attempts += part.attempts
+			dst.partial += part.partial
+			dst.full += part.full
+		})
 	if err != nil {
 		return nil, err
 	}
-	m.Obs.AttachTarget(t)
-	defer m.Obs.Span("scan.table2", guardAttrs(g)).End()
 	res := &Table2Result{
 		Guard:   g,
 		Partial: make([]uint64, LoopCycles),
 		Full:    make([]uint64, LoopCycles),
 	}
-	for cycle := 0; cycle < LoopCycles; cycle++ {
-		Grid(func(p Params) {
-			res.Attempts++
-			// No event in the first window means the first loop can
-			// never be escaped — neither partial nor full.
-			if _, hit := m.EventAt(p, cycle, 0); !hit {
-				m.Obs.NoEffect(p)
-				return
-			}
-			r := t.Attempt(m.Plan(p, cycle))
-			m.Obs.Attempt(p, r)
-			switch {
-			case r.Reason == pipeline.StopHit:
-				res.Full[cycle]++
-			case t.Board.TriggerCount >= 2:
-				// The second trigger fired, so the first loop was
-				// escaped — a partial glitch.
-				res.Partial[cycle]++
-			}
-		})
+	for cycle, cell := range merged {
+		res.Attempts += cell.attempts
+		res.Partial[cycle] = cell.partial
+		res.Full[cycle] = cell.full
 	}
 	return res, nil
 }
@@ -263,37 +400,78 @@ func (r *Table3Result) Total() uint64 {
 	return n
 }
 
+// longGlitchRanges returns the inclusive range bound n for each long-glitch
+// scan index: the paper glitches every cycle in [0, n) for n in [10, 20].
+func longGlitchRanges() []int {
+	ns := make([]int, 0, 11)
+	for n := 10; n <= 20; n++ {
+		ns = append(ns, n)
+	}
+	return ns
+}
+
+// table3Cell is one (range, band) slice of the long-glitch scan.
+type table3Cell struct {
+	attempts, successes uint64
+}
+
+// scanTable3Band runs the Table III body for one glitched range [0, n)
+// over the width band [lo, hi).
+func (m *Model) scanTable3Band(t *Target, n, lo, hi int, sink scanObs) table3Cell {
+	var cell table3Cell
+	GridBand(lo, hi, func(p Params) bool {
+		cell.attempts++
+		any := false
+		for rel := 0; rel < n && !any; rel++ {
+			_, any = m.EventAt(p, rel, 0)
+		}
+		if !any {
+			sink.NoEffect(p)
+			return true
+		}
+		r := t.Attempt(m.RangePlan(p, 0, n))
+		sink.Attempt(p, r)
+		if r.Reason == pipeline.StopHit {
+			cell.successes++
+		}
+		return true
+	})
+	return cell
+}
+
 // RunTable3 performs the long-glitch experiment: a glitch is inserted at
 // every clock cycle from the trigger up to n, for n in [10, 20], against
 // two subsequent loops.
 func (m *Model) RunTable3(g Guard) (*Table3Result, error) {
-	t, err := NewTarget(g, g.LongGlitchSource())
+	return m.RunTable3Workers(g, 1)
+}
+
+// RunTable3Workers is RunTable3 sharded across width bands (see
+// RunTable1Workers); the per-range success counts are identical to the
+// serial scan's.
+func (m *Model) RunTable3Workers(g Guard, workers int) (*Table3Result, error) {
+	defer m.Obs.Span("scan.table3", guardAttrs(g)).End()
+	ns := longGlitchRanges()
+	merged, err := runBands(m, g, g.LongGlitchSource(), workers,
+		func(t *Target, lo, hi int, sink scanObs) []table3Cell {
+			parts := make([]table3Cell, 0, len(ns))
+			for _, n := range ns {
+				parts = append(parts, m.scanTable3Band(t, n, lo, hi, sink))
+			}
+			return parts
+		},
+		func(dst *table3Cell, part table3Cell) {
+			dst.attempts += part.attempts
+			dst.successes += part.successes
+		})
 	if err != nil {
 		return nil, err
 	}
-	m.Obs.AttachTarget(t)
-	defer m.Obs.Span("scan.table3", guardAttrs(g)).End()
 	res := &Table3Result{Guard: g}
-	for n := 10; n <= 20; n++ {
-		var succ uint64
-		Grid(func(p Params) {
-			res.Attempts++
-			any := false
-			for rel := 0; rel < n && !any; rel++ {
-				_, any = m.EventAt(p, rel, 0)
-			}
-			if !any {
-				m.Obs.NoEffect(p)
-				return
-			}
-			r := t.Attempt(m.RangePlan(p, 0, n))
-			m.Obs.Attempt(p, r)
-			if r.Reason == pipeline.StopHit {
-				succ++
-			}
-		})
-		res.Cycles = append(res.Cycles, n)
-		res.Successes = append(res.Successes, succ)
+	for i, cell := range merged {
+		res.Attempts += cell.attempts
+		res.Cycles = append(res.Cycles, ns[i])
+		res.Successes = append(res.Successes, cell.successes)
 	}
 	return res, nil
 }

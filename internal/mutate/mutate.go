@@ -79,11 +79,11 @@ func Masks(n, k int, fn func(mask uint16) bool) uint64 {
 	if k < 0 || k > n || n > 16 {
 		return 0
 	}
-	if k == 0 {
-		fn(0)
-		return 1
-	}
-	// Gosper's hack: iterate k-subsets as bit patterns.
+	// Gosper's hack: iterate k-subsets as bit patterns. k = 0 starts at
+	// v = 0, whose successor is undefined (v & -v = 0), so it is the sole
+	// mask of its flip count — but it still goes through the same call
+	// site, so fn's early-stop verdict is honored uniformly (wrappers such
+	// as AllMasks depend on that contract holding for every k).
 	count := uint64(0)
 	v := uint32(1<<k - 1)
 	limit := uint32(1) << n
@@ -91,6 +91,9 @@ func Masks(n, k int, fn func(mask uint16) bool) uint64 {
 		count++
 		if !fn(uint16(v)) {
 			return count
+		}
+		if v == 0 {
+			break // k == 0: no successor
 		}
 		c := v & -v
 		r := v + c
@@ -101,11 +104,20 @@ func Masks(n, k int, fn func(mask uint16) bool) uint64 {
 
 // AllMasks calls fn with every one of the 2^n masks, grouped by ascending
 // popcount k (so the campaign can attribute each run to its flip count).
+// fn returning false stops the whole enumeration — no later flip counts
+// are visited — and the reported total includes the aborting mask.
 func AllMasks(n int, fn func(k int, mask uint16) bool) uint64 {
 	total := uint64(0)
-	for k := 0; k <= n; k++ {
+	stopped := false
+	for k := 0; k <= n && !stopped; k++ {
 		total += Masks(n, k, func(mask uint16) bool {
-			return fn(k, mask)
+			if !fn(k, mask) {
+				// Masks can only signal the end of the current flip
+				// count; record the stop here so the k loop ends too.
+				stopped = true
+				return false
+			}
+			return true
 		})
 	}
 	return total

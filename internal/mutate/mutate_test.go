@@ -67,6 +67,64 @@ func TestMasksEarlyStop(t *testing.T) {
 	}
 }
 
+func TestMasksZeroFlipsEarlyStop(t *testing.T) {
+	// Regression: the k == 0 branch used to discard fn's verdict entirely.
+	// fn must be called exactly once, the aborting mask counted, and the
+	// stop honored (observable through AllMasks below).
+	calls := 0
+	got := Masks(16, 0, func(mask uint16) bool {
+		calls++
+		if mask != 0 {
+			t.Fatalf("k=0 produced mask %#x", mask)
+		}
+		return false
+	})
+	if calls != 1 || got != 1 {
+		t.Errorf("Masks(16,0) with aborting fn: calls=%d reported=%d, want 1, 1", calls, got)
+	}
+}
+
+func TestAllMasksEarlyStopAcrossFlipCounts(t *testing.T) {
+	// Regression: a false from fn used to end only the current flip count,
+	// with enumeration resuming at k+1. The stop must end everything, and
+	// the reported total must stop at the aborting mask.
+	tests := []struct {
+		name  string
+		abort uint64 // 1-based index of the mask fn rejects
+	}{
+		{"first mask (k=0)", 1},
+		{"inside k=1", 9},
+		{"k boundary (last k=1 mask)", 17},
+		{"inside k=2", 40},
+	}
+	for _, tt := range tests {
+		var n, maxK uint64
+		total := AllMasks(16, func(k int, mask uint16) bool {
+			n++
+			maxK = uint64(k)
+			return n < tt.abort
+		})
+		if n != tt.abort || total != tt.abort {
+			t.Errorf("%s: fn saw %d masks (reported %d), want stop at %d",
+				tt.name, n, total, tt.abort)
+		}
+		// No flip count beyond the aborting one may be visited: mask
+		// index i (1-based) within k's block bounds maxK.
+		var wantK uint64
+		for sum, k := uint64(0), 0; k <= 16; k++ {
+			sum += Binomial(16, k)
+			if tt.abort <= sum {
+				wantK = uint64(k)
+				break
+			}
+		}
+		if maxK != wantK {
+			t.Errorf("%s: enumeration reached k=%d, want stop in k=%d",
+				tt.name, maxK, wantK)
+		}
+	}
+}
+
 func TestAllMasksTotal(t *testing.T) {
 	var n uint64
 	total := AllMasks(16, func(k int, mask uint16) bool {

@@ -12,7 +12,7 @@ import (
 )
 
 func TestFigure2Rendering(t *testing.T) {
-	results, err := core.RunFigure2(mutate.AND, false, 1, nil)
+	results, err := core.RunFigure2(mutate.AND, false, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestTable7Static(t *testing.T) {
 func TestOutcomeTotalsConsistency(t *testing.T) {
 	// Figure 2 rendering must not lose runs: histogram total equals the
 	// number of mutated executions.
-	results, err := core.RunFigure2(mutate.AND, false, 2, nil)
+	results, err := core.RunFigure2(mutate.AND, false, 2, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,4 +200,37 @@ func TestOutcomeTotalsConsistency(t *testing.T) {
 		t.Fatalf("histogram covers %d of %d runs", got, want)
 	}
 	_ = campaign.Success // document the dependency used above via counts
+}
+
+// TestParallelRendersIdentical is the end-to-end golden-equivalence check
+// the parallel engines promise: the rendered Figure 2 and Table I output
+// of a sharded run must be byte-identical to a serial run's.
+func TestParallelRendersIdentical(t *testing.T) {
+	serial, err := core.RunFigure2(mutate.AND, false, 3, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.RunFigure2(mutate.AND, false, 3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := Figure2(serial, mutate.AND, false), Figure2(parallel, mutate.AND, false); s != p {
+		t.Errorf("Figure 2 render differs between workers=1 and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+
+	if testing.Short() {
+		return // the Table I grid scans are full-size
+	}
+	m := glitcher.NewModel(core.DefaultSeed)
+	st, err := m.RunTable1(glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := m.RunTable1Workers(glitcher.GuardWhileA, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := Table1(st), Table1(pt); s != p {
+		t.Errorf("Table I render differs between serial and workers=4:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
 }

@@ -8,6 +8,7 @@ package search
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"glitchlab/internal/glitcher"
@@ -90,21 +91,23 @@ func (s *Searcher) Find() *Result {
 		"guard": s.Guard.String(),
 	}).End()
 
-	found := false
-	glitcher.Grid(func(p glitcher.Params) {
-		if found {
-			return
-		}
+	glitcher.GridUntil(func(p glitcher.Params) bool {
 		// Phase 1: coarse glitch across the whole loop.
 		if !s.attempt(p, s.Model.RangePlan(p, 0, coarseCycles), res) {
-			return
+			return true
 		}
 		res.CoarseHits++
 		s.Model.Obs.Event("search.coarse_hit", map[string]any{
 			"guard": s.Guard.String(), "width": p.Width, "offset": p.Offset,
 		})
-		// Phase 2: narrow to each individual clock cycle.
-		for cycle := 0; cycle < coarseCycles && !found; cycle++ {
+		// Phase 2: narrow to each individual clock cycle. The loop is one
+		// guard iteration long: the pipeline's relative clock never wraps,
+		// so a single-cycle plan at LoopCycles or beyond would alias into
+		// the NEXT loop iteration's early cycles — the coarse window is
+		// wider (coarseCycles > LoopCycles) only to guarantee full
+		// coverage of the first iteration, not because later single
+		// cycles are meaningful.
+		for cycle := 0; cycle < glitcher.LoopCycles; cycle++ {
 			if !s.attempt(p, s.Model.Plan(p, cycle), res) {
 				continue
 			}
@@ -120,13 +123,16 @@ func (s *Searcher) Find() *Result {
 				res.Found = true
 				res.Params = p
 				res.Cycle = cycle
-				found = true
 				s.Model.Obs.Event("search.reliable", map[string]any{
 					"guard": s.Guard.String(), "width": p.Width,
 					"offset": p.Offset, "cycle": cycle,
 				})
+				// Stop the grid scan: iterating the remaining parameter
+				// points after success would only inflate Attempts.
+				return false
 			}
 		}
+		return true
 	})
 	return res
 }
@@ -135,17 +141,71 @@ func (s *Searcher) Find() *Result {
 // counting every success — used to reproduce the paper's search-cost
 // numbers (success counts across the full scan).
 func (s *Searcher) Exhaust() *Result {
+	res, _ := s.ExhaustWorkers(1)
+	return res
+}
+
+// ExhaustWorkers is Exhaust sharded across workers goroutines: the grid
+// is split into contiguous width bands, each scanned by a worker with its
+// own cloned Target and observer shard, and the per-band counts are
+// summed — Attempts, Successes and CoarseHits are identical to the
+// serial scan's. workers <= 1 runs the serial path on the Searcher's own
+// target.
+func (s *Searcher) ExhaustWorkers(workers int) (*Result, error) {
 	res := &Result{Guard: s.Guard}
 	start := time.Now()
 	defer s.Model.Obs.Span("search.exhaust", map[string]any{
 		"guard": s.Guard.String(),
 	}).End()
-	glitcher.Grid(func(p glitcher.Params) {
-		if s.attempt(p, s.Model.RangePlan(p, 0, coarseCycles), res) {
-			res.CoarseHits++
+
+	bands := glitcher.WidthBands(workers)
+	if len(bands) == 1 {
+		glitcher.Grid(func(p glitcher.Params) {
+			if s.attempt(p, s.Model.RangePlan(p, 0, coarseCycles), res) {
+				res.CoarseHits++
+			}
+		})
+	} else {
+		parts := make([]Result, len(bands))
+		errs := make([]error, len(bands))
+		var wg sync.WaitGroup
+		for bi, band := range bands {
+			wg.Add(1)
+			go func(bi, lo, hi int) {
+				defer wg.Done()
+				ws, err := New(s.Model, s.Guard)
+				if err != nil {
+					errs[bi] = err
+					return
+				}
+				shard := s.Model.Obs.Shard()
+				defer shard.Flush()
+				part := &parts[bi]
+				glitcher.GridBand(lo, hi, func(p glitcher.Params) bool {
+					part.Attempts++
+					r := ws.target.Attempt(s.Model.RangePlan(p, 0, coarseCycles))
+					shard.Attempt(p, r)
+					if r.Reason == pipeline.StopHit {
+						part.Successes++
+						part.CoarseHits++
+					}
+					return true
+				})
+			}(bi, band[0], band[1])
 		}
-	})
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, part := range parts {
+			res.Attempts += part.Attempts
+			res.Successes += part.Successes
+			res.CoarseHits += part.CoarseHits
+		}
+	}
 	res.Elapsed = time.Since(start)
 	res.Found = res.CoarseHits > 0
-	return res
+	return res, nil
 }

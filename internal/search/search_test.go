@@ -20,7 +20,7 @@ func TestFindReliableParameters(t *testing.T) {
 		if !res.Found {
 			t.Fatalf("%v: %s", g, res)
 		}
-		if res.Cycle < 0 || res.Cycle >= 10 {
+		if res.Cycle < 0 || res.Cycle >= glitcher.LoopCycles {
 			t.Errorf("%v: cycle %d out of range", g, res.Cycle)
 		}
 		if res.Successes < Confirmations {
@@ -57,6 +57,66 @@ func TestFindIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestFindCycleWithinLoop is the regression test for the phase-2 clamp:
+// the narrowing loop used to iterate up to coarseCycles (10), two cycles
+// past the 8-cycle loop, and a plan at cycle >= LoopCycles aliases into
+// the next loop iteration (the pipeline's relative clock never wraps). A
+// winning cycle must therefore always lie inside the first iteration.
+func TestFindCycleWithinLoop(t *testing.T) {
+	seeds := uint64(5)
+	if testing.Short() {
+		seeds = 1
+	}
+	for seed := uint64(1); seed <= seeds; seed++ {
+		m := glitcher.NewModel(seed)
+		for _, g := range []glitcher.Guard{
+			glitcher.GuardWhileNotA, glitcher.GuardWhileA, glitcher.GuardWhileNeq,
+		} {
+			s, err := New(m, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := s.Find()
+			if !res.Found {
+				continue
+			}
+			if res.Cycle >= glitcher.LoopCycles {
+				t.Errorf("seed %d %v: winning cycle %d aliases past the %d-cycle loop",
+					seed, g, res.Cycle, glitcher.LoopCycles)
+			}
+		}
+	}
+}
+
+// TestFindStopsAfterSuccess is the regression test for the full-grid
+// iteration bug: Find used to keep walking the remaining parameter points
+// after locating a reliable point, burning one coarse attempt on each. A
+// successful search must attempt strictly fewer points than an
+// exhaustive coarse scan of the whole grid plus the narrowing overhead.
+func TestFindStopsAfterSuccess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid coarse scan")
+	}
+	m := glitcher.NewModel(1)
+	s, err := New(m, glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Find()
+	if !res.Found {
+		t.Fatalf("no reliable point found: %s", res)
+	}
+	e, err := New(m, glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exhaust := e.Exhaust()
+	if res.Attempts >= exhaust.Attempts {
+		t.Errorf("Find fired %d attempts, not fewer than the %d of a full coarse scan — grid not stopped on success",
+			res.Attempts, exhaust.Attempts)
+	}
+}
+
 func TestExhaustCountsSuccesses(t *testing.T) {
 	m := glitcher.NewModel(1)
 	s, err := New(m, glitcher.GuardWhileA)
@@ -72,5 +132,36 @@ func TestExhaustCountsSuccesses(t *testing.T) {
 	}
 	if res.CoarseHits != res.Successes {
 		t.Fatalf("hits %d != successes %d", res.CoarseHits, res.Successes)
+	}
+}
+
+func TestExhaustWorkersMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid coarse scans")
+	}
+	m := glitcher.NewModel(1)
+	s, err := New(m, glitcher.GuardWhileA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := s.Exhaust()
+	for _, workers := range []int{2, 4} {
+		ps, err := New(m, glitcher.GuardWhileA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := ps.ExhaustWorkers(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel.Attempts != serial.Attempts ||
+			parallel.Successes != serial.Successes ||
+			parallel.CoarseHits != serial.CoarseHits ||
+			parallel.Found != serial.Found {
+			t.Errorf("workers=%d: got %d/%d/%d found=%v, want %d/%d/%d found=%v",
+				workers, parallel.Attempts, parallel.Successes, parallel.CoarseHits,
+				parallel.Found, serial.Attempts, serial.Successes, serial.CoarseHits,
+				serial.Found)
+		}
 	}
 }
