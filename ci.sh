@@ -29,4 +29,34 @@ go test -race -run 'TestParallelObserverAccounting|TestParallelMoreWorkersThanUn
 go test -race -run 'TestObsShardFlushMatchesSerial|TestWidthBands|TestGridBand' ./internal/glitcher/
 go run ./cmd/glitchemu -model and -max-flips 2 -workers 4 >/dev/null
 
+# Differential-fuzzing gates. First sanity-check the committed seed corpora
+# (directory names must be Fuzz* harnesses, every file must carry the native
+# corpus header), then give each harness a short coverage-guided smoke run.
+# The runs are serialized: this host has two vCPUs and each fuzz run already
+# forks GOMAXPROCS workers.
+corpus=internal/difftest/testdata/fuzz
+for dir in "$corpus"/*/; do
+	name=$(basename "$dir")
+	case "$name" in
+	Fuzz*) ;;
+	*)
+		echo "ci: corpus dir $name does not name a fuzz harness" >&2
+		exit 1
+		;;
+	esac
+	if ! grep -q "func $name(" internal/difftest/fuzz_test.go; then
+		echo "ci: corpus dir $name has no matching harness in fuzz_test.go" >&2
+		exit 1
+	fi
+	for f in "$dir"*; do
+		if [ "$(head -n 1 "$f")" != "go test fuzz v1" ]; then
+			echo "ci: corpus file $f lacks the 'go test fuzz v1' header" >&2
+			exit 1
+		fi
+	done
+done
+for fz in FuzzEmuVsPipeline FuzzISARoundTrip FuzzDecode FuzzDefenseTransparency FuzzRSCodes; do
+	go test ./internal/difftest/ -run '^$' -fuzz "^${fz}\$" -fuzztime 5s >/dev/null
+done
+
 echo "ci: OK"

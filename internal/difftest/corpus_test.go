@@ -1,0 +1,81 @@
+package difftest
+
+import "testing"
+
+// The TestDiffCorpus* tests are the deterministic face of the fuzz
+// harnesses: a fixed window of seeds, offset by the Seed knob (or the
+// GLITCHLAB_DIFFTEST_SEED environment variable), replays the same checks
+// the fuzzers explore, so plain `go test` exercises every oracle and a
+// failing fuzz seed can be reproduced byte-for-byte by pinning the base.
+
+func corpusSize(full, short int, t *testing.T) int64 {
+	if testing.Short() {
+		return int64(short)
+	}
+	_ = full
+	return int64(full)
+}
+
+func TestDiffCorpusEmuVsPipeline(t *testing.T) {
+	n := corpusSize(300, 40, t)
+	base := BaseSeed()
+	for i := int64(0); i < n; i++ {
+		if err := CheckEmuVsPipeline(base + i); err != nil {
+			t.Fatalf("base %d + %d:\n%v", base, i, err)
+		}
+	}
+}
+
+func TestDiffCorpusRoundTrip(t *testing.T) {
+	n := corpusSize(300, 40, t)
+	base := BaseSeed()
+	for i := int64(0); i < n; i++ {
+		if err := CheckRoundTrip(base + i); err != nil {
+			t.Fatalf("base %d + %d:\n%v", base, i, err)
+		}
+	}
+}
+
+// TestDiffCorpusDecode sweeps the full 16-bit space (the decoder is cheap
+// enough to probe exhaustively) plus a slice of the 32-bit space.
+func TestDiffCorpusDecode(t *testing.T) {
+	for hw := 0; hw <= 0xFFFF; hw++ {
+		if err := CheckDecode(uint16(hw), 0xF800); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if testing.Short() {
+		return
+	}
+	for _, hw := range []uint16{0xE800, 0xF000, 0xF400, 0xF7FF, 0xF800, 0xFFFF} {
+		for hw2 := 0; hw2 <= 0xFFFF; hw2++ {
+			if err := CheckDecode(hw, uint16(hw2)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDiffCorpusTransparency(t *testing.T) {
+	n := corpusSize(12, 3, t)
+	base := BaseSeed()
+	for i := int64(0); i < n; i++ {
+		if err := CheckTransparency(base + i); err != nil {
+			t.Fatalf("base %d + %d:\n%v", base, i, err)
+		}
+	}
+}
+
+func TestDiffCorpusRS(t *testing.T) {
+	max := 64
+	if testing.Short() {
+		max = 16
+	}
+	for count := 2; count <= max; count++ {
+		for _, mask := range []uint32{1, 0x80000001, 0x7F, 0xFFFFFFFF, 0x01010101} {
+			if err := CheckRS(count, uint16(count*31), mask); err != nil {
+				t.Fatalf("count %d mask %#x: %v", count, mask, err)
+			}
+		}
+	}
+}

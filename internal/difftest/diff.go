@@ -1,0 +1,220 @@
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"glitchlab/internal/emu"
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/isa"
+	"glitchlab/internal/pipeline"
+)
+
+// DefaultMaxSteps bounds differential runs. Generated programs are
+// forward-branching and finish within a few hundred instructions; the bound
+// only trips when a wild store rewrites code into a backward loop, and then
+// it trips both executors at the same retired instruction.
+const DefaultMaxSteps = 20_000
+
+// Execution captures every observable of one glitch-free run.
+type Execution struct {
+	Outcome string // "stop", "hang", or "fault:<kind>"
+	Regs    [16]uint32
+	Flags   isa.Flags
+	Cycles  uint64
+	Steps   uint64
+
+	TriggerCount int
+	FlashWrites  int
+
+	RAM   []byte
+	Flash []byte
+	GPIO  []byte
+}
+
+func regionBytes(b *firmware.Board, base uint32) []byte {
+	r, ok := b.Mem.Region(base, 4)
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(r.Data))
+	copy(out, r.Data)
+	return out
+}
+
+func capture(b *firmware.Board, outcome string) Execution {
+	return Execution{
+		Outcome:      outcome,
+		Regs:         b.CPU.R,
+		Flags:        b.CPU.Flags,
+		Cycles:       b.CPU.Cycles,
+		Steps:        b.CPU.Steps,
+		TriggerCount: b.TriggerCount,
+		FlashWrites:  b.FlashWrites,
+		RAM:          regionBytes(b, firmware.RAMBase),
+		Flash:        regionBytes(b, firmware.FlashBase),
+		GPIO:         regionBytes(b, firmware.GPIOBase),
+	}
+}
+
+// RunFunctional executes prog glitch-free on the bare functional emulator
+// (emu.CPU.Run on a standard board) until the program's "stop" symbol, a
+// fault, or maxSteps retired instructions.
+func RunFunctional(prog *isa.Program, maxSteps uint64) (Execution, error) {
+	b, err := firmware.NewBoard()
+	if err != nil {
+		return Execution{}, err
+	}
+	if err := b.Load(prog); err != nil {
+		return Execution{}, err
+	}
+	stop, ok := prog.SymbolAddr("stop")
+	if !ok {
+		return Execution{}, errors.New("difftest: program has no stop symbol")
+	}
+	b.Reset()
+	runErr := b.CPU.Run(stop, maxSteps)
+	outcome := "stop"
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, emu.ErrStepLimit):
+		outcome = "hang"
+	default:
+		var f *emu.Fault
+		if !errors.As(runErr, &f) {
+			return Execution{}, fmt.Errorf("difftest: unexpected run error: %w", runErr)
+		}
+		outcome = "fault:" + f.Kind.String()
+	}
+	return capture(b, outcome), nil
+}
+
+// RunPipeline executes prog glitch-free through the three-stage pipeline
+// model (pipeline.Machine with a nil injector), cut at the same
+// retired-instruction bound as RunFunctional.
+func RunPipeline(prog *isa.Program, maxSteps uint64) (Execution, error) {
+	b, err := firmware.NewBoard()
+	if err != nil {
+		return Execution{}, err
+	}
+	if err := b.Load(prog); err != nil {
+		return Execution{}, err
+	}
+	stop, ok := prog.SymbolAddr("stop")
+	if !ok {
+		return Execution{}, errors.New("difftest: program has no stop symbol")
+	}
+	m := pipeline.NewMachine(b)
+	m.AddStop(stop, "stop")
+	m.MaxSteps = maxSteps
+	b.Reset()
+	r := m.Run(1 << 62) // cycle budget effectively infinite; steps bound the run
+	var outcome string
+	switch r.Reason {
+	case pipeline.StopHit:
+		outcome = "stop"
+	case pipeline.StopHung:
+		outcome = "hang"
+	case pipeline.StopFault:
+		outcome = "fault:" + r.Fault.String()
+	default:
+		return Execution{}, fmt.Errorf("difftest: unexpected stop reason %v", r.Reason)
+	}
+	return capture(b, outcome), nil
+}
+
+// Diff compares two executions observable by observable and returns a
+// human-readable list of divergences (empty when the runs agree).
+func Diff(a, b Execution) []string {
+	var out []string
+	if a.Outcome != b.Outcome {
+		// Different outcome classes mean different cut points, so the
+		// machine state is not comparable beyond this headline.
+		return []string{fmt.Sprintf("outcome: %s vs %s", a.Outcome, b.Outcome)}
+	}
+	for i, v := range a.Regs {
+		if w := b.Regs[i]; v != w {
+			out = append(out, fmt.Sprintf("%s: %#x vs %#x", isa.Reg(i), v, w))
+		}
+	}
+	if a.Flags != b.Flags {
+		out = append(out, fmt.Sprintf("flags: %v vs %v", a.Flags, b.Flags))
+	}
+	if a.Cycles != b.Cycles {
+		out = append(out, fmt.Sprintf("cycles: %d vs %d", a.Cycles, b.Cycles))
+	}
+	if a.Steps != b.Steps {
+		out = append(out, fmt.Sprintf("steps: %d vs %d", a.Steps, b.Steps))
+	}
+	if a.TriggerCount != b.TriggerCount {
+		out = append(out, fmt.Sprintf("triggers: %d vs %d", a.TriggerCount, b.TriggerCount))
+	}
+	if a.FlashWrites != b.FlashWrites {
+		out = append(out, fmt.Sprintf("flash writes: %d vs %d", a.FlashWrites, b.FlashWrites))
+	}
+	for _, reg := range []struct {
+		name string
+		a, b []byte
+	}{{"ram", a.RAM, b.RAM}, {"flash", a.Flash, b.Flash}, {"gpio", a.GPIO, b.GPIO}} {
+		if !bytes.Equal(reg.a, reg.b) {
+			out = append(out, fmt.Sprintf("%s contents differ at offset %#x",
+				reg.name, firstDiff(reg.a, reg.b)))
+		}
+	}
+	return out
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// CheckEmuVsPipeline generates the seeded program, runs it glitch-free on
+// both executors, and returns an error describing any divergence together
+// with the offending source.
+func CheckEmuVsPipeline(seed int64) error {
+	src := NewGen(seed).Program()
+	return CheckEmuVsPipelineSource(src)
+}
+
+// CheckEmuVsPipelineSource is CheckEmuVsPipeline for explicit assembly
+// source with a "stop" symbol (used to pin minimized regressions).
+func CheckEmuVsPipelineSource(src string) error {
+	prog, err := isa.Assemble(firmware.FlashBase, src)
+	if err != nil {
+		return fmt.Errorf("difftest: generated program does not assemble: %w\n%s", err, src)
+	}
+	fn, err := RunFunctional(prog, DefaultMaxSteps)
+	if err != nil {
+		return err
+	}
+	pl, err := RunPipeline(prog, DefaultMaxSteps)
+	if err != nil {
+		return err
+	}
+	if d := Diff(fn, pl); len(d) != 0 {
+		return fmt.Errorf("difftest: emu and pipeline diverged glitch-free:\n  %s\nsource:\n%s",
+			joinLines(d), src)
+	}
+	return nil
+}
+
+func joinLines(xs []string) string {
+	s := ""
+	for i, x := range xs {
+		if i > 0 {
+			s += "\n  "
+		}
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,87 @@
+package difftest
+
+import "testing"
+
+// The Fuzz* harnesses expose the four oracles (plus the Reed-Solomon
+// property probe) to `go test -fuzz`. Seed corpora live under
+// testdata/fuzz/<FuzzName>/ so plain `go test` replays them, and ci.sh runs
+// a short -fuzztime smoke of each. A crasher minimizes to a single seed (or
+// halfword pair), which reproduces deterministically through the same
+// Check* entry point.
+
+// FuzzEmuVsPipeline hunts for glitch-free divergence between the
+// functional emulator and the pipeline model on generated programs.
+func FuzzEmuVsPipeline(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckEmuVsPipeline(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzISARoundTrip hunts for programs whose assemble → decode →
+// disassemble → re-assemble round trip is not a byte-identical fixed point.
+func FuzzISARoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckRoundTrip(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDecode probes isa.Decode with raw halfwords: it must never panic,
+// classify every undefined encoding as OpInvalid, and re-encode every
+// defined one to the same bits.
+func FuzzDecode(f *testing.F) {
+	for _, v := range [][2]uint16{
+		{0x0000, 0x0000}, // movs r0, r0
+		{0x4140, 0xBF00}, // adcs
+		{0x4500, 0x0000}, // invalid: cmp both-low in hi-reg space
+		{0xB662, 0x0000}, // cps
+		{0xBF50, 0x0000}, // unallocated hint
+		{0xDE00, 0x0000}, // udf
+		{0xF000, 0xF800}, // bl
+		{0xE800, 0x0000}, // undefined 32-bit space
+	} {
+		f.Add(v[0], v[1])
+	}
+	f.Fuzz(func(t *testing.T, hw, hw2 uint16) {
+		if err := CheckDecode(hw, hw2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzDefenseTransparency hunts for GlitchResistor passes that change what
+// a program computes rather than only how long it takes.
+func FuzzDefenseTransparency(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := CheckTransparency(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzRSCodes probes the Reed-Solomon constant sets: distinctness, the
+// paper's minimum pairwise Hamming distance of 8, detectability of <=7-bit
+// corruption, and GF(2) linearity of the encoder.
+func FuzzRSCodes(f *testing.F) {
+	f.Add(uint16(4), uint16(0), uint32(1))
+	f.Add(uint16(16), uint16(7), uint32(0x80000001))
+	f.Add(uint16(64), uint16(63), uint32(0xFFFFFFFF))
+	f.Add(uint16(256), uint16(100), uint32(0x01010101))
+	f.Fuzz(func(t *testing.T, count, pick uint16, mask uint32) {
+		if err := CheckRS(int(count), pick, mask); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

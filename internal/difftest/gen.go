@@ -1,0 +1,416 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"glitchlab/internal/firmware"
+)
+
+// Gen is a seeded generator of valid, terminating Thumb-16 assembly
+// programs. Every encoding group of internal/isa is represented (shifts,
+// add/sub, ALU register ops, hi-register ops, every load/store form,
+// SP arithmetic, extend/reverse, push/pop, LDM/STM, literal loads, ADR,
+// branches, BL, BX/BLX, and the fault-raising BKPT/SVC/UDF), with weights
+// favouring the data-processing and memory groups the paper's campaigns
+// exercise most.
+//
+// Termination is guaranteed by construction rather than by budget:
+//
+//   - every label branch (b, b<cond>, bl) targets a strictly later label;
+//   - register-indirect control flow (bx/blx) only ever goes through r7,
+//     which is loaded with the address of the final "stop" label during
+//     init and excluded as a destination everywhere else;
+//   - pop never includes pc, and hi-register writes never target pc.
+//
+// Memory operands are mostly materialized valid SRAM addresses, with a
+// deliberate minority of GPIO, flash and unmapped targets so that fault
+// classification (bad read/write, unaligned) is exercised too. Programs may
+// therefore end at "stop", in a fault, or — if a wild store rewrites
+// upcoming code into a backward branch — not at all; the differential
+// harness cuts both executors at the same retired-instruction count, so all
+// three outcomes remain comparable.
+type Gen struct {
+	rng *rand.Rand
+
+	b          strings.Builder
+	n          int // body units in the current program
+	unit       int
+	pending    int // literal-pool entries awaiting a flush
+	sinceFlush int
+	islandN    int
+	poolN      int
+	groups     map[string]int
+}
+
+// NewGen returns a generator seeded with s. The same seed always yields the
+// same program sequence.
+func NewGen(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Groups reports how many units of each encoding group the most recently
+// generated program contains.
+func (g *Gen) Groups() map[string]int { return g.groups }
+
+func (g *Gen) line(format string, args ...any) {
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+func (g *Gen) low() string { return fmt.Sprintf("r%d", g.rng.Intn(7)) }
+func (g *Gen) hi() string  { return [6]string{"r8", "r9", "r10", "r11", "r12", "lr"}[g.rng.Intn(6)] }
+func (g *Gen) anyGP() string {
+	if g.rng.Intn(2) == 0 {
+		return g.low()
+	}
+	return g.hi()
+}
+
+func pick[T any](rng *rand.Rand, xs ...T) T { return xs[rng.Intn(len(xs))] }
+
+// unitGen is one weighted program-unit producer.
+type unitGen struct {
+	name   string
+	weight int
+	emit   func(g *Gen)
+}
+
+var units = []unitGen{
+	{"shift-imm", 5, (*Gen).unitShiftImm},
+	{"addsub3", 5, (*Gen).unitAddSub3},
+	{"imm8", 6, (*Gen).unitImm8},
+	{"alu", 8, (*Gen).unitALU},
+	{"hireg", 4, (*Gen).unitHiReg},
+	{"extend", 3, (*Gen).unitExtend},
+	{"mem-reg", 5, (*Gen).unitMemReg},
+	{"mem-imm", 5, (*Gen).unitMemImm},
+	{"sp-mem", 3, (*Gen).unitSPMem},
+	{"sp-adjust", 1, (*Gen).unitSPAdjust},
+	{"push-pop", 3, (*Gen).unitPushPop},
+	{"ldm-stm", 2, (*Gen).unitLdmStm},
+	{"island", 3, (*Gen).unitIsland},
+	{"lit-load", 3, (*Gen).unitLitLoad},
+	{"branch", 6, (*Gen).unitBranch},
+	{"fault", 1, (*Gen).unitFault},
+	{"hint", 1, (*Gen).unitHint},
+}
+
+var unitWeightTotal = func() int {
+	t := 0
+	for _, u := range units {
+		t += u.weight
+	}
+	return t
+}()
+
+// Program generates a fresh random program. Successive calls on the same
+// Gen continue the seeded stream, so a (seed, call-index) pair identifies a
+// program exactly.
+func (g *Gen) Program() string {
+	g.b.Reset()
+	g.groups = map[string]int{}
+	g.unit = 0
+	g.pending = 0
+	g.sinceFlush = 0
+	g.n = 8 + g.rng.Intn(72)
+
+	// Init: stop pointer in r7, a real stack frame, defined low registers,
+	// and a few defined hi registers.
+	g.line("start:")
+	g.line("\tldr r7, =stop")
+	g.pending++
+	g.line("\tsub sp, #%d", 128+4*g.rng.Intn(96))
+	// Word-aligned init values: low registers double as offsets and bases,
+	// and an unaligned seed would fault the first word access it reaches.
+	for r := 0; r < 7; r++ {
+		g.line("\tmovs r%d, #%d", r, 4*g.rng.Intn(64))
+	}
+	for _, h := range []string{"r8", "r9", "r10", "r11", "r12"} {
+		g.line("\tmov %s, r%d", h, g.rng.Intn(7))
+	}
+
+	for g.unit < g.n {
+		g.line("L%d:", g.unit)
+		u := g.pickUnit()
+		u.emit(g)
+		g.groups[u.name]++
+		g.unit++
+		g.sinceFlush++
+		// Keep every pending "ldr rd, =imm" within LDRLit's 1020-byte
+		// reach by flushing the pool over a jumped gap regularly.
+		if g.pending > 0 && g.sinceFlush >= 10 {
+			g.flushPool()
+		}
+	}
+	g.line("L%d:", g.n)
+	g.line("\tb stop")
+	g.line("stop:")
+	return g.b.String()
+}
+
+func (g *Gen) pickUnit() unitGen {
+	v := g.rng.Intn(unitWeightTotal)
+	for _, u := range units {
+		v -= u.weight
+		if v < 0 {
+			return u
+		}
+	}
+	return units[len(units)-1]
+}
+
+func (g *Gen) flushPool() {
+	g.line("\tb Lp%d", g.poolN)
+	g.line("\t.pool")
+	g.line("Lp%d:", g.poolN)
+	g.poolN++
+	g.pending = 0
+	g.sinceFlush = 0
+}
+
+func (g *Gen) unitShiftImm() {
+	g.line("\t%s %s, %s, #%d",
+		pick(g.rng, "lsls", "lsrs", "asrs"), g.low(), g.low(), g.rng.Intn(32))
+}
+
+func (g *Gen) unitAddSub3() {
+	mnem := pick(g.rng, "adds", "subs")
+	if g.rng.Intn(2) == 0 {
+		g.line("\t%s %s, %s, %s", mnem, g.low(), g.low(), g.low())
+	} else {
+		g.line("\t%s %s, %s, #%d", mnem, g.low(), g.low(), g.rng.Intn(8))
+	}
+}
+
+func (g *Gen) unitImm8() {
+	g.line("\t%s %s, #%d",
+		pick(g.rng, "movs", "cmp", "adds", "subs"), g.low(), g.rng.Intn(256))
+}
+
+func (g *Gen) unitALU() {
+	switch g.rng.Intn(4) {
+	case 0:
+		g.line("\t%s %s, %s", pick(g.rng, "tst", "cmn", "cmp"), g.low(), g.low())
+	case 1:
+		g.line("\trsbs %s, %s, #0", g.low(), g.low())
+	default:
+		g.line("\t%s %s, %s",
+			pick(g.rng, "ands", "eors", "lsls", "lsrs", "asrs", "adcs",
+				"sbcs", "rors", "orrs", "muls", "bics", "mvns"),
+			g.low(), g.low())
+	}
+}
+
+func (g *Gen) unitHiReg() {
+	// Destinations exclude pc (no wild branches), sp (keep the stack
+	// usable for longer runs) and r7 (the reserved stop pointer).
+	switch g.rng.Intn(3) {
+	case 0:
+		g.line("\tadd %s, %s", g.anyGP(), pick(g.rng, g.low(), g.hi(), "sp"))
+	case 1:
+		g.line("\tmov %s, %s", g.anyGP(), pick(g.rng, g.low(), g.hi(), "sp", "pc"))
+	default:
+		g.line("\tcmp %s, %s", g.hi(), g.anyGP())
+	}
+}
+
+func (g *Gen) unitExtend() {
+	g.line("\t%s %s, %s",
+		pick(g.rng, "sxth", "sxtb", "uxth", "uxtb", "rev", "rev16", "revsh"),
+		g.low(), g.low())
+}
+
+// materialAddr returns a random data address aligned for a width-byte
+// access: mostly valid SRAM, sometimes GPIO or flash (self-modification and
+// programming-stall territory). All of these are mapped; deliberately bad
+// addresses live in unitFault so the expected hazard count per program
+// stays below one and most programs run to completion.
+func (g *Gen) materialAddr(width uint32) uint32 {
+	switch g.rng.Intn(16) {
+	case 0, 1:
+		return firmware.GPIOBase + uint32(g.rng.Intn(0x400))&^(width-1)
+	case 2:
+		return firmware.FlashBase + 0x8000 + uint32(g.rng.Intn(0x1000))&^(width-1)
+	default:
+		return firmware.RAMBase + uint32(g.rng.Intn(firmware.RAMSize-256))&^(width-1)
+	}
+}
+
+// materialBase loads a usable base address into a low register.
+func (g *Gen) materialBase(width uint32) string {
+	rb := g.low()
+	g.line("\tldr %s, =%#x", rb, g.materialAddr(width))
+	g.pending++
+	return rb
+}
+
+func memWidth(mnem string) uint32 {
+	switch mnem {
+	case "str", "ldr":
+		return 4
+	case "strh", "ldrh", "ldrsh":
+		return 2
+	}
+	return 1
+}
+
+func (g *Gen) unitMemReg() {
+	mnem := pick(g.rng, "str", "strh", "strb", "ldr", "ldrh", "ldrb", "ldrsb", "ldrsh")
+	w := memWidth(mnem)
+	rb := g.materialBase(w)
+	ri := g.low()
+	for ri == rb {
+		ri = g.low()
+	}
+	g.line("\tmovs %s, #%d", ri, int(w)*g.rng.Intn(256/int(w)))
+	g.line("\t%s %s, [%s, %s]", mnem, g.low(), rb, ri)
+}
+
+func (g *Gen) unitMemImm() {
+	switch g.rng.Intn(3) {
+	case 0:
+		g.line("\t%s %s, [%s, #%d]", pick(g.rng, "str", "ldr"),
+			g.low(), g.materialBase(4), g.rng.Intn(32)*4)
+	case 1:
+		g.line("\t%s %s, [%s, #%d]", pick(g.rng, "strh", "ldrh"),
+			g.low(), g.materialBase(2), g.rng.Intn(32)*2)
+	default:
+		g.line("\t%s %s, [%s, #%d]", pick(g.rng, "strb", "ldrb"),
+			g.low(), g.materialBase(1), g.rng.Intn(32))
+	}
+}
+
+func (g *Gen) unitSPMem() {
+	g.line("\t%s %s, [sp, #%d]", pick(g.rng, "str", "ldr"), g.low(), g.rng.Intn(24)*4)
+}
+
+func (g *Gen) unitSPAdjust() {
+	g.line("\t%s sp, #%d", pick(g.rng, "add", "sub"), g.rng.Intn(16)*4)
+}
+
+// regList builds a non-empty register list from r0-r6.
+func (g *Gen) regList() string {
+	var regs []string
+	for r := 0; r < 7; r++ {
+		if g.rng.Intn(4) == 0 {
+			regs = append(regs, fmt.Sprintf("r%d", r))
+		}
+	}
+	if len(regs) == 0 {
+		regs = []string{fmt.Sprintf("r%d", g.rng.Intn(7))}
+	}
+	return strings.Join(regs, ", ")
+}
+
+func (g *Gen) unitPushPop() {
+	// Push-biased: unbalanced pops walk SP up past StackTop and off the
+	// RAM region, faulting most long programs before they get anywhere.
+	if g.rng.Intn(3) != 0 {
+		list := g.regList()
+		if g.rng.Intn(3) == 0 {
+			list += ", lr"
+		}
+		g.line("\tpush {%s}", list)
+	} else {
+		g.line("\tpop {%s}", g.regList())
+	}
+}
+
+func (g *Gen) unitLdmStm() {
+	// Keep the base out of its own transfer list; writeback rules for that
+	// case differ across ARM revisions and the campaigns never emit it.
+	rb := g.materialBase(4)
+	var regs []string
+	for r := 0; r < 7; r++ {
+		name := fmt.Sprintf("r%d", r)
+		if name != rb && g.rng.Intn(4) == 0 {
+			regs = append(regs, name)
+		}
+	}
+	if len(regs) == 0 {
+		regs = append(regs, fmt.Sprintf("r%d", (int(rb[1]-'0')+1)%7))
+	}
+	g.line("\t%s %s!, {%s}", pick(g.rng, "stmia", "ldmia"), rb, strings.Join(regs, ", "))
+}
+
+// unitIsland emits a jumped-over data word plus the pc-relative ways of
+// addressing it (ADR and label-form LDR literal).
+func (g *Gen) unitIsland() {
+	k := g.islandN
+	g.islandN++
+	used := false
+	if g.rng.Intn(2) == 0 {
+		g.line("\tadr %s, Ld%d", g.low(), k)
+		used = true
+	}
+	if !used || g.rng.Intn(2) == 0 {
+		g.line("\tldr %s, Ld%d", g.low(), k)
+	}
+	g.line("\tb Ls%d", k)
+	g.line("\t.align 4")
+	g.line("Ld%d:\t.word %#x", k, g.rng.Uint32())
+	if g.rng.Intn(2) == 0 {
+		g.line("\t.word %#x", g.rng.Uint32())
+	}
+	g.line("Ls%d:", k)
+}
+
+func (g *Gen) unitLitLoad() {
+	g.line("\tldr %s, =%#x", g.low(), g.rng.Uint32())
+	g.pending++
+}
+
+func (g *Gen) unitBranch() {
+	if g.rng.Intn(12) == 0 {
+		// Register-indirect exit through the reserved stop pointer.
+		g.line("\t%s r7", pick(g.rng, "bx", "blx"))
+		return
+	}
+	// Forward-only label branches; +6 units stays well inside the
+	// conditional branch's +254-byte reach.
+	j := g.unit + 1 + g.rng.Intn(6)
+	if j > g.n {
+		j = g.n
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		g.line("\tb L%d", j)
+	case 1:
+		g.line("\tbl L%d", j)
+	default:
+		conds := []string{"eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+			"hi", "ls", "ge", "lt", "gt", "le"}
+		g.line("\tb%s L%d", pick(g.rng, conds...), j)
+	}
+}
+
+// unitFault is the one deliberate hazard: an exception-raising instruction
+// or a load/store with a bad address. Its weight keeps the expected hazard
+// count per program below one, so most programs still reach "stop" while
+// every fault class stays represented in the corpus.
+func (g *Gen) unitFault() {
+	switch g.rng.Intn(4) {
+	case 0:
+		g.line("\t%s #%d", pick(g.rng, "bkpt", "svc", "udf"), g.rng.Intn(256))
+	case 1:
+		// Wild base: whatever the program computed, usually unmapped.
+		rb := g.low()
+		g.line("\t%s %s, [%s, #%d]", pick(g.rng, "ldr", "str"), g.low(), rb, g.rng.Intn(8)*4)
+	case 2:
+		rb := g.low()
+		g.line("\tldr %s, =%#x", rb, 0x6000_0000+uint32(g.rng.Intn(0x1000)))
+		g.pending++
+		g.line("\t%s %s, [%s]", pick(g.rng, "ldr", "str", "ldrb", "strb"), g.low(), rb)
+	default:
+		rb := g.low()
+		g.line("\tldr %s, =%#x", rb,
+			firmware.RAMBase+uint32(g.rng.Intn(firmware.RAMSize-256))|uint32(1+g.rng.Intn(3)))
+		g.pending++
+		g.line("\t%s %s, [%s]", pick(g.rng, "ldr", "str", "ldrh", "strh"), g.low(), rb)
+	}
+}
+
+func (g *Gen) unitHint() {
+	g.line("\tnop")
+}

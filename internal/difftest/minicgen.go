@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenMiniC emits a seeded, terminating mini-C program exercising everything
+// the GlitchResistor passes rewrite: an enum (ENUM diversification), a
+// sensitive global named "state" (integrity checks), helpers with constant
+// returns (return-code hardening), bounded for/while loops (loop hardening)
+// and data-dependent branches (branch doubling). The program folds all of
+// its work into the global `out` and halts, so two builds can be compared
+// by that single word plus the trigger count.
+func GenMiniC(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+
+	nEnum := 3 + rng.Intn(4)
+	names := make([]string, nEnum)
+	for i := range names {
+		names[i] = fmt.Sprintf("M%d", i)
+	}
+	fmt.Fprintf(&sb, "enum mode { %s };\n", strings.Join(names, ", "))
+	sb.WriteString("unsigned int out;\n")
+	fmt.Fprintf(&sb, "unsigned int state = %d;\n", 1+rng.Intn(7))
+	fmt.Fprintf(&sb, "unsigned int seed = %#x;\n", rng.Uint32())
+
+	// Helper with constant enum returns: the return-code hardening target.
+	m1, m2 := 2+rng.Intn(5), 2+rng.Intn(5)
+	fmt.Fprintf(&sb, `
+unsigned int classify(unsigned int v) {
+	if (v %% %d == 0) { return %s; }
+	if (v %% %d == 1) { return %s; }
+	return %s;
+}
+`, m1, pickStr(rng, names), m2, pickStr(rng, names), pickStr(rng, names))
+
+	sb.WriteString("void main(void) {\n")
+	sb.WriteString("\tunsigned int acc = seed;\n")
+	// Full instrumentation expands a statement to roughly 250 bytes of
+	// Thumb, and codegen has no branch relaxation: the branch-doubling
+	// trampoline at the end of main must stay within an unconditional
+	// branch's +-2046-byte reach, which caps main at about six statements.
+	nStmts := 3 + rng.Intn(4)
+	for s := 0; s < nStmts; s++ {
+		switch rng.Intn(6) {
+		case 0: // bounded for loop over a mixing step
+			fmt.Fprintf(&sb, "\tfor (unsigned int i%d = 0; i%d < %d; i%d = i%d + 1) {\n",
+				s, s, 2+rng.Intn(7), s, s)
+			fmt.Fprintf(&sb, "\t\tacc = acc * %d + i%d;\n", 3+rng.Intn(13), s)
+			fmt.Fprintf(&sb, "\t\tstate = state ^ (acc >> %d);\n", rng.Intn(16))
+			sb.WriteString("\t}\n")
+		case 1: // branch on the classifier against an enum member
+			fmt.Fprintf(&sb, "\tif (classify(acc) == %s) { acc = acc + %d; }\n",
+				pickStr(rng, names), 1+rng.Intn(200))
+			fmt.Fprintf(&sb, "\telse { acc = acc ^ %#x; }\n", rng.Uint32()&0xFFFF)
+		case 2: // bounded while countdown
+			fmt.Fprintf(&sb, "\t{ unsigned int n%d = %d;\n", s, 1+rng.Intn(9))
+			fmt.Fprintf(&sb, "\twhile (n%d != 0) { acc = acc + n%d * %d; n%d = n%d - 1; } }\n",
+				s, s, 1+rng.Intn(7), s, s)
+		case 3: // mix the sensitive global, keeping it nonzero
+			fmt.Fprintf(&sb, "\tstate = state + (acc & %#x);\n", rng.Uint32()&0xFF)
+			sb.WriteString("\tif (state == 0) { state = 1; }\n")
+		case 4: // division/remainder by small non-zero constants
+			fmt.Fprintf(&sb, "\tacc = (acc %% %d) * %d + (acc & %#x) / %d;\n",
+				2+rng.Intn(9), 3+rng.Intn(9), 0xFFFF, 1+rng.Intn(9))
+		default: // raise the GPIO trigger: a countable observable
+			sb.WriteString("\ttrigger();\n")
+			fmt.Fprintf(&sb, "\tacc = acc | %#x;\n", uint32(1)<<rng.Intn(32))
+		}
+	}
+	sb.WriteString("\tout = acc ^ state;\n")
+	sb.WriteString("\thalt();\n}\n")
+	return sb.String()
+}
+
+func pickStr(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }

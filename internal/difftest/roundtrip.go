@@ -1,0 +1,178 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+
+	"glitchlab/internal/firmware"
+	"glitchlab/internal/isa"
+)
+
+// Disassemble renders a program back into assembler source that
+// isa.Assemble reproduces byte for byte: instructions print through
+// isa.Inst.String, PC-relative branches become labels, and everything that
+// is not at an instruction address (literal pools, data islands, alignment
+// padding) is emitted as raw .byte directives so the layout cannot drift.
+func Disassemble(prog *isa.Program) (string, error) {
+	instAt := make(map[uint32]bool, len(prog.InstAddrs))
+	for _, a := range prog.InstAddrs {
+		instAt[a] = true
+	}
+	end := prog.Base + uint32(len(prog.Code))
+
+	// First pass: collect label targets of PC-relative branches.
+	labels := map[uint32]string{}
+	for _, addr := range prog.InstAddrs {
+		in, ok := prog.InstAt(addr)
+		if !ok {
+			return "", fmt.Errorf("difftest: undecodable instruction at %#x", addr)
+		}
+		switch in.Op {
+		case isa.OpBCond, isa.OpB, isa.OpBL:
+			tgt := in.BranchTarget(addr)
+			if tgt < prog.Base || tgt > end {
+				return "", fmt.Errorf("difftest: branch at %#x leaves the program (%#x)", addr, tgt)
+			}
+			labels[tgt] = fmt.Sprintf("L_%x", tgt)
+		}
+	}
+
+	var sb strings.Builder
+	for addr := prog.Base; addr < end; {
+		if l, ok := labels[addr]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		if !instAt[addr] {
+			fmt.Fprintf(&sb, "\t.byte %#x\n", prog.Code[addr-prog.Base])
+			addr++
+			continue
+		}
+		in, _ := prog.InstAt(addr)
+		switch in.Op {
+		case isa.OpInvalid:
+			return "", fmt.Errorf("difftest: invalid encoding %#x listed as instruction at %#x", in.Raw, addr)
+		case isa.OpCPS:
+			// The assembler has no cps syntax; none of our tools emit it.
+			return "", fmt.Errorf("difftest: cps at %#x is not round-trippable", addr)
+		case isa.OpBCond:
+			fmt.Fprintf(&sb, "\tb%s %s\n", in.Cond, labels[in.BranchTarget(addr)])
+		case isa.OpB:
+			fmt.Fprintf(&sb, "\tb %s\n", labels[in.BranchTarget(addr)])
+		case isa.OpBL:
+			fmt.Fprintf(&sb, "\tbl %s\n", labels[in.BranchTarget(addr)])
+		default:
+			fmt.Fprintf(&sb, "\t%s\n", in)
+		}
+		addr += uint32(in.Size)
+	}
+	// A branch may target the first byte past the program.
+	if l, ok := labels[end]; ok {
+		fmt.Fprintf(&sb, "%s:\n", l)
+	}
+	return sb.String(), nil
+}
+
+// CheckRoundTrip asserts the assemble → decode → disassemble → re-assemble
+// fixed point on a generated program: the re-assembled bytes must equal the
+// original, the instruction layout must match, and a second disassembly must
+// reproduce the first text exactly.
+func CheckRoundTrip(seed int64) error {
+	src := NewGen(seed).Program()
+	return CheckRoundTripSource(src)
+}
+
+// CheckRoundTripSource is CheckRoundTrip for explicit source.
+func CheckRoundTripSource(src string) error {
+	prog, err := isa.Assemble(firmware.FlashBase, src)
+	if err != nil {
+		return fmt.Errorf("difftest: source does not assemble: %w\n%s", err, src)
+	}
+	text, err := Disassemble(prog)
+	if err != nil {
+		return fmt.Errorf("difftest: disassembly failed: %w\nsource:\n%s", err, src)
+	}
+	prog2, err := isa.Assemble(prog.Base, text)
+	if err != nil {
+		return fmt.Errorf("difftest: disassembly does not re-assemble: %w\ndisassembly:\n%s\nsource:\n%s",
+			err, text, src)
+	}
+	if !bytes.Equal(prog.Code, prog2.Code) {
+		off := firstDiff(prog.Code, prog2.Code)
+		return fmt.Errorf("difftest: round trip changed bytes at offset %#x (%#x -> %#x)\ndisassembly:\n%s\nsource:\n%s",
+			off, at(prog.Code, off), at(prog2.Code, off), text, src)
+	}
+	if !reflect.DeepEqual(prog.InstAddrs, prog2.InstAddrs) {
+		return fmt.Errorf("difftest: round trip changed the instruction layout\ndisassembly:\n%s", text)
+	}
+	text2, err := Disassemble(prog2)
+	if err != nil {
+		return fmt.Errorf("difftest: second disassembly failed: %w", err)
+	}
+	if text != text2 {
+		return fmt.Errorf("difftest: disassembly is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, text2)
+	}
+	return nil
+}
+
+func at(b []byte, i int) byte {
+	if i < len(b) {
+		return b[i]
+	}
+	return 0
+}
+
+// notEncodable lists valid decodes with no 16-bit encoder: CPS carries
+// state the decoder does not preserve and nothing in the repo emits it.
+func notEncodable(op isa.Op) bool { return op == isa.OpCPS }
+
+// CheckDecode probes isa.Decode with an arbitrary instruction word. It
+// asserts the decoder's total-function contract: no panics, correct
+// Size/Raw bookkeeping, every invalid encoding classified as OpInvalid, and
+// encode∘decode a fixed point for everything valid.
+func CheckDecode(hw, hw2 uint16) error {
+	in := isa.Decode(hw, hw2)
+	if isa.Is32Bit(hw) {
+		if in.Size != 4 {
+			return fmt.Errorf("decode(%#04x %#04x): 32-bit encoding has Size %d", hw, hw2, in.Size)
+		}
+		if want := uint32(hw)<<16 | uint32(hw2); in.Raw != want {
+			return fmt.Errorf("decode(%#04x %#04x): Raw %#x, want %#x", hw, hw2, in.Raw, want)
+		}
+		switch in.Op {
+		case isa.OpInvalid:
+			return nil
+		case isa.OpBL:
+			h1, h2, err := isa.EncodeBL(int32(in.Imm))
+			if err != nil {
+				return fmt.Errorf("decode(%#04x %#04x): BL imm %#x does not re-encode: %v", hw, hw2, in.Imm, err)
+			}
+			if h1 != hw || h2 != hw2 {
+				return fmt.Errorf("decode(%#04x %#04x): BL re-encodes to %#04x %#04x", hw, hw2, h1, h2)
+			}
+			return nil
+		default:
+			return fmt.Errorf("decode(%#04x %#04x): unexpected 32-bit op %v", hw, hw2, in.Op)
+		}
+	}
+	if in.Size != 2 || in.Raw != uint32(hw) {
+		return fmt.Errorf("decode(%#04x): Size/Raw bookkeeping wrong (%d, %#x)", hw, in.Size, in.Raw)
+	}
+	if in.Op == isa.OpInvalid || notEncodable(in.Op) {
+		return nil
+	}
+	stripped := in
+	stripped.Size, stripped.Raw = 0, 0
+	enc, err := isa.Encode(stripped)
+	if err != nil {
+		return fmt.Errorf("decode(%#04x): valid decode %v does not encode: %v", hw, in, err)
+	}
+	re := isa.Decode(enc, 0)
+	re.Size, re.Raw = 0, 0
+	if re != stripped {
+		return fmt.Errorf("decode(%#04x): encode∘decode not a fixed point: %v -> %#04x -> %v",
+			hw, stripped, enc, re)
+	}
+	return nil
+}

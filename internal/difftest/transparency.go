@@ -1,0 +1,157 @@
+package difftest
+
+import (
+	"fmt"
+	"math/bits"
+
+	"glitchlab/internal/core"
+	"glitchlab/internal/pipeline"
+	"glitchlab/internal/rs"
+)
+
+// buildObs are the observables a defense pass must not change: what the
+// program computed and how often it raised the external trigger. Cycles and
+// bytes are explicitly allowed to grow.
+type buildObs struct {
+	Out      uint32
+	Triggers int
+}
+
+// runBuild compiles src under cfg index i of core.DefenseConfigs("state"),
+// runs it clean, and extracts the observables.
+func runBuild(src string, i int) (buildObs, string, error) {
+	cfg := core.DefenseConfigs("state")[i]
+	name := cfg.Name()
+	res, err := core.Compile(src, cfg)
+	if err != nil {
+		return buildObs{}, name, fmt.Errorf("difftest: %s build failed: %w", name, err)
+	}
+	m, err := core.NewMachine(res.Image)
+	if err != nil {
+		return buildObs{}, name, err
+	}
+	r := m.Run(200_000_000)
+	if r.Reason != pipeline.StopHit || r.Tag != "halt" {
+		return buildObs{}, name, fmt.Errorf("difftest: %s run ended %v/%q fault=%v",
+			name, r.Reason, r.Tag, r.Fault)
+	}
+	addr, ok := res.Image.GlobalAddrs["out"]
+	if !ok {
+		return buildObs{}, name, fmt.Errorf("difftest: %s image has no `out` global", name)
+	}
+	out, ok := m.Board.Mem.ReadWord(addr)
+	if !ok {
+		return buildObs{}, name, fmt.Errorf("difftest: %s `out` unreadable at %#x", name, addr)
+	}
+	return buildObs{Out: out, Triggers: m.Board.TriggerCount}, name, nil
+}
+
+// CheckTransparency compiles the seeded mini-C program under every defense
+// configuration of the paper's evaluation matrix and asserts the defended
+// builds are observationally identical to the unprotected baseline:
+// defenses may cost cycles and bytes, never change what is computed.
+func CheckTransparency(seed int64) error {
+	return CheckTransparencySource(GenMiniC(seed))
+}
+
+// CheckTransparencySource is CheckTransparency for explicit mini-C source
+// (used to pin minimized regressions). The source must define a global
+// `out` and reach halt().
+func CheckTransparencySource(src string) error {
+	n := len(core.DefenseConfigs("state"))
+	base, baseName, err := runBuild(src, 0)
+	if err != nil {
+		return fmt.Errorf("%w\nsource:\n%s", err, src)
+	}
+	for i := 1; i < n; i++ {
+		got, name, err := runBuild(src, i)
+		if err != nil {
+			return fmt.Errorf("%w\nsource:\n%s", err, src)
+		}
+		if got != base {
+			return fmt.Errorf("difftest: defense %s is not transparent: out=%#x triggers=%d, %s baseline out=%#x triggers=%d\nsource:\n%s",
+				name, got.Out, got.Triggers, baseName, base.Out, base.Triggers, src)
+		}
+	}
+	return nil
+}
+
+// rsMinDistance is the paper's reported minimum pairwise Hamming distance
+// for GlitchResistor's diversified constant sets (Section VI-A).
+const rsMinDistance = 8
+
+// CheckRS asserts the Reed-Solomon properties the defenses lean on, for an
+// arbitrary (count, pick, mask) probe:
+//
+//   - the diversified code set has no duplicates and pairwise Hamming
+//     distance >= 8, so corrupting a code by up to 7 bit flips can never
+//     yield another valid code (the detection guarantee);
+//   - the encoder is linear over GF(2), the algebraic identity the
+//     distance bound rests on.
+//
+// count is clamped to the enum/return-set sizes the passes actually emit;
+// pick selects the corrupted code and mask is normalized to 1-7 flips.
+func CheckRS(count int, pick uint16, mask uint32) error {
+	if count < 2 {
+		count = 2
+	}
+	if count > 256 {
+		count = 2 + count%255
+	}
+	codes, err := rs.Codes(count)
+	if err != nil {
+		return fmt.Errorf("difftest: rs.Codes(%d): %w", count, err)
+	}
+	set := make(map[uint32]bool, len(codes))
+	for i, c := range codes {
+		if set[c] {
+			return fmt.Errorf("difftest: rs.Codes(%d): duplicate code %#x at index %d", count, c, i)
+		}
+		set[c] = true
+	}
+	if d := rs.MinPairwiseDistance(codes); d < rsMinDistance {
+		return fmt.Errorf("difftest: rs.Codes(%d): min pairwise distance %d < %d", count, d, rsMinDistance)
+	}
+
+	flips := normalizeMask(mask)
+	victim := codes[int(pick)%len(codes)]
+	if set[victim^flips] {
+		return fmt.Errorf("difftest: rs.Codes(%d): %d-bit corruption %#x of %#x is another valid code",
+			count, bits.OnesCount32(flips), flips, victim)
+	}
+
+	// GF(2) linearity: Encode(a xor b) == Encode(a) xor Encode(b).
+	enc, err := rs.NewEncoder(4)
+	if err != nil {
+		return err
+	}
+	a := []byte{byte(pick), byte(pick >> 8)}
+	b := []byte{byte(mask), byte(mask >> 8)}
+	ab := []byte{a[0] ^ b[0], a[1] ^ b[1]}
+	ea, eb, eab := enc.Encode(a), enc.Encode(b), enc.Encode(ab)
+	for i := range eab {
+		if eab[i] != ea[i]^eb[i] {
+			return fmt.Errorf("difftest: rs encoder not GF(2)-linear at parity byte %d: E(%x^%x)=%x, E(a)^E(b)=%x",
+				i, a, b, eab, []byte{ea[0] ^ eb[0], ea[1] ^ eb[1], ea[2] ^ eb[2], ea[3] ^ eb[3]})
+		}
+	}
+	return nil
+}
+
+// normalizeMask reduces an arbitrary 32-bit mask to a nonzero mask of at
+// most rsMinDistance-1 set bits — the corruption weight the code set
+// guarantees detection for.
+func normalizeMask(mask uint32) uint32 {
+	var out uint32
+	n := 0
+	for b := uint(0); b < 32 && n < rsMinDistance-1; b++ {
+		if mask&(1<<b) != 0 {
+			out |= 1 << b
+			n++
+		}
+	}
+	if out == 0 {
+		out = 1
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+package isa
+
+import "testing"
+
+// vec is one hand-assembled probe of the decoder.
+type vec struct {
+	hw, hw2 uint16
+	want    Op
+}
+
+// decodeGroups tables every Thumb-16 encoding group the decoder knows, with
+// at least one accepted vector per group and, for every group that contains
+// architecturally-undefined encodings, at least one rejected vector that
+// must classify as OpInvalid. Groups whose encoding space is total (every
+// bit pattern is a defined instruction) say so explicitly instead of
+// carrying an impossible reject.
+var decodeGroups = []struct {
+	name    string
+	total   bool // every encoding in the group is defined
+	accepts []vec
+	rejects []vec
+}{
+	{
+		name:  "shift-imm",
+		total: true,
+		accepts: []vec{
+			{hw: 0x0000, want: OpLSLImm}, // lsls r0, r0, #0 (movs r0, r0)
+			{hw: 0x0800, want: OpLSRImm},
+			{hw: 0x1000, want: OpASRImm},
+		},
+	},
+	{
+		name:  "addsub3",
+		total: true,
+		accepts: []vec{
+			{hw: 0x1800, want: OpADDReg},
+			{hw: 0x1A00, want: OpSUBReg},
+			{hw: 0x1C00, want: OpADDImm3},
+			{hw: 0x1E00, want: OpSUBImm3},
+		},
+	},
+	{
+		name:  "imm8",
+		total: true,
+		accepts: []vec{
+			{hw: 0x2000, want: OpMOVImm},
+			{hw: 0x2800, want: OpCMPImm},
+			{hw: 0x3000, want: OpADDImm8},
+			{hw: 0x3800, want: OpSUBImm8},
+		},
+	},
+	{
+		name:  "dp-register",
+		total: true,
+		accepts: []vec{
+			{hw: 0x4000, want: OpAND},
+			{hw: 0x4040, want: OpEOR},
+			{hw: 0x4080, want: OpLSLReg},
+			{hw: 0x40C0, want: OpLSRReg},
+			{hw: 0x4100, want: OpASRReg},
+			{hw: 0x4140, want: OpADC},
+			{hw: 0x4180, want: OpSBC},
+			{hw: 0x41C0, want: OpRORReg},
+			{hw: 0x4200, want: OpTST},
+			{hw: 0x4240, want: OpRSB},
+			{hw: 0x4280, want: OpCMPReg},
+			{hw: 0x42C0, want: OpCMN},
+			{hw: 0x4300, want: OpORR},
+			{hw: 0x4340, want: OpMUL},
+			{hw: 0x4380, want: OpBIC},
+			{hw: 0x43C0, want: OpMVN},
+		},
+	},
+	{
+		name: "hi-register",
+		accepts: []vec{
+			{hw: 0x4440, want: OpADDHi}, // add r0, r8
+			{hw: 0x4540, want: OpCMPHi}, // cmp r0, r8
+			{hw: 0x4600, want: OpMOVHi},
+			{hw: 0x4700, want: OpBX},
+			{hw: 0x4780, want: OpBLX},
+		},
+		rejects: []vec{
+			{hw: 0x4500, want: OpInvalid}, // cmp with both registers low
+			{hw: 0x4701, want: OpInvalid}, // bx with nonzero low bits
+		},
+	},
+	{
+		name:    "ldr-literal",
+		total:   true,
+		accepts: []vec{{hw: 0x4800, want: OpLDRLit}},
+	},
+	{
+		name:  "mem-register",
+		total: true,
+		accepts: []vec{
+			{hw: 0x5000, want: OpSTRReg},
+			{hw: 0x5200, want: OpSTRHReg},
+			{hw: 0x5400, want: OpSTRBReg},
+			{hw: 0x5600, want: OpLDRSB},
+			{hw: 0x5800, want: OpLDRReg},
+			{hw: 0x5A00, want: OpLDRHReg},
+			{hw: 0x5C00, want: OpLDRBReg},
+			{hw: 0x5E00, want: OpLDRSH},
+		},
+	},
+	{
+		name:  "mem-imm5",
+		total: true,
+		accepts: []vec{
+			{hw: 0x6000, want: OpSTRImm},
+			{hw: 0x6800, want: OpLDRImm},
+			{hw: 0x7000, want: OpSTRBImm},
+			{hw: 0x7800, want: OpLDRBImm},
+			{hw: 0x8000, want: OpSTRHImm},
+			{hw: 0x8800, want: OpLDRHImm},
+		},
+	},
+	{
+		name:  "sp-relative",
+		total: true,
+		accepts: []vec{
+			{hw: 0x9000, want: OpSTRSP},
+			{hw: 0x9800, want: OpLDRSP},
+		},
+	},
+	{
+		name:  "adr-addsp",
+		total: true,
+		accepts: []vec{
+			{hw: 0xA000, want: OpADR},
+			{hw: 0xA800, want: OpADDSP},
+		},
+	},
+	{
+		name:  "misc-sp-adjust",
+		total: true,
+		accepts: []vec{
+			{hw: 0xB000, want: OpADDSPImm},
+			{hw: 0xB080, want: OpSUBSPImm},
+		},
+	},
+	{
+		name:  "misc-extend",
+		total: true,
+		accepts: []vec{
+			{hw: 0xB200, want: OpSXTH},
+			{hw: 0xB240, want: OpSXTB},
+			{hw: 0xB280, want: OpUXTH},
+			{hw: 0xB2C0, want: OpUXTB},
+		},
+	},
+	{
+		name: "misc-push-pop",
+		accepts: []vec{
+			{hw: 0xB401, want: OpPUSH}, // push {r0}
+			{hw: 0xB500, want: OpPUSH}, // push {lr}
+			{hw: 0xBC01, want: OpPOP},
+			{hw: 0xBD00, want: OpPOP}, // pop {pc}
+		},
+		rejects: []vec{
+			{hw: 0xB400, want: OpInvalid}, // empty register list
+			{hw: 0xBC00, want: OpInvalid},
+		},
+	},
+	{
+		name:    "misc-cps",
+		total:   true,
+		accepts: []vec{{hw: 0xB662, want: OpCPS}},
+	},
+	{
+		name:  "misc-rev",
+		total: true,
+		accepts: []vec{
+			{hw: 0xBA00, want: OpREV},
+			{hw: 0xBA40, want: OpREV16},
+			{hw: 0xBAC0, want: OpREVSH},
+		},
+	},
+	{
+		name:    "misc-bkpt",
+		total:   true,
+		accepts: []vec{{hw: 0xBE00, want: OpBKPT}},
+	},
+	{
+		name: "misc-hints",
+		accepts: []vec{
+			{hw: 0xBF00, want: OpNOP},
+			{hw: 0xBF40, want: OpNOP}, // SEV executes as NOP
+		},
+		rejects: []vec{
+			{hw: 0xBF01, want: OpInvalid}, // IT is ARMv7-only
+			{hw: 0xBF50, want: OpInvalid}, // hint beyond SEV: unallocated
+		},
+	},
+	{
+		name:    "misc-unallocated",
+		accepts: []vec{{hw: 0xB000, want: OpADDSPImm}}, // group is pure holes; neighbour accept
+		rejects: []vec{
+			{hw: 0xB100, want: OpInvalid},
+			{hw: 0xB900, want: OpInvalid},
+			{hw: 0xB680, want: OpInvalid},
+		},
+	},
+	{
+		name: "stm-ldm",
+		accepts: []vec{
+			{hw: 0xC001, want: OpSTM},
+			{hw: 0xC801, want: OpLDM},
+		},
+		rejects: []vec{
+			{hw: 0xC000, want: OpInvalid}, // empty register list
+			{hw: 0xC800, want: OpInvalid},
+		},
+	},
+	{
+		name:  "cond-branch",
+		total: true,
+		accepts: []vec{
+			{hw: 0xD000, want: OpBCond},
+			{hw: 0xDD00, want: OpBCond},
+			{hw: 0xDE00, want: OpUDF},
+			{hw: 0xDF00, want: OpSVC},
+		},
+	},
+	{
+		name:    "uncond-branch",
+		total:   true,
+		accepts: []vec{{hw: 0xE000, want: OpB}},
+	},
+	{
+		name:    "wide",
+		accepts: []vec{{hw: 0xF000, hw2: 0xF800, want: OpBL}},
+		rejects: []vec{
+			{hw: 0xF000, hw2: 0x0000, want: OpInvalid}, // second halfword not BL-shaped
+			{hw: 0xE800, hw2: 0x0000, want: OpInvalid}, // 0b11101 space: undefined in v6-M
+			{hw: 0xF800, hw2: 0xF800, want: OpInvalid}, // 0b11111 space
+		},
+	},
+}
+
+// TestDecodeGroupCoverage drives every encoding group through at least one
+// accepted and (where the group has holes) one rejected vector.
+func TestDecodeGroupCoverage(t *testing.T) {
+	for _, g := range decodeGroups {
+		t.Run(g.name, func(t *testing.T) {
+			if len(g.accepts) == 0 {
+				t.Fatal("group has no accept vectors")
+			}
+			if !g.total && len(g.rejects) == 0 {
+				t.Fatal("group is not total but has no reject vectors")
+			}
+			for _, v := range g.accepts {
+				in := Decode(v.hw, v.hw2)
+				if in.Op != v.want {
+					t.Errorf("Decode(%#04x, %#04x).Op = %v, want %v", v.hw, v.hw2, in.Op, v.want)
+				}
+			}
+			for _, v := range g.rejects {
+				in := Decode(v.hw, v.hw2)
+				if in.Op != OpInvalid {
+					t.Errorf("Decode(%#04x, %#04x).Op = %v, want OpInvalid", v.hw, v.hw2, in.Op)
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeOpReachability sweeps the entire 16-bit space plus the table's
+// wide vectors and checks every operation in the instruction set is reached
+// by some defined encoding — a new Op with no decode path, or a decode path
+// the table misses, fails here.
+func TestDecodeOpReachability(t *testing.T) {
+	seen := map[Op]bool{}
+	for hw := 0; hw <= 0xFFFF; hw++ {
+		if Is32Bit(uint16(hw)) {
+			continue
+		}
+		seen[Decode(uint16(hw), 0).Op] = true
+	}
+	for _, g := range decodeGroups {
+		for _, v := range g.accepts {
+			seen[Decode(v.hw, v.hw2).Op] = true
+		}
+	}
+	for op := OpInvalid + 1; op <= OpBL; op++ {
+		if !seen[op] {
+			t.Errorf("op %v is not reachable from any decoded encoding", op)
+		}
+	}
+}

@@ -141,6 +141,15 @@ type Machine struct {
 	Stops  map[uint32]string // address -> tag; run ends when PC reaches one
 	Glitch Injector          // nil for clean runs
 
+	// MaxSteps, when non-zero, bounds the run by retired instructions in
+	// addition to Run's cycle budget, reporting StopHung once the count is
+	// reached. Differential harnesses use it to cut a pipeline run and a
+	// functional emu.CPU.Run at exactly the same instruction, so that even
+	// hung executions can be compared register for register (a cycle
+	// budget cannot do that: flash-programming stalls make the
+	// cycles-per-instruction ratio program-dependent).
+	MaxSteps uint64
+
 	windowStart uint64 // cycle at which the active trigger window began
 	windowIdx   int    // trigger occurrence index (-1 before first trigger)
 
@@ -254,6 +263,9 @@ func (m *Machine) Run(maxCycles uint64) Result {
 			return m.result(StopHit, tag, 0)
 		}
 		if cpu.Cycles >= maxCycles {
+			return m.result(StopHung, "", 0)
+		}
+		if m.MaxSteps > 0 && cpu.Steps >= m.MaxSteps {
 			return m.result(StopHung, "", 0)
 		}
 

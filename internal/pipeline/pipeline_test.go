@@ -273,3 +273,31 @@ func TestEventKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestMaxStepsCutsRun(t *testing.T) {
+	// The guard loop never exits cleanly; a step bound must report hung at
+	// exactly that many retired instructions regardless of the cycle
+	// budget, and the cut must be deterministic.
+	m := newGuardMachine(t)
+	m.MaxSteps = 25
+	r := m.Run(1 << 40)
+	if r.Reason != StopHung {
+		t.Fatalf("bounded run: %v (tag %q), want hung", r.Reason, r.Tag)
+	}
+	if r.Steps != 25 {
+		t.Errorf("steps at cut = %d, want 25", r.Steps)
+	}
+
+	// A stop reached before the bound still wins over the step check.
+	m2 := newGuardMachine(t)
+	m2.MaxSteps = 1 << 40
+	m2.Glitch = func(rel, window int) (Event, bool) {
+		if rel == 5 {
+			return Event{Kind: EventSkip}, true
+		}
+		return Event{}, false
+	}
+	if r := m2.Run(500); r.Reason != StopHit || r.Tag != "exit" {
+		t.Fatalf("stop vs step bound: %v (tag %q), want exit hit", r.Reason, r.Tag)
+	}
+}
