@@ -29,6 +29,38 @@ go test -race -run 'TestParallelObserverAccounting|TestParallelMoreWorkersThanUn
 go test -race -run 'TestObsShardFlushMatchesSerial|TestWidthBands|TestGridBand' ./internal/glitcher/
 go run ./cmd/glitchemu -model and -max-flips 2 -workers 4 >/dev/null
 
+# Crash-safe run-controller gates: the runctl suite and a campaign
+# kill/resume + panic-quarantine slice under the race detector.
+go test -race ./internal/runctl/
+go test -race -short -run 'TestResumeByteIdentical|TestPanicQuarantine' ./internal/campaign/
+
+# End-to-end kill/resume smoke: a deadline-interrupted campaign must exit
+# with status 3, publish no results file, and leave a resumable
+# checkpoint; the resumed run must complete and write results
+# byte-identical to an uninterrupted run's. The binary is built once so
+# the exit status is the campaign's own, not `go run` relaying it.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/glitchemu" ./cmd/glitchemu
+"$tmp/glitchemu" -workers 2 -out "$tmp/golden.txt"
+status=0
+"$tmp/glitchemu" -workers 2 -run-dir "$tmp/run" -deadline 250ms \
+	-out "$tmp/partial.txt" 2>/dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+	echo "ci: deadline-interrupted run exited $status, want 3" >&2
+	exit 1
+fi
+if [ -e "$tmp/partial.txt" ]; then
+	echo "ci: interrupted run must not publish a results file" >&2
+	exit 1
+fi
+if [ ! -s "$tmp/run/manifest.json" ] || [ ! -e "$tmp/run/checkpoint.jsonl" ]; then
+	echo "ci: interrupted run left no checkpoint in $tmp/run" >&2
+	exit 1
+fi
+"$tmp/glitchemu" -workers 2 -run-dir "$tmp/run" -resume -out "$tmp/resumed.txt"
+cmp "$tmp/golden.txt" "$tmp/resumed.txt"
+
 # Differential-fuzzing gates. First sanity-check the committed seed corpora
 # (directory names must be Fuzz* harnesses, every file must carry the native
 # corpus header), then give each harness a short coverage-guided smoke run.

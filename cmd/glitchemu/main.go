@@ -12,9 +12,18 @@
 //	glitchemu -metrics             # print a metrics snapshot afterwards
 //	glitchemu -trace c.jsonl       # structured JSONL trace of the campaign
 //	glitchemu -serve :8080         # live /metrics and /debug/pprof
+//	glitchemu -out results.txt     # write the tables atomically to a file
+//	glitchemu -run-dir d -deadline 30m   # crash-safe checkpointed run
+//	glitchemu -run-dir d -resume   # pick an interrupted run back up
+//
+// A run with -run-dir checkpoints every completed (condition, flip-count)
+// work unit; SIGINT, SIGTERM or -deadline drain the workers, flush the
+// checkpoint and exit with status 3, and -resume skips the completed units
+// and produces byte-identical results to an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,13 +33,15 @@ import (
 	"glitchlab/internal/mutate"
 	"glitchlab/internal/obs"
 	"glitchlab/internal/report"
+	"glitchlab/internal/runctl"
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "glitchemu:", err)
-		os.Exit(1)
 	}
+	os.Exit(runctl.ExitCode(err))
 }
 
 func run() error {
@@ -43,6 +54,7 @@ func run() error {
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"worker goroutines sharding the campaign (1 = serial; results are identical)")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
+	rcli := runctl.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	sess, err := cli.Start(obs.Default)
@@ -50,6 +62,23 @@ func run() error {
 		return err
 	}
 	defer sess.Close()
+
+	// The config hash covers everything that shapes the results; the worker
+	// count only shapes the schedule, so it is deliberately excluded and a
+	// run may be resumed with a different -workers value.
+	hash := runctl.ConfigHash(struct {
+		Model       string
+		ZeroInvalid bool
+		PadUDF      bool
+		MaxFlips    int
+	}{*modelFlag, *zeroInvalid, *padUDF, *maxFlips})
+	rn, cancel, err := rcli.Start("glitchemu", hash, 0)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	defer rn.Close()
+	rn.Tracer = sess.Tracer
 
 	type variant struct {
 		model       mutate.Model
@@ -71,6 +100,7 @@ func run() error {
 		variants = []variant{{m, *zeroInvalid}}
 	}
 
+	out := runctl.NewOutput(rcli.OutPath)
 	for _, v := range variants {
 		var o *campaign.Observer
 		if cli.Enabled() {
@@ -80,14 +110,20 @@ func run() error {
 		var results []campaign.CondResult
 		var err error
 		if *padUDF {
-			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, o)
+			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, o, rn)
 		} else {
-			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, o)
+			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, o, rn)
 		}
 		if err != nil {
+			if errors.Is(err, runctl.ErrInterrupted) {
+				fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitchemu"))
+			}
 			return err
 		}
-		fmt.Println(report.Figure2(results, v.model, v.zeroInvalid))
+		fmt.Fprintln(out.Writer(), report.Figure2(results, v.model, v.zeroInvalid))
+	}
+	if err := out.Commit(); err != nil {
+		return err
 	}
 	sess.DumpMetrics(os.Stdout, report.Metrics)
 	return nil

@@ -16,9 +16,19 @@
 //	glitcheval -exp table6 -seed 7
 //	glitcheval -exp lint
 //	glitcheval -exp figure2 -metrics -trace run.jsonl
+//	glitcheval -exp table6 -out results.txt      # atomic results file
+//	glitcheval -exp table6 -run-dir d -deadline 30m
+//	glitcheval -exp table6 -run-dir d -resume
+//
+// A run with -run-dir checkpoints completed work units (Table VI
+// scenario/defense/attack cells, figure2 campaign units); SIGINT, SIGTERM
+// or -deadline drain the run, flush the checkpoint and exit with status
+// 3, and -resume skips the completed units and produces byte-identical
+// results to an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,13 +41,15 @@ import (
 	"glitchlab/internal/obs"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/report"
+	"glitchlab/internal/runctl"
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "glitcheval:", err)
-		os.Exit(1)
 	}
+	os.Exit(runctl.ExitCode(err))
 }
 
 func run() error {
@@ -53,6 +65,7 @@ func run() error {
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"figure2: worker goroutines sharding the campaign (1 = serial)")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
+	rcli := runctl.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	sess, err := cli.Start(obs.Default)
@@ -61,12 +74,31 @@ func run() error {
 	}
 	defer sess.Close()
 
+	// Worker count excluded: it shapes only the schedule, never the counts.
+	hash := runctl.ConfigHash(struct {
+		Exp         string
+		Seed        uint64
+		Model       string
+		ZeroInvalid bool
+		MaxFlips    int
+	}{*exp, *seed, *modelFlag, *zeroInvalid, *maxFlips})
+	rn, cancel, err := rcli.Start("glitcheval", hash, *seed)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	defer rn.Close()
+	rn.Tracer = sess.Tracer
+
+	out := runctl.NewOutput(rcli.OutPath)
+	w := out.Writer()
+
 	runT4 := func() error {
 		t4, err := core.RunTable4()
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table4(t4))
+		fmt.Fprintln(w, report.Table4(t4))
 		return nil
 	}
 	runT5 := func() error {
@@ -74,7 +106,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table5(t5))
+		fmt.Fprintln(w, report.Table5(t5))
 		return nil
 	}
 	runT6 := func() error {
@@ -89,11 +121,11 @@ func run() error {
 		if cli.Enabled() {
 			m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
 		}
-		t6, err := core.RunTable6(m, progress)
+		t6, err := core.RunTable6(m, progress, rn)
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table6(t6))
+		fmt.Fprintln(w, report.Table6(t6))
 		return nil
 	}
 
@@ -104,10 +136,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Println("Static triage of the evaluation firmware (unprotected):")
-		fmt.Println(report.Findings(audit.Pre))
-		fmt.Println("After the full defense set:")
-		fmt.Println(report.Findings(audit.Post))
+		fmt.Fprintln(w, "Static triage of the evaluation firmware (unprotected):")
+		fmt.Fprintln(w, report.Findings(audit.Pre))
+		fmt.Fprintln(w, "After the full defense set:")
+		fmt.Fprintln(w, report.Findings(audit.Post))
 		return audit.Err()
 	}
 
@@ -121,45 +153,54 @@ func run() error {
 			o = campaign.NewObserver(obs.Default, sess.Tracer)
 			o.OnProgress(0, sess.Progress("figure2 "+model.String()))
 		}
-		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, o)
+		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, o, rn)
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Figure2(results, model, *zeroInvalid))
+		fmt.Fprintln(w, report.Figure2(results, model, *zeroInvalid))
 		return nil
 	}
 
 	defer sess.DumpMetrics(os.Stdout, report.Metrics)
-	switch *exp {
-	case "table4":
-		return runT4()
-	case "table5":
-		return runT5()
-	case "table6":
-		return runT6()
-	case "table7":
-		fmt.Println(report.Table7())
-		return nil
-	case "lint":
-		return runLint()
-	case "figure2":
-		return runFig2()
-	case "all":
-		if err := runLint(); err != nil {
-			return err
+	runSelected := func() error {
+		switch *exp {
+		case "table4":
+			return runT4()
+		case "table5":
+			return runT5()
+		case "table6":
+			return runT6()
+		case "table7":
+			fmt.Fprintln(w, report.Table7())
+			return nil
+		case "lint":
+			return runLint()
+		case "figure2":
+			return runFig2()
+		case "all":
+			if err := runLint(); err != nil {
+				return err
+			}
+			if err := runT4(); err != nil {
+				return err
+			}
+			if err := runT5(); err != nil {
+				return err
+			}
+			if err := runT6(); err != nil {
+				return err
+			}
+			fmt.Fprintln(w, report.Table7())
+			return nil
+		default:
+			return fmt.Errorf("unknown experiment %q", *exp)
 		}
-		if err := runT4(); err != nil {
-			return err
-		}
-		if err := runT5(); err != nil {
-			return err
-		}
-		if err := runT6(); err != nil {
-			return err
-		}
-		fmt.Println(report.Table7())
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+	if err := runSelected(); err != nil {
+		if errors.Is(err, runctl.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitcheval"))
+		}
+		return err
+	}
+	return out.Commit()
 }

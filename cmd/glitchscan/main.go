@@ -12,13 +12,23 @@
 //	glitchscan -metrics        # print a metrics snapshot afterwards
 //	glitchscan -trace s.jsonl  # structured JSONL trace of the scan
 //	glitchscan -serve :8080    # live /metrics and /debug/pprof
+//	glitchscan -out results.txt          # write the tables atomically
+//	glitchscan -run-dir d -deadline 30m  # crash-safe checkpointed run
+//	glitchscan -run-dir d -resume        # pick an interrupted run back up
 //
 // Experiments: table1a table1b table1c table1 table2 table3 search
+//
+// A run with -run-dir checkpoints every completed grid width row; SIGINT,
+// SIGTERM or -deadline drain the scan, flush the checkpoint and exit with
+// status 3, and -resume skips the completed rows and produces
+// byte-identical results to an uninterrupted run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"glitchlab/internal/campaign"
@@ -26,13 +36,15 @@ import (
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/obs"
 	"glitchlab/internal/report"
+	"glitchlab/internal/runctl"
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "glitchscan:", err)
-		os.Exit(1)
 	}
+	os.Exit(runctl.ExitCode(err))
 }
 
 func run() error {
@@ -42,6 +54,7 @@ func run() error {
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"worker goroutines sharding each grid scan (1 = serial; results are identical)")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
+	rcli := runctl.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
 
 	sess, err := cli.Start(obs.Default)
@@ -50,12 +63,32 @@ func run() error {
 	}
 	defer sess.Close()
 
+	// Worker count excluded: it shapes only the schedule, never the counts.
+	hash := runctl.ConfigHash(struct {
+		Exp  string
+		Seed uint64
+	}{*exp, *seed})
+	rn, cancel, err := rcli.Start("glitchscan", hash, *seed)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	defer rn.Close()
+	rn.Tracer = sess.Tracer
+
 	m := glitcher.NewModel(*seed)
 	if cli.Enabled() {
 		m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
 	}
 
-	if err := runExp(*exp, m, *workers); err != nil {
+	out := runctl.NewOutput(rcli.OutPath)
+	if err := runExp(*exp, m, *workers, rn, out.Writer()); err != nil {
+		if errors.Is(err, runctl.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitchscan"))
+		}
+		return err
+	}
+	if err := out.Commit(); err != nil {
 		return err
 	}
 	if cli.Metrics {
@@ -64,76 +97,76 @@ func run() error {
 	return nil
 }
 
-func runExp(exp string, m *glitcher.Model, workers int) error {
+func runExp(exp string, m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
 	wantT1 := map[string]int{"table1a": 0, "table1b": 1, "table1c": 2}
 	switch exp {
 	case "table1a", "table1b", "table1c":
-		results, err := core.RunTable1(m, workers)
+		results, err := core.RunTable1(m, workers, rn)
 		if err != nil {
 			return err
 		}
-		fmt.Println(report.Table1(results[wantT1[exp]]))
+		fmt.Fprintln(w, report.Table1(results[wantT1[exp]]))
 		return nil
 	case "table1":
-		return printTable1(m, workers)
+		return printTable1(m, workers, rn, w)
 	case "table2":
-		return printTable2(m, workers)
+		return printTable2(m, workers, rn, w)
 	case "table3":
-		return printTable3(m, workers)
+		return printTable3(m, workers, rn, w)
 	case "search":
-		return printSearch(m)
+		return printSearch(m, rn, w)
 	case "all":
-		if err := printTable1(m, workers); err != nil {
+		if err := printTable1(m, workers, rn, w); err != nil {
 			return err
 		}
-		if err := printTable2(m, workers); err != nil {
+		if err := printTable2(m, workers, rn, w); err != nil {
 			return err
 		}
-		if err := printTable3(m, workers); err != nil {
+		if err := printTable3(m, workers, rn, w); err != nil {
 			return err
 		}
-		return printSearch(m)
+		return printSearch(m, rn, w)
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 }
 
-func printTable1(m *glitcher.Model, workers int) error {
-	results, err := core.RunTable1(m, workers)
+func printTable1(m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
+	results, err := core.RunTable1(m, workers, rn)
 	if err != nil {
 		return err
 	}
 	for _, r := range results {
-		fmt.Println(report.Table1(r))
+		fmt.Fprintln(w, report.Table1(r))
 	}
 	return nil
 }
 
-func printTable2(m *glitcher.Model, workers int) error {
-	results, err := core.RunTable2(m, workers)
+func printTable2(m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
+	results, err := core.RunTable2(m, workers, rn)
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Table2(results))
+	fmt.Fprintln(w, report.Table2(results))
 	return nil
 }
 
-func printTable3(m *glitcher.Model, workers int) error {
-	results, err := core.RunTable3(m, workers)
+func printTable3(m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
+	results, err := core.RunTable3(m, workers, rn)
 	if err != nil {
 		return err
 	}
-	fmt.Println(report.Table3(results))
+	fmt.Fprintln(w, report.Table3(results))
 	return nil
 }
 
-func printSearch(m *glitcher.Model) error {
-	results, err := core.RunSearch(m)
+func printSearch(m *glitcher.Model, rn *runctl.Run, w io.Writer) error {
+	results, err := core.RunSearch(m, rn)
 	if err != nil {
 		return err
 	}
 	for _, r := range results {
-		fmt.Println(report.Search(r))
+		fmt.Fprintln(w, report.Search(r))
 	}
 	return nil
 }

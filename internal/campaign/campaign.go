@@ -12,6 +12,7 @@ import (
 	"glitchlab/internal/emu"
 	"glitchlab/internal/isa"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/runctl"
 )
 
 // Outcome classifies a single perturbed execution, matching Figure 2's
@@ -374,6 +375,21 @@ type Config struct {
 	// campaigns record through per-worker shards of this observer; counter
 	// totals match the serial numbers exactly.
 	Obs *Observer
+
+	// Run, when non-nil, is the run controller: cancellation is checked
+	// between (condition, flip-count) work units, every completed unit is
+	// checkpointed (and skipped on resume), and a panicking unit is
+	// quarantined instead of crashing the campaign. nil keeps the bare
+	// library behavior: no checkpoints, panics propagate.
+	Run *runctl.Run
+}
+
+// unitKey names one (condition, flip-count) work unit in the checkpoint.
+// The campaign variant is part of the key, so several variants (e.g.
+// glitchemu's four Figure 2 configurations) can share one run directory.
+func (cfg Config) unitKey(cond isa.Cond, k int) string {
+	return fmt.Sprintf("campaign model=%s zero=%t pad=%t cond=b%v k=%d",
+		cfg.Model, cfg.ZeroInvalid, cfg.PadUDF, cond, k)
 }
 
 // PlannedRuns returns the number of executions a campaign over all
@@ -393,6 +409,13 @@ func PlannedRuns(maxFlips int) uint64 {
 // results in the BranchConds order. Before returning it asserts the
 // outcome accounting invariant on every result, so rendered totals and
 // observer counters can never drift apart silently.
+//
+// With cfg.Run set, an interrupted campaign returns the conditions whose
+// units all completed, together with an error wrapping runctl.ErrInterrupted;
+// a campaign with quarantined (panicked) units returns the clean conditions
+// plus a *runctl.QuarantineError naming the poisoned units. Both kinds of
+// partial result sets skip the accounting check — it holds only for
+// complete sweeps.
 func Run(cfg Config) ([]CondResult, error) {
 	if cfg.MaxFlips <= 0 {
 		cfg.MaxFlips = 16
@@ -416,7 +439,10 @@ func Run(cfg Config) ([]CondResult, error) {
 		results, err = runSerial(cfg)
 	}
 	if err != nil {
-		return nil, err
+		return results, err
+	}
+	if err := cfg.Run.FinishErr(); err != nil {
+		return results, err
 	}
 	if err := VerifyAccounting(results); err != nil {
 		return nil, err
@@ -432,15 +458,60 @@ func newRunnerFor(cfg Config, cond isa.Cond) (*Runner, error) {
 	return NewRunner(cond, cfg.ZeroInvalid)
 }
 
+// runSerial walks the campaign one (condition, flip-count) unit at a time
+// — the same work units the parallel engine shards by, so checkpoints are
+// interchangeable between serial and parallel runs and the merge order
+// (BranchConds, then ascending k) is identical.
 func runSerial(cfg Config) ([]CondResult, error) {
-	results := make([]CondResult, 0, len(isa.BranchConds()))
-	for _, cond := range isa.BranchConds() {
-		r, err := newRunnerFor(cfg, cond)
-		if err != nil {
-			return nil, err
+	rn := cfg.Run
+	conds := isa.BranchConds()
+	results := make([]CondResult, 0, len(conds))
+	for _, cond := range conds {
+		res := CondResult{Cond: cond, Model: cfg.Model}
+		var r *Runner
+		condOK := true
+		for k := 0; k <= cfg.MaxFlips; k++ {
+			if err := rn.Err(); err != nil {
+				return results, err
+			}
+			key := cfg.unitKey(cond, k)
+			var fr FlipResult
+			if rn.Lookup(key, &fr) {
+				res.merge(fr)
+				continue
+			}
+			if r == nil {
+				var err error
+				if r, err = newRunnerFor(cfg, cond); err != nil {
+					return nil, err
+				}
+				r.Obs = cfg.Obs
+				if cfg.Obs != nil {
+					cfg.Obs.attach(r.cpu)
+				}
+			}
+			err := rn.Protect(key, func() error {
+				fr = r.sweepFlips(cfg.Model, k)
+				return rn.Complete(key, fr)
+			})
+			var pe *runctl.PanicError
+			if errors.As(err, &pe) {
+				// The unit is quarantined and the emulator may be wedged
+				// mid-execution: rebuild the runner for the next unit and
+				// leave this condition out of the merged results.
+				r = nil
+				condOK = false
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			res.merge(fr)
 		}
-		r.Obs = cfg.Obs
-		results = append(results, r.Sweep(cfg.Model, cfg.MaxFlips))
+		cfg.Obs.flush()
+		if condOK {
+			results = append(results, res)
+		}
 	}
 	return results, nil
 }

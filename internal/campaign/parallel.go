@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"runtime"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"glitchlab/internal/isa"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/runctl"
 )
 
 // DefaultWorkers is the default shard count for parallel campaigns and
@@ -29,10 +31,25 @@ type unit struct {
 // merge reassembles results in BranchConds/ascending-k order, making the
 // output byte-identical to runSerial's.
 func runParallel(cfg Config) ([]CondResult, error) {
+	rn := cfg.Run
 	conds := isa.BranchConds()
+
+	// Every (condIdx, flips) slot is written by exactly one unit, so the
+	// grid needs no locking; only the error slot is contended. Units
+	// already in the checkpoint are restored here and never dispatched.
+	grid := make([][]FlipResult, len(conds))
+	have := make([][]bool, len(conds))
+	for i := range grid {
+		grid[i] = make([]FlipResult, cfg.MaxFlips+1)
+		have[i] = make([]bool, cfg.MaxFlips+1)
+	}
 	units := make([]unit, 0, len(conds)*(cfg.MaxFlips+1))
 	for ci := range conds {
 		for k := 0; k <= cfg.MaxFlips; k++ {
+			if rn.Lookup(cfg.unitKey(conds[ci], k), &grid[ci][k]) {
+				have[ci][k] = true
+				continue
+			}
 			units = append(units, unit{condIdx: ci, flips: k})
 		}
 	}
@@ -45,12 +62,6 @@ func runParallel(cfg Config) ([]CondResult, error) {
 		workers = len(units)
 	}
 
-	// Every (condIdx, flips) slot is written by exactly one unit, so the
-	// grid needs no locking; only the error slot is contended.
-	grid := make([][]FlipResult, len(conds))
-	for i := range grid {
-		grid[i] = make([]FlipResult, cfg.MaxFlips+1)
-	}
 	var next atomic.Int64
 	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
@@ -66,7 +77,7 @@ func runParallel(cfg Config) ([]CondResult, error) {
 			runners := make(map[int]*Runner, len(conds))
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(units) || firstErr.Load() != nil {
+				if i >= len(units) || firstErr.Load() != nil || rn.Err() != nil {
 					return
 				}
 				u := units[i]
@@ -84,7 +95,28 @@ func runParallel(cfg Config) ([]CondResult, error) {
 					}
 					runners[u.condIdx] = r
 				}
-				grid[u.condIdx][u.flips] = r.sweepFlips(cfg.Model, u.flips)
+				key := cfg.unitKey(conds[u.condIdx], u.flips)
+				err := rn.Protect(key, func() error {
+					fr := r.sweepFlips(cfg.Model, u.flips)
+					if err := rn.Complete(key, fr); err != nil {
+						return err
+					}
+					grid[u.condIdx][u.flips] = fr
+					have[u.condIdx][u.flips] = true
+					return nil
+				})
+				if err != nil {
+					var pe *runctl.PanicError
+					if errors.As(err, &pe) {
+						// Quarantined: the worker's emulator for this
+						// condition may be wedged mid-execution, so drop it
+						// and move on to the next unit.
+						delete(runners, u.condIdx)
+						continue
+					}
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
 			}
 		}()
 	}
@@ -93,13 +125,29 @@ func runParallel(cfg Config) ([]CondResult, error) {
 		return nil, *errp
 	}
 
+	// Merge in BranchConds/ascending-k order — byte-identical to a serial
+	// run. On interruption or quarantine only the conditions whose every
+	// unit completed are assembled; the rest live on in the checkpoint.
 	results := make([]CondResult, 0, len(conds))
 	for ci, cond := range conds {
+		complete := true
+		for k := 0; k <= cfg.MaxFlips; k++ {
+			if !have[ci][k] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
 		res := CondResult{Cond: cond, Model: cfg.Model}
 		for k := 0; k <= cfg.MaxFlips; k++ {
 			res.merge(grid[ci][k])
 		}
 		results = append(results, res)
+	}
+	if err := rn.Err(); err != nil {
+		return results, err
 	}
 	return results, nil
 }

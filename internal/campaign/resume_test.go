@@ -1,0 +1,165 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"glitchlab/internal/isa"
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/runctl"
+)
+
+func resumeManifest() runctl.Manifest {
+	return runctl.Manifest{Tool: "campaign-test", ConfigHash: "sha256:test", Seed: 1}
+}
+
+// TestResumeByteIdentical is the crash/resume equivalence property test:
+// a sharded campaign killed by injected cancellation after a random prefix
+// of completed work units, then resumed from its checkpoint (with a
+// different worker count, to prove the checkpoint is schedule-independent),
+// must produce results deeply equal to an uninterrupted serial run.
+func TestResumeByteIdentical(t *testing.T) {
+	maxFlips, trials := 5, 3
+	if testing.Short() {
+		maxFlips, trials = 3, 2
+	}
+	cfg := func(workers int) Config {
+		return Config{Model: mutate.AND, MaxFlips: maxFlips, Workers: workers}
+	}
+	baseline, err := Run(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalUnits := len(isa.BranchConds()) * (maxFlips + 1)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < trials; trial++ {
+		dir := t.TempDir()
+		killAfter := 1 + rng.Intn(totalUnits-1)
+		interruptedWorkers := 3
+		if trial%2 == 1 {
+			interruptedWorkers = 1 // serial runs share the same checkpoint units
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		rn, err := runctl.Open(ctx, dir, resumeManifest(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var done atomic.Int64
+		rn.Hooks.AfterUnit = func(string) {
+			if done.Add(1) == int64(killAfter) {
+				cancel()
+			}
+		}
+		icfg := cfg(interruptedWorkers)
+		icfg.Run = rn
+		partial, runErr := Run(icfg)
+		cancel()
+		if err := rn.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !errors.Is(runErr, runctl.ErrInterrupted) {
+			t.Fatalf("trial %d: killed run returned %v, want ErrInterrupted", trial, runErr)
+		}
+		if len(partial) >= len(baseline) {
+			t.Fatalf("trial %d: interrupted run returned %d conds, want fewer than %d",
+				trial, len(partial), len(baseline))
+		}
+
+		rn2, err := runctl.Open(context.Background(), dir, resumeManifest(), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn2.Loaded() < killAfter {
+			t.Fatalf("trial %d: checkpoint lost units: loaded %d, completed at least %d",
+				trial, rn2.Loaded(), killAfter)
+		}
+		rcfg := cfg(2)
+		rcfg.Run = rn2
+		resumed, err := Run(rcfg)
+		if err != nil {
+			t.Fatalf("trial %d: resume failed: %v", trial, err)
+		}
+		if err := rn2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(resumed, baseline) {
+			t.Fatalf("trial %d (killed after %d units, %d workers): resumed results differ from uninterrupted run",
+				trial, killAfter, interruptedWorkers)
+		}
+	}
+}
+
+// TestPanicQuarantine is the panic-isolation regression test: one poisoned
+// work unit must yield a quarantine record and a QuarantineError naming
+// it — not a process crash — while every other condition completes; a
+// resume without the fault retries the unit and recovers the full results.
+func TestPanicQuarantine(t *testing.T) {
+	const poisoned = "cond=beq k=2"
+	cfg := func(workers int) Config {
+		return Config{Model: mutate.AND, MaxFlips: 3, Workers: workers}
+	}
+	baseline, err := Run(cfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	rn, err := runctl.Open(context.Background(), dir, resumeManifest(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn.Hooks.BeforeUnit = func(unit string) {
+		if strings.Contains(unit, poisoned) {
+			panic("injected fault")
+		}
+	}
+	pcfg := cfg(3)
+	pcfg.Run = rn
+	results, err := Run(pcfg)
+	var qe *runctl.QuarantineError
+	if !errors.As(err, &qe) {
+		t.Fatalf("poisoned run returned %v, want QuarantineError", err)
+	}
+	if len(qe.Units) != 1 || !strings.Contains(qe.Units[0].Unit, poisoned) {
+		t.Fatalf("quarantine = %+v, want exactly the poisoned unit", qe.Units)
+	}
+	if !strings.Contains(err.Error(), poisoned) {
+		t.Fatalf("error must name the poisoned unit: %v", err)
+	}
+	if len(results) != len(baseline)-1 {
+		t.Fatalf("poisoned run returned %d conds, want all but one (%d)",
+			len(results), len(baseline)-1)
+	}
+	for _, res := range results {
+		if res.Cond == isa.EQ {
+			t.Fatal("the poisoned condition must be excluded from the results")
+		}
+	}
+	if err := rn.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume without the fault: the quarantined unit reruns cleanly.
+	rn2, err := runctl.Open(context.Background(), dir, resumeManifest(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg(2)
+	rcfg.Run = rn2
+	resumed, err := Run(rcfg)
+	if err != nil {
+		t.Fatalf("resume after quarantine failed: %v", err)
+	}
+	if err := rn2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, baseline) {
+		t.Fatal("resumed results differ from uninterrupted run")
+	}
+}

@@ -231,7 +231,7 @@ func TestTable5Shape(t *testing.T) {
 func TestTable6BestCaseCell(t *testing.T) {
 	model := glitcher.NewModel(DefaultSeed)
 	sc := Table6Scenarios()[1] // if(a==SUCCESS)
-	cell, err := RunTable6Cell(model, sc, passes.AllButDelay(), AttackSingle)
+	cell, err := RunTable6Cell(model, sc, passes.AllButDelay(), AttackSingle, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

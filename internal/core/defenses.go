@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"glitchlab/internal/isa"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/pipeline"
+	"glitchlab/internal/runctl"
 )
 
 // DefenseConfigs returns the evaluation's defense matrix in the paper's
@@ -206,9 +208,12 @@ func Table6Scenarios() []Scenario {
 const table6Settle = 6_000
 
 // RunTable6Cell scans one (scenario, defense, attack) cell over the full
-// parameter grid.
+// parameter grid. rn, when non-nil, is polled for cancellation every
+// spansCheckEvery grid points and between spans; an interrupted cell
+// returns its partial counts with an error wrapping runctl.ErrInterrupted
+// (the caller does not checkpoint partial cells).
 func RunTable6Cell(model *glitcher.Model, sc Scenario, cfg passes.Config,
-	attack Attack) (Table6Cell, error) {
+	attack Attack, rn *runctl.Run) (Table6Cell, error) {
 	cr, err := Compile(sc.Source, cfg)
 	if err != nil {
 		return Table6Cell{}, fmt.Errorf("core: table6 %s/%s: %w",
@@ -250,7 +255,19 @@ func RunTable6Cell(model *glitcher.Model, sc Scenario, cfg passes.Config,
 
 	var cell Table6Cell
 	for _, sp := range spans {
-		glitcher.Grid(func(p glitcher.Params) {
+		if err := rn.Err(); err != nil {
+			return cell, err
+		}
+		aborted := false
+		sinceCheck := 0
+		glitcher.GridUntil(func(p glitcher.Params) bool {
+			if sinceCheck++; sinceCheck >= spansCheckEvery {
+				sinceCheck = 0
+				if rn.Err() != nil {
+					aborted = true
+					return false
+				}
+			}
 			cell.Total++
 			// Deterministic fast path: a parameter point that delivers
 			// no event anywhere in the window cannot change the run.
@@ -259,7 +276,7 @@ func RunTable6Cell(model *glitcher.Model, sc Scenario, cfg passes.Config,
 				_, any = model.EventInContext(p, rel, 0, rel-sp.from)
 			}
 			if !any {
-				return
+				return true
 			}
 			m.Board.Reset()
 			m.Glitch = model.RangePlan(p, sp.from, sp.to)
@@ -270,10 +287,19 @@ func RunTable6Cell(model *glitcher.Model, sc Scenario, cfg passes.Config,
 			case r.Reason == pipeline.StopHit && r.Tag == passes.DetectFunc:
 				cell.Detections++
 			}
+			return true
 		})
+		if aborted {
+			return cell, rn.Err()
+		}
 	}
 	return cell, nil
 }
+
+// spansCheckEvery is how many grid points a Table VI span scans between
+// cancellation polls — frequent enough that a deadline or SIGINT lands
+// within milliseconds, rare enough to stay out of the hot path.
+const spansCheckEvery = 128
 
 // samplePositions spreads the paper's 11 glitch positions uniformly over
 // one guard span.
@@ -345,18 +371,49 @@ func Table6Configs(sensitive ...string) []passes.Config {
 
 // RunTable6 runs the complete Table VI evaluation. This is the heaviest
 // experiment (about 1.25 million glitch attempts); progress can be
-// observed per cell via the optional callback.
+// observed per cell via the optional callback. rn, when non-nil, threads
+// the run controller through the matrix: each (scenario, defense, attack)
+// cell is a checkpointed work unit, skipped on resume and quarantined on
+// panic; an interrupted run returns the cells completed so far with an
+// error wrapping runctl.ErrInterrupted.
 func RunTable6(model *glitcher.Model, progress func(sc, cfg string, a Attack,
-	cell Table6Cell)) (*Table6Result, error) {
+	cell Table6Cell), rn *runctl.Run) (*Table6Result, error) {
 	res := &Table6Result{Cells: map[string]map[string]map[Attack]Table6Cell{}}
 	for _, sc := range Table6Scenarios() {
 		res.Cells[sc.Name] = map[string]map[Attack]Table6Cell{}
 		for _, cfg := range Table6Configs(sc.Sensitive...) {
 			res.Cells[sc.Name][cfg.Name()] = map[Attack]Table6Cell{}
 			for _, attack := range Attacks() {
-				cell, err := RunTable6Cell(model, sc, cfg, attack)
-				if err != nil {
-					return nil, err
+				if err := rn.Err(); err != nil {
+					return res, err
+				}
+				key := fmt.Sprintf("table6 scenario=%s config=%s attack=%s",
+					sc.Name, cfg.Name(), attack)
+				var cell Table6Cell
+				if !rn.Lookup(key, &cell) {
+					err := rn.Protect(key, func() error {
+						c, err := RunTable6Cell(model, sc, cfg, attack, rn)
+						if err != nil {
+							return err
+						}
+						if err := rn.Complete(key, c); err != nil {
+							return err
+						}
+						cell = c
+						return nil
+					})
+					if err != nil {
+						var pe *runctl.PanicError
+						if errors.As(err, &pe) {
+							// Quarantined: the cell stays absent from the
+							// matrix; FinishErr names it below.
+							continue
+						}
+						if errors.Is(err, runctl.ErrInterrupted) {
+							return res, err
+						}
+						return nil, err
+					}
 				}
 				res.Cells[sc.Name][cfg.Name()][attack] = cell
 				if progress != nil {
@@ -365,5 +422,5 @@ func RunTable6(model *glitcher.Model, progress func(sc, cfg string, a Attack,
 			}
 		}
 	}
-	return res, nil
+	return res, rn.FinishErr()
 }

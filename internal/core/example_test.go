@@ -69,7 +69,7 @@ func ExampleNewMachine() {
 
 // ExampleRunTable1 runs one of the paper's Table I scans.
 func ExampleRunTable1() {
-	results, err := core.RunTable1(glitcher.NewModel(core.DefaultSeed), 2)
+	results, err := core.RunTable1(glitcher.NewModel(core.DefaultSeed), 2, nil)
 	if err != nil {
 		fmt.Println(err)
 		return

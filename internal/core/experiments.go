@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
+
 	"glitchlab/internal/campaign"
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/runctl"
 	"glitchlab/internal/search"
 )
 
@@ -14,14 +17,17 @@ const DefaultSeed = 1
 // RunFigure2 executes one Figure 2 emulation campaign variant. o, when
 // non-nil, instruments every execution (pass nil for a bare run). workers
 // shards the campaign across goroutines; <= 1 runs serially, and the
-// results are identical either way.
-func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *campaign.Observer) ([]campaign.CondResult, error) {
+// results are identical either way. rn, when non-nil, threads the run
+// controller through the campaign: cancellation between work units,
+// per-unit checkpointing with resume, and panic quarantine.
+func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *campaign.Observer, rn *runctl.Run) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:       model,
 		ZeroInvalid: zeroInvalid,
 		MaxFlips:    maxFlips,
 		Workers:     workers,
 		Obs:         o,
+		Run:         rn,
 	})
 }
 
@@ -30,68 +36,86 @@ func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *
 // with permanently-undefined instructions, testing the paper's hypothesis
 // that "adding invalid instructions in between valid instructions would
 // likely thwart many glitching attempts".
-func RunUDFHardening(model mutate.Model, maxFlips, workers int, o *campaign.Observer) ([]campaign.CondResult, error) {
+func RunUDFHardening(model mutate.Model, maxFlips, workers int, o *campaign.Observer, rn *runctl.Run) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:    model,
 		PadUDF:   true,
 		MaxFlips: maxFlips,
 		Workers:  workers,
 		Obs:      o,
+		Run:      rn,
 	})
 }
 
 // RunTable1 executes the single-glitch scans for all three guards against
 // the given fault model (attach Model.Obs beforehand to instrument them),
-// sharding each scan across workers goroutines (<= 1 for serial).
-func RunTable1(m *glitcher.Model, workers int) ([]*glitcher.Table1Result, error) {
+// sharding each scan across workers goroutines (<= 1 for serial). With rn
+// set, an interrupted run returns the tables completed so far (the partial
+// table for the guard in flight is dropped; its rows live on in the
+// checkpoint) plus an error wrapping runctl.ErrInterrupted, and a run with
+// quarantined rows returns all tables plus a *runctl.QuarantineError.
+func RunTable1(m *glitcher.Model, workers int, rn *runctl.Run) ([]*glitcher.Table1Result, error) {
 	var out []*glitcher.Table1Result
 	for _, g := range glitcher.Guards() {
-		r, err := m.RunTable1Workers(g, workers)
+		r, err := m.RunTable1Workers(g, workers, rn)
 		if err != nil {
+			if errors.Is(err, runctl.ErrInterrupted) {
+				return out, err
+			}
 			return nil, err
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, rn.FinishErr()
 }
 
 // RunTable2 executes the multi-glitch scans for all three guards.
-func RunTable2(m *glitcher.Model, workers int) ([]*glitcher.Table2Result, error) {
+func RunTable2(m *glitcher.Model, workers int, rn *runctl.Run) ([]*glitcher.Table2Result, error) {
 	var out []*glitcher.Table2Result
 	for _, g := range glitcher.Guards() {
-		r, err := m.RunTable2Workers(g, workers)
+		r, err := m.RunTable2Workers(g, workers, rn)
 		if err != nil {
+			if errors.Is(err, runctl.ErrInterrupted) {
+				return out, err
+			}
 			return nil, err
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, rn.FinishErr()
 }
 
 // RunTable3 executes the long-glitch scans for all three guards.
-func RunTable3(m *glitcher.Model, workers int) ([]*glitcher.Table3Result, error) {
+func RunTable3(m *glitcher.Model, workers int, rn *runctl.Run) ([]*glitcher.Table3Result, error) {
 	var out []*glitcher.Table3Result
 	for _, g := range glitcher.Guards() {
-		r, err := m.RunTable3Workers(g, workers)
+		r, err := m.RunTable3Workers(g, workers, rn)
 		if err != nil {
+			if errors.Is(err, runctl.ErrInterrupted) {
+				return out, err
+			}
 			return nil, err
 		}
 		out = append(out, r)
 	}
-	return out, nil
+	return out, rn.FinishErr()
 }
 
 // RunSearch executes the Section V-B optimal-parameter search against the
 // two guards the paper tuned (while(a) and the large-Hamming-distance
-// comparison).
-func RunSearch(m *glitcher.Model) ([]*search.Result, error) {
+// comparison). rn adds cancellation between and inside the searches.
+func RunSearch(m *glitcher.Model, rn *runctl.Run) ([]*search.Result, error) {
 	var out []*search.Result
 	for _, g := range []glitcher.Guard{glitcher.GuardWhileA, glitcher.GuardWhileNeq} {
 		s, err := search.New(m, g)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, s.Find())
+		res, err := s.FindRun(rn)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
 	}
 	return out, nil
 }

@@ -133,7 +133,7 @@ func TestTable1WorkersMatchesSerial(t *testing.T) {
 	}
 	pobs, preg := newScanObs()
 	m.Obs = pobs
-	parallel, err := m.RunTable1Workers(GuardWhileA, 3)
+	parallel, err := m.RunTable1Workers(GuardWhileA, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestTable2WorkersMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := m.RunTable2Workers(GuardWhileNeq, 4)
+	parallel, err := m.RunTable2Workers(GuardWhileNeq, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestTable3WorkersMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := m.RunTable3Workers(GuardWhileNotA, 2)
+	parallel, err := m.RunTable3Workers(GuardWhileNotA, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

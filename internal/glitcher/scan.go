@@ -1,12 +1,15 @@
 package glitcher
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"glitchlab/internal/firmware"
 	"glitchlab/internal/pipeline"
+	"glitchlab/internal/runctl"
 )
 
 // LoopCycles is the length of one guard-loop iteration in clock cycles (all
@@ -212,18 +215,29 @@ func (r *Table1Result) addCycle(cc CycleCount) {
 // RunTable1 performs the paper's Table I scan for one guard: for each of
 // the loop's clock cycles, every (width, offset) pair is attempted once.
 func (m *Model) RunTable1(g Guard) (*Table1Result, error) {
-	return m.RunTable1Workers(g, 1)
+	return m.RunTable1Workers(g, 1, nil)
 }
 
 // RunTable1Workers is RunTable1 sharded across workers goroutines: the
-// parameter grid is partitioned into contiguous width bands, each worker
-// scans its band across every clock cycle on its own cloned Target, and
-// the per-cycle counts merge by addition — the result is identical to the
-// serial scan, per-cycle and in total.
-func (m *Model) RunTable1Workers(g Guard, workers int) (*Table1Result, error) {
+// parameter grid is partitioned into width rows, each worker scans rows
+// across every clock cycle on its own cloned Target, and the per-cycle
+// counts merge by addition — the result is identical to the serial scan,
+// per-cycle and in total. rn, when non-nil, adds cancellation,
+// per-row checkpointing and panic quarantine (see runBands); on
+// interruption the partial table covering the completed rows is returned
+// alongside the error.
+func (m *Model) RunTable1Workers(g Guard, workers int, rn *runctl.Run) (*Table1Result, error) {
 	defer m.Obs.Span("scan.table1", guardAttrs(g)).End()
-	res := &Table1Result{Guard: g}
-	merged, err := runBands(m, g, g.SingleLoopSource(), workers,
+	merged, err := runBands(m, g, g.SingleLoopSource(), workers, rn, "table1",
+		LoopCycles,
+		func(cycle int) CycleCount {
+			return CycleCount{
+				Cycle:       cycle,
+				Instruction: g.cycleInstruction(cycle),
+				Values:      map[uint32]uint64{},
+				ByKind:      map[pipeline.EventKind]uint64{},
+			}
+		},
 		func(t *Target, lo, hi int, sink scanObs) []CycleCount {
 			parts := make([]CycleCount, 0, LoopCycles)
 			for cycle := 0; cycle < LoopCycles; cycle++ {
@@ -232,65 +246,160 @@ func (m *Model) RunTable1Workers(g Guard, workers int) (*Table1Result, error) {
 			return parts
 		},
 		func(dst *CycleCount, part CycleCount) { dst.merge(part) })
-	if err != nil {
+	if err != nil && !errors.Is(err, runctl.ErrInterrupted) {
 		return nil, err
 	}
+	res := &Table1Result{Guard: g}
 	for _, cc := range merged {
 		res.addCycle(cc)
 	}
-	return res, nil
+	return res, err
 }
 
-// runBands drives one guard scan over the grid's width bands: a worker
-// per band, each with its own Target (boards are mutable, so none is ever
-// shared) and its own observer shard, flushed before the merge. scan must
-// return one cell per scanned unit (cycle or range index), in the same
-// order for every band; the cells are summed across bands in band order
-// with mergeCell, which makes the final counts independent of how many
-// bands the grid was split into.
+// runBands drives one guard scan over the grid, sharded by width rows: a
+// row (one width, every offset, every cell) is the unit of work, pulled by
+// workers goroutines, each with its own Target (boards are mutable, so
+// none is ever shared) and its own observer shard, flushed before the
+// merge. scan must return one cell per scanned unit (cycle or range
+// index), in the same order for every row; rows are summed ascending with
+// mergeCell into cells seeded by newCell, which makes the final counts
+// independent of the worker count — and of how a checkpointed run was
+// split across interruptions, since the unit is a property of the grid,
+// not of the schedule.
+//
+// rn, when non-nil, threads the run controller through the scan: rows are
+// skipped when the checkpoint already holds them, checkpointed when they
+// complete, and quarantined (target rebuilt, scan continues) when they
+// panic; cancellation is polled between rows. An interrupted scan returns
+// the merge of the completed rows together with the wrapped
+// runctl.ErrInterrupted.
 func runBands[T any](m *Model, g Guard, src string, workers int,
+	rn *runctl.Run, exp string, cells int, newCell func(i int) T,
 	scan func(t *Target, lo, hi int, sink scanObs) []T,
 	mergeCell func(dst *T, part T)) ([]T, error) {
-	bands := WidthBands(workers)
-	if len(bands) == 1 {
-		t, err := NewTarget(g, src)
-		if err != nil {
-			return nil, err
-		}
-		m.Obs.AttachTarget(t)
-		return scan(t, -ParamRange, ParamRange+1, m.Obs), nil
+
+	const rows = 2*ParamRange + 1
+	rowKey := func(ri int) string {
+		return fmt.Sprintf("%s guard=%s width=%d", exp, g, ri-ParamRange)
 	}
-	parts := make([][]T, len(bands))
-	errs := make([]error, len(bands))
+
+	// Each row slot is written by exactly one worker (or restored here from
+	// the checkpoint before any worker starts), so no locking is needed.
+	rowCells := make([][]T, rows)
+	haveRow := make([]bool, rows)
+	var pending []int
+	for ri := 0; ri < rows; ri++ {
+		var loaded []T
+		if rn.Lookup(rowKey(ri), &loaded) && len(loaded) == cells {
+			rowCells[ri] = loaded
+			haveRow[ri] = true
+			continue
+		}
+		pending = append(pending, ri)
+	}
+
+	scanRow := func(t *Target, ri int, sink scanObs) error {
+		key := rowKey(ri)
+		return rn.Protect(key, func() error {
+			lo := ri - ParamRange
+			part := scan(t, lo, lo+1, sink)
+			if err := rn.Complete(key, part); err != nil {
+				return err
+			}
+			rowCells[ri] = part
+			haveRow[ri] = true
+			return nil
+		})
+	}
+
+	assemble := func() []T {
+		merged := make([]T, cells)
+		for i := range merged {
+			merged[i] = newCell(i)
+		}
+		for ri := 0; ri < rows; ri++ {
+			if !haveRow[ri] {
+				continue
+			}
+			for i := range merged {
+				mergeCell(&merged[i], rowCells[ri][i])
+			}
+		}
+		return merged
+	}
+
+	if workers <= 1 {
+		var t *Target
+		for _, ri := range pending {
+			if err := rn.Err(); err != nil {
+				return assemble(), err
+			}
+			if t == nil {
+				var err error
+				if t, err = NewTarget(g, src); err != nil {
+					return nil, err
+				}
+				m.Obs.AttachTarget(t)
+			}
+			if err := scanRow(t, ri, m.Obs); err != nil {
+				var pe *runctl.PanicError
+				if errors.As(err, &pe) {
+					// The board may be wedged mid-attempt; rebuild it for
+					// the next row and leave this one quarantined.
+					t = nil
+					continue
+				}
+				return nil, err
+			}
+		}
+		return assemble(), rn.Err()
+	}
+
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
-	for bi, band := range bands {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(bi, lo, hi int) {
+		go func() {
 			defer wg.Done()
 			t, err := NewTarget(g, src)
 			if err != nil {
-				errs[bi] = err
+				firstErr.CompareAndSwap(nil, &err)
 				return
 			}
 			m.Obs.AttachTarget(t)
 			shard := m.Obs.Shard()
 			defer shard.Flush()
-			parts[bi] = scan(t, lo, hi, shard)
-		}(bi, band[0], band[1])
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pending) || firstErr.Load() != nil || rn.Err() != nil {
+					return
+				}
+				if err := scanRow(t, pending[i], shard); err != nil {
+					var pe *runctl.PanicError
+					if errors.As(err, &pe) {
+						t, err = NewTarget(g, src)
+						if err != nil {
+							firstErr.CompareAndSwap(nil, &err)
+							return
+						}
+						m.Obs.AttachTarget(t)
+						continue
+					}
+					firstErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if errp := firstErr.Load(); errp != nil {
+		return nil, *errp
 	}
-	merged := parts[0]
-	for _, part := range parts[1:] {
-		for i := range merged {
-			mergeCell(&merged[i], part[i])
-		}
-	}
-	return merged, nil
+	return assemble(), rn.Err()
 }
 
 // Table2Result is one guard's multi-glitch scan (Table II).
@@ -310,9 +419,10 @@ func (r *Table2Result) Totals() (partial, full uint64) {
 	return partial, full
 }
 
-// table2Cell is one (cycle, band) slice of the multi-glitch scan.
+// table2Cell is one (cycle, band) slice of the multi-glitch scan. Fields
+// are exported so checkpointed rows JSON-round-trip exactly.
 type table2Cell struct {
-	attempts, partial, full uint64
+	Attempts, Partial, Full uint64
 }
 
 // scanTable2Band runs the Table II body for one clock cycle over the
@@ -320,7 +430,7 @@ type table2Cell struct {
 func (m *Model) scanTable2Band(t *Target, cycle, lo, hi int, sink scanObs) table2Cell {
 	var cell table2Cell
 	GridBand(lo, hi, func(p Params) bool {
-		cell.attempts++
+		cell.Attempts++
 		// No event in the first window means the first loop can never be
 		// escaped — neither partial nor full.
 		if _, hit := m.EventAt(p, cycle, 0); !hit {
@@ -331,11 +441,11 @@ func (m *Model) scanTable2Band(t *Target, cycle, lo, hi int, sink scanObs) table
 		sink.Attempt(p, r)
 		switch {
 		case r.Reason == pipeline.StopHit:
-			cell.full++
+			cell.Full++
 		case t.Board.TriggerCount >= 2:
 			// The second trigger fired, so the first loop was escaped — a
 			// partial glitch.
-			cell.partial++
+			cell.Partial++
 		}
 		return true
 	})
@@ -346,15 +456,17 @@ func (m *Model) scanTable2Band(t *Target, cycle, lo, hi int, sink scanObs) table
 // with its own trigger; the same glitch parameters are delivered in both
 // windows.
 func (m *Model) RunTable2(g Guard) (*Table2Result, error) {
-	return m.RunTable2Workers(g, 1)
+	return m.RunTable2Workers(g, 1, nil)
 }
 
-// RunTable2Workers is RunTable2 sharded across width bands (see
+// RunTable2Workers is RunTable2 sharded across width rows (see
 // RunTable1Workers); the per-cycle partial/full counts are identical to
-// the serial scan's.
-func (m *Model) RunTable2Workers(g Guard, workers int) (*Table2Result, error) {
+// the serial scan's. rn adds cancellation, checkpointing and quarantine.
+func (m *Model) RunTable2Workers(g Guard, workers int, rn *runctl.Run) (*Table2Result, error) {
 	defer m.Obs.Span("scan.table2", guardAttrs(g)).End()
-	merged, err := runBands(m, g, g.DoubleLoopSource(), workers,
+	merged, err := runBands(m, g, g.DoubleLoopSource(), workers, rn, "table2",
+		LoopCycles,
+		func(int) table2Cell { return table2Cell{} },
 		func(t *Target, lo, hi int, sink scanObs) []table2Cell {
 			parts := make([]table2Cell, 0, LoopCycles)
 			for cycle := 0; cycle < LoopCycles; cycle++ {
@@ -363,11 +475,11 @@ func (m *Model) RunTable2Workers(g Guard, workers int) (*Table2Result, error) {
 			return parts
 		},
 		func(dst *table2Cell, part table2Cell) {
-			dst.attempts += part.attempts
-			dst.partial += part.partial
-			dst.full += part.full
+			dst.Attempts += part.Attempts
+			dst.Partial += part.Partial
+			dst.Full += part.Full
 		})
-	if err != nil {
+	if err != nil && !errors.Is(err, runctl.ErrInterrupted) {
 		return nil, err
 	}
 	res := &Table2Result{
@@ -376,11 +488,11 @@ func (m *Model) RunTable2Workers(g Guard, workers int) (*Table2Result, error) {
 		Full:    make([]uint64, LoopCycles),
 	}
 	for cycle, cell := range merged {
-		res.Attempts += cell.attempts
-		res.Partial[cycle] = cell.partial
-		res.Full[cycle] = cell.full
+		res.Attempts += cell.Attempts
+		res.Partial[cycle] = cell.Partial
+		res.Full[cycle] = cell.Full
 	}
-	return res, nil
+	return res, err
 }
 
 // Table3Result is one guard's long-glitch scan (Table III).
@@ -410,9 +522,10 @@ func longGlitchRanges() []int {
 	return ns
 }
 
-// table3Cell is one (range, band) slice of the long-glitch scan.
+// table3Cell is one (range, band) slice of the long-glitch scan. Fields
+// are exported so checkpointed rows JSON-round-trip exactly.
 type table3Cell struct {
-	attempts, successes uint64
+	Attempts, Successes uint64
 }
 
 // scanTable3Band runs the Table III body for one glitched range [0, n)
@@ -420,7 +533,7 @@ type table3Cell struct {
 func (m *Model) scanTable3Band(t *Target, n, lo, hi int, sink scanObs) table3Cell {
 	var cell table3Cell
 	GridBand(lo, hi, func(p Params) bool {
-		cell.attempts++
+		cell.Attempts++
 		any := false
 		for rel := 0; rel < n && !any; rel++ {
 			_, any = m.EventAt(p, rel, 0)
@@ -432,7 +545,7 @@ func (m *Model) scanTable3Band(t *Target, n, lo, hi int, sink scanObs) table3Cel
 		r := t.Attempt(m.RangePlan(p, 0, n))
 		sink.Attempt(p, r)
 		if r.Reason == pipeline.StopHit {
-			cell.successes++
+			cell.Successes++
 		}
 		return true
 	})
@@ -443,16 +556,18 @@ func (m *Model) scanTable3Band(t *Target, n, lo, hi int, sink scanObs) table3Cel
 // every clock cycle from the trigger up to n, for n in [10, 20], against
 // two subsequent loops.
 func (m *Model) RunTable3(g Guard) (*Table3Result, error) {
-	return m.RunTable3Workers(g, 1)
+	return m.RunTable3Workers(g, 1, nil)
 }
 
-// RunTable3Workers is RunTable3 sharded across width bands (see
+// RunTable3Workers is RunTable3 sharded across width rows (see
 // RunTable1Workers); the per-range success counts are identical to the
-// serial scan's.
-func (m *Model) RunTable3Workers(g Guard, workers int) (*Table3Result, error) {
+// serial scan's. rn adds cancellation, checkpointing and quarantine.
+func (m *Model) RunTable3Workers(g Guard, workers int, rn *runctl.Run) (*Table3Result, error) {
 	defer m.Obs.Span("scan.table3", guardAttrs(g)).End()
 	ns := longGlitchRanges()
-	merged, err := runBands(m, g, g.LongGlitchSource(), workers,
+	merged, err := runBands(m, g, g.LongGlitchSource(), workers, rn, "table3",
+		len(ns),
+		func(int) table3Cell { return table3Cell{} },
 		func(t *Target, lo, hi int, sink scanObs) []table3Cell {
 			parts := make([]table3Cell, 0, len(ns))
 			for _, n := range ns {
@@ -461,17 +576,17 @@ func (m *Model) RunTable3Workers(g Guard, workers int) (*Table3Result, error) {
 			return parts
 		},
 		func(dst *table3Cell, part table3Cell) {
-			dst.attempts += part.attempts
-			dst.successes += part.successes
+			dst.Attempts += part.Attempts
+			dst.Successes += part.Successes
 		})
-	if err != nil {
+	if err != nil && !errors.Is(err, runctl.ErrInterrupted) {
 		return nil, err
 	}
 	res := &Table3Result{Guard: g}
 	for i, cell := range merged {
-		res.Attempts += cell.attempts
+		res.Attempts += cell.Attempts
 		res.Cycles = append(res.Cycles, ns[i])
-		res.Successes = append(res.Successes, cell.successes)
+		res.Successes = append(res.Successes, cell.Successes)
 	}
-	return res, nil
+	return res, err
 }

@@ -1,0 +1,44 @@
+package runctl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes data to path so that readers never observe a
+// partial file: the bytes land in a temp file in the same directory, are
+// fsynced, and only then renamed over path. An interrupted run therefore
+// either leaves the previous file intact or the new one complete — never a
+// truncated artifact. The rename is atomic only within one filesystem,
+// which colocating the temp file guarantees.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	tmp = nil // renamed away; nothing to clean up
+	return nil
+}

@@ -150,7 +150,7 @@ func TestExhaustWorkersMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := ps.ExhaustWorkers(workers)
+		parallel, err := ps.ExhaustWorkers(workers, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
