@@ -91,4 +91,32 @@ for fz in FuzzEmuVsPipeline FuzzISARoundTrip FuzzDecode FuzzDefenseTransparency 
 	go test ./internal/difftest/ -run '^$' -fuzz "^${fz}\$" -fuzztime 5s >/dev/null
 done
 
+# Corpus-lint gates: a cold fleet lint of the committed 200-unit corpus
+# must reproduce the expected per-rule totals, a warm re-lint must be
+# all-hits and byte-identical to the cold report, and a sharded warm lint
+# must match too. The stats line (stderr) is machine-parsed for the
+# hit-ratio assertion; the report (stdout) stays pure JSON.
+go build -o "$tmp/glitchlint" ./cmd/glitchlint
+units=internal/analyze/corpus/testdata/units
+"$tmp/glitchlint" -corpus "$units" -sensitive state -fail-on none \
+	-cache "$tmp/lint.cache" -json >"$tmp/lint_cold.json" 2>"$tmp/lint_cold.err"
+for want in '"units": 200' '"builds": 1600' '"failed_builds": 0' \
+	'"unremoved": 0' '"GL001": 4795' '"GL006": 9590' '"GL007": 8000'; do
+	if ! grep -qF "$want" "$tmp/lint_cold.json"; then
+		echo "ci: corpus lint totals missing $want" >&2
+		exit 1
+	fi
+done
+"$tmp/glitchlint" -corpus "$units" -sensitive state -fail-on none \
+	-cache "$tmp/lint.cache" -json >"$tmp/lint_warm.json" 2>"$tmp/lint_warm.err"
+cmp "$tmp/lint_cold.json" "$tmp/lint_warm.json"
+hits=$(sed -n 's/.*cache_hits=\([0-9]*\).*/\1/p' "$tmp/lint_warm.err")
+if [ "$hits" -lt 180 ]; then
+	echo "ci: warm corpus lint hit only $hits/200 cached units (< 90%)" >&2
+	exit 1
+fi
+"$tmp/glitchlint" -corpus "$units" -sensitive state -fail-on none \
+	-cache "$tmp/lint.cache" -workers 4 -json >"$tmp/lint_par.json" 2>/dev/null
+cmp "$tmp/lint_cold.json" "$tmp/lint_par.json"
+
 echo "ci: OK"

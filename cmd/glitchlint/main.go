@@ -14,20 +14,36 @@
 //	glitchlint -json firmware.c                    # machine-readable findings
 //	glitchlint -rules                              # print the rule catalog
 //
+// Corpus mode lints a whole directory tree of firmware units under the
+// full defense matrix and aggregates one fleet report; with -cache,
+// re-lints are incremental (only changed units recompile):
+//
+//	glitchlint -corpus fleet/ -sensitive state              # fleet lint
+//	glitchlint -corpus fleet/ -cache lint.cache -workers 8  # warm, sharded
+//	glitchlint -corpus fleet/ -json > fleet.json            # fleet-report JSON
+//	glitchlint -corpus fleet/ -gen 200 -gen-seed 1          # (re)generate corpus
+//
 // Exit status: 0 clean, 1 usage or build error, 2 findings at or above
-// -fail-on (or an -audit violation).
+// -fail-on (or an -audit violation), 3 interrupted (corpus progress is
+// flushed to the cache; rerunning resumes).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"glitchlab/internal/analyze"
+	"glitchlab/internal/analyze/corpus"
 	"glitchlab/internal/core"
+	"glitchlab/internal/difftest"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/report"
+	"glitchlab/internal/runctl"
 )
 
 func main() {
@@ -58,14 +74,22 @@ func run() (int, error) {
 	audit := flag.Bool("audit", false,
 		"also fail when an enabled defense pass left a finding it owns")
 	rules := flag.Bool("rules", false, "print the rule catalog and exit")
+	corpusDir := flag.String("corpus", "",
+		"lint every *.c unit under this directory instead of a single file")
+	cachePath := flag.String("cache", "",
+		"corpus mode: persist per-unit findings here; warm runs re-lint only changed units")
+	workers := flag.Int("workers", 1,
+		"corpus mode: shard units across this many workers (output is byte-identical)")
+	configs := flag.String("configs", "matrix",
+		"corpus mode: semicolon-separated defense configs to lint each unit under, or \"matrix\" for the paper's full matrix")
+	genN := flag.Int("gen", 0,
+		"corpus mode: write this many seeded mini-C units into -corpus and exit")
+	genSeed := flag.Int64("gen-seed", 1, "corpus mode: base seed for -gen")
 	flag.Parse()
 
 	if *rules {
 		printRules()
 		return 0, nil
-	}
-	if flag.NArg() != 1 {
-		return 1, fmt.Errorf("usage: glitchlint [flags] <firmware.c>")
 	}
 	var threshold analyze.Severity
 	if *failOn != "none" {
@@ -73,6 +97,18 @@ func run() (int, error) {
 		if threshold, err = analyze.ParseSeverity(*failOn); err != nil {
 			return 1, err
 		}
+	}
+	if *corpusDir != "" {
+		return runCorpus(corpusOptions{
+			dir: *corpusDir, cache: *cachePath, workers: *workers,
+			configs: *configs, sensitive: splitList(*sensitive),
+			privileged: splitList(*privileged), minHamming: *minHamming,
+			disable: splitList(*disable), failOn: *failOn, threshold: threshold,
+			jsonOut: *jsonOut, audit: *audit, genN: *genN, genSeed: *genSeed,
+		})
+	}
+	if flag.NArg() != 1 {
+		return 1, fmt.Errorf("usage: glitchlint [flags] <firmware.c>")
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -123,6 +159,99 @@ func run() (int, error) {
 		}
 	}
 	return code, nil
+}
+
+// corpusOptions carries the flag set of a corpus-mode invocation.
+type corpusOptions struct {
+	dir, cache, configs, failOn string
+	sensitive, privileged       []string
+	disable                     []string
+	minHamming, workers         int
+	threshold                   analyze.Severity
+	jsonOut, audit              bool
+	genN                        int
+	genSeed                     int64
+}
+
+// runCorpus is glitchlint's fleet mode: generate, or walk + lint + report.
+// The report goes to stdout; cache statistics go to stderr so -json output
+// stays pure. SIGINT flushes completed units to the cache and exits 3.
+func runCorpus(o corpusOptions) (int, error) {
+	if o.genN > 0 {
+		if err := difftest.WriteCorpus(o.dir, o.genN, o.genSeed); err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(os.Stderr, "glitchlint: corpus: wrote %d units (seed %d) to %s\n",
+			o.genN, o.genSeed, o.dir)
+		return 0, nil
+	}
+	cfgs, err := parseConfigs(o.configs, o.sensitive)
+	if err != nil {
+		return 1, err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := corpus.Lint(ctx, corpus.Options{
+		Root:    o.dir,
+		Configs: cfgs,
+		Analyze: analyze.Options{
+			Sensitive: o.sensitive, Privileged: o.privileged,
+			MinHamming: o.minHamming, Disabled: o.disable,
+		},
+		Workers:   o.workers,
+		CachePath: o.cache,
+	})
+	if res != nil {
+		fmt.Fprintf(os.Stderr, "glitchlint: corpus: %s\n", res.Stats)
+	}
+	if err != nil {
+		return runctl.ExitCode(err), err
+	}
+	rep := res.Report
+
+	if o.jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			return 1, err
+		}
+		os.Stdout.Write(data)
+	} else {
+		fmt.Print(report.Corpus(rep))
+	}
+
+	code := 0
+	if o.failOn != "none" {
+		for sev, n := range rep.Totals.BySeverity {
+			if s, err := analyze.ParseSeverity(sev); err == nil && s >= o.threshold && n > 0 {
+				code = 2
+			}
+		}
+	}
+	if o.audit && rep.Totals.Unremoved > 0 {
+		fmt.Fprintf(os.Stderr,
+			"glitchlint: audit: %d findings survived a defense pass that owns them\n",
+			rep.Totals.Unremoved)
+		code = 2
+	}
+	return code, nil
+}
+
+// parseConfigs resolves the -configs spec: "matrix" defers to the paper's
+// full defense matrix; otherwise each semicolon-separated segment is a
+// -defenses spec (e.g. "none;branches,loops;all").
+func parseConfigs(spec string, sensitive []string) ([]passes.Config, error) {
+	if spec == "" || spec == "matrix" {
+		return nil, nil // corpus.Options defaults to core.DefenseConfigs
+	}
+	var cfgs []passes.Config
+	for _, seg := range strings.Split(spec, ";") {
+		cfg, err := passes.Parse(seg, sensitive)
+		if err != nil {
+			return nil, fmt.Errorf("-configs %q: %w", seg, err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, nil
 }
 
 func printRules() {

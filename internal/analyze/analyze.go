@@ -56,6 +56,21 @@ func (s Severity) MarshalJSON() ([]byte, error) {
 	return json.Marshal(s.String())
 }
 
+// UnmarshalJSON parses the severity from its name, inverting MarshalJSON
+// so findings survive a JSON round trip (the corpus cache persists them).
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
 // ParseSeverity parses a severity name as printed by String.
 func ParseSeverity(name string) (Severity, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
@@ -197,7 +212,28 @@ func Rules() []Rule {
 		unshadowedLoad{},
 		loopExit{},
 		oneFlipBranch{},
+		indirectFlow{},
 	}
+}
+
+// RulesRevision counts behavioral revisions of the rule set. Bump it
+// whenever a rule's detection logic changes without changing the registry
+// itself — cached corpus findings are keyed on RulesVersion, so the bump is
+// what invalidates stale entries.
+const RulesRevision = 1
+
+// RulesVersion identifies the analysis the registry performs: the manual
+// revision counter plus every rule's identity and severity. Any registry
+// change (rule added, removed, reclassified) or an explicit RulesRevision
+// bump yields a new version string, which the corpus cache folds into its
+// entry keys.
+func RulesVersion() string {
+	parts := []string{fmt.Sprintf("rev%d", RulesRevision)}
+	for _, r := range Rules() {
+		m := r.Meta()
+		parts = append(parts, m.ID+":"+m.Slug+":"+m.Severity.String())
+	}
+	return strings.Join(parts, ";")
 }
 
 // Result is one analyzer run.
@@ -226,8 +262,17 @@ func Run(t *Target, opts Options) (*Result, error) {
 		res.Findings = append(res.Findings, r.Analyze(t, &opts)...)
 		res.Ran = append(res.Ran, meta)
 	}
-	sort.SliceStable(res.Findings, func(i, j int) bool {
-		a, b := res.Findings[i], res.Findings[j]
+	SortFindings(res.Findings)
+	return res, nil
+}
+
+// SortFindings orders findings deterministically by (rule ID, function,
+// block, instruction, address, detail). The key is total over everything a
+// rule can emit, so rendered reports and corpus aggregations never depend
+// on rule-internal iteration order.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
@@ -240,9 +285,11 @@ func Run(t *Target, opts Options) (*Result, error) {
 		if a.Instr != b.Instr {
 			return a.Instr < b.Instr
 		}
-		return a.Addr < b.Addr
+		if a.Addr != b.Addr {
+			return a.Addr < b.Addr
+		}
+		return a.Detail < b.Detail
 	})
-	return res, nil
 }
 
 // RuleHits counts findings per rule ID.
@@ -336,6 +383,12 @@ func passEnabled(cfg passes.Config, name string) bool {
 		return cfg.Loops
 	case "delay":
 		return cfg.Delay
+	case "cfi":
+		// No CFI pass exists yet (ROADMAP item 4): GL007 findings are
+		// never owed by a current defense configuration. When the
+		// running-signature/domain-separation passes land, their Config
+		// field is checked here and the findings become theirs to remove.
+		return false
 	}
 	return false
 }

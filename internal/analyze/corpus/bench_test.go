@@ -1,0 +1,59 @@
+package corpus_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/analyze/corpus"
+	"glitchlab/internal/obs"
+)
+
+// BenchmarkCorpusLint measures fleet linting of the committed 200-unit
+// corpus cold (empty cache: every unit compiles 8 times) and warm (every
+// unit a cache hit: hash + decode only). The cold/warm min-of-samples
+// ratio is the incremental layer's speedup, recorded in BENCH_lint.json.
+func BenchmarkCorpusLint(b *testing.B) {
+	root := filepath.Join("testdata", "units")
+	opts := func(cache string) corpus.Options {
+		return corpus.Options{
+			Root:      root,
+			Analyze:   analyze.Options{Sensitive: []string{"state"}},
+			CachePath: cache,
+			Obs:       obs.NewRegistry(),
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := filepath.Join(b.TempDir(), "lint.cache")
+			b.StartTimer()
+			res, err := corpus.Lint(context.Background(), opts(cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.CacheMisses != 200 {
+				b.Fatalf("cold run stats = %+v", res.Stats)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		cache := filepath.Join(b.TempDir(), "lint.cache")
+		if _, err := corpus.Lint(context.Background(), opts(cache)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := corpus.Lint(context.Background(), opts(cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.CacheHits != 200 {
+				b.Fatalf("warm run stats = %+v", res.Stats)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/passes"
+	"glitchlab/internal/runctl"
+)
+
+// cacheVersion is the on-disk format version; a mismatch discards the
+// file wholesale.
+const cacheVersion = 1
+
+// cacheEntry is one unit's cached lint: everything path-independent about
+// it. The path deliberately stays outside the entry — the key is content
+// derived, so a renamed-but-unchanged unit must hit and then be reported
+// under its new path. Builds stays raw (pre-marshaled []BuildReport) and
+// Summary carries the aggregates, so a warm run splices bytes into the
+// report instead of decoding tens of thousands of findings it will only
+// re-encode.
+type cacheEntry struct {
+	Hash    string          `json:"hash"`
+	Summary UnitSummary     `json:"summary"`
+	Builds  json.RawMessage `json:"builds"`
+}
+
+// cacheFile is the persisted cache: a stamp identifying the analysis that
+// produced the entries, and the entries keyed by unitKey. The stamp is
+// recorded for introspection; correctness does not depend on it, because
+// the stamp is also folded into every key — entries from an older rule
+// set or option matrix simply never match.
+type cacheFile struct {
+	Version int                    `json:"version"`
+	Stamp   string                 `json:"stamp"`
+	Entries map[string]*cacheEntry `json:"entries"`
+}
+
+// Stamp fingerprints everything besides unit content that determines a
+// unit's findings: the rule-set version, the defense-configuration matrix,
+// and the analyzer options. It is half of every cache key, so editing a
+// rule (bumping analyze.RulesRevision), changing the matrix, or changing
+// analyzer options invalidates exactly the entries produced under the old
+// analysis — and nothing else.
+func Stamp(rulesVersion string, cfgs []passes.Config, aopts analyze.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "glitchlint-corpus-v%d\x00rules=%s\x00", cacheVersion, rulesVersion)
+	for _, c := range cfgs {
+		fmt.Fprintf(h, "cfg{%t %t %t %t %t %t sens=%s in=%s out=%s}\x00",
+			c.EnumRewrite, c.Returns, c.Integrity, c.Branches, c.Loops, c.Delay,
+			strings.Join(c.Sensitive, ","),
+			strings.Join(c.DelayOptIn, ","), strings.Join(c.DelayOptOut, ","))
+	}
+	fmt.Fprintf(h, "opts{sens=%s priv=%s ham=%d dis=%s models=%v}",
+		strings.Join(aopts.Sensitive, ","), strings.Join(aopts.Privileged, ","),
+		aopts.MinHamming, strings.Join(aopts.Disabled, ","), aopts.Models)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// unitKey is the cache key for one unit: hash(stamp ‖ source). Content
+// and analysis version are both in the key, so a stale entry is
+// unreachable rather than merely suspect.
+func unitKey(stamp string, src []byte) string {
+	h := sha256.New()
+	io.WriteString(h, stamp)
+	h.Write([]byte{0})
+	h.Write(src)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sourceHash is the display hash recorded in unit reports.
+func sourceHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// loadCache reads the cache at path. Any problem — missing file, torn
+// write survivor, version or stamp drift — yields an empty cache: the
+// lint then runs cold, which is always correct.
+func loadCache(path, stamp string) map[string]*cacheEntry {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil
+	}
+	if cf.Version != cacheVersion || cf.Stamp != stamp {
+		return nil
+	}
+	return cf.Entries
+}
+
+// saveCache atomically persists the entries under the stamp. Readers never
+// observe a partial cache (runctl.WriteFileAtomic), so a lint killed
+// mid-save leaves the previous cache intact.
+func saveCache(path, stamp string, entries map[string]*cacheEntry) error {
+	data, err := json.Marshal(cacheFile{
+		Version: cacheVersion, Stamp: stamp, Entries: entries,
+	})
+	if err != nil {
+		return fmt.Errorf("corpus: encode cache: %w", err)
+	}
+	if err := runctl.WriteFileAtomic(path, data, 0o666); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	return nil
+}
+
+// JSON renders the report in the documented fleet-report schema with a
+// trailing newline, byte-for-byte reproducible for a given corpus and
+// option set.
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,200 @@
+package corpus_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"glitchlab/internal/analyze"
+	"glitchlab/internal/analyze/corpus"
+	"glitchlab/internal/difftest"
+	"glitchlab/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate golden files and the committed corpus")
+
+// miniCorpus writes a small seeded corpus into a temp dir.
+func miniCorpus(t *testing.T, n int, seed int64) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := difftest.WriteCorpus(dir, n, seed); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// lint runs a corpus lint that must succeed.
+func lint(t *testing.T, o corpus.Options) *corpus.Result {
+	t.Helper()
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
+	}
+	res, err := corpus.Lint(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// reportJSON renders a result's report.
+func reportJSON(t *testing.T, res *corpus.Result) []byte {
+	t.Helper()
+	data, err := res.Report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestLintSerialVsParallelByteIdentical(t *testing.T) {
+	dir := miniCorpus(t, 12, 7)
+	aopts := analyze.Options{Sensitive: []string{"state"}}
+	serial := lint(t, corpus.Options{Root: dir, Analyze: aopts, Workers: 1})
+	for _, workers := range []int{2, 4, 32} {
+		par := lint(t, corpus.Options{Root: dir, Analyze: aopts, Workers: workers})
+		if string(reportJSON(t, serial)) != string(reportJSON(t, par)) {
+			t.Fatalf("workers=%d report differs from serial", workers)
+		}
+	}
+}
+
+func TestLintReportShape(t *testing.T) {
+	dir := miniCorpus(t, 4, 11)
+	res := lint(t, corpus.Options{Root: dir, Analyze: analyze.Options{Sensitive: []string{"state"}}})
+	rep := res.Report
+	if rep.Totals.Units != 4 {
+		t.Fatalf("units = %d, want 4", rep.Totals.Units)
+	}
+	if rep.Totals.Builds != 4*8 {
+		t.Fatalf("builds = %d, want 32 (full defense matrix)", rep.Totals.Builds)
+	}
+	if rep.Totals.FailedBuilds != 0 {
+		t.Fatalf("%d failed builds in a generated corpus", rep.Totals.FailedBuilds)
+	}
+	if rep.Totals.Unremoved != 0 {
+		t.Fatalf("%d audit violations: a defense pass left findings it owns", rep.Totals.Unremoved)
+	}
+	if rep.Totals.Findings == 0 || rep.Totals.ByRule["GL001"] == 0 {
+		t.Fatalf("totals too empty: %+v", rep.Totals)
+	}
+	for i := range rep.Units {
+		u := &rep.Units[i]
+		if u.Path != difftest.CorpusUnitName(i) {
+			t.Errorf("unit %d path = %q, want %q (sorted walk)", i, u.Path, difftest.CorpusUnitName(i))
+		}
+		if len(u.Hash) != 64 {
+			t.Errorf("unit %d hash = %q, want hex sha256", i, u.Hash)
+		}
+		builds, err := u.DecodeBuilds()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(builds) != 8 || u.Summary.Builds != 8 {
+			t.Errorf("unit %d has %d builds (summary %d), want 8", i, len(builds), u.Summary.Builds)
+		}
+		n := 0
+		for _, b := range builds {
+			n += len(b.Findings)
+		}
+		if n != u.Summary.Findings {
+			t.Errorf("unit %d summary findings = %d, builds carry %d", i, u.Summary.Findings, n)
+		}
+	}
+	if res.Stats.CacheHits != 0 || res.Stats.CacheMisses != 4 {
+		t.Errorf("cacheless run stats = %+v, want 0 hits / 4 misses", res.Stats)
+	}
+}
+
+func TestLintObsCounters(t *testing.T) {
+	dir := miniCorpus(t, 3, 3)
+	reg := obs.NewRegistry()
+	res := lint(t, corpus.Options{Root: dir, Obs: reg,
+		Analyze: analyze.Options{Sensitive: []string{"state"}}})
+	checks := map[string]uint64{
+		"corpus.units_total":        3,
+		"corpus.units_linted_total": 3,
+		"corpus.cache_hits_total":   0,
+		"corpus.cache_misses_total": 3,
+		"corpus.builds_total":       24,
+		"corpus.findings_total":     uint64(res.Report.Totals.Findings),
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for rule, n := range res.Report.Totals.ByRule {
+		if got := reg.Counter("corpus.findings." + rule + "_total").Value(); got != uint64(n) {
+			t.Errorf("corpus.findings.%s_total = %d, want %d", rule, got, n)
+		}
+	}
+}
+
+func TestLintEmptyCorpus(t *testing.T) {
+	if _, err := corpus.Lint(context.Background(),
+		corpus.Options{Root: t.TempDir(), Obs: obs.NewRegistry()}); err == nil {
+		t.Fatal("lint of an empty corpus succeeded, want error")
+	}
+}
+
+// TestCommittedCorpusMatchesGenerator pins the committed corpus to its
+// generator: testdata/units must be byte-identical to WriteCorpus(200,
+// seed 1). Run with -update to regenerate after a deliberate generator
+// change.
+func TestCommittedCorpusMatchesGenerator(t *testing.T) {
+	dir := filepath.Join("testdata", "units")
+	if *updateGolden {
+		if err := difftest.WriteCorpus(dir, 200, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		path := filepath.Join(dir, difftest.CorpusUnitName(i))
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to regenerate the corpus)", err)
+		}
+		if want := difftest.CorpusUnit(1, i); string(got) != string(want) {
+			t.Fatalf("%s drifted from GenMiniC(seed 1+%d) (run with -update to regenerate)", path, i)
+		}
+	}
+}
+
+// TestCommittedCorpusTotals is the corpus CI gate: the fleet lint of the
+// committed 200-unit corpus must reproduce the expected per-rule totals
+// exactly. A diff here means a rule or defense pass changed behavior —
+// regenerate with -update only after confirming the change is intended.
+func TestCommittedCorpusTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 200-unit corpus lint skipped in -short mode (ci.sh gates it end to end)")
+	}
+	res := lint(t, corpus.Options{
+		Root:    filepath.Join("testdata", "units"),
+		Analyze: analyze.Options{Sensitive: []string{"state"}},
+		Workers: 2,
+	})
+	// Golden only the totals block: per-finding details are covered by
+	// the determinism tests, and a full-report golden would be megabytes.
+	data, err := json.MarshalIndent(res.Report.Totals, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	path := filepath.Join("testdata", "expected_totals.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if string(data) != string(want) {
+		t.Errorf("corpus totals drifted from golden.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to regenerate)",
+			data, want)
+	}
+}

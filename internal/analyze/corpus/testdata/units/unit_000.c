@@ -1,0 +1,25 @@
+// difftest corpus unit 000 (GenMiniC seed 1); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xaa209b8e;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 3 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 7 + i0;
+		state = state ^ (acc >> 2);
+	}
+	trigger();
+	acc = acc | 0x1000000;
+	{ unsigned int n2 = 1;
+	while (n2 != 0) { acc = acc + n2 * 7; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

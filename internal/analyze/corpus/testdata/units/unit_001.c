@@ -1,0 +1,34 @@
+// difftest corpus unit 001 (GenMiniC seed 2); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xd2e51b8;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 6 == 1) { return M0; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 3 + i0;
+		state = state ^ (acc >> 1);
+	}
+	acc = (acc % 4) * 5 + (acc & 0xffff) / 2;
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 4 + i2;
+		state = state ^ (acc >> 6);
+	}
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 15 + i3;
+		state = state ^ (acc >> 6);
+	}
+	state = state + (acc & 0xbf);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x89);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

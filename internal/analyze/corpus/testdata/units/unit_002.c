@@ -1,0 +1,25 @@
+// difftest corpus unit 002 (GenMiniC seed 3); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xf12453c1;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 4 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x44);
+	if (state == 0) { state = 1; }
+	for (unsigned int i1 = 0; i1 < 4; i1 = i1 + 1) {
+		acc = acc * 15 + i1;
+		state = state ^ (acc >> 14);
+	}
+	trigger();
+	acc = acc | 0x4000000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,30 @@
+// difftest corpus unit 003 (GenMiniC seed 4); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x583e5ceb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 4 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 3; i0 = i0 + 1) {
+		acc = acc * 10 + i0;
+		state = state ^ (acc >> 3);
+	}
+	trigger();
+	acc = acc | 0x400;
+	acc = (acc % 4) * 7 + (acc & 0xffff) / 3;
+	{ unsigned int n3 = 8;
+	while (n3 != 0) { acc = acc + n3 * 5; n3 = n3 - 1; } }
+	if (classify(acc) == M0) { acc = acc + 57; }
+	else { acc = acc ^ 0xc894; }
+	{ unsigned int n5 = 8;
+	while (n5 != 0) { acc = acc + n5 * 4; n5 = n5 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 004 (GenMiniC seed 5); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xfab90333;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 4 == 1) { return M1; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 6;
+	while (n0 != 0) { acc = acc + n0 * 2; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x10000000;
+	{ unsigned int n2 = 1;
+	while (n2 != 0) { acc = acc + n2 * 4; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 005 (GenMiniC seed 6); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x9e56d950;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 4 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xca);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M2) { acc = acc + 76; }
+	else { acc = acc ^ 0x84f7; }
+	trigger();
+	acc = acc | 0x1000000;
+	state = state + (acc & 0x92);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M2) { acc = acc + 46; }
+	else { acc = acc ^ 0x59dd; }
+	state = state + (acc & 0x94);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 006 (GenMiniC seed 7); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x3dcb935a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M3; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 4 + i0;
+		state = state ^ (acc >> 10);
+	}
+	{ unsigned int n1 = 8;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	acc = (acc % 5) * 8 + (acc & 0xffff) / 9;
+	out = acc ^ state;
+	halt();
+}

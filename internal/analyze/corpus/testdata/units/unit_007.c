@@ -1,0 +1,36 @@
+// difftest corpus unit 007 (GenMiniC seed 8); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xe0dd8083;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 3 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 8; i0 = i0 + 1) {
+		acc = acc * 9 + i0;
+		state = state ^ (acc >> 12);
+	}
+	for (unsigned int i1 = 0; i1 < 2; i1 = i1 + 1) {
+		acc = acc * 12 + i1;
+		state = state ^ (acc >> 8);
+	}
+	for (unsigned int i2 = 0; i2 < 4; i2 = i2 + 1) {
+		acc = acc * 4 + i2;
+		state = state ^ (acc >> 5);
+	}
+	for (unsigned int i3 = 0; i3 < 7; i3 = i3 + 1) {
+		acc = acc * 13 + i3;
+		state = state ^ (acc >> 11);
+	}
+	acc = (acc % 5) * 6 + (acc & 0xffff) / 9;
+	{ unsigned int n5 = 5;
+	while (n5 != 0) { acc = acc + n5 * 2; n5 = n5 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 008 (GenMiniC seed 9); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x85c7564d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 2 == 1) { return M3; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 6;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x1;
+	if (classify(acc) == M2) { acc = acc + 16; }
+	else { acc = acc ^ 0x80be; }
+	out = acc ^ state;
+	halt();
+}

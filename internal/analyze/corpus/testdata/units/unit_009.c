@@ -1,0 +1,34 @@
+// difftest corpus unit 009 (GenMiniC seed 10); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0xecd53e76;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M4; }
+	if (v % 5 == 1) { return M4; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 8; i0 = i0 + 1) {
+		acc = acc * 10 + i0;
+		state = state ^ (acc >> 14);
+	}
+	state = state + (acc & 0x89);
+	if (state == 0) { state = 1; }
+	for (unsigned int i2 = 0; i2 < 4; i2 = i2 + 1) {
+		acc = acc * 9 + i2;
+		state = state ^ (acc >> 1);
+	}
+	{ unsigned int n3 = 4;
+	while (n3 != 0) { acc = acc + n3 * 3; n3 = n3 - 1; } }
+	for (unsigned int i4 = 0; i4 < 7; i4 = i4 + 1) {
+		acc = acc * 15 + i4;
+		state = state ^ (acc >> 11);
+	}
+	acc = (acc % 9) * 7 + (acc & 0xffff) / 4;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 010 (GenMiniC seed 11); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xd0e3786a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 6 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 2; i0 = i0 + 1) {
+		acc = acc * 4 + i0;
+		state = state ^ (acc >> 11);
+	}
+	if (classify(acc) == M1) { acc = acc + 110; }
+	else { acc = acc ^ 0x656c; }
+	for (unsigned int i2 = 0; i2 < 2; i2 = i2 + 1) {
+		acc = acc * 6 + i2;
+		state = state ^ (acc >> 11);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 011 (GenMiniC seed 12); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x33ed9195;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 6 == 1) { return M3; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 4;
+	while (n0 != 0) { acc = acc + n0 * 6; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x10000000;
+	acc = (acc % 10) * 9 + (acc & 0xffff) / 2;
+	state = state + (acc & 0x8c);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M1) { acc = acc + 161; }
+	else { acc = acc ^ 0xc33d; }
+	if (classify(acc) == M2) { acc = acc + 158; }
+	else { acc = acc ^ 0x33a1; }
+	out = acc ^ state;
+	halt();
+}

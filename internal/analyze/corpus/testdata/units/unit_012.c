@@ -1,0 +1,24 @@
+// difftest corpus unit 012 (GenMiniC seed 13); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x127767de;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 6 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 3 + i0;
+		state = state ^ (acc >> 14);
+	}
+	state = state + (acc & 0x29);
+	if (state == 0) { state = 1; }
+	acc = (acc % 9) * 3 + (acc & 0xffff) / 6;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 013 (GenMiniC seed 14); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x75f79607;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 6 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 5;
+	while (n0 != 0) { acc = acc + n0 * 5; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x40000;
+	{ unsigned int n2 = 6;
+	while (n2 != 0) { acc = acc + n2 * 2; n2 = n2 - 1; } }
+	if (classify(acc) == M0) { acc = acc + 91; }
+	else { acc = acc ^ 0xb004; }
+	state = state + (acc & 0x73);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x20000;
+	out = acc ^ state;
+	halt();
+}

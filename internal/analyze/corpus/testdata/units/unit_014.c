@@ -1,0 +1,28 @@
+// difftest corpus unit 014 (GenMiniC seed 15); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x193cc010;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M5; }
+	if (v % 2 == 1) { return M5; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 9) * 8 + (acc & 0xffff) / 3;
+	for (unsigned int i1 = 0; i1 < 5; i1 = i1 + 1) {
+		acc = acc * 10 + i1;
+		state = state ^ (acc >> 3);
+	}
+	for (unsigned int i2 = 0; i2 < 4; i2 = i2 + 1) {
+		acc = acc * 13 + i2;
+		state = state ^ (acc >> 3);
+	}
+	{ unsigned int n3 = 5;
+	while (n3 != 0) { acc = acc + n3 * 1; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

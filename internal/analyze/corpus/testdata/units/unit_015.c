@@ -1,0 +1,22 @@
+// difftest corpus unit 015 (GenMiniC seed 16); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xc0bdb92c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M1; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 2) * 9 + (acc & 0xffff) / 8;
+	state = state + (acc & 0xc2);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M2) { acc = acc + 148; }
+	else { acc = acc ^ 0x7605; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 016 (GenMiniC seed 17); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x644d7af7;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 3 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 7;
+	while (n0 != 0) { acc = acc + n0 * 5; n0 = n0 - 1; } }
+	{ unsigned int n1 = 8;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	if (classify(acc) == M2) { acc = acc + 198; }
+	else { acc = acc ^ 0x6417; }
+	out = acc ^ state;
+	halt();
+}

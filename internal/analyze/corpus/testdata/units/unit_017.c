@@ -1,0 +1,32 @@
+// difftest corpus unit 017 (GenMiniC seed 18); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x8d0111f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 4 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 8;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 5; i1 = i1 + 1) {
+		acc = acc * 6 + i1;
+		state = state ^ (acc >> 2);
+	}
+	acc = (acc % 4) * 9 + (acc & 0xffff) / 5;
+	for (unsigned int i3 = 0; i3 < 7; i3 = i3 + 1) {
+		acc = acc * 5 + i3;
+		state = state ^ (acc >> 5);
+	}
+	if (classify(acc) == M5) { acc = acc + 198; }
+	else { acc = acc ^ 0xcb75; }
+	state = state + (acc & 0x3c);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 018 (GenMiniC seed 19); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xa8583728;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 5 + (acc & 0xffff) / 9;
+	trigger();
+	acc = acc | 0x80000;
+	{ unsigned int n2 = 9;
+	while (n2 != 0) { acc = acc + n2 * 4; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 019 (GenMiniC seed 20); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xbe83e51;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M4; }
+	if (v % 2 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 10 + i0;
+		state = state ^ (acc >> 6);
+	}
+	{ unsigned int n1 = 3;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 7 + i2;
+		state = state ^ (acc >> 6);
+	}
+	out = acc ^ state;
+	halt();
+}

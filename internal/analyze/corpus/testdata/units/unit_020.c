@@ -1,0 +1,22 @@
+// difftest corpus unit 020 (GenMiniC seed 21); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xeed9cca6;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 3 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 4) * 6 + (acc & 0xffff) / 2;
+	if (classify(acc) == M2) { acc = acc + 40; }
+	else { acc = acc ^ 0xbbef; }
+	trigger();
+	acc = acc | 0x40;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 021 (GenMiniC seed 22); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x55f9caf0;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 2 == 1) { return M3; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 11 + (acc & 0xffff) / 4;
+	trigger();
+	acc = acc | 0x1;
+	for (unsigned int i2 = 0; i2 < 5; i2 = i2 + 1) {
+		acc = acc * 12 + i2;
+		state = state ^ (acc >> 15);
+	}
+	out = acc ^ state;
+	halt();
+}

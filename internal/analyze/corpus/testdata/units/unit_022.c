@@ -1,0 +1,29 @@
+// difftest corpus unit 022 (GenMiniC seed 23); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x38d75e1a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 2 == 1) { return M5; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 63; }
+	else { acc = acc ^ 0xf457; }
+	if (classify(acc) == M0) { acc = acc + 87; }
+	else { acc = acc ^ 0x589d; }
+	trigger();
+	acc = acc | 0x200000;
+	state = state + (acc & 0x12);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x2;
+	state = state + (acc & 0x4e);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 023 (GenMiniC seed 24); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x9c776222;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 4 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 3; i0 = i0 + 1) {
+		acc = acc * 14 + i0;
+		state = state ^ (acc >> 0);
+	}
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 5 + i1;
+		state = state ^ (acc >> 7);
+	}
+	acc = (acc % 6) * 11 + (acc & 0xffff) / 3;
+	out = acc ^ state;
+	halt();
+}

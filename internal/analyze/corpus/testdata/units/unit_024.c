@@ -1,0 +1,29 @@
+// difftest corpus unit 024 (GenMiniC seed 25); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x3beb684b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 5 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 25; }
+	else { acc = acc ^ 0xc6fc; }
+	if (classify(acc) == M0) { acc = acc + 38; }
+	else { acc = acc ^ 0x4c3c; }
+	state = state + (acc & 0xfc);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x80000000;
+	state = state + (acc & 0xe3);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x1000000;
+	out = acc ^ state;
+	halt();
+}

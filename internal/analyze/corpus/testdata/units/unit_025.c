@@ -1,0 +1,24 @@
+// difftest corpus unit 025 (GenMiniC seed 26); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xe07eb206;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 5 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x8;
+	acc = (acc % 3) * 11 + (acc & 0xffff) / 6;
+	for (unsigned int i2 = 0; i2 < 7; i2 = i2 + 1) {
+		acc = acc * 12 + i2;
+		state = state ^ (acc >> 3);
+	}
+	out = acc ^ state;
+	halt();
+}

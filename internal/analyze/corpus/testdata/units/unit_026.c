@@ -1,0 +1,28 @@
+// difftest corpus unit 026 (GenMiniC seed 27); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x83f15332;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 6 == 1) { return M4; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M3) { acc = acc + 22; }
+	else { acc = acc ^ 0x5280; }
+	{ unsigned int n1 = 9;
+	while (n1 != 0) { acc = acc + n1 * 5; n1 = n1 - 1; } }
+	trigger();
+	acc = acc | 0x4000000;
+	if (classify(acc) == M2) { acc = acc + 153; }
+	else { acc = acc ^ 0x8430; }
+	acc = (acc % 5) * 3 + (acc & 0xffff) / 6;
+	if (classify(acc) == M1) { acc = acc + 161; }
+	else { acc = acc ^ 0xb7a9; }
+	out = acc ^ state;
+	halt();
+}

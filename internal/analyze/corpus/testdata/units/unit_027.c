@@ -1,0 +1,22 @@
+// difftest corpus unit 027 (GenMiniC seed 28); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x2b92513b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 2 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 8;
+	while (n0 != 0) { acc = acc + n0 * 7; n0 = n0 - 1; } }
+	if (classify(acc) == M2) { acc = acc + 62; }
+	else { acc = acc ^ 0x45d9; }
+	acc = (acc % 5) * 5 + (acc & 0xffff) / 9;
+	out = acc ^ state;
+	halt();
+}

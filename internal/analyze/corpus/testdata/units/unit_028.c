@@ -1,0 +1,27 @@
+// difftest corpus unit 028 (GenMiniC seed 29); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xce928565;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 3 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 2) * 4 + (acc & 0xffff) / 9;
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	trigger();
+	acc = acc | 0x80;
+	{ unsigned int n3 = 9;
+	while (n3 != 0) { acc = acc + n3 * 6; n3 = n3 - 1; } }
+	{ unsigned int n4 = 2;
+	while (n4 != 0) { acc = acc + n4 * 1; n4 = n4 - 1; } }
+	acc = (acc % 7) * 9 + (acc & 0xffff) / 9;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 029 (GenMiniC seed 30); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x324cbbae;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 4; i0 = i0 + 1) {
+		acc = acc * 3 + i0;
+		state = state ^ (acc >> 7);
+	}
+	acc = (acc % 3) * 7 + (acc & 0xffff) / 4;
+	if (classify(acc) == M0) { acc = acc + 196; }
+	else { acc = acc ^ 0x69dd; }
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 8 + i3;
+		state = state ^ (acc >> 3);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 030 (GenMiniC seed 31); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x10d67cc8;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 6 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 12 + i0;
+		state = state ^ (acc >> 9);
+	}
+	state = state + (acc & 0x95);
+	if (state == 0) { state = 1; }
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 11 + i2;
+		state = state ^ (acc >> 8);
+	}
+	out = acc ^ state;
+	halt();
+}

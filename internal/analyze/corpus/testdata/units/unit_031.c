@@ -1,0 +1,24 @@
+// difftest corpus unit 031 (GenMiniC seed 32); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x73da46cb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 2 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 4) * 4 + (acc & 0xffff) / 3;
+	if (classify(acc) == M2) { acc = acc + 131; }
+	else { acc = acc ^ 0x6984; }
+	{ unsigned int n2 = 7;
+	while (n2 != 0) { acc = acc + n2 * 5; n2 = n2 - 1; } }
+	state = state + (acc & 0x76);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

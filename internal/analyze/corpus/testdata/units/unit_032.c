@@ -1,0 +1,23 @@
+// difftest corpus unit 032 (GenMiniC seed 33); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x57e1c8f5;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 5 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 3;
+	while (n0 != 0) { acc = acc + n0 * 5; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x40;
+	{ unsigned int n2 = 4;
+	while (n2 != 0) { acc = acc + n2 * 6; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

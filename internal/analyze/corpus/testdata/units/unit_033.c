@@ -1,0 +1,25 @@
+// difftest corpus unit 033 (GenMiniC seed 34); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xbee710be;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 2 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xce);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 7;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	{ unsigned int n2 = 1;
+	while (n2 != 0) { acc = acc + n2 * 1; n2 = n2 - 1; } }
+	trigger();
+	acc = acc | 0x10000000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 034 (GenMiniC seed 35); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x63ef39e8;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 5 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 145; }
+	else { acc = acc ^ 0x843b; }
+	acc = (acc % 3) * 4 + (acc & 0xffff) / 6;
+	state = state + (acc & 0x79);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

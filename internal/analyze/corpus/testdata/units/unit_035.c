@@ -1,0 +1,21 @@
+// difftest corpus unit 035 (GenMiniC seed 36); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x701dfe1;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 4 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 3) * 4 + (acc & 0xffff) / 1;
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	acc = (acc % 5) * 4 + (acc & 0xffff) / 8;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 036 (GenMiniC seed 37); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xa683560d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 2 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 128; }
+	else { acc = acc ^ 0x3e20; }
+	trigger();
+	acc = acc | 0x200;
+	trigger();
+	acc = acc | 0x400000;
+	if (classify(acc) == M3) { acc = acc + 31; }
+	else { acc = acc ^ 0x47ba; }
+	if (classify(acc) == M4) { acc = acc + 7; }
+	else { acc = acc ^ 0xfb87; }
+	{ unsigned int n5 = 5;
+	while (n5 != 0) { acc = acc + n5 * 2; n5 = n5 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 037 (GenMiniC seed 38); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x49fd9057;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 5 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xa7);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x8000;
+	if (classify(acc) == M1) { acc = acc + 167; }
+	else { acc = acc ^ 0xd04e; }
+	out = acc ^ state;
+	halt();
+}

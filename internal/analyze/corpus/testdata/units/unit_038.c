@@ -1,0 +1,30 @@
+// difftest corpus unit 038 (GenMiniC seed 39); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xec7d5781;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 4 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 4) * 4 + (acc & 0xffff) / 5;
+	for (unsigned int i1 = 0; i1 < 2; i1 = i1 + 1) {
+		acc = acc * 9 + i1;
+		state = state ^ (acc >> 13);
+	}
+	trigger();
+	acc = acc | 0x1000000;
+	{ unsigned int n3 = 6;
+	while (n3 != 0) { acc = acc + n3 * 1; n3 = n3 - 1; } }
+	trigger();
+	acc = acc | 0x10;
+	state = state + (acc & 0x36);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 039 (GenMiniC seed 40); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x5391458a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 6 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x80000000;
+	{ unsigned int n1 = 5;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 13 + i2;
+		state = state ^ (acc >> 8);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 040 (GenMiniC seed 41); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x3794d3e3;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 2 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 3) * 6 + (acc & 0xffff) / 6;
+	if (classify(acc) == M2) { acc = acc + 77; }
+	else { acc = acc ^ 0xeed9; }
+	acc = (acc % 2) * 10 + (acc & 0xffff) / 9;
+	acc = (acc % 7) * 6 + (acc & 0xffff) / 9;
+	acc = (acc % 2) * 6 + (acc & 0xffff) / 8;
+	acc = (acc % 7) * 9 + (acc & 0xffff) / 9;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 041 (GenMiniC seed 42); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x9aa5e508;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 5 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 168; }
+	else { acc = acc ^ 0x3dcf; }
+	acc = (acc % 7) * 3 + (acc & 0xffff) / 9;
+	trigger();
+	acc = acc | 0x8000;
+	out = acc ^ state;
+	halt();
+}

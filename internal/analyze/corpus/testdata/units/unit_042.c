@@ -1,0 +1,23 @@
+// difftest corpus unit 042 (GenMiniC seed 43); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x7ba36ed1;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x2;
+	{ unsigned int n1 = 6;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	if (classify(acc) == M1) { acc = acc + 101; }
+	else { acc = acc ^ 0x1609; }
+	out = acc ^ state;
+	halt();
+}

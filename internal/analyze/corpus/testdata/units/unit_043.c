@@ -1,0 +1,37 @@
+// difftest corpus unit 043 (GenMiniC seed 44); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xdeb1e4fb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 2 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 8; i0 = i0 + 1) {
+		acc = acc * 6 + i0;
+		state = state ^ (acc >> 10);
+	}
+	for (unsigned int i1 = 0; i1 < 6; i1 = i1 + 1) {
+		acc = acc * 7 + i1;
+		state = state ^ (acc >> 11);
+	}
+	state = state + (acc & 0x77);
+	if (state == 0) { state = 1; }
+	for (unsigned int i3 = 0; i3 < 8; i3 = i3 + 1) {
+		acc = acc * 6 + i3;
+		state = state ^ (acc >> 12);
+	}
+	for (unsigned int i4 = 0; i4 < 5; i4 = i4 + 1) {
+		acc = acc * 14 + i4;
+		state = state ^ (acc >> 9);
+	}
+	if (classify(acc) == M0) { acc = acc + 40; }
+	else { acc = acc ^ 0x7e35; }
+	out = acc ^ state;
+	halt();
+}

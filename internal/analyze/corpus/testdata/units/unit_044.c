@@ -1,0 +1,22 @@
+// difftest corpus unit 044 (GenMiniC seed 45); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x81e2c303;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 2 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M3) { acc = acc + 29; }
+	else { acc = acc ^ 0xf3cd; }
+	acc = (acc % 10) * 10 + (acc & 0xffff) / 9;
+	state = state + (acc & 0x3);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

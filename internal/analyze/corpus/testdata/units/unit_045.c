@@ -1,0 +1,34 @@
+// difftest corpus unit 045 (GenMiniC seed 46); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x29eb7e1d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M5; }
+	if (v % 6 == 1) { return M4; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 25; }
+	else { acc = acc ^ 0x62d0; }
+	for (unsigned int i1 = 0; i1 < 4; i1 = i1 + 1) {
+		acc = acc * 8 + i1;
+		state = state ^ (acc >> 10);
+	}
+	trigger();
+	acc = acc | 0x80;
+	acc = (acc % 4) * 11 + (acc & 0xffff) / 6;
+	for (unsigned int i4 = 0; i4 < 4; i4 = i4 + 1) {
+		acc = acc * 9 + i4;
+		state = state ^ (acc >> 12);
+	}
+	for (unsigned int i5 = 0; i5 < 8; i5 = i5 + 1) {
+		acc = acc * 9 + i5;
+		state = state ^ (acc >> 8);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 046 (GenMiniC seed 47); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xcd006a66;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M1; }
+	if (v % 6 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 134; }
+	else { acc = acc ^ 0x8539; }
+	for (unsigned int i1 = 0; i1 < 4; i1 = i1 + 1) {
+		acc = acc * 7 + i1;
+		state = state ^ (acc >> 1);
+	}
+	acc = (acc % 10) * 8 + (acc & 0xffff) / 8;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 047 (GenMiniC seed 48); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x2f820093;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 6 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 169; }
+	else { acc = acc ^ 0x34f5; }
+	acc = (acc % 9) * 7 + (acc & 0xffff) / 4;
+	{ unsigned int n2 = 3;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

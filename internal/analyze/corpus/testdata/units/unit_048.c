@@ -1,0 +1,25 @@
+// difftest corpus unit 048 (GenMiniC seed 49); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xf17f49d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 6 == 1) { return M4; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x200000;
+	for (unsigned int i1 = 0; i1 < 3; i1 = i1 + 1) {
+		acc = acc * 13 + i1;
+		state = state ^ (acc >> 5);
+	}
+	state = state + (acc & 0xd1);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 049 (GenMiniC seed 50); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x729675c6;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M3; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x7b);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x20000000;
+	trigger();
+	acc = acc | 0x20000000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 050 (GenMiniC seed 51); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x5597af80;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 6 == 1) { return M4; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xe2);
+	if (state == 0) { state = 1; }
+	acc = (acc % 6) * 4 + (acc & 0xffff) / 1;
+	state = state + (acc & 0xee);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x44);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

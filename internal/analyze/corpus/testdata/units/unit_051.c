@@ -1,0 +1,23 @@
+// difftest corpus unit 051 (GenMiniC seed 52); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xbe9995a9;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 9;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x2000;
+	{ unsigned int n2 = 2;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

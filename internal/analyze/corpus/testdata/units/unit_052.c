@@ -1,0 +1,24 @@
+// difftest corpus unit 052 (GenMiniC seed 53); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x619773ae;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 3 == 1) { return M3; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xe4);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 7;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	acc = (acc % 7) * 5 + (acc & 0xffff) / 6;
+	state = state + (acc & 0xf0);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

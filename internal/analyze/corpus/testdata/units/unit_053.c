@@ -1,0 +1,31 @@
+// difftest corpus unit 053 (GenMiniC seed 54); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x5a554d6;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M5; }
+	if (v % 6 == 1) { return M5; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M5) { acc = acc + 33; }
+	else { acc = acc ^ 0x2b8b; }
+	for (unsigned int i1 = 0; i1 < 7; i1 = i1 + 1) {
+		acc = acc * 14 + i1;
+		state = state ^ (acc >> 5);
+	}
+	if (classify(acc) == M0) { acc = acc + 82; }
+	else { acc = acc ^ 0xad10; }
+	state = state + (acc & 0x52);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x800000;
+	trigger();
+	acc = acc | 0x800;
+	out = acc ^ state;
+	halt();
+}

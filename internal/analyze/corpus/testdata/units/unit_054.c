@@ -1,0 +1,27 @@
+// difftest corpus unit 054 (GenMiniC seed 55); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xa4af571f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 3 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x9b);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 6; i2 = i2 + 1) {
+		acc = acc * 14 + i2;
+		state = state ^ (acc >> 13);
+	}
+	{ unsigned int n3 = 2;
+	while (n3 != 0) { acc = acc + n3 * 2; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 055 (GenMiniC seed 56); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x4731e13a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 3 == 1) { return M0; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x9);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xb1);
+	if (state == 0) { state = 1; }
+	for (unsigned int i2 = 0; i2 < 7; i2 = i2 + 1) {
+		acc = acc * 15 + i2;
+		state = state ^ (acc >> 5);
+	}
+	out = acc ^ state;
+	halt();
+}

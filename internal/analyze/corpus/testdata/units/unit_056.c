@@ -1,0 +1,25 @@
+// difftest corpus unit 056 (GenMiniC seed 57); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xeac3d742;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 2 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 22; }
+	else { acc = acc ^ 0xacae; }
+	{ unsigned int n1 = 5;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	state = state + (acc & 0x44);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M1) { acc = acc + 175; }
+	else { acc = acc ^ 0x4972; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 057 (GenMiniC seed 58); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x52462e6f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 6 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x20000;
+	if (classify(acc) == M4) { acc = acc + 62; }
+	else { acc = acc ^ 0xa521; }
+	state = state + (acc & 0x47);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 058 (GenMiniC seed 59); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x35516838;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M3; }
+	if (v % 6 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 9 + i0;
+		state = state ^ (acc >> 9);
+	}
+	if (classify(acc) == M4) { acc = acc + 115; }
+	else { acc = acc ^ 0xc826; }
+	if (classify(acc) == M3) { acc = acc + 162; }
+	else { acc = acc ^ 0x77b1; }
+	state = state + (acc & 0xd);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

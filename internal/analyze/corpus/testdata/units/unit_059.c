@@ -1,0 +1,25 @@
+// difftest corpus unit 059 (GenMiniC seed 60); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x98f74e62;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 2 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 59; }
+	else { acc = acc ^ 0x2a9b; }
+	{ unsigned int n1 = 6;
+	while (n1 != 0) { acc = acc + n1 * 5; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 6; i2 = i2 + 1) {
+		acc = acc * 14 + i2;
+		state = state ^ (acc >> 3);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 060 (GenMiniC seed 61); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x7993cd9a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 5 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x20;
+	state = state + (acc & 0x5f);
+	if (state == 0) { state = 1; }
+	for (unsigned int i2 = 0; i2 < 2; i2 = i2 + 1) {
+		acc = acc * 10 + i2;
+		state = state ^ (acc >> 1);
+	}
+	if (classify(acc) == M3) { acc = acc + 174; }
+	else { acc = acc ^ 0x74dd; }
+	out = acc ^ state;
+	halt();
+}

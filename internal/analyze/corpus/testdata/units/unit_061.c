@@ -1,0 +1,23 @@
+// difftest corpus unit 061 (GenMiniC seed 62); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xdd0d4dc4;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xf2);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M5) { acc = acc + 2; }
+	else { acc = acc ^ 0xdc30; }
+	trigger();
+	acc = acc | 0x2000000;
+	out = acc ^ state;
+	halt();
+}

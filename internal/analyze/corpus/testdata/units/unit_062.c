@@ -1,0 +1,26 @@
+// difftest corpus unit 062 (GenMiniC seed 63); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x809d83e9;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M4; }
+	if (v % 5 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 9) * 8 + (acc & 0xffff) / 3;
+	{ unsigned int n1 = 7;
+	while (n1 != 0) { acc = acc + n1 * 5; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 3; i2 = i2 + 1) {
+		acc = acc * 5 + i2;
+		state = state ^ (acc >> 9);
+	}
+	{ unsigned int n3 = 5;
+	while (n3 != 0) { acc = acc + n3 * 3; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

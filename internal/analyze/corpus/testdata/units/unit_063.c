@@ -1,0 +1,26 @@
+// difftest corpus unit 063 (GenMiniC seed 64); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x27933232;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M4; }
+	if (v % 6 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 7 + (acc & 0xffff) / 8;
+	for (unsigned int i1 = 0; i1 < 3; i1 = i1 + 1) {
+		acc = acc * 8 + i1;
+		state = state ^ (acc >> 0);
+	}
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 12 + i2;
+		state = state ^ (acc >> 4);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 064 (GenMiniC seed 65); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xcab58b5d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 3 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 7 + (acc & 0xffff) / 4;
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	if (classify(acc) == M1) { acc = acc + 168; }
+	else { acc = acc ^ 0x443a; }
+	if (classify(acc) == M3) { acc = acc + 98; }
+	else { acc = acc ^ 0xcfe9; }
+	out = acc ^ state;
+	halt();
+}

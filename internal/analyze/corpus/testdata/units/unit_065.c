@@ -1,0 +1,23 @@
+// difftest corpus unit 065 (GenMiniC seed 66); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x6db76d55;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 4 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x100000;
+	if (classify(acc) == M3) { acc = acc + 163; }
+	else { acc = acc ^ 0x8300; }
+	state = state + (acc & 0xfe);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,31 @@
+// difftest corpus unit 066 (GenMiniC seed 67); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xd479b7f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 4) * 7 + (acc & 0xffff) / 2;
+	{ unsigned int n1 = 6;
+	while (n1 != 0) { acc = acc + n1 * 6; n1 = n1 - 1; } }
+	acc = (acc % 5) * 6 + (acc & 0xffff) / 6;
+	for (unsigned int i3 = 0; i3 < 8; i3 = i3 + 1) {
+		acc = acc * 14 + i3;
+		state = state ^ (acc >> 11);
+	}
+	state = state + (acc & 0x75);
+	if (state == 0) { state = 1; }
+	for (unsigned int i5 = 0; i5 < 2; i5 = i5 + 1) {
+		acc = acc * 4 + i5;
+		state = state ^ (acc >> 13);
+	}
+	out = acc ^ state;
+	halt();
+}

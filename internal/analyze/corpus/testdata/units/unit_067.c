@@ -1,0 +1,27 @@
+// difftest corpus unit 067 (GenMiniC seed 68); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x70b15d4b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 6 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x20000;
+	if (classify(acc) == M4) { acc = acc + 160; }
+	else { acc = acc ^ 0x746e; }
+	for (unsigned int i2 = 0; i2 < 3; i2 = i2 + 1) {
+		acc = acc * 7 + i2;
+		state = state ^ (acc >> 3);
+	}
+	trigger();
+	acc = acc | 0x10000000;
+	out = acc ^ state;
+	halt();
+}

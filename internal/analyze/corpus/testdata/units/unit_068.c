@@ -1,0 +1,31 @@
+// difftest corpus unit 068 (GenMiniC seed 69); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x453ff075;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 6 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 2; i0 = i0 + 1) {
+		acc = acc * 3 + i0;
+		state = state ^ (acc >> 5);
+	}
+	state = state + (acc & 0x61);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 1;
+	while (n2 != 0) { acc = acc + n2 * 4; n2 = n2 - 1; } }
+	if (classify(acc) == M0) { acc = acc + 197; }
+	else { acc = acc ^ 0xce6; }
+	state = state + (acc & 0x47);
+	if (state == 0) { state = 1; }
+	{ unsigned int n5 = 2;
+	while (n5 != 0) { acc = acc + n5 * 5; n5 = n5 - 1; } }
+	out = acc ^ state;
+	halt();
+}

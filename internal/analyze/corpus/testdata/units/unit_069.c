@@ -1,0 +1,22 @@
+// difftest corpus unit 069 (GenMiniC seed 70); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xa8bd507f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 2 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x18);
+	if (state == 0) { state = 1; }
+	acc = (acc % 2) * 3 + (acc & 0xffff) / 8;
+	state = state + (acc & 0xa9);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

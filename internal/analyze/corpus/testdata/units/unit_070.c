@@ -1,0 +1,27 @@
+// difftest corpus unit 070 (GenMiniC seed 71); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x9051d697;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M4; }
+	if (v % 6 == 1) { return M2; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 10) * 7 + (acc & 0xffff) / 8;
+	state = state + (acc & 0x6);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M1) { acc = acc + 94; }
+	else { acc = acc ^ 0xb443; }
+	acc = (acc % 10) * 11 + (acc & 0xffff) / 2;
+	if (classify(acc) == M5) { acc = acc + 140; }
+	else { acc = acc ^ 0x8c71; }
+	state = state + (acc & 0x81);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 071 (GenMiniC seed 72); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0xf35404e1;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 6 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 8) * 7 + (acc & 0xffff) / 8;
+	for (unsigned int i1 = 0; i1 < 2; i1 = i1 + 1) {
+		acc = acc * 9 + i1;
+		state = state ^ (acc >> 4);
+	}
+	{ unsigned int n2 = 8;
+	while (n2 != 0) { acc = acc + n2 * 5; n2 = n2 - 1; } }
+	state = state + (acc & 0x70);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 072 (GenMiniC seed 73); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x965f360b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 3 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 8) * 9 + (acc & 0xffff) / 6;
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	state = state + (acc & 0x15);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

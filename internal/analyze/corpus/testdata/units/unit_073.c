@@ -1,0 +1,27 @@
+// difftest corpus unit 073 (GenMiniC seed 74); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x3564900e;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 3 == 1) { return M5; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 4 + i0;
+		state = state ^ (acc >> 0);
+	}
+	if (classify(acc) == M4) { acc = acc + 60; }
+	else { acc = acc ^ 0xa1e4; }
+	if (classify(acc) == M3) { acc = acc + 113; }
+	else { acc = acc ^ 0xa210; }
+	trigger();
+	acc = acc | 0x100;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 074 (GenMiniC seed 75); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xd89d3639;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 3 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 5;
+	while (n0 != 0) { acc = acc + n0 * 6; n0 = n0 - 1; } }
+	{ unsigned int n1 = 4;
+	while (n1 != 0) { acc = acc + n1 * 6; n1 = n1 - 1; } }
+	state = state + (acc & 0xe3);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

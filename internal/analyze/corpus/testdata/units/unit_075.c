@@ -1,0 +1,25 @@
+// difftest corpus unit 075 (GenMiniC seed 76); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x7c9c5bf0;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M4; }
+	if (v % 3 == 1) { return M4; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 15 + i0;
+		state = state ^ (acc >> 3);
+	}
+	acc = (acc % 4) * 4 + (acc & 0xffff) / 5;
+	acc = (acc % 5) * 11 + (acc & 0xffff) / 2;
+	trigger();
+	acc = acc | 0x20000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 076 (GenMiniC seed 77); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x23a45f1b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 5 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 4) * 9 + (acc & 0xffff) / 8;
+	state = state + (acc & 0x42);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x1;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 077 (GenMiniC seed 78); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x88b79124;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 5 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 5;
+	while (n0 != 0) { acc = acc + n0 * 6; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x4;
+	state = state + (acc & 0xb0);
+	if (state == 0) { state = 1; }
+	acc = (acc % 5) * 9 + (acc & 0xffff) / 4;
+	out = acc ^ state;
+	halt();
+}

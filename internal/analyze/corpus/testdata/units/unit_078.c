@@ -1,0 +1,21 @@
+// difftest corpus unit 078 (GenMiniC seed 79); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x6bbca751;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 3 == 1) { return M4; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 5 + (acc & 0xffff) / 2;
+	acc = (acc % 10) * 9 + (acc & 0xffff) / 1;
+	state = state + (acc & 0x33);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

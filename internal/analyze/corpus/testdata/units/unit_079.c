@@ -1,0 +1,24 @@
+// difftest corpus unit 079 (GenMiniC seed 80); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xcb44b59b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 2;
+	while (n0 != 0) { acc = acc + n0 * 1; n0 = n0 - 1; } }
+	acc = (acc % 4) * 7 + (acc & 0xffff) / 3;
+	trigger();
+	acc = acc | 0x4;
+	trigger();
+	acc = acc | 0x400;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 080 (GenMiniC seed 81); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xaed12ef3;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 2 == 1) { return M4; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 92; }
+	else { acc = acc ^ 0x3232; }
+	for (unsigned int i1 = 0; i1 < 3; i1 = i1 + 1) {
+		acc = acc * 7 + i1;
+		state = state ^ (acc >> 6);
+	}
+	trigger();
+	acc = acc | 0x2;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 081 (GenMiniC seed 82); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x114950fd;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 6 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 3;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x1000;
+	acc = (acc % 2) * 7 + (acc & 0xffff) / 7;
+	{ unsigned int n3 = 7;
+	while (n3 != 0) { acc = acc + n3 * 7; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 082 (GenMiniC seed 83); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xb84fbf26;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 5 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 9 + (acc & 0xffff) / 8;
+	trigger();
+	acc = acc | 0x1;
+	if (classify(acc) == M0) { acc = acc + 140; }
+	else { acc = acc ^ 0xa661; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 083 (GenMiniC seed 84); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x5c4afe4b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 2 == 1) { return M3; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 7) * 5 + (acc & 0xffff) / 9;
+	acc = (acc % 5) * 4 + (acc & 0xffff) / 6;
+	trigger();
+	acc = acc | 0x200000;
+	acc = (acc % 9) * 9 + (acc & 0xffff) / 4;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 084 (GenMiniC seed 85); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xff631e14;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 5 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 6;
+	while (n0 != 0) { acc = acc + n0 * 4; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 3 + i1;
+		state = state ^ (acc >> 3);
+	}
+	{ unsigned int n2 = 9;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 085 (GenMiniC seed 86); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xa05a242d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 3 == 1) { return M0; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 64; }
+	else { acc = acc ^ 0xc5fd; }
+	if (classify(acc) == M3) { acc = acc + 84; }
+	else { acc = acc ^ 0xa3e7; }
+	trigger();
+	acc = acc | 0x10;
+	acc = (acc % 2) * 3 + (acc & 0xffff) / 7;
+	trigger();
+	acc = acc | 0x200000;
+	out = acc ^ state;
+	halt();
+}

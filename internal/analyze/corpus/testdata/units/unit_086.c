@@ -1,0 +1,27 @@
+// difftest corpus unit 086 (GenMiniC seed 87); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x437a2436;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M5; }
+	if (v % 6 == 1) { return M1; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 5;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 11 + i2;
+		state = state ^ (acc >> 12);
+	}
+	{ unsigned int n3 = 9;
+	while (n3 != 0) { acc = acc + n3 * 3; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

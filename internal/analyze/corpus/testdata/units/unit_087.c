@@ -1,0 +1,25 @@
+// difftest corpus unit 087 (GenMiniC seed 88); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xa6e2f15f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M2; }
+	if (v % 4 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 2; i0 = i0 + 1) {
+		acc = acc * 8 + i0;
+		state = state ^ (acc >> 1);
+	}
+	state = state + (acc & 0x86);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x8;
+	out = acc ^ state;
+	halt();
+}

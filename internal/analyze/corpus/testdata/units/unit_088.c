@@ -1,0 +1,27 @@
+// difftest corpus unit 088 (GenMiniC seed 89); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x8e7b73ad;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 2 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x800000;
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 6 + i1;
+		state = state ^ (acc >> 12);
+	}
+	if (classify(acc) == M2) { acc = acc + 3; }
+	else { acc = acc ^ 0xcab3; }
+	state = state + (acc & 0x2c);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 089 (GenMiniC seed 90); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xf1b535d7;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 3 == 1) { return M4; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 7;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	state = state + (acc & 0xf4);
+	if (state == 0) { state = 1; }
+	for (unsigned int i2 = 0; i2 < 3; i2 = i2 + 1) {
+		acc = acc * 4 + i2;
+		state = state ^ (acc >> 11);
+	}
+	out = acc ^ state;
+	halt();
+}

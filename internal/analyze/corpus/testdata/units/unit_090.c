@@ -1,0 +1,26 @@
+// difftest corpus unit 090 (GenMiniC seed 91); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x944173d0;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 3 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 126; }
+	else { acc = acc ^ 0xd5a3; }
+	for (unsigned int i1 = 0; i1 < 7; i1 = i1 + 1) {
+		acc = acc * 8 + i1;
+		state = state ^ (acc >> 1);
+	}
+	state = state + (acc & 0x4f);
+	if (state == 0) { state = 1; }
+	acc = (acc % 9) * 3 + (acc & 0xffff) / 3;
+	out = acc ^ state;
+	halt();
+}

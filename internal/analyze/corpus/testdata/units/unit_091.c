@@ -1,0 +1,25 @@
+// difftest corpus unit 091 (GenMiniC seed 92); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x33c93ef9;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M4; }
+	if (v % 5 == 1) { return M3; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 9;
+	while (n0 != 0) { acc = acc + n0 * 6; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 3; i1 = i1 + 1) {
+		acc = acc * 8 + i1;
+		state = state ^ (acc >> 8);
+	}
+	{ unsigned int n2 = 7;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

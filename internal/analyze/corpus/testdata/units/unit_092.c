@@ -1,0 +1,25 @@
+// difftest corpus unit 092 (GenMiniC seed 93); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xd74b7ac2;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 4 == 1) { return M0; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 2) * 4 + (acc & 0xffff) / 4;
+	for (unsigned int i1 = 0; i1 < 6; i1 = i1 + 1) {
+		acc = acc * 7 + i1;
+		state = state ^ (acc >> 15);
+	}
+	acc = (acc % 2) * 6 + (acc & 0xffff) / 1;
+	{ unsigned int n3 = 7;
+	while (n3 != 0) { acc = acc + n3 * 6; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 093 (GenMiniC seed 94); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x7a616ceb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M1; }
+	if (v % 2 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 1;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	{ unsigned int n1 = 6;
+	while (n1 != 0) { acc = acc + n1 * 2; n1 = n1 - 1; } }
+	trigger();
+	acc = acc | 0x80;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 094 (GenMiniC seed 95); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x2363f6ef;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 5 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 2;
+	while (n0 != 0) { acc = acc + n0 * 5; n0 = n0 - 1; } }
+	acc = (acc % 6) * 11 + (acc & 0xffff) / 2;
+	acc = (acc % 6) * 9 + (acc & 0xffff) / 6;
+	{ unsigned int n3 = 9;
+	while (n3 != 0) { acc = acc + n3 * 4; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

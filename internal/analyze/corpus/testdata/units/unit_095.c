@@ -1,0 +1,24 @@
+// difftest corpus unit 095 (GenMiniC seed 96); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x8671440a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 6 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 9;
+	while (n0 != 0) { acc = acc + n0 * 2; n0 = n0 - 1; } }
+	acc = (acc % 4) * 7 + (acc & 0xffff) / 2;
+	for (unsigned int i2 = 0; i2 < 6; i2 = i2 + 1) {
+		acc = acc * 11 + i2;
+		state = state ^ (acc >> 11);
+	}
+	out = acc ^ state;
+	halt();
+}

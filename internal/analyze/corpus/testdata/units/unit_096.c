@@ -1,0 +1,27 @@
+// difftest corpus unit 096 (GenMiniC seed 97); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x6a779053;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 98; }
+	else { acc = acc ^ 0x93a; }
+	{ unsigned int n1 = 8;
+	while (n1 != 0) { acc = acc + n1 * 7; n1 = n1 - 1; } }
+	if (classify(acc) == M1) { acc = acc + 146; }
+	else { acc = acc ^ 0xa8dc; }
+	for (unsigned int i3 = 0; i3 < 4; i3 = i3 + 1) {
+		acc = acc * 5 + i3;
+		state = state ^ (acc >> 1);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 097 (GenMiniC seed 98); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xc9719a7b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 4 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 102; }
+	else { acc = acc ^ 0x97f5; }
+	state = state + (acc & 0x92);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x1000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 098 (GenMiniC seed 99); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xabfcf085;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M3; }
+	if (v % 4 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 9 + i0;
+		state = state ^ (acc >> 10);
+	}
+	trigger();
+	acc = acc | 0x8;
+	state = state + (acc & 0x89);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M2) { acc = acc + 154; }
+	else { acc = acc ^ 0x6bb3; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 099 (GenMiniC seed 100); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xf7917b1;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 4 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x2000000;
+	for (unsigned int i1 = 0; i1 < 7; i1 = i1 + 1) {
+		acc = acc * 15 + i1;
+		state = state ^ (acc >> 11);
+	}
+	for (unsigned int i2 = 0; i2 < 7; i2 = i2 + 1) {
+		acc = acc * 9 + i2;
+		state = state ^ (acc >> 15);
+	}
+	out = acc ^ state;
+	halt();
+}

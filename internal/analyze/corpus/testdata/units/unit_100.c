@@ -1,0 +1,26 @@
+// difftest corpus unit 100 (GenMiniC seed 101); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xb6ffc1ab;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 5 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 179; }
+	else { acc = acc ^ 0x953a; }
+	if (classify(acc) == M2) { acc = acc + 99; }
+	else { acc = acc ^ 0x2b97; }
+	acc = (acc % 9) * 5 + (acc & 0xffff) / 3;
+	trigger();
+	acc = acc | 0x800000;
+	{ unsigned int n4 = 1;
+	while (n4 != 0) { acc = acc + n4 * 1; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 101 (GenMiniC seed 102); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x5a0e1fd4;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M3; }
+	if (v % 6 == 1) { return M1; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x200000;
+	if (classify(acc) == M2) { acc = acc + 123; }
+	else { acc = acc ^ 0x34a0; }
+	if (classify(acc) == M2) { acc = acc + 134; }
+	else { acc = acc ^ 0x6bdd; }
+	state = state + (acc & 0x60);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

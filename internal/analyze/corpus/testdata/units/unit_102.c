@@ -1,0 +1,27 @@
+// difftest corpus unit 102 (GenMiniC seed 103); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xff0cecde;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 5 == 1) { return M4; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x39);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 3;
+	while (n1 != 0) { acc = acc + n1 * 2; n1 = n1 - 1; } }
+	{ unsigned int n2 = 9;
+	while (n2 != 0) { acc = acc + n2 * 2; n2 = n2 - 1; } }
+	state = state + (acc & 0xe4);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x400;
+	out = acc ^ state;
+	halt();
+}

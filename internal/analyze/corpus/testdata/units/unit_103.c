@@ -1,0 +1,25 @@
+// difftest corpus unit 103 (GenMiniC seed 104); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x9e268f08;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 6 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x400000;
+	state = state + (acc & 0x8c);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xc5);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x40000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 104 (GenMiniC seed 105); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x41d0a92c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 3 == 1) { return M4; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 8) * 9 + (acc & 0xffff) / 9;
+	acc = (acc % 9) * 3 + (acc & 0xffff) / 6;
+	state = state + (acc & 0x7a);
+	if (state == 0) { state = 1; }
+	acc = (acc % 9) * 9 + (acc & 0xffff) / 7;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 105 (GenMiniC seed 106); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xa562dd66;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 3 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xa3);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xf1);
+	if (state == 0) { state = 1; }
+	acc = (acc % 4) * 4 + (acc & 0xffff) / 4;
+	out = acc ^ state;
+	halt();
+}

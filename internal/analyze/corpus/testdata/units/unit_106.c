@@ -1,0 +1,27 @@
+// difftest corpus unit 106 (GenMiniC seed 107); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x8c584c8f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M4; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xc);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 7;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	trigger();
+	acc = acc | 0x80000000;
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 12 + i3;
+		state = state ^ (acc >> 15);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 107 (GenMiniC seed 108); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xef799c98;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 3 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 182; }
+	else { acc = acc ^ 0x1b6f; }
+	trigger();
+	acc = acc | 0x8000;
+	state = state + (acc & 0xef);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 108 (GenMiniC seed 109); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xd26c76c2;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 6 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x49);
+	if (state == 0) { state = 1; }
+	acc = (acc % 9) * 8 + (acc & 0xffff) / 3;
+	trigger();
+	acc = acc | 0x8000;
+	for (unsigned int i3 = 0; i3 < 4; i3 = i3 + 1) {
+		acc = acc * 8 + i3;
+		state = state ^ (acc >> 6);
+	}
+	out = acc ^ state;
+	halt();
+}

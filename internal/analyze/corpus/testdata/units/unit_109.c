@@ -1,0 +1,23 @@
+// difftest corpus unit 109 (GenMiniC seed 110); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x31fb148e;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 6 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 5) * 11 + (acc & 0xffff) / 9;
+	acc = (acc % 4) * 4 + (acc & 0xffff) / 3;
+	state = state + (acc & 0xc3);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x1000000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 110 (GenMiniC seed 111); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xd57f39a8;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 5 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xe4);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x8000;
+	trigger();
+	acc = acc | 0x10000000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 111 (GenMiniC seed 112); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x7a057bb2;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 6 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x33);
+	if (state == 0) { state = 1; }
+	acc = (acc % 4) * 8 + (acc & 0xffff) / 2;
+	trigger();
+	acc = acc | 0x2000;
+	acc = (acc % 3) * 6 + (acc & 0xffff) / 1;
+	out = acc ^ state;
+	halt();
+}

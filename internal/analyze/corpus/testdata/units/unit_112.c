@@ -1,0 +1,22 @@
+// difftest corpus unit 112 (GenMiniC seed 113); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x217b8dd9;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x7b);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x64);
+	if (state == 0) { state = 1; }
+	acc = (acc % 10) * 6 + (acc & 0xffff) / 2;
+	out = acc ^ state;
+	halt();
+}

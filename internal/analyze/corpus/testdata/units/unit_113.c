@@ -1,0 +1,24 @@
+// difftest corpus unit 113 (GenMiniC seed 114); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xc5058c23;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 4 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x20;
+	acc = (acc % 7) * 8 + (acc & 0xffff) / 1;
+	if (classify(acc) == M2) { acc = acc + 185; }
+	else { acc = acc ^ 0xae70; }
+	trigger();
+	acc = acc | 0x100;
+	out = acc ^ state;
+	halt();
+}

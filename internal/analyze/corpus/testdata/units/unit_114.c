@@ -1,0 +1,25 @@
+// difftest corpus unit 114 (GenMiniC seed 115); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x681f5f4d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 4 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M4) { acc = acc + 123; }
+	else { acc = acc ^ 0x6760; }
+	state = state + (acc & 0x7);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 9;
+	while (n2 != 0) { acc = acc + n2 * 1; n2 = n2 - 1; } }
+	if (classify(acc) == M4) { acc = acc + 76; }
+	else { acc = acc ^ 0xa9b2; }
+	out = acc ^ state;
+	halt();
+}

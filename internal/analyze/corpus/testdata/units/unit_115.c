@@ -1,0 +1,24 @@
+// difftest corpus unit 115 (GenMiniC seed 116); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xc71da141;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 5 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 88; }
+	else { acc = acc ^ 0x80a; }
+	acc = (acc % 5) * 8 + (acc & 0xffff) / 2;
+	{ unsigned int n2 = 3;
+	while (n2 != 0) { acc = acc + n2 * 1; n2 = n2 - 1; } }
+	{ unsigned int n3 = 4;
+	while (n3 != 0) { acc = acc + n3 * 5; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 116 (GenMiniC seed 117); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xaa27a36a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 3 == 1) { return M3; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M3) { acc = acc + 124; }
+	else { acc = acc ^ 0x8a06; }
+	state = state + (acc & 0x73);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x56);
+	if (state == 0) { state = 1; }
+	for (unsigned int i3 = 0; i3 < 6; i3 = i3 + 1) {
+		acc = acc * 11 + i3;
+		state = state ^ (acc >> 14);
+	}
+	out = acc ^ state;
+	halt();
+}

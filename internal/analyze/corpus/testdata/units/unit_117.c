@@ -1,0 +1,28 @@
+// difftest corpus unit 117 (GenMiniC seed 118); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xda5a933;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 2 == 1) { return M4; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x38);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xf);
+	if (state == 0) { state = 1; }
+	acc = (acc % 5) * 6 + (acc & 0xffff) / 9;
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 7 + i3;
+		state = state ^ (acc >> 14);
+	}
+	trigger();
+	acc = acc | 0x4000000;
+	out = acc ^ state;
+	halt();
+}

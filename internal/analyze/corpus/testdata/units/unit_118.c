@@ -1,0 +1,26 @@
+// difftest corpus unit 118 (GenMiniC seed 119); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xf52d6e5d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 6 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x6a);
+	if (state == 0) { state = 1; }
+	acc = (acc % 6) * 9 + (acc & 0xffff) / 5;
+	for (unsigned int i2 = 0; i2 < 2; i2 = i2 + 1) {
+		acc = acc * 14 + i2;
+		state = state ^ (acc >> 4);
+	}
+	{ unsigned int n3 = 4;
+	while (n3 != 0) { acc = acc + n3 * 7; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,30 @@
+// difftest corpus unit 119 (GenMiniC seed 120); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x586ea867;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 6 == 1) { return M2; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xb2);
+	if (state == 0) { state = 1; }
+	for (unsigned int i1 = 0; i1 < 5; i1 = i1 + 1) {
+		acc = acc * 8 + i1;
+		state = state ^ (acc >> 6);
+	}
+	for (unsigned int i2 = 0; i2 < 7; i2 = i2 + 1) {
+		acc = acc * 7 + i2;
+		state = state ^ (acc >> 10);
+	}
+	acc = (acc % 4) * 8 + (acc & 0xffff) / 4;
+	state = state + (acc & 0xea);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 120 (GenMiniC seed 121); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xfd6fcac3;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 6 == 1) { return M0; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 15; }
+	else { acc = acc ^ 0xfbd0; }
+	acc = (acc % 7) * 7 + (acc & 0xffff) / 6;
+	{ unsigned int n2 = 6;
+	while (n2 != 0) { acc = acc + n2 * 2; n2 = n2 - 1; } }
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 9 + i3;
+		state = state ^ (acc >> 11);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 121 (GenMiniC seed 122); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x9c876a0d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 4 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x70);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xcf);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 7;
+	while (n2 != 0) { acc = acc + n2 * 6; n2 = n2 - 1; } }
+	trigger();
+	acc = acc | 0x80000;
+	if (classify(acc) == M2) { acc = acc + 195; }
+	else { acc = acc ^ 0xdbc; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 122 (GenMiniC seed 123); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x3ffe0036;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M5; }
+	if (v % 6 == 1) { return M5; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x800;
+	{ unsigned int n1 = 4;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	{ unsigned int n2 = 8;
+	while (n2 != 0) { acc = acc + n2 * 5; n2 = n2 - 1; } }
+	trigger();
+	acc = acc | 0x100000;
+	out = acc ^ state;
+	halt();
+}

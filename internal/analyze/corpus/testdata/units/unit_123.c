@@ -1,0 +1,23 @@
+// difftest corpus unit 123 (GenMiniC seed 124); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xe39da83f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 5 == 1) { return M3; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xa6);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M2) { acc = acc + 190; }
+	else { acc = acc ^ 0x6b20; }
+	acc = (acc % 6) * 4 + (acc & 0xffff) / 3;
+	acc = (acc % 10) * 11 + (acc & 0xffff) / 4;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,23 @@
+// difftest corpus unit 124 (GenMiniC seed 125); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x8a022668;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 5 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 89; }
+	else { acc = acc ^ 0xc901; }
+	if (classify(acc) == M1) { acc = acc + 22; }
+	else { acc = acc ^ 0xa43c; }
+	{ unsigned int n2 = 4;
+	while (n2 != 0) { acc = acc + n2 * 2; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 125 (GenMiniC seed 126); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xed1bb17d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 2 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x40);
+	if (state == 0) { state = 1; }
+	acc = (acc % 9) * 8 + (acc & 0xffff) / 1;
+	state = state + (acc & 0x6b);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x80;
+	state = state + (acc & 0x44);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

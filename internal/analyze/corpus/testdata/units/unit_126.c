@@ -1,0 +1,25 @@
+// difftest corpus unit 126 (GenMiniC seed 127); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xd11b1f46;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 6 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x100;
+	trigger();
+	acc = acc | 0x4;
+	for (unsigned int i2 = 0; i2 < 7; i2 = i2 + 1) {
+		acc = acc * 6 + i2;
+		state = state ^ (acc >> 12);
+	}
+	out = acc ^ state;
+	halt();
+}

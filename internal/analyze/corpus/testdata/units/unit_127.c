@@ -1,0 +1,27 @@
+// difftest corpus unit 127 (GenMiniC seed 128); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x30249971;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 3 == 1) { return M4; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 4; i0 = i0 + 1) {
+		acc = acc * 14 + i0;
+		state = state ^ (acc >> 0);
+	}
+	if (classify(acc) == M3) { acc = acc + 85; }
+	else { acc = acc ^ 0x8258; }
+	trigger();
+	acc = acc | 0x4000;
+	trigger();
+	acc = acc | 0x8000000;
+	out = acc ^ state;
+	halt();
+}

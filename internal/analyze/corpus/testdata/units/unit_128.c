@@ -1,0 +1,23 @@
+// difftest corpus unit 128 (GenMiniC seed 129); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x151d5b79;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 5 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 3) * 5 + (acc & 0xffff) / 2;
+	trigger();
+	acc = acc | 0x80000;
+	{ unsigned int n2 = 1;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	acc = (acc % 8) * 11 + (acc & 0xffff) / 1;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 129 (GenMiniC seed 130); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x782d6aa3;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 5 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 6) * 11 + (acc & 0xffff) / 1;
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 5; n1 = n1 - 1; } }
+	trigger();
+	acc = acc | 0x800000;
+	trigger();
+	acc = acc | 0x800;
+	for (unsigned int i4 = 0; i4 < 2; i4 = i4 + 1) {
+		acc = acc * 5 + i4;
+		state = state ^ (acc >> 13);
+	}
+	out = acc ^ state;
+	halt();
+}

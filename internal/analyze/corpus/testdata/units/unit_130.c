@@ -1,0 +1,25 @@
+// difftest corpus unit 130 (GenMiniC seed 131); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x1fafbce0;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 5 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 4 + i0;
+		state = state ^ (acc >> 3);
+	}
+	acc = (acc % 6) * 10 + (acc & 0xffff) / 3;
+	if (classify(acc) == M1) { acc = acc + 119; }
+	else { acc = acc ^ 0xc424; }
+	acc = (acc % 3) * 6 + (acc & 0xffff) / 7;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,22 @@
+// difftest corpus unit 131 (GenMiniC seed 132); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xc33ba909;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M4) { acc = acc + 22; }
+	else { acc = acc ^ 0xe2f3; }
+	trigger();
+	acc = acc | 0x4;
+	acc = (acc % 2) * 9 + (acc & 0xffff) / 7;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,31 @@
+// difftest corpus unit 132 (GenMiniC seed 133); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x65c87312;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 5 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 2;
+	while (n0 != 0) { acc = acc + n0 * 1; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 5; i1 = i1 + 1) {
+		acc = acc * 7 + i1;
+		state = state ^ (acc >> 8);
+	}
+	for (unsigned int i2 = 0; i2 < 3; i2 = i2 + 1) {
+		acc = acc * 11 + i2;
+		state = state ^ (acc >> 1);
+	}
+	for (unsigned int i3 = 0; i3 < 2; i3 = i3 + 1) {
+		acc = acc * 5 + i3;
+		state = state ^ (acc >> 4);
+	}
+	out = acc ^ state;
+	halt();
+}

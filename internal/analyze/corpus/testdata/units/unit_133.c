@@ -1,0 +1,25 @@
+// difftest corpus unit 133 (GenMiniC seed 134); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x4d0843a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 4 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 136; }
+	else { acc = acc ^ 0xdad8; }
+	for (unsigned int i1 = 0; i1 < 4; i1 = i1 + 1) {
+		acc = acc * 10 + i1;
+		state = state ^ (acc >> 1);
+	}
+	{ unsigned int n2 = 7;
+	while (n2 != 0) { acc = acc + n2 * 7; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 134 (GenMiniC seed 135); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xa886a205;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 5; i0 = i0 + 1) {
+		acc = acc * 6 + i0;
+		state = state ^ (acc >> 9);
+	}
+	state = state + (acc & 0xe0);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x100;
+	state = state + (acc & 0x1);
+	if (state == 0) { state = 1; }
+	{ unsigned int n4 = 1;
+	while (n4 != 0) { acc = acc + n4 * 6; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

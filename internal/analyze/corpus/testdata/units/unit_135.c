@@ -1,0 +1,25 @@
+// difftest corpus unit 135 (GenMiniC seed 136); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xc10881a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 5 == 1) { return M1; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 7;
+	while (n0 != 0) { acc = acc + n0 * 7; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 3 + i1;
+		state = state ^ (acc >> 15);
+	}
+	state = state + (acc & 0x96);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

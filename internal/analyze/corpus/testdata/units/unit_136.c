@@ -1,0 +1,24 @@
+// difftest corpus unit 136 (GenMiniC seed 137); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xef8c0e22;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x800000;
+	if (classify(acc) == M1) { acc = acc + 124; }
+	else { acc = acc ^ 0x2eca; }
+	trigger();
+	acc = acc | 0x800000;
+	acc = (acc % 9) * 10 + (acc & 0xffff) / 6;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 137 (GenMiniC seed 138); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x6820214c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 3 == 1) { return M4; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 6) * 9 + (acc & 0xffff) / 5;
+	state = state + (acc & 0xc2);
+	if (state == 0) { state = 1; }
+	for (unsigned int i2 = 0; i2 < 2; i2 = i2 + 1) {
+		acc = acc * 4 + i2;
+		state = state ^ (acc >> 4);
+	}
+	state = state + (acc & 0x0);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

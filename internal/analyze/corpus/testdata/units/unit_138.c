@@ -1,0 +1,25 @@
+// difftest corpus unit 138 (GenMiniC seed 139); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xcb1d0194;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 2 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 3) * 3 + (acc & 0xffff) / 4;
+	{ unsigned int n1 = 9;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	acc = (acc % 8) * 7 + (acc & 0xffff) / 4;
+	trigger();
+	acc = acc | 0x4000000;
+	{ unsigned int n4 = 7;
+	while (n4 != 0) { acc = acc + n4 * 5; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 139 (GenMiniC seed 140); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xaf395bbe;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 2 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 6) * 4 + (acc & 0xffff) / 8;
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	trigger();
+	acc = acc | 0x20000;
+	{ unsigned int n3 = 5;
+	while (n3 != 0) { acc = acc + n3 * 4; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 140 (GenMiniC seed 141); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0xe43b8f8;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M2; }
+	if (v % 6 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 3;
+	while (n0 != 0) { acc = acc + n0 * 4; n0 = n0 - 1; } }
+	state = state + (acc & 0xaf);
+	if (state == 0) { state = 1; }
+	acc = (acc % 7) * 9 + (acc & 0xffff) / 5;
+	trigger();
+	acc = acc | 0x80000;
+	for (unsigned int i4 = 0; i4 < 2; i4 = i4 + 1) {
+		acc = acc * 14 + i4;
+		state = state ^ (acc >> 1);
+	}
+	out = acc ^ state;
+	halt();
+}

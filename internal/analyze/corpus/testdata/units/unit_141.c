@@ -1,0 +1,28 @@
+// difftest corpus unit 141 (GenMiniC seed 142); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xf0b44f24;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 5 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 2;
+	while (n0 != 0) { acc = acc + n0 * 4; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 2; i1 = i1 + 1) {
+		acc = acc * 15 + i1;
+		state = state ^ (acc >> 4);
+	}
+	for (unsigned int i2 = 0; i2 < 5; i2 = i2 + 1) {
+		acc = acc * 6 + i2;
+		state = state ^ (acc >> 5);
+	}
+	acc = (acc % 10) * 8 + (acc & 0xffff) / 6;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 142 (GenMiniC seed 143); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x543a90ee;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M2; }
+	if (v % 6 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 4) * 5 + (acc & 0xffff) / 6;
+	acc = (acc % 4) * 4 + (acc & 0xffff) / 7;
+	state = state + (acc & 0xdf);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M3) { acc = acc + 108; }
+	else { acc = acc ^ 0x3050; }
+	state = state + (acc & 0x76);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 143 (GenMiniC seed 144); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0xfbbb3b17;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 2 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 6 + i0;
+		state = state ^ (acc >> 4);
+	}
+	if (classify(acc) == M0) { acc = acc + 76; }
+	else { acc = acc ^ 0x7936; }
+	acc = (acc % 7) * 7 + (acc & 0xffff) / 7;
+	trigger();
+	acc = acc | 0x1000;
+	out = acc ^ state;
+	halt();
+}

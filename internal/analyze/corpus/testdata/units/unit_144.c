@@ -1,0 +1,26 @@
+// difftest corpus unit 144 (GenMiniC seed 145); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x9edb1021;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 6 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 7;
+	while (n0 != 0) { acc = acc + n0 * 4; n0 = n0 - 1; } }
+	{ unsigned int n1 = 5;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	state = state + (acc & 0x25);
+	if (state == 0) { state = 1; }
+	{ unsigned int n3 = 6;
+	while (n3 != 0) { acc = acc + n3 * 4; n3 = n3 - 1; } }
+	acc = (acc % 4) * 9 + (acc & 0xffff) / 9;
+	out = acc ^ state;
+	halt();
+}

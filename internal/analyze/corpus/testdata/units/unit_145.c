@@ -1,0 +1,27 @@
+// difftest corpus unit 145 (GenMiniC seed 146); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x43ce1a3b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 2 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 12 + i0;
+		state = state ^ (acc >> 10);
+	}
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	{ unsigned int n2 = 4;
+	while (n2 != 0) { acc = acc + n2 * 5; n2 = n2 - 1; } }
+	if (classify(acc) == M2) { acc = acc + 24; }
+	else { acc = acc ^ 0x1a1a; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 146 (GenMiniC seed 147); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xe2e7a25e;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 2 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 6; i0 = i0 + 1) {
+		acc = acc * 10 + i0;
+		state = state ^ (acc >> 8);
+	}
+	state = state + (acc & 0x97);
+	if (state == 0) { state = 1; }
+	acc = (acc % 10) * 7 + (acc & 0xffff) / 7;
+	{ unsigned int n3 = 1;
+	while (n3 != 0) { acc = acc + n3 * 6; n3 = n3 - 1; } }
+	trigger();
+	acc = acc | 0x1000000;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 147 (GenMiniC seed 148); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x86d95ca9;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M3; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 7;
+	while (n0 != 0) { acc = acc + n0 * 4; n0 = n0 - 1; } }
+	state = state + (acc & 0x2a);
+	if (state == 0) { state = 1; }
+	acc = (acc % 8) * 5 + (acc & 0xffff) / 5;
+	state = state + (acc & 0x7e);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 148 (GenMiniC seed 149); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0xe9f009d2;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 2 == 1) { return M2; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 9;
+	while (n0 != 0) { acc = acc + n0 * 1; n0 = n0 - 1; } }
+	trigger();
+	acc = acc | 0x4;
+	trigger();
+	acc = acc | 0x8000;
+	if (classify(acc) == M0) { acc = acc + 33; }
+	else { acc = acc ^ 0xe302; }
+	for (unsigned int i4 = 0; i4 < 4; i4 = i4 + 1) {
+		acc = acc * 7 + i4;
+		state = state ^ (acc >> 1);
+	}
+	out = acc ^ state;
+	halt();
+}

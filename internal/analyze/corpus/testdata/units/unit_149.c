@@ -1,0 +1,26 @@
+// difftest corpus unit 149 (GenMiniC seed 150); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xd11d0fdb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 2 == 1) { return M0; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 5) * 3 + (acc & 0xffff) / 6;
+	state = state + (acc & 0x32);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 7;
+	while (n2 != 0) { acc = acc + n2 * 6; n2 = n2 - 1; } }
+	for (unsigned int i3 = 0; i3 < 3; i3 = i3 + 1) {
+		acc = acc * 6 + i3;
+		state = state ^ (acc >> 2);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 150 (GenMiniC seed 151); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x34258a03;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M3; }
+	if (v % 5 == 1) { return M4; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 3;
+	while (n0 != 0) { acc = acc + n0 * 1; n0 = n0 - 1; } }
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 11 + i1;
+		state = state ^ (acc >> 5);
+	}
+	trigger();
+	acc = acc | 0x10000;
+	trigger();
+	acc = acc | 0x10;
+	{ unsigned int n4 = 1;
+	while (n4 != 0) { acc = acc + n4 * 7; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

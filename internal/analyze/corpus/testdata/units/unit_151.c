@@ -1,0 +1,25 @@
+// difftest corpus unit 151 (GenMiniC seed 152); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x173a8bc1;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 2 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xab);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xe4);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 3;
+	while (n2 != 0) { acc = acc + n2 * 6; n2 = n2 - 1; } }
+	if (classify(acc) == M1) { acc = acc + 184; }
+	else { acc = acc ^ 0xf7ed; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 152 (GenMiniC seed 153); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x76b80aeb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M4; }
+	if (v % 5 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 4;
+	while (n0 != 0) { acc = acc + n0 * 6; n0 = n0 - 1; } }
+	acc = (acc % 8) * 10 + (acc & 0xffff) / 3;
+	{ unsigned int n2 = 7;
+	while (n2 != 0) { acc = acc + n2 * 1; n2 = n2 - 1; } }
+	for (unsigned int i3 = 0; i3 < 3; i3 = i3 + 1) {
+		acc = acc * 6 + i3;
+		state = state ^ (acc >> 3);
+	}
+	acc = (acc % 6) * 6 + (acc & 0xffff) / 1;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 153 (GenMiniC seed 154); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x1a4604f3;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M4; }
+	if (v % 5 == 1) { return M5; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 3; i0 = i0 + 1) {
+		acc = acc * 3 + i0;
+		state = state ^ (acc >> 1);
+	}
+	trigger();
+	acc = acc | 0x2;
+	trigger();
+	acc = acc | 0x2000;
+	{ unsigned int n3 = 8;
+	while (n3 != 0) { acc = acc + n3 * 4; n3 = n3 - 1; } }
+	{ unsigned int n4 = 9;
+	while (n4 != 0) { acc = acc + n4 * 6; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 154 (GenMiniC seed 155); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xbec87b1c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 5 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 15; }
+	else { acc = acc ^ 0x54e; }
+	acc = (acc % 8) * 6 + (acc & 0xffff) / 5;
+	trigger();
+	acc = acc | 0x4000000;
+	for (unsigned int i3 = 0; i3 < 7; i3 = i3 + 1) {
+		acc = acc * 8 + i3;
+		state = state ^ (acc >> 4);
+	}
+	out = acc ^ state;
+	halt();
+}

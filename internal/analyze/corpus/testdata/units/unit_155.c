@@ -1,0 +1,23 @@
+// difftest corpus unit 155 (GenMiniC seed 156); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x6651d565;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 3 == 1) { return M3; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x40000000;
+	acc = (acc % 9) * 10 + (acc & 0xffff) / 8;
+	acc = (acc % 7) * 11 + (acc & 0xffff) / 8;
+	{ unsigned int n3 = 6;
+	while (n3 != 0) { acc = acc + n3 * 1; n3 = n3 - 1; } }
+	out = acc ^ state;
+	halt();
+}

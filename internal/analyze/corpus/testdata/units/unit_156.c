@@ -1,0 +1,23 @@
+// difftest corpus unit 156 (GenMiniC seed 157); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x9e5527b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 5 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 104; }
+	else { acc = acc ^ 0xf3b2; }
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 6; n1 = n1 - 1; } }
+	{ unsigned int n2 = 3;
+	while (n2 != 0) { acc = acc + n2 * 6; n2 = n2 - 1; } }
+	out = acc ^ state;
+	halt();
+}

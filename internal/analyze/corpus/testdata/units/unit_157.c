@@ -1,0 +1,28 @@
+// difftest corpus unit 157 (GenMiniC seed 158); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0xacd5b885;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M4; }
+	if (v % 4 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 76; }
+	else { acc = acc ^ 0x522d; }
+	acc = (acc % 10) * 7 + (acc & 0xffff) / 3;
+	{ unsigned int n2 = 3;
+	while (n2 != 0) { acc = acc + n2 * 2; n2 = n2 - 1; } }
+	if (classify(acc) == M0) { acc = acc + 66; }
+	else { acc = acc ^ 0x588b; }
+	for (unsigned int i4 = 0; i4 < 3; i4 = i4 + 1) {
+		acc = acc * 9 + i4;
+		state = state ^ (acc >> 5);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 158 (GenMiniC seed 159); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xbe31aae;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 5 == 1) { return M5; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 4; i0 = i0 + 1) {
+		acc = acc * 8 + i0;
+		state = state ^ (acc >> 11);
+	}
+	{ unsigned int n1 = 5;
+	while (n1 != 0) { acc = acc + n1 * 2; n1 = n1 - 1; } }
+	state = state + (acc & 0x27);
+	if (state == 0) { state = 1; }
+	for (unsigned int i3 = 0; i3 < 4; i3 = i3 + 1) {
+		acc = acc * 15 + i3;
+		state = state ^ (acc >> 0);
+	}
+	out = acc ^ state;
+	halt();
+}

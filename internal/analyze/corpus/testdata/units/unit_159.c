@@ -1,0 +1,27 @@
+// difftest corpus unit 159 (GenMiniC seed 160); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xeed95477;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 5 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xd1);
+	if (state == 0) { state = 1; }
+	acc = (acc % 7) * 9 + (acc & 0xffff) / 3;
+	acc = (acc % 10) * 3 + (acc & 0xffff) / 1;
+	for (unsigned int i3 = 0; i3 < 3; i3 = i3 + 1) {
+		acc = acc * 12 + i3;
+		state = state ^ (acc >> 9);
+	}
+	state = state + (acc & 0x2c);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

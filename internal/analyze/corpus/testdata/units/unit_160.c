@@ -1,0 +1,26 @@
+// difftest corpus unit 160 (GenMiniC seed 161); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x526bb3a0;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M2; }
+	if (v % 5 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 5; i0 = i0 + 1) {
+		acc = acc * 10 + i0;
+		state = state ^ (acc >> 10);
+	}
+	{ unsigned int n1 = 1;
+	while (n1 != 0) { acc = acc + n1 * 4; n1 = n1 - 1; } }
+	{ unsigned int n2 = 5;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	acc = (acc % 5) * 11 + (acc & 0xffff) / 5;
+	out = acc ^ state;
+	halt();
+}

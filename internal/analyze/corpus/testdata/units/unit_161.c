@@ -1,0 +1,26 @@
+// difftest corpus unit 161 (GenMiniC seed 162); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x39e59fda;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M1; }
+	if (v % 2 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x9);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x20);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xeb);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x100;
+	acc = (acc % 7) * 10 + (acc & 0xffff) / 5;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 162 (GenMiniC seed 163); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x9e845a06;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 3 == 1) { return M0; }
+	return M4;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 2) * 4 + (acc & 0xffff) / 6;
+	trigger();
+	acc = acc | 0x10000;
+	if (classify(acc) == M0) { acc = acc + 99; }
+	else { acc = acc ^ 0x3a5a; }
+	for (unsigned int i3 = 0; i3 < 8; i3 = i3 + 1) {
+		acc = acc * 9 + i3;
+		state = state ^ (acc >> 15);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 163 (GenMiniC seed 164); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x41ff994f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M2; }
+	if (v % 6 == 1) { return M2; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x20000;
+	trigger();
+	acc = acc | 0x40000;
+	for (unsigned int i2 = 0; i2 < 7; i2 = i2 + 1) {
+		acc = acc * 6 + i2;
+		state = state ^ (acc >> 8);
+	}
+	if (classify(acc) == M0) { acc = acc + 24; }
+	else { acc = acc ^ 0x1f1b; }
+	state = state + (acc & 0xe6);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

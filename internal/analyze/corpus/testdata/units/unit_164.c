@@ -1,0 +1,26 @@
+// difftest corpus unit 164 (GenMiniC seed 165); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0xe1412f79;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 3 == 1) { return M0; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 57; }
+	else { acc = acc ^ 0xcadd; }
+	acc = (acc % 3) * 10 + (acc & 0xffff) / 9;
+	state = state + (acc & 0xf8);
+	if (state == 0) { state = 1; }
+	for (unsigned int i3 = 0; i3 < 6; i3 = i3 + 1) {
+		acc = acc * 15 + i3;
+		state = state ^ (acc >> 15);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 165 (GenMiniC seed 166); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x84bdc581;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M4; }
+	if (v % 5 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xb9);
+	if (state == 0) { state = 1; }
+	acc = (acc % 5) * 6 + (acc & 0xffff) / 8;
+	state = state + (acc & 0x3d);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M4) { acc = acc + 92; }
+	else { acc = acc ^ 0xf74f; }
+	if (classify(acc) == M3) { acc = acc + 90; }
+	else { acc = acc ^ 0x7258; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 166 (GenMiniC seed 167); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x284f5f9b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 5 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x10;
+	{ unsigned int n1 = 9;
+	while (n1 != 0) { acc = acc + n1 * 3; n1 = n1 - 1; } }
+	acc = (acc % 7) * 3 + (acc & 0xffff) / 4;
+	state = state + (acc & 0x2b);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

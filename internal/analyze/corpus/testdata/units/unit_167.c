@@ -1,0 +1,27 @@
+// difftest corpus unit 167 (GenMiniC seed 168); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0xcec386c0;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M0; }
+	if (v % 6 == 1) { return M0; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x77);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x8;
+	state = state + (acc & 0xa6);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xdc);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xa6);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

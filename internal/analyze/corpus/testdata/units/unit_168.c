@@ -1,0 +1,29 @@
+// difftest corpus unit 168 (GenMiniC seed 169); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x31e1428a;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 2 == 1) { return M3; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 25; }
+	else { acc = acc ^ 0xe6cf; }
+	for (unsigned int i1 = 0; i1 < 5; i1 = i1 + 1) {
+		acc = acc * 9 + i1;
+		state = state ^ (acc >> 5);
+	}
+	for (unsigned int i2 = 0; i2 < 2; i2 = i2 + 1) {
+		acc = acc * 12 + i2;
+		state = state ^ (acc >> 13);
+	}
+	trigger();
+	acc = acc | 0x2000000;
+	out = acc ^ state;
+	halt();
+}

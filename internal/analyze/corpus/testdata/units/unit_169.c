@@ -1,0 +1,25 @@
+// difftest corpus unit 169 (GenMiniC seed 170); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x15e80ab3;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 3 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x100;
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 7; n1 = n1 - 1; } }
+	state = state + (acc & 0x7);
+	if (state == 0) { state = 1; }
+	acc = (acc % 10) * 7 + (acc & 0xffff) / 7;
+	acc = (acc % 2) * 9 + (acc & 0xffff) / 1;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 170 (GenMiniC seed 171); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x74f124bc;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 6 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x20000000;
+	{ unsigned int n1 = 6;
+	while (n1 != 0) { acc = acc + n1 * 5; n1 = n1 - 1; } }
+	{ unsigned int n2 = 4;
+	while (n2 != 0) { acc = acc + n2 * 4; n2 = n2 - 1; } }
+	trigger();
+	acc = acc | 0x10;
+	out = acc ^ state;
+	halt();
+}

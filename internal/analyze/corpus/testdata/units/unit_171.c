@@ -1,0 +1,26 @@
+// difftest corpus unit 171 (GenMiniC seed 172); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x59f171d6;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 3 == 1) { return M0; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x100000;
+	state = state + (acc & 0x91);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x10000000;
+	acc = (acc % 7) * 9 + (acc & 0xffff) / 1;
+	if (classify(acc) == M2) { acc = acc + 78; }
+	else { acc = acc ^ 0x36e; }
+	out = acc ^ state;
+	halt();
+}

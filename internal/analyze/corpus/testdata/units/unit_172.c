@@ -1,0 +1,25 @@
+// difftest corpus unit 172 (GenMiniC seed 173); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xbcf79021;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 3 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x10000000;
+	if (classify(acc) == M3) { acc = acc + 108; }
+	else { acc = acc ^ 0x88ec; }
+	trigger();
+	acc = acc | 0x800;
+	state = state + (acc & 0xde);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

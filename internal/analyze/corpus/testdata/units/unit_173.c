@@ -1,0 +1,30 @@
+// difftest corpus unit 173 (GenMiniC seed 174); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x64757c4c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 3;
+	while (n0 != 0) { acc = acc + n0 * 5; n0 = n0 - 1; } }
+	acc = (acc % 7) * 5 + (acc & 0xffff) / 1;
+	for (unsigned int i2 = 0; i2 < 5; i2 = i2 + 1) {
+		acc = acc * 13 + i2;
+		state = state ^ (acc >> 1);
+	}
+	{ unsigned int n3 = 7;
+	while (n3 != 0) { acc = acc + n3 * 7; n3 = n3 - 1; } }
+	for (unsigned int i4 = 0; i4 < 7; i4 = i4 + 1) {
+		acc = acc * 10 + i4;
+		state = state ^ (acc >> 12);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 174 (GenMiniC seed 175); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x7ff5256;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 6 == 1) { return M1; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xae);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 1; n1 = n1 - 1; } }
+	state = state + (acc & 0x4);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x78);
+	if (state == 0) { state = 1; }
+	{ unsigned int n4 = 2;
+	while (n4 != 0) { acc = acc + n4 * 2; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 175 (GenMiniC seed 176); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xaa83997e;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 6 == 1) { return M3; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x800;
+	if (classify(acc) == M4) { acc = acc + 25; }
+	else { acc = acc ^ 0xfd88; }
+	for (unsigned int i2 = 0; i2 < 2; i2 = i2 + 1) {
+		acc = acc * 3 + i2;
+		state = state ^ (acc >> 2);
+	}
+	trigger();
+	acc = acc | 0x8;
+	out = acc ^ state;
+	halt();
+}

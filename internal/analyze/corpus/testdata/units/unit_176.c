@@ -1,0 +1,31 @@
+// difftest corpus unit 176 (GenMiniC seed 177); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x498e1337;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M3; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M3) { acc = acc + 12; }
+	else { acc = acc ^ 0xdc7f; }
+	{ unsigned int n1 = 9;
+	while (n1 != 0) { acc = acc + n1 * 5; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 8; i2 = i2 + 1) {
+		acc = acc * 13 + i2;
+		state = state ^ (acc >> 7);
+	}
+	for (unsigned int i3 = 0; i3 < 8; i3 = i3 + 1) {
+		acc = acc * 13 + i3;
+		state = state ^ (acc >> 14);
+	}
+	if (classify(acc) == M2) { acc = acc + 86; }
+	else { acc = acc ^ 0x6af0; }
+	out = acc ^ state;
+	halt();
+}

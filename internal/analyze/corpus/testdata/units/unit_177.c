@@ -1,0 +1,25 @@
+// difftest corpus unit 177 (GenMiniC seed 178); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xed95135c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 5 == 1) { return M2; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x99);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M2) { acc = acc + 134; }
+	else { acc = acc ^ 0x9732; }
+	state = state + (acc & 0xaf);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M1) { acc = acc + 178; }
+	else { acc = acc ^ 0xc4c4; }
+	out = acc ^ state;
+	halt();
+}

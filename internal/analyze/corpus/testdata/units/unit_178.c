@@ -1,0 +1,29 @@
+// difftest corpus unit 178 (GenMiniC seed 179); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x50929565;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M2; }
+	if (v % 5 == 1) { return M4; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 6;
+	while (n0 != 0) { acc = acc + n0 * 2; n0 = n0 - 1; } }
+	if (classify(acc) == M1) { acc = acc + 90; }
+	else { acc = acc ^ 0xa7ef; }
+	{ unsigned int n2 = 9;
+	while (n2 != 0) { acc = acc + n2 * 1; n2 = n2 - 1; } }
+	state = state + (acc & 0x77);
+	if (state == 0) { state = 1; }
+	for (unsigned int i4 = 0; i4 < 7; i4 = i4 + 1) {
+		acc = acc * 9 + i4;
+		state = state ^ (acc >> 12);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 179 (GenMiniC seed 180); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0x38471a8f;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 2 == 1) { return M4; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xcf);
+	if (state == 0) { state = 1; }
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 6; n1 = n1 - 1; } }
+	state = state + (acc & 0xfc);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M5) { acc = acc + 119; }
+	else { acc = acc ^ 0x44ff; }
+	out = acc ^ state;
+	halt();
+}

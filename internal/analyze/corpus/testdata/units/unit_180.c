@@ -1,0 +1,25 @@
+// difftest corpus unit 180 (GenMiniC seed 181); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0x9ce4d0d7;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M0; }
+	if (v % 2 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M3) { acc = acc + 23; }
+	else { acc = acc ^ 0xb4a7; }
+	state = state + (acc & 0x8d);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 8;
+	while (n2 != 0) { acc = acc + n2 * 3; n2 = n2 - 1; } }
+	acc = (acc % 8) * 4 + (acc & 0xffff) / 5;
+	acc = (acc % 3) * 7 + (acc & 0xffff) / 2;
+	out = acc ^ state;
+	halt();
+}

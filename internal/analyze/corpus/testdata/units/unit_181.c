@@ -1,0 +1,25 @@
+// difftest corpus unit 181 (GenMiniC seed 182); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x3fe61b31;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M3; }
+	if (v % 5 == 1) { return M2; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 4; i0 = i0 + 1) {
+		acc = acc * 12 + i0;
+		state = state ^ (acc >> 8);
+	}
+	acc = (acc % 2) * 3 + (acc & 0xffff) / 1;
+	acc = (acc % 9) * 3 + (acc & 0xffff) / 6;
+	state = state + (acc & 0xe5);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

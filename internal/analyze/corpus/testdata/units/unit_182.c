@@ -1,0 +1,27 @@
+// difftest corpus unit 182 (GenMiniC seed 183); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0xdff59e3b;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 110; }
+	else { acc = acc ^ 0xdab5; }
+	{ unsigned int n1 = 8;
+	while (n1 != 0) { acc = acc + n1 * 6; n1 = n1 - 1; } }
+	if (classify(acc) == M1) { acc = acc + 106; }
+	else { acc = acc ^ 0x58ea; }
+	if (classify(acc) == M0) { acc = acc + 95; }
+	else { acc = acc ^ 0x884a; }
+	state = state + (acc & 0x68);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,24 @@
+// difftest corpus unit 183 (GenMiniC seed 184); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 5;
+unsigned int seed = 0x82f24668;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 4 == 1) { return M3; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M2) { acc = acc + 196; }
+	else { acc = acc ^ 0x91ae; }
+	if (classify(acc) == M3) { acc = acc + 53; }
+	else { acc = acc ^ 0xca99; }
+	trigger();
+	acc = acc | 0x4000000;
+	acc = (acc % 8) * 9 + (acc & 0xffff) / 6;
+	out = acc ^ state;
+	halt();
+}

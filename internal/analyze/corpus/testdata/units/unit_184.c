@@ -1,0 +1,31 @@
+// difftest corpus unit 184 (GenMiniC seed 185); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 2;
+unsigned int seed = 0x257f1032;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 6 == 1) { return M1; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	trigger();
+	acc = acc | 0x1000000;
+	{ unsigned int n1 = 2;
+	while (n1 != 0) { acc = acc + n1 * 7; n1 = n1 - 1; } }
+	for (unsigned int i2 = 0; i2 < 5; i2 = i2 + 1) {
+		acc = acc * 11 + i2;
+		state = state ^ (acc >> 1);
+	}
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 7 + i3;
+		state = state ^ (acc >> 6);
+	}
+	trigger();
+	acc = acc | 0x2000;
+	out = acc ^ state;
+	halt();
+}

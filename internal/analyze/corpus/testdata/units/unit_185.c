@@ -1,0 +1,26 @@
+// difftest corpus unit 185 (GenMiniC seed 186); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 4;
+unsigned int seed = 0xccf30859;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 3 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M0) { acc = acc + 51; }
+	else { acc = acc ^ 0xd452; }
+	acc = (acc % 4) * 11 + (acc & 0xffff) / 2;
+	{ unsigned int n2 = 8;
+	while (n2 != 0) { acc = acc + n2 * 5; n2 = n2 - 1; } }
+	state = state + (acc & 0x96);
+	if (state == 0) { state = 1; }
+	{ unsigned int n4 = 8;
+	while (n4 != 0) { acc = acc + n4 * 2; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,27 @@
+// difftest corpus unit 186 (GenMiniC seed 187); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x30967954;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M0; }
+	if (v % 3 == 1) { return M1; }
+	return M1;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0x87);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x9f);
+	if (state == 0) { state = 1; }
+	{ unsigned int n2 = 9;
+	while (n2 != 0) { acc = acc + n2 * 4; n2 = n2 - 1; } }
+	trigger();
+	acc = acc | 0x40;
+	if (classify(acc) == M1) { acc = acc + 66; }
+	else { acc = acc ^ 0xa998; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 187 (GenMiniC seed 188); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x13959f7d;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M0; }
+	if (v % 4 == 1) { return M0; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 3) * 4 + (acc & 0xffff) / 7;
+	for (unsigned int i1 = 0; i1 < 3; i1 = i1 + 1) {
+		acc = acc * 13 + i1;
+		state = state ^ (acc >> 2);
+	}
+	if (classify(acc) == M0) { acc = acc + 7; }
+	else { acc = acc ^ 0xe53b; }
+	if (classify(acc) == M1) { acc = acc + 101; }
+	else { acc = acc ^ 0xf37; }
+	state = state + (acc & 0x59);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,29 @@
+// difftest corpus unit 188 (GenMiniC seed 189); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x74910da2;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M1; }
+	if (v % 6 == 1) { return M3; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xbd);
+	if (state == 0) { state = 1; }
+	acc = (acc % 8) * 10 + (acc & 0xffff) / 6;
+	trigger();
+	acc = acc | 0x4000000;
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 15 + i3;
+		state = state ^ (acc >> 15);
+	}
+	acc = (acc % 7) * 4 + (acc & 0xffff) / 7;
+	if (classify(acc) == M0) { acc = acc + 20; }
+	else { acc = acc ^ 0x5779; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,32 @@
+// difftest corpus unit 189 (GenMiniC seed 190); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x579517eb;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M4; }
+	if (v % 4 == 1) { return M4; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 5; i0 = i0 + 1) {
+		acc = acc * 15 + i0;
+		state = state ^ (acc >> 15);
+	}
+	state = state + (acc & 0xa1);
+	if (state == 0) { state = 1; }
+	acc = (acc % 10) * 4 + (acc & 0xffff) / 3;
+	for (unsigned int i3 = 0; i3 < 5; i3 = i3 + 1) {
+		acc = acc * 14 + i3;
+		state = state ^ (acc >> 13);
+	}
+	for (unsigned int i4 = 0; i4 < 8; i4 = i4 + 1) {
+		acc = acc * 7 + i4;
+		state = state ^ (acc >> 10);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,33 @@
+// difftest corpus unit 190 (GenMiniC seed 191); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xbb9c2f14;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M3; }
+	if (v % 3 == 1) { return M0; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 7; i0 = i0 + 1) {
+		acc = acc * 3 + i0;
+		state = state ^ (acc >> 15);
+	}
+	if (classify(acc) == M0) { acc = acc + 34; }
+	else { acc = acc ^ 0xc5d1; }
+	if (classify(acc) == M0) { acc = acc + 27; }
+	else { acc = acc ^ 0xd7f3; }
+	for (unsigned int i3 = 0; i3 < 2; i3 = i3 + 1) {
+		acc = acc * 13 + i3;
+		state = state ^ (acc >> 7);
+	}
+	{ unsigned int n4 = 3;
+	while (n4 != 0) { acc = acc + n4 * 3; n4 = n4 - 1; } }
+	{ unsigned int n5 = 1;
+	while (n5 != 0) { acc = acc + n5 * 6; n5 = n5 - 1; } }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,30 @@
+// difftest corpus unit 191 (GenMiniC seed 192); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x62a4390e;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M0; }
+	if (v % 5 == 1) { return M4; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	for (unsigned int i0 = 0; i0 < 5; i0 = i0 + 1) {
+		acc = acc * 6 + i0;
+		state = state ^ (acc >> 6);
+	}
+	trigger();
+	acc = acc | 0x100;
+	if (classify(acc) == M2) { acc = acc + 6; }
+	else { acc = acc ^ 0x20d9; }
+	for (unsigned int i3 = 0; i3 < 2; i3 = i3 + 1) {
+		acc = acc * 10 + i3;
+		state = state ^ (acc >> 14);
+	}
+	acc = (acc % 7) * 8 + (acc & 0xffff) / 9;
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,26 @@
+// difftest corpus unit 192 (GenMiniC seed 193); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x52fdb37;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M2; }
+	if (v % 4 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 5;
+	while (n0 != 0) { acc = acc + n0 * 3; n0 = n0 - 1; } }
+	acc = (acc % 9) * 7 + (acc & 0xffff) / 7;
+	state = state + (acc & 0xf2);
+	if (state == 0) { state = 1; }
+	trigger();
+	acc = acc | 0x40;
+	if (classify(acc) == M2) { acc = acc + 131; }
+	else { acc = acc ^ 0x5f92; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,28 @@
+// difftest corpus unit 193 (GenMiniC seed 194); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0xa8c1e503;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M3; }
+	if (v % 5 == 1) { return M3; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	state = state + (acc & 0xdd);
+	if (state == 0) { state = 1; }
+	if (classify(acc) == M0) { acc = acc + 57; }
+	else { acc = acc ^ 0x9434; }
+	acc = (acc % 5) * 7 + (acc & 0xffff) / 6;
+	for (unsigned int i3 = 0; i3 < 6; i3 = i3 + 1) {
+		acc = acc * 15 + i3;
+		state = state ^ (acc >> 7);
+	}
+	if (classify(acc) == M2) { acc = acc + 28; }
+	else { acc = acc ^ 0xfa78; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,30 @@
+// difftest corpus unit 194 (GenMiniC seed 195); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x47f72e2c;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 4 == 1) { return M2; }
+	return M5;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 3) * 4 + (acc & 0xffff) / 4;
+	trigger();
+	acc = acc | 0x100000;
+	if (classify(acc) == M1) { acc = acc + 51; }
+	else { acc = acc ^ 0x867f; }
+	trigger();
+	acc = acc | 0x1000;
+	for (unsigned int i4 = 0; i4 < 7; i4 = i4 + 1) {
+		acc = acc * 7 + i4;
+		state = state ^ (acc >> 9);
+	}
+	if (classify(acc) == M2) { acc = acc + 198; }
+	else { acc = acc ^ 0x3b52; }
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,25 @@
+// difftest corpus unit 195 (GenMiniC seed 196); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 3;
+unsigned int seed = 0xeb838c37;
+
+unsigned int classify(unsigned int v) {
+	if (v % 4 == 0) { return M2; }
+	if (v % 6 == 1) { return M2; }
+	return M2;
+}
+void main(void) {
+	unsigned int acc = seed;
+	{ unsigned int n0 = 6;
+	while (n0 != 0) { acc = acc + n0 * 7; n0 = n0 - 1; } }
+	state = state + (acc & 0x9b);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0x2b);
+	if (state == 0) { state = 1; }
+	state = state + (acc & 0xa3);
+	if (state == 0) { state = 1; }
+	out = acc ^ state;
+	halt();
+}

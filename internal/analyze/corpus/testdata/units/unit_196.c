@@ -1,0 +1,27 @@
+// difftest corpus unit 196 (GenMiniC seed 197); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x4f033a50;
+
+unsigned int classify(unsigned int v) {
+	if (v % 2 == 0) { return M1; }
+	if (v % 6 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 41; }
+	else { acc = acc ^ 0x4f0e; }
+	trigger();
+	acc = acc | 0x800;
+	if (classify(acc) == M3) { acc = acc + 127; }
+	else { acc = acc ^ 0xfe11; }
+	{ unsigned int n3 = 1;
+	while (n3 != 0) { acc = acc + n3 * 2; n3 = n3 - 1; } }
+	{ unsigned int n4 = 1;
+	while (n4 != 0) { acc = acc + n4 * 3; n4 = n4 - 1; } }
+	out = acc ^ state;
+	halt();
+}

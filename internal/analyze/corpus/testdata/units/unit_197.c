@@ -1,0 +1,27 @@
+// difftest corpus unit 197 (GenMiniC seed 198); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2 };
+unsigned int out;
+unsigned int state = 1;
+unsigned int seed = 0x37899c98;
+
+unsigned int classify(unsigned int v) {
+	if (v % 6 == 0) { return M1; }
+	if (v % 4 == 1) { return M1; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M1) { acc = acc + 36; }
+	else { acc = acc ^ 0x2a13; }
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 3 + i1;
+		state = state ^ (acc >> 13);
+	}
+	acc = (acc % 2) * 5 + (acc & 0xffff) / 2;
+	state = state + (acc & 0x71);
+	if (state == 0) { state = 1; }
+	acc = (acc % 2) * 11 + (acc & 0xffff) / 2;
+	out = acc ^ state;
+	halt();
+}

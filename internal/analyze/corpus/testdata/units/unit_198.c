@@ -1,0 +1,25 @@
+// difftest corpus unit 198 (GenMiniC seed 199); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4 };
+unsigned int out;
+unsigned int state = 6;
+unsigned int seed = 0x9b0fa7bd;
+
+unsigned int classify(unsigned int v) {
+	if (v % 5 == 0) { return M2; }
+	if (v % 2 == 1) { return M4; }
+	return M3;
+}
+void main(void) {
+	unsigned int acc = seed;
+	acc = (acc % 9) * 5 + (acc & 0xffff) / 1;
+	if (classify(acc) == M1) { acc = acc + 37; }
+	else { acc = acc ^ 0x68c9; }
+	acc = (acc % 6) * 10 + (acc & 0xffff) / 1;
+	for (unsigned int i3 = 0; i3 < 3; i3 = i3 + 1) {
+		acc = acc * 5 + i3;
+		state = state ^ (acc >> 13);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -1,0 +1,31 @@
+// difftest corpus unit 199 (GenMiniC seed 200); regenerate with
+// glitchlint -corpus <dir> -gen <n> -gen-seed 1 — do not edit.
+enum mode { M0, M1, M2, M3, M4, M5 };
+unsigned int out;
+unsigned int state = 7;
+unsigned int seed = 0x7ea60dc7;
+
+unsigned int classify(unsigned int v) {
+	if (v % 3 == 0) { return M4; }
+	if (v % 6 == 1) { return M5; }
+	return M0;
+}
+void main(void) {
+	unsigned int acc = seed;
+	if (classify(acc) == M4) { acc = acc + 166; }
+	else { acc = acc ^ 0xcc77; }
+	for (unsigned int i1 = 0; i1 < 8; i1 = i1 + 1) {
+		acc = acc * 8 + i1;
+		state = state ^ (acc >> 12);
+	}
+	if (classify(acc) == M1) { acc = acc + 109; }
+	else { acc = acc ^ 0x6fa; }
+	state = state + (acc & 0xd4);
+	if (state == 0) { state = 1; }
+	for (unsigned int i4 = 0; i4 < 6; i4 = i4 + 1) {
+		acc = acc * 6 + i4;
+		state = state ^ (acc >> 10);
+	}
+	out = acc ^ state;
+	halt();
+}

@@ -11,7 +11,10 @@ import (
 // TestSecureBootDifferential is the analyzer/defense cross-validation: on
 // the unprotected secure-boot loader glitchlint must flag at least four
 // distinct vulnerability classes, and on the fully defended build every
-// finding must be gone — the analyzer validates the passes and vice versa.
+// finding a current pass owns must be gone — the analyzer validates the
+// passes and vice versa. GL007 (unchecked indirect flow) is the one rule
+// allowed to survive: no shipped pass claims it until the CFI passes of
+// ROADMAP item 4 land, so its findings document the residual exposure.
 func TestSecureBootDifferential(t *testing.T) {
 	opts := analyze.Options{Sensitive: core.SecureBootSensitive}
 
@@ -46,9 +49,14 @@ func TestSecureBootDifferential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Findings) != 0 {
-		t.Fatalf("fully defended secure boot still has findings: %s\nfirst: %+v",
-			res.Summary(), res.Findings[0])
+	for _, f := range res.Findings {
+		if f.Rule != "GL007" {
+			t.Fatalf("fully defended secure boot still has a pass-owned finding: %+v\n(summary: %s)",
+				f, res.Summary())
+		}
+	}
+	if res.RuleHits()["GL007"] == 0 {
+		t.Error("defended build has no GL007 findings: function epilogues should still be unchecked indirect transfers")
 	}
 }
 
@@ -66,7 +74,9 @@ func TestSecureBootAudit(t *testing.T) {
 	if len(audit.Pre.Findings) == 0 {
 		t.Error("pre-defense audit found nothing on the unprotected lowering")
 	}
-	if len(audit.Post.Findings) != 0 {
-		t.Errorf("post-defense audit: %s, want no findings", audit.Post.Summary())
+	for _, f := range audit.Post.Findings {
+		if f.Rule != "GL007" {
+			t.Errorf("post-defense audit left a pass-owned finding: %+v", f)
+		}
 	}
 }

@@ -1,0 +1,97 @@
+package analyze
+
+import (
+	"fmt"
+
+	"glitchlab/internal/isa"
+)
+
+// indirectFlow is GL007: an indirect or computed control transfer in the
+// emitted code — a BX/BLX through a register, or a POP that loads the
+// program counter from the stack — with no check of the transfer target
+// beforehand. A glitch that corrupts the register, the stacked return
+// address, or the load itself diverts control without any architectural
+// fault, and none of GlitchResistor's defenses re-validate the destination.
+// This is the shape the fault-CFI successor literature (FIPAC,
+// SCRAMBLE-CFI) protects with running control-flow signatures; the finding
+// is attributed to the future "cfi" pass (ROADMAP item 4) so that pass can
+// claim it through Unremoved once it exists.
+type indirectFlow struct{}
+
+func (indirectFlow) Meta() RuleMeta {
+	return RuleMeta{
+		ID: "GL007", Slug: "unchecked-indirect-flow",
+		Doc: "indirect control transfer (bx/blx reg, pop into pc) with " +
+			"no preceding target check",
+		Severity: Medium, NeedsImage: true, FixedBy: "cfi",
+	}
+}
+
+// checkWindow is how many emitted instructions before an indirect transfer
+// the rule scans for a comparison involving the target register. A CFI
+// epilogue validates the target immediately before transferring, so a
+// short window recognizes it without crediting unrelated compares.
+const checkWindow = 4
+
+func (r indirectFlow) Analyze(t *Target, opts *Options) []Finding {
+	prog := t.Image.Prog
+	spans := buildSpans(t.Module, prog)
+	var out []Finding
+	for i, addr := range prog.InstAddrs {
+		in, ok := prog.InstAt(addr)
+		if !ok {
+			continue
+		}
+		var detail string
+		switch {
+		case in.Op == isa.OpBX || in.Op == isa.OpBLX:
+			if targetChecked(prog, i, in.Rm) {
+				continue
+			}
+			detail = fmt.Sprintf(
+				"%s transfers control through %s with no preceding check of the target",
+				in, in.Rm)
+		case in.Op == isa.OpPOP && in.Regs&(1<<8) != 0:
+			detail = fmt.Sprintf(
+				"%s loads the program counter from the stack unverified: a corrupted return address diverts control silently",
+				in)
+		default:
+			continue
+		}
+		sp := spans.locate(addr)
+		if sp == nil {
+			continue // boot or runtime code, not the audited module
+		}
+		fd := r.Meta().finding()
+		fd.Func, fd.Block, fd.Addr = sp.fn, sp.blk, addr
+		fd.Detail = detail
+		fd.Hint = "no current pass validates indirect targets; a control-flow-integrity " +
+			"pass (running-signature CFI) is required to detect diverted transfers"
+		out = append(out, fd)
+	}
+	return out
+}
+
+// targetChecked reports whether one of the checkWindow instructions
+// preceding index i in the emitted stream compares the named register —
+// the shape a CFI-style epilogue uses to validate an indirect target
+// before transferring through it.
+func targetChecked(prog *isa.Program, i int, target isa.Reg) bool {
+	for j := i - 1; j >= 0 && j >= i-checkWindow; j-- {
+		in, ok := prog.InstAt(prog.InstAddrs[j])
+		if !ok {
+			continue
+		}
+		switch in.Op {
+		case isa.OpCMPImm:
+			if in.Rn == target {
+				return true
+			}
+		case isa.OpCMPReg, isa.OpCMPHi:
+			if in.Rn == target || in.Rm == target {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+package difftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CorpusUnitName returns the file name of corpus unit i, the layout
+// WriteCorpus emits and the corpus linter walks.
+func CorpusUnitName(i int) string { return fmt.Sprintf("unit_%03d.c", i) }
+
+// CorpusUnit renders corpus unit i for the given base seed: the seeded
+// mini-C generator's output prefixed with a provenance comment, so a
+// committed corpus documents how to regenerate itself. Deterministic in
+// (seed, i).
+func CorpusUnit(seed int64, i int) []byte {
+	src := GenMiniC(seed + int64(i))
+	header := fmt.Sprintf(
+		"// difftest corpus unit %03d (GenMiniC seed %d); regenerate with\n"+
+			"// glitchlint -corpus <dir> -gen <n> -gen-seed %d — do not edit.\n",
+		i, seed+int64(i), seed)
+	return append([]byte(header), src...)
+}
+
+// WriteCorpus emits n seeded mini-C firmware units into dir as
+// unit_000.c … unit_NNN.c, creating dir if needed. Every unit is drawn
+// from the same generator the defense-transparency fuzzing uses, so each
+// compiles under the full defense matrix. The write is deterministic in
+// (n, seed): regenerating over an existing corpus is a no-op diff.
+func WriteCorpus(dir string, n int, seed int64) error {
+	if n <= 0 {
+		return fmt.Errorf("difftest: corpus size %d, want > 0", n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		path := filepath.Join(dir, CorpusUnitName(i))
+		if err := os.WriteFile(path, CorpusUnit(seed, i), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"glitchlab/internal/analyze/corpus"
+)
+
+// Corpus renders a fleet-lint report: the corpus-level rollup, the
+// per-rule totals, and the units that failed to build or left audit
+// violations. Per-finding detail stays in the JSON report — at corpus
+// scale the table is the product.
+func Corpus(rep *corpus.Report) string {
+	var sb strings.Builder
+	t := rep.Totals
+	title := fmt.Sprintf("glitchlint corpus: %d units × %d configs = %d builds, %d findings",
+		t.Units, builds(t), t.Builds, t.Findings)
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+
+	if len(t.ByRule) > 0 {
+		fmt.Fprintf(&sb, "\n%-6s %10s\n", "Rule", "Findings")
+		rules := make([]string, 0, len(t.ByRule))
+		for id := range t.ByRule {
+			rules = append(rules, id)
+		}
+		sort.Strings(rules)
+		for _, id := range rules {
+			fmt.Fprintf(&sb, "%-6s %10d\n", id, t.ByRule[id])
+		}
+	}
+	if len(t.BySeverity) > 0 {
+		fmt.Fprintf(&sb, "\n%-8s %10s\n", "Severity", "Findings")
+		for _, sev := range []string{"high", "medium", "low", "info"} {
+			if n, ok := t.BySeverity[sev]; ok {
+				fmt.Fprintf(&sb, "%-8s %10d\n", sev, n)
+			}
+		}
+	}
+
+	var failed, owed []string
+	for _, u := range rep.Units {
+		for _, is := range u.Summary.Issues {
+			if is.Error != "" {
+				failed = append(failed, fmt.Sprintf("  %s [%s]: %s", u.Path, is.Config, is.Error))
+			}
+			if is.Unremoved > 0 {
+				owed = append(owed, fmt.Sprintf("  %s [%s]: %d findings survived their defense pass",
+					u.Path, is.Config, is.Unremoved))
+			}
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(&sb, "\nFailed builds (%d):\n%s\n", len(failed), strings.Join(failed, "\n"))
+	}
+	if len(owed) > 0 {
+		fmt.Fprintf(&sb, "\nAudit violations (%d builds):\n%s\n", len(owed), strings.Join(owed, "\n"))
+	}
+	if len(failed) == 0 && len(owed) == 0 {
+		sb.WriteString("\nAll builds compiled; every enabled defense pass removed the findings it owns.\n")
+	}
+	return sb.String()
+}
+
+// builds returns configs-per-unit for the title line, tolerating an empty
+// corpus.
+func builds(t corpus.Totals) int {
+	if t.Units == 0 {
+		return 0
+	}
+	return t.Builds / t.Units
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"glitchlab/internal/analyze/corpus"
+)
+
+// fixedCorpusReport is a hand-built fleet report exercising every renderer
+// branch: healthy units, a failed build, and an audit violation. The
+// renderer reads unit summaries and totals only, so the raw builds stay
+// empty here.
+func fixedCorpusReport() *corpus.Report {
+	rep := &corpus.Report{
+		Stamp: "deadbeefdeadbeefdeadbeefdeadbeef",
+		Units: []corpus.UnitReport{
+			{
+				Path: "unit_000.c", Hash: strings.Repeat("0a", 32),
+				Summary: corpus.UnitSummary{Builds: 2, Findings: 4},
+			},
+			{
+				Path: "unit_001.c", Hash: strings.Repeat("0b", 32),
+				Summary: corpus.UnitSummary{
+					Builds: 2, FailedBuilds: 1, Findings: 2, Unremoved: 2,
+					Issues: []corpus.BuildIssue{
+						{Config: "none", Error: "parse: unexpected token"},
+						{Config: "all", Unremoved: 2},
+					},
+				},
+			},
+		},
+	}
+	rep.Totals = corpus.Totals{
+		Units: 2, Builds: 4, FailedBuilds: 1, Findings: 6, Unremoved: 2,
+		ByRule:     map[string]int{"GL001": 2, "GL002": 1, "GL004": 1, "GL007": 2},
+		BySeverity: map[string]int{"high": 2, "medium": 4},
+	}
+	return rep
+}
+
+func TestCorpusGolden(t *testing.T) {
+	got := Corpus(fixedCorpusReport())
+	path := filepath.Join("testdata", "corpus.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus table drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run with -update to regenerate)",
+			got, want)
+	}
+}
+
+func TestCorpusAllClean(t *testing.T) {
+	rep := &corpus.Report{Totals: corpus.Totals{Units: 3, Builds: 24}}
+	out := Corpus(rep)
+	for _, want := range []string{
+		"3 units × 8 configs = 24 builds, 0 findings",
+		"every enabled defense pass removed the findings it owns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("clean corpus report missing %q:\n%s", want, out)
+		}
+	}
+}
