@@ -17,6 +17,7 @@ import (
 	"glitchlab/internal/isa"
 	"glitchlab/internal/mutate"
 	"glitchlab/internal/obs"
+	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/passes"
 	"glitchlab/internal/pipeline"
 	"glitchlab/internal/search"
@@ -93,6 +94,34 @@ func BenchmarkCampaignInstrumented(b *testing.B) {
 		if res := r.Sweep(mutate.AND, 2); res.Runs == 0 {
 			b.Fatal("empty sweep")
 		}
+	}
+}
+
+// BenchmarkCampaignProfiled is the same sweep with phase attribution
+// sampling at the default 1-in-64 rate — the configuration `-profile`
+// runs in. Compare against BenchmarkCampaignBare: the contract is <5%
+// overhead (see BENCH_profile.json); the unsampled path pays one
+// increment and one modulo per execution, and one execution in 64 pays
+// four clock reads.
+func BenchmarkCampaignProfiled(b *testing.B) {
+	skipIfShort(b)
+	r, err := campaign.NewRunner(isa.EQ, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := profile.New(0) // calibrates before the timer starts
+	sh := p.Shard()
+	r.Prof = sh
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Sweep(mutate.AND, 2); res.Runs == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.StopTimer()
+	sh.Flush()
+	if rep := p.Report(); rep.Execs == 0 {
+		b.Fatal("profiler saw no executions")
 	}
 }
 

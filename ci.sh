@@ -16,9 +16,12 @@ go vet ./...
 go build ./...
 go test -race -short ./...
 
-# Observability gates: hammer the metrics registry and tracer under the
-# race detector and smoke-test the -serve HTTP surface end to end.
-go test -race ./internal/obs/ ./internal/campaign/ ./internal/report/
+# Observability gates: hammer the metrics registry, tracer, profiler and
+# trace analytics under the race detector (this includes
+# TestServeDuringShardedCampaign, which scrapes the live /metrics
+# endpoints while a worker-sharded campaign flushes its observer shards)
+# and smoke-test the -serve HTTP surface end to end.
+go test -race ./internal/obs/... ./internal/campaign/ ./internal/report/
 go test -run TestMetricsEndpoint ./internal/obs/
 
 # Parallel-engine gates under the race detector: a sharded campaign slice
@@ -118,5 +121,36 @@ fi
 "$tmp/glitchlint" -corpus "$units" -sensitive state -fail-on none \
 	-cache "$tmp/lint.cache" -workers 4 -json >"$tmp/lint_par.json" 2>/dev/null
 cmp "$tmp/lint_cold.json" "$tmp/lint_par.json"
+
+# Benchmark-regression gate: the committed 2x-slowdown fixture must fail
+# the glitchtrace bench gate, and a fresh run replaying the fixture
+# baseline's own minimum must pass. Both are pure-data contracts,
+# independent of host speed (the committed BENCH_*.json baselines
+# self-check the same way in TestCommittedBaselinesSelfConsistent).
+go build -o "$tmp/glitchtrace" ./cmd/glitchtrace
+fixtures=internal/obs/benchdiff/testdata
+if "$tmp/glitchtrace" bench -baseline "$fixtures/baseline.json" \
+	"$fixtures/slowdown_2x.txt" >/dev/null 2>&1; then
+	echo "ci: benchdiff gate accepted the 2x slowdown fixture" >&2
+	exit 1
+fi
+printf 'BenchmarkCampaignBare 100 34200 ns/op\nBenchmarkCampaignProfiled 100 35950 ns/op\n' \
+	>"$tmp/steady.txt"
+"$tmp/glitchtrace" bench -baseline "$fixtures/baseline.json" "$tmp/steady.txt" >/dev/null
+
+# Trace-analytics end-to-end smoke: a tiny fully-sampled campaign's
+# trace must load and roll up to exactly its execution count (AND k=0..2
+# is 1918 executions including controls), and the critical-path and
+# failure views must render.
+"$tmp/glitchemu" -model and -max-flips 2 -trace "$tmp/trace.jsonl" \
+	-trace-sample 1 >/dev/null
+"$tmp/glitchtrace" rollup "$tmp/trace.jsonl" >"$tmp/rollup.txt"
+if ! grep -Eq 'event +campaign\.exec +1918$' "$tmp/rollup.txt"; then
+	echo "ci: trace rollup lost executions, want 1918:" >&2
+	cat "$tmp/rollup.txt" >&2
+	exit 1
+fi
+"$tmp/glitchtrace" critical "$tmp/trace.jsonl" >/dev/null
+"$tmp/glitchtrace" failures "$tmp/trace.jsonl" >/dev/null
 
 echo "ci: OK"

@@ -10,6 +10,7 @@
 //	glitchemu -max-flips 4         # partial sweep (cheaper)
 //	glitchemu -workers 1           # serial run (default: one worker per CPU)
 //	glitchemu -metrics             # print a metrics snapshot afterwards
+//	glitchemu -profile             # phase-attribution report (sampled)
 //	glitchemu -trace c.jsonl       # structured JSONL trace of the campaign
 //	glitchemu -serve :8080         # live /metrics and /debug/pprof
 //	glitchemu -out results.txt     # write the tables atomically to a file
@@ -32,6 +33,7 @@ import (
 	"glitchlab/internal/core"
 	"glitchlab/internal/mutate"
 	"glitchlab/internal/obs"
+	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/report"
 	"glitchlab/internal/runctl"
 )
@@ -53,6 +55,10 @@ func run() error {
 	maxFlips := flag.Int("max-flips", 16, "maximum number of flipped bits per mask")
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"worker goroutines sharding the campaign (1 = serial; results are identical)")
+	profFlag := flag.Bool("profile", false,
+		"sample phase attribution on the hot path and print the cost report")
+	profEvery := flag.Int("profile-every", profile.DefaultSample,
+		"time one execution in every N when -profile is set")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	rcli := runctl.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -100,6 +106,11 @@ func run() error {
 		variants = []variant{{m, *zeroInvalid}}
 	}
 
+	var prof *profile.Profile
+	if *profFlag {
+		prof = profile.New(*profEvery)
+	}
+
 	out := runctl.NewOutput(rcli.OutPath)
 	for _, v := range variants {
 		var o *campaign.Observer
@@ -110,9 +121,9 @@ func run() error {
 		var results []campaign.CondResult
 		var err error
 		if *padUDF {
-			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, o, rn)
+			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, o, prof, rn)
 		} else {
-			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, o, rn)
+			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, o, prof, rn)
 		}
 		if err != nil {
 			if errors.Is(err, runctl.ErrInterrupted) {
@@ -124,6 +135,9 @@ func run() error {
 	}
 	if err := out.Commit(); err != nil {
 		return err
+	}
+	if prof != nil {
+		fmt.Println(report.Profile(prof.Report()))
 	}
 	sess.DumpMetrics(os.Stdout, report.Metrics)
 	return nil

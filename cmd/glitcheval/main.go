@@ -153,7 +153,7 @@ func run() error {
 			o = campaign.NewObserver(obs.Default, sess.Tracer)
 			o.OnProgress(0, sess.Progress("figure2 "+model.String()))
 		}
-		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, o, rn)
+		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, o, nil, rn)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@
 //	glitchscan -seed 7         # a different fault-model landscape
 //	glitchscan -workers 1      # serial scans (default: one worker per CPU)
 //	glitchscan -metrics        # print a metrics snapshot afterwards
+//	glitchscan -profile        # phase-attribution report (sampled)
 //	glitchscan -trace s.jsonl  # structured JSONL trace of the scan
 //	glitchscan -serve :8080    # live /metrics and /debug/pprof
 //	glitchscan -out results.txt          # write the tables atomically
@@ -35,6 +36,7 @@ import (
 	"glitchlab/internal/core"
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/obs"
+	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/report"
 	"glitchlab/internal/runctl"
 )
@@ -53,6 +55,10 @@ func run() error {
 	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed")
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"worker goroutines sharding each grid scan (1 = serial; results are identical)")
+	profFlag := flag.Bool("profile", false,
+		"sample phase attribution on the hot path and print the cost report")
+	profEvery := flag.Int("profile-every", profile.DefaultSample,
+		"time one attempt in every N when -profile is set")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	rcli := runctl.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -80,6 +86,9 @@ func run() error {
 	if cli.Enabled() {
 		m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
 	}
+	if *profFlag {
+		m.Prof = profile.New(*profEvery)
+	}
 
 	out := runctl.NewOutput(rcli.OutPath)
 	if err := runExp(*exp, m, *workers, rn, out.Writer()); err != nil {
@@ -90,6 +99,9 @@ func run() error {
 	}
 	if err := out.Commit(); err != nil {
 		return err
+	}
+	if m.Prof != nil {
+		fmt.Println(report.Profile(m.Prof.Report()))
 	}
 	if cli.Metrics {
 		sess.DumpMetrics(os.Stdout, report.Metrics)

@@ -1,0 +1,185 @@
+// Command glitchtrace analyzes the observability artifacts the
+// experiment CLIs produce: JSONL execution traces (-trace), metrics
+// snapshots (/metrics.json) and benchmark baselines (BENCH_*.json).
+//
+// Usage:
+//
+//	glitchtrace rollup c.jsonl            # per-span/per-event aggregates
+//	glitchtrace critical c.jsonl          # longest span chain with self times
+//	glitchtrace failures c.jsonl          # failures with span/event context
+//	glitchtrace diff before.json after.json   # metrics snapshot delta
+//	glitchtrace bench -baseline BENCH_obs.json bench.txt   # regression check
+//	glitchtrace bench -baseline B.json -emit new.json bench.txt
+//
+// Every subcommand takes -json for machine-readable output instead of
+// the table rendering. Trace loading tolerates a torn final line (the
+// writer crashed mid-append), matching the run controller's manifest
+// discipline; `bench` exits non-zero when a baseline benchmark regressed
+// beyond the noise band (-noise, percent, default 25).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"glitchlab/internal/obs"
+	"glitchlab/internal/obs/benchdiff"
+	"glitchlab/internal/obs/query"
+	"glitchlab/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "glitchtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: glitchtrace <rollup|critical|failures|diff|bench> [flags] <files>")
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "rollup", "critical", "failures":
+		return runTrace(cmd, rest)
+	case "diff":
+		return runDiff(rest)
+	case "bench":
+		return runBench(rest)
+	default:
+		return usage()
+	}
+}
+
+// emit writes v as indented JSON when jsonOut is set, else the rendered
+// table.
+func emit(jsonOut bool, v any, table string) error {
+	if !jsonOut {
+		fmt.Print(table)
+		return nil
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}
+
+func runTrace(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: glitchtrace %s [-json] <trace.jsonl>", cmd)
+	}
+	tr, err := query.LoadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if tr.Torn {
+		fmt.Fprintln(os.Stderr, "glitchtrace: warning: torn final line dropped")
+	}
+	switch cmd {
+	case "rollup":
+		rows := tr.Rollup()
+		return emit(*jsonOut, rows, report.TraceRollup(rows, tr.Torn))
+	case "critical":
+		path := tr.CriticalPath()
+		return emit(*jsonOut, path, report.TraceCriticalPath(path))
+	default: // failures
+		fcs := tr.CorrelateFailures()
+		return emit(*jsonOut, fcs, report.TraceFailures(fcs))
+	}
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
+	all := fs.Bool("all", false, "show unchanged metrics too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: glitchtrace diff [-json] [-all] <before.json> <after.json>")
+	}
+	before, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	after, err := loadSnapshot(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d := obs.SnapshotDiff(before, after)
+	if !*all {
+		d = obs.Diff{Entries: d.Changed()}
+	}
+	return emit(*jsonOut, d, d.Text())
+}
+
+// loadSnapshot reads a metrics snapshot as served by /metrics.json.
+func loadSnapshot(path string) (obs.Snapshot, error) {
+	var s obs.Snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	baseline := fs.String("baseline", "", "committed BENCH_*.json baseline (required)")
+	noise := fs.Float64("noise", 25, "noise band in percent; deltas inside it are ok")
+	emitPath := fs.String("emit", "", "also write a fresh baseline file from the run")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || fs.NArg() > 1 {
+		return fmt.Errorf("usage: glitchtrace bench -baseline BENCH_x.json [-noise pct] [-emit new.json] [bench.txt]")
+	}
+	base, err := benchdiff.LoadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	in := os.Stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	fresh, err := benchdiff.ParseGoBench(in)
+	if err != nil {
+		return err
+	}
+	if *emitPath != "" {
+		out := benchdiff.Emit(base.Date, base.Goos, base.Goarch, fresh)
+		out.Description = base.Description
+		out.CPU = base.CPU
+		if err := out.WriteFile(*emitPath); err != nil {
+			return err
+		}
+	}
+	verdicts := benchdiff.Compare(base, fresh, *noise)
+	if err := emit(*jsonOut, verdicts, benchdiff.Render(verdicts)); err != nil {
+		return err
+	}
+	return benchdiff.Gate(verdicts)
+}

@@ -12,6 +12,7 @@ import (
 	"glitchlab/internal/emu"
 	"glitchlab/internal/isa"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/runctl"
 )
 
@@ -148,6 +149,13 @@ type Runner struct {
 	// Obs instruments every execution when non-nil; the nil default keeps
 	// the sweep hot path bare.
 	Obs *Observer
+
+	// Prof, when non-nil, samples phase attribution: one execution in
+	// every profile.DefaultSample (or the profile's own interval) is
+	// timed through assemble/execute/classify with the decode share
+	// split out by calibrated unit cost. The unsampled path pays one
+	// plain increment.
+	Prof *profile.Shard
 }
 
 // NewRunner assembles the snippet for cond and prepares an emulator.
@@ -230,6 +238,9 @@ func (r *Runner) RunOne(word uint16) Outcome {
 // runOne additionally returns the raising fault (nil for clean or hung
 // executions), which the observer records as the trace fault class.
 func (r *Runner) runOne(word uint16) (Outcome, *emu.Fault) {
+	if r.Prof.Sample() {
+		return r.runOneProfiled(word)
+	}
 	r.flash.Data[r.branchOff] = byte(word)
 	r.flash.Data[r.branchOff+1] = byte(word >> 8)
 	defer func() {
@@ -240,6 +251,28 @@ func (r *Runner) runOne(word uint16) (Outcome, *emu.Fault) {
 	r.cpu.Reset(stackTop, flashBase)
 	err := r.cpu.Run(r.stop, maxSteps)
 	return classify(r.cpu, err)
+}
+
+// runOneProfiled is runOne with phase timing: the mutated-image write
+// plus CPU reset is the assemble phase, the emulator run the execute
+// phase (with the decode share split out by calibrated unit cost times
+// retired instructions, capped by the measured run time), and outcome
+// classification the classify phase. Only sampled executions come here.
+func (r *Runner) runOneProfiled(word uint16) (Outcome, *emu.Fault) {
+	t := r.Prof.Start()
+	r.flash.Data[r.branchOff] = byte(word)
+	r.flash.Data[r.branchOff+1] = byte(word >> 8)
+	r.cpu.Reset(stackTop, flashBase)
+	t.Mark(profile.PhaseAssemble)
+	err := r.cpu.Run(r.stop, maxSteps)
+	execNs := t.Mark(profile.PhaseExecute)
+	out, fault := classify(r.cpu, err)
+	t.Mark(profile.PhaseClassify)
+	r.Prof.Split(profile.PhaseExecute, profile.PhaseDecode,
+		r.Prof.DecodeEst(r.cpu.Steps), execNs)
+	r.flash.Data[r.branchOff] = byte(r.original)
+	r.flash.Data[r.branchOff+1] = byte(r.original >> 8)
+	return out, fault
 }
 
 func classify(c *emu.CPU, err error) (Outcome, *emu.Fault) {
@@ -376,6 +409,13 @@ type Config struct {
 	// totals match the serial numbers exactly.
 	Obs *Observer
 
+	// Profile, when non-nil, attributes the campaign's cost to execution
+	// phases by sampling (see internal/obs/profile): every worker records
+	// into its own shard and the wall-clock bracket spans exactly this
+	// Run call, so Profile.Report's coverage check is meaningful. The
+	// same Profile may accumulate several Run calls.
+	Profile *profile.Profile
+
 	// Run, when non-nil, is the run controller: cancellation is checked
 	// between (condition, flip-count) work units, every completed unit is
 	// checkpointed (and skipped on resume), and a panicking unit is
@@ -431,6 +471,8 @@ func Run(cfg Config) ([]CondResult, error) {
 			"workers":      cfg.Workers,
 		}).End()
 	}
+	cfg.Profile.Begin()
+	defer cfg.Profile.End()
 	var results []CondResult
 	var err error
 	if cfg.Workers > 1 {
@@ -465,6 +507,8 @@ func newRunnerFor(cfg Config, cond isa.Cond) (*Runner, error) {
 func runSerial(cfg Config) ([]CondResult, error) {
 	rn := cfg.Run
 	conds := isa.BranchConds()
+	psh := cfg.Profile.Shard()
+	defer psh.Flush()
 	results := make([]CondResult, 0, len(conds))
 	for _, cond := range conds {
 		res := CondResult{Cond: cond, Model: cfg.Model}
@@ -486,6 +530,7 @@ func runSerial(cfg Config) ([]CondResult, error) {
 					return nil, err
 				}
 				r.Obs = cfg.Obs
+				r.Prof = psh
 				if cfg.Obs != nil {
 					cfg.Obs.attach(r.cpu)
 				}

@@ -71,6 +71,8 @@ func runParallel(cfg Config) ([]CondResult, error) {
 			defer wg.Done()
 			shard := cfg.Obs.Shard()
 			defer shard.flush()
+			psh := cfg.Profile.Shard()
+			defer psh.Flush()
 			// One runner per (condition, variant) per worker; rebuilding
 			// it for every flip-count unit of the same condition would
 			// only redo the assembly.
@@ -90,6 +92,7 @@ func runParallel(cfg Config) ([]CondResult, error) {
 						return
 					}
 					r.Obs = shard
+					r.Prof = psh
 					if shard != nil {
 						shard.attach(r.cpu)
 					}

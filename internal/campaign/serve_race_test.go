@@ -1,0 +1,79 @@
+package campaign
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs"
+)
+
+// TestServeDuringShardedCampaign scrapes the live /metrics and
+// /metrics.json endpoints continuously while a worker-sharded campaign
+// flushes its observer shards into the same registry. Run under -race
+// (ci.sh does) this pins the concurrency contract between obs.Serve's
+// snapshot reads and the campaign's atomic shard merges; without -race
+// it still checks that mid-run scrapes parse and the final counters add
+// up.
+func TestServeDuringShardedCampaign(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, addr, err := obs.Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(path string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get("http://" + addr + path)
+			if err != nil {
+				continue // server teardown races the last scrape
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode != http.StatusOK {
+				t.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go scrape("/metrics")
+	go scrape("/metrics.json")
+
+	o := NewObserver(reg, nil)
+	results, err := Run(Config{Model: mutate.AND, MaxFlips: 2, Workers: 4, Obs: o})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("empty campaign")
+	}
+
+	// The final snapshot must account every execution exactly once.
+	var runs uint64
+	var want uint64
+	for _, res := range results {
+		want += res.Runs // controls included
+	}
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == MetricRuns {
+			runs = c.Value
+		}
+	}
+	if runs != want {
+		t.Errorf("%s = %d after concurrent scraping, want %d", MetricRuns, runs, want)
+	}
+}

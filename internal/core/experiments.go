@@ -6,6 +6,7 @@ import (
 	"glitchlab/internal/campaign"
 	"glitchlab/internal/glitcher"
 	"glitchlab/internal/mutate"
+	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/runctl"
 	"glitchlab/internal/search"
 )
@@ -15,18 +16,21 @@ import (
 const DefaultSeed = 1
 
 // RunFigure2 executes one Figure 2 emulation campaign variant. o, when
-// non-nil, instruments every execution (pass nil for a bare run). workers
-// shards the campaign across goroutines; <= 1 runs serially, and the
-// results are identical either way. rn, when non-nil, threads the run
-// controller through the campaign: cancellation between work units,
-// per-unit checkpointing with resume, and panic quarantine.
-func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *campaign.Observer, rn *runctl.Run) ([]campaign.CondResult, error) {
+// non-nil, instruments every execution (pass nil for a bare run). prof,
+// when non-nil, samples phase attribution for the campaign's hot path
+// (several variants may share one profile; their wall-clock brackets
+// sum). workers shards the campaign across goroutines; <= 1 runs
+// serially, and the results are identical either way. rn, when non-nil,
+// threads the run controller through the campaign: cancellation between
+// work units, per-unit checkpointing with resume, and panic quarantine.
+func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *campaign.Observer, prof *profile.Profile, rn *runctl.Run) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:       model,
 		ZeroInvalid: zeroInvalid,
 		MaxFlips:    maxFlips,
 		Workers:     workers,
 		Obs:         o,
+		Profile:     prof,
 		Run:         rn,
 	})
 }
@@ -36,13 +40,14 @@ func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *
 // with permanently-undefined instructions, testing the paper's hypothesis
 // that "adding invalid instructions in between valid instructions would
 // likely thwart many glitching attempts".
-func RunUDFHardening(model mutate.Model, maxFlips, workers int, o *campaign.Observer, rn *runctl.Run) ([]campaign.CondResult, error) {
+func RunUDFHardening(model mutate.Model, maxFlips, workers int, o *campaign.Observer, prof *profile.Profile, rn *runctl.Run) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:    model,
 		PadUDF:   true,
 		MaxFlips: maxFlips,
 		Workers:  workers,
 		Obs:      o,
+		Profile:  prof,
 		Run:      rn,
 	})
 }

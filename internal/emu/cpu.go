@@ -3,6 +3,7 @@ package emu
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"glitchlab/internal/isa"
 )
@@ -88,6 +89,14 @@ type CPU struct {
 	Cycles uint64
 	// Steps counts retired instructions.
 	Steps uint64
+
+	// DecodeNs, when non-nil, accumulates the measured wall time of
+	// instruction decode, one clock-read pair per step. A single decode
+	// runs well below the clock-read cost, so leave this nil on the hot
+	// path: the phase profiler (internal/obs/profile) attributes decode
+	// from a calibrated unit cost instead and uses this hook only to
+	// validate that calibration on sampled executions.
+	DecodeNs *int64
 }
 
 // New returns a CPU attached to the given memory.
@@ -154,7 +163,14 @@ func (c *CPU) step() (int, error) {
 	if c.ZeroIsInvalid && hw == 0 {
 		return 0, &Fault{Kind: FaultInvalidInst, Addr: pc, PC: pc}
 	}
-	in := isa.Decode(hw, hw2)
+	var in isa.Inst
+	if c.DecodeNs == nil {
+		in = isa.Decode(hw, hw2)
+	} else {
+		t0 := time.Now()
+		in = isa.Decode(hw, hw2)
+		*c.DecodeNs += time.Since(t0).Nanoseconds()
+	}
 	if in.Op == isa.OpInvalid {
 		return 0, &Fault{Kind: FaultInvalidInst, Addr: pc, PC: pc}
 	}

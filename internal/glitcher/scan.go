@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"glitchlab/internal/firmware"
+	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/pipeline"
 	"glitchlab/internal/runctl"
 )
@@ -27,6 +28,11 @@ type Target struct {
 	Guard   Guard
 	Board   *firmware.Board
 	Machine *pipeline.Machine
+
+	// Prof, when non-nil, samples phase attribution for attempts on this
+	// target (one timed attempt in every sampling interval; the rest pay
+	// one increment). Scan workers each set their own shard.
+	Prof *profile.Shard
 }
 
 // NewTarget assembles and loads src (one of the guard source builders) and
@@ -46,9 +52,41 @@ func NewTarget(g Guard, src string) (*Target, error) {
 
 // Attempt resets the board and runs one glitch attempt.
 func (t *Target) Attempt(inj pipeline.Injector) pipeline.Result {
+	if t.Prof.Sample() {
+		return t.attemptProfiled(inj)
+	}
 	t.Board.Reset()
 	t.Machine.Glitch = inj
 	return t.Machine.Run(attemptBudget)
+}
+
+// attemptProfiled is Attempt with phase timing: board reset is the
+// assemble phase and the machine run the execute phase, out of which the
+// pipeline's glitch-window mapping (measured via pipeline.ReplayProf,
+// corrected for its own clock-read overhead) and the calibrated decode
+// share are split. Scan outcome bookkeeping happens in the scan drivers
+// and is not attributed — it is a few map updates per success.
+func (t *Target) attemptProfiled(inj pipeline.Injector) pipeline.Result {
+	tm := t.Prof.Start()
+	t.Board.Reset()
+	t.Machine.Glitch = inj
+	tm.Mark(profile.PhaseAssemble)
+	var rp pipeline.ReplayProf
+	t.Machine.Replay = &rp
+	r := t.Machine.Run(attemptBudget)
+	t.Machine.Replay = nil
+	execNs := tm.Mark(profile.PhaseExecute)
+	// The per-slot replay measurement itself costs a time.Now/Since pair
+	// per timed slot, all of it inside the execute mark just taken;
+	// remove that instrumentation overhead before splitting the real
+	// work out.
+	execNs -= t.Prof.Discount(profile.PhaseExecute,
+		int64(rp.Ops)*t.Prof.PairOverheadNs(), execNs)
+	replayNs := rp.Ns - int64(rp.Ops)*t.Prof.ClockOverheadNs()
+	moved := t.Prof.Split(profile.PhaseExecute, profile.PhaseReplay, replayNs, execNs)
+	t.Prof.Split(profile.PhaseExecute, profile.PhaseDecode,
+		t.Prof.DecodeEst(r.Steps), execNs-moved)
+	return r
 }
 
 // CleanRun verifies the firmware loops forever when not glitched.
@@ -278,6 +316,9 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 	scan func(t *Target, lo, hi int, sink scanObs) []T,
 	mergeCell func(dst *T, part T)) ([]T, error) {
 
+	m.Prof.Begin()
+	defer m.Prof.End()
+
 	const rows = 2*ParamRange + 1
 	rowKey := func(ri int) string {
 		return fmt.Sprintf("%s guard=%s width=%d", exp, g, ri-ParamRange)
@@ -329,6 +370,8 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 	}
 
 	if workers <= 1 {
+		psh := m.Prof.Shard()
+		defer psh.Flush()
 		var t *Target
 		for _, ri := range pending {
 			if err := rn.Err(); err != nil {
@@ -340,6 +383,7 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 					return nil, err
 				}
 				m.Obs.AttachTarget(t)
+				t.Prof = psh
 			}
 			if err := scanRow(t, ri, m.Obs); err != nil {
 				var pe *runctl.PanicError
@@ -373,6 +417,9 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 			m.Obs.AttachTarget(t)
 			shard := m.Obs.Shard()
 			defer shard.Flush()
+			psh := m.Prof.Shard()
+			defer psh.Flush()
+			t.Prof = psh
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(pending) || firstErr.Load() != nil || rn.Err() != nil {
@@ -387,6 +434,7 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 							return
 						}
 						m.Obs.AttachTarget(t)
+						t.Prof = psh
 						continue
 					}
 					firstErr.CompareAndSwap(nil, &err)

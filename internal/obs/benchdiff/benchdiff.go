@@ -1,0 +1,274 @@
+// Package benchdiff compares committed benchmark baselines (the repo's
+// BENCH_*.json files) against fresh `go test -bench` output under one
+// explicit measurement model:
+//
+//   - min-of-samples: the recorded estimate for a benchmark is the
+//     minimum ns/op across its samples, not the mean or median. The
+//     reference hosts are shared-vCPU VMs whose load spikes only ever
+//     inflate a sample, so the minimum is the least-contended run —
+//     the closest observable to the true cost.
+//   - explicit noise band: two min-of-samples estimates of the same code
+//     on the same host still differ run to run; a comparison only
+//     becomes a verdict when the delta leaves the band. Deltas inside
+//     the band are "ok" regardless of sign.
+//
+// The package parses both the committed JSON schema and raw `go test
+// -bench` text, so the CI gate can compare a fresh run against a
+// baseline without intermediate tooling, and -emit can regenerate a
+// baseline file from the same run.
+package benchdiff
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is the BENCH_*.json schema written by Emit. Version 1
+// added the schema field itself; files without it predate versioning.
+const SchemaVersion = 1
+
+// Entry is one benchmark's recorded samples.
+type Entry struct {
+	// Samples are the per-run ns/op values, in run order.
+	Samples []float64 `json:"ns_per_op_samples"`
+	// Min is the min-of-samples estimate. Older files recorded a median
+	// instead; Estimate prefers recomputing from Samples so both read
+	// consistently.
+	Min    float64 `json:"ns_per_op_min,omitempty"`
+	Median float64 `json:"ns_per_op_median,omitempty"`
+}
+
+// Estimate returns the entry's min-of-samples estimate, falling back to
+// the recorded min (then median) when the samples are absent.
+func (e Entry) Estimate() float64 {
+	if len(e.Samples) > 0 {
+		m := e.Samples[0]
+		for _, s := range e.Samples[1:] {
+			if s < m {
+				m = s
+			}
+		}
+		return m
+	}
+	if e.Min > 0 {
+		return e.Min
+	}
+	return e.Median
+}
+
+// File is one committed baseline (BENCH_*.json). Fields beyond the
+// benchmarks themselves are documentation carried with the numbers.
+type File struct {
+	Schema      int              `json:"schema,omitempty"`
+	Description string           `json:"description"`
+	Date        string           `json:"date"`
+	Goos        string           `json:"goos"`
+	Goarch      string           `json:"goarch"`
+	CPU         string           `json:"cpu"`
+	Benchmarks  map[string]Entry `json:"benchmarks"`
+	Notes       string           `json:"notes,omitempty"`
+}
+
+// LoadFile reads a committed baseline.
+func LoadFile(path string) (*File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// ParseGoBench extracts ns/op samples per benchmark from `go test
+// -bench` output. The trailing -N GOMAXPROCS suffix is stripped, so
+// "BenchmarkCampaignBare-2" records as "BenchmarkCampaignBare"; repeated
+// lines (from -count) accumulate as samples in run order.
+func ParseGoBench(r io.Reader) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: Name-P  N  ns/op-value "ns/op" [more...]
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 2 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = append(out[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return out, nil
+}
+
+// Status is one comparison's verdict.
+type Status string
+
+// Verdict statuses.
+const (
+	StatusOK          Status = "ok"          // delta within the noise band
+	StatusRegression  Status = "regression"  // slower beyond the band
+	StatusImprovement Status = "improvement" // faster beyond the band
+	StatusMissingNew  Status = "missing-new" // in the baseline, not in the fresh run
+)
+
+// Verdict is one benchmark's baseline-versus-fresh comparison.
+type Verdict struct {
+	Name       string  `json:"name"`
+	BaselineNs float64 `json:"baseline_ns"`
+	FreshNs    float64 `json:"fresh_ns,omitempty"`
+	DeltaPct   float64 `json:"delta_pct"`
+	NoisePct   float64 `json:"noise_pct"`
+	Status     Status  `json:"status"`
+}
+
+// Compare evaluates every baseline benchmark against the fresh samples
+// under min-of-samples with the given noise band (in percent). Fresh
+// benchmarks absent from the baseline are ignored — a baseline states
+// what is protected, not what exists. Verdicts are sorted by name.
+func Compare(baseline *File, fresh map[string][]float64, noisePct float64) []Verdict {
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Verdict, 0, len(names))
+	for _, name := range names {
+		v := Verdict{
+			Name:       name,
+			BaselineNs: baseline.Benchmarks[name].Estimate(),
+			NoisePct:   noisePct,
+		}
+		samples, ok := fresh[name]
+		if !ok || len(samples) == 0 {
+			v.Status = StatusMissingNew
+			out = append(out, v)
+			continue
+		}
+		v.FreshNs = Entry{Samples: samples}.Estimate()
+		if v.BaselineNs > 0 {
+			v.DeltaPct = 100 * (v.FreshNs - v.BaselineNs) / v.BaselineNs
+		}
+		switch {
+		case v.DeltaPct > noisePct:
+			v.Status = StatusRegression
+		case v.DeltaPct < -noisePct:
+			v.Status = StatusImprovement
+		default:
+			v.Status = StatusOK
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Gate returns an error naming every regression (and every baseline
+// benchmark the fresh run did not produce), or nil when the comparison
+// passes. Improvements pass: the gate protects against getting slower.
+func Gate(verdicts []Verdict) error {
+	var bad []string
+	for _, v := range verdicts {
+		switch v.Status {
+		case StatusRegression:
+			bad = append(bad, fmt.Sprintf("%s: %.0fns -> %.0fns (%+.1f%%, band ±%.0f%%)",
+				v.Name, v.BaselineNs, v.FreshNs, v.DeltaPct, v.NoisePct))
+		case StatusMissingNew:
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not in fresh run", v.Name))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// Render writes the verdicts as a readable table.
+func Render(verdicts []Verdict) string {
+	var sb strings.Builder
+	title := "Benchmark comparison (min-of-samples)"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(verdicts) == 0 {
+		sb.WriteString("nothing to compare\n")
+		return sb.String()
+	}
+	width := len("benchmark")
+	for _, v := range verdicts {
+		width = max(width, len(v.Name))
+	}
+	fmt.Fprintf(&sb, "  %-*s %14s %14s %9s  %s\n",
+		width, "benchmark", "baseline", "fresh", "delta", "verdict")
+	for _, v := range verdicts {
+		if v.Status == StatusMissingNew {
+			fmt.Fprintf(&sb, "  %-*s %14.0f %14s %9s  %s\n",
+				width, v.Name, v.BaselineNs, "-", "-", v.Status)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-*s %14.0f %14.0f %+8.1f%%  %s\n",
+			width, v.Name, v.BaselineNs, v.FreshNs, v.DeltaPct, v.Status)
+	}
+	fmt.Fprintf(&sb, "noise band ±%.0f%%: deltas inside the band are ok by construction\n",
+		verdicts[0].NoisePct)
+	return sb.String()
+}
+
+// Emit builds a baseline file from fresh samples under the current
+// schema, recording both the raw samples and the min-of-samples
+// estimate. Callers fill Description/CPU/Notes before writing.
+func Emit(date, goos, goarch string, fresh map[string][]float64) *File {
+	f := &File{
+		Schema:     SchemaVersion,
+		Date:       date,
+		Goos:       goos,
+		Goarch:     goarch,
+		Benchmarks: map[string]Entry{},
+	}
+	for name, samples := range fresh {
+		e := Entry{Samples: samples}
+		e.Min = e.Estimate()
+		f.Benchmarks[name] = e
+	}
+	return f
+}
+
+// WriteFile writes the baseline as indented JSON.
+func (f *File) WriteFile(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

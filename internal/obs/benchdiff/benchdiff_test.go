@@ -1,0 +1,232 @@
+package benchdiff
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEstimateMinOfSamples(t *testing.T) {
+	e := Entry{Samples: []float64{74128, 62802, 64291, 60129, 41841}}
+	if got := e.Estimate(); got != 41841 {
+		t.Errorf("estimate = %v, want min 41841", got)
+	}
+	if got := (Entry{Min: 100}).Estimate(); got != 100 {
+		t.Errorf("min fallback = %v", got)
+	}
+	if got := (Entry{Median: 200}).Estimate(); got != 200 {
+		t.Errorf("median fallback = %v", got)
+	}
+}
+
+const goBenchOutput = `goos: linux
+goarch: amd64
+pkg: glitchlab
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCampaignBare-2     	    9432	     36115 ns/op
+BenchmarkCampaignBare-2     	    9800	     34200 ns/op
+BenchmarkCampaignProfiled-2 	   10000	     36781 ns/op
+BenchmarkCampaignParallel/workers=2-2   	       3	  47918764 ns/op
+BenchmarkTable4BootOverhead-2	       5	 226000000 ns/op	   1130000 bootcycles
+PASS
+ok  	glitchlab	1.030s
+`
+
+func TestParseGoBench(t *testing.T) {
+	got, err := ParseGoBench(strings.NewReader(goBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := got["BenchmarkCampaignBare"]; len(s) != 2 || s[0] != 36115 || s[1] != 34200 {
+		t.Errorf("bare samples = %v", s)
+	}
+	if s := got["BenchmarkCampaignProfiled"]; len(s) != 1 || s[0] != 36781 {
+		t.Errorf("profiled samples = %v", s)
+	}
+	// Sub-benchmark names keep their slash path, lose only the -P suffix.
+	if s := got["BenchmarkCampaignParallel/workers=2"]; len(s) != 1 || s[0] != 47918764 {
+		t.Errorf("parallel samples = %v", s)
+	}
+	// Extra metrics after ns/op don't confuse the parser.
+	if s := got["BenchmarkTable4BootOverhead"]; len(s) != 1 || s[0] != 226000000 {
+		t.Errorf("boot samples = %v", s)
+	}
+}
+
+func TestParseGoBenchEmpty(t *testing.T) {
+	if _, err := ParseGoBench(strings.NewReader("PASS\nok\n")); err == nil {
+		t.Fatal("no benchmark lines must be an error")
+	}
+}
+
+func baselineFile() *File {
+	return &File{
+		Schema: SchemaVersion,
+		Benchmarks: map[string]Entry{
+			"BenchmarkA": {Samples: []float64{1000, 1100, 950}},
+			"BenchmarkB": {Samples: []float64{2000, 2200}},
+		},
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	fresh := map[string][]float64{
+		"BenchmarkA": {1900, 2100}, // 2x slower than 950: regression
+		"BenchmarkB": {1000, 1050}, // 2x faster than 2000: improvement
+		"BenchmarkC": {1, 2},       // not in baseline: ignored
+	}
+	vs := Compare(baselineFile(), fresh, 25)
+	if len(vs) != 2 {
+		t.Fatalf("got %d verdicts, want 2 (baseline-driven): %+v", len(vs), vs)
+	}
+	if vs[0].Name != "BenchmarkA" || vs[0].Status != StatusRegression {
+		t.Errorf("A = %+v, want regression", vs[0])
+	}
+	if vs[0].FreshNs != 1900 {
+		t.Errorf("A fresh = %v, want min-of-samples 1900", vs[0].FreshNs)
+	}
+	if vs[1].Name != "BenchmarkB" || vs[1].Status != StatusImprovement {
+		t.Errorf("B = %+v, want improvement", vs[1])
+	}
+	if err := Gate(vs); err == nil {
+		t.Error("gate must fail on a regression")
+	}
+}
+
+func TestCompareWithinBand(t *testing.T) {
+	fresh := map[string][]float64{
+		"BenchmarkA": {1100}, // +15.8% vs 950: inside a 25% band
+		"BenchmarkB": {1700}, // -15% vs 2000: inside
+	}
+	vs := Compare(baselineFile(), fresh, 25)
+	for _, v := range vs {
+		if v.Status != StatusOK {
+			t.Errorf("%s = %s (%+.1f%%), want ok inside the band", v.Name, v.Status, v.DeltaPct)
+		}
+	}
+	if err := Gate(vs); err != nil {
+		t.Errorf("gate failed inside the band: %v", err)
+	}
+}
+
+func TestCompareMissingFresh(t *testing.T) {
+	vs := Compare(baselineFile(), map[string][]float64{"BenchmarkA": {950}}, 25)
+	var missing *Verdict
+	for i := range vs {
+		if vs[i].Name == "BenchmarkB" {
+			missing = &vs[i]
+		}
+	}
+	if missing == nil || missing.Status != StatusMissingNew {
+		t.Fatalf("B verdict = %+v, want missing-new", missing)
+	}
+	if err := Gate(vs); err == nil {
+		t.Error("gate must fail when a protected benchmark vanishes")
+	}
+}
+
+// TestFixtureSlowdownFailsGate is the committed-fixture contract the
+// ci.sh gate relies on: a synthetic 2x slowdown must always fail, and a
+// baseline compared against its own samples must always pass, both
+// independent of host speed.
+func TestFixtureSlowdownFailsGate(t *testing.T) {
+	base, err := LoadFile(filepath.Join("testdata", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := os.Open(filepath.Join("testdata", "slowdown_2x.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fresh, err := ParseGoBench(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Gate(Compare(base, fresh, 25)); err == nil {
+		t.Error("2x slowdown fixture passed the gate")
+	}
+
+	// Self-comparison: replay the baseline's own samples as the fresh run.
+	self := map[string][]float64{}
+	for name, e := range base.Benchmarks {
+		self[name] = e.Samples
+	}
+	if err := Gate(Compare(base, self, 25)); err != nil {
+		t.Errorf("baseline self-comparison failed the gate: %v", err)
+	}
+}
+
+// TestCommittedBaselinesSelfConsistent loads every BENCH_*.json at the
+// repo root and replays each file's own samples as the fresh run: the
+// gate must pass. This is the "committed baselines pass" half of the
+// ci.sh contract and also pins that every committed file carries the
+// schema marker and parses under the current loader.
+func TestCommittedBaselinesSelfConsistent(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json files found at the repo root")
+	}
+	for _, path := range files {
+		base, err := LoadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if base.Schema != SchemaVersion {
+			t.Errorf("%s: schema = %d, want %d (min-of-samples model)",
+				path, base.Schema, SchemaVersion)
+		}
+		self := map[string][]float64{}
+		for name, e := range base.Benchmarks {
+			if len(e.Samples) == 0 {
+				t.Errorf("%s: %s has no samples", path, name)
+			}
+			self[name] = e.Samples
+		}
+		if err := Gate(Compare(base, self, 25)); err != nil {
+			t.Errorf("%s: self-comparison failed the gate: %v", path, err)
+		}
+	}
+}
+
+func TestEmitRoundTrip(t *testing.T) {
+	f := Emit("2026-08-07", "linux", "amd64", map[string][]float64{
+		"BenchmarkX": {300, 200, 250},
+	})
+	if f.Schema != SchemaVersion {
+		t.Errorf("schema = %d", f.Schema)
+	}
+	if f.Benchmarks["BenchmarkX"].Min != 200 {
+		t.Errorf("emitted min = %v, want 200", f.Benchmarks["BenchmarkX"].Min)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks["BenchmarkX"].Estimate() != 200 {
+		t.Errorf("round-trip estimate = %v", back.Benchmarks["BenchmarkX"].Estimate())
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	fresh := map[string][]float64{"BenchmarkA": {1900}, "BenchmarkB": {1000}}
+	a := Render(Compare(baselineFile(), fresh, 25))
+	b := Render(Compare(baselineFile(), fresh, 25))
+	if a != b {
+		t.Error("render not deterministic")
+	}
+	for _, want := range []string{"BenchmarkA", "regression", "improvement", "±25%"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("render missing %q:\n%s", want, a)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DiffEntry is one metric's change between two snapshots. For counters
+// and gauges Before/After/Delta carry the metric value; for histograms
+// they carry the observation count and SumDelta carries the change in the
+// observation sum. Missing marks a metric present in only one snapshot
+// ("before" or "after"); the absent side reads as zero.
+type DiffEntry struct {
+	Kind     string  `json:"kind"` // "counter", "gauge" or "histogram"
+	Name     string  `json:"name"`
+	Before   float64 `json:"before"`
+	After    float64 `json:"after"`
+	Delta    float64 `json:"delta"`
+	SumDelta float64 `json:"sum_delta,omitempty"`
+	Missing  string  `json:"missing,omitempty"`
+}
+
+// Diff is the metric-by-metric comparison of two snapshots, ordered like
+// Snapshot itself (counters, gauges, histograms; each sorted by name) so
+// renderings are deterministic. This type and SnapshotDiff are a stable
+// interface: the glitchtrace CLI renders it today and the planned glitchd
+// daemon will ship it between processes.
+type Diff struct {
+	Entries []DiffEntry `json:"entries"`
+}
+
+// Changed reports the entries whose Delta or SumDelta is non-zero or that
+// exist in only one snapshot.
+func (d Diff) Changed() []DiffEntry {
+	var out []DiffEntry
+	for _, e := range d.Entries {
+		if e.Delta != 0 || e.SumDelta != 0 || e.Missing != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Text renders the diff one metric per line:
+//
+//	counter campaign.runs_total 1918 -> 3836 (+1918)
+//	histogram campaign.exec_cycles count 137 -> 274 (+137) sum +12345
+//
+// Metrics present in only one snapshot are suffixed with
+// "[only in before]" or "[only in after]".
+func (d Diff) Text() string {
+	var sb strings.Builder
+	for _, e := range d.Entries {
+		fmt.Fprintf(&sb, "%s %s ", e.Kind, e.Name)
+		if e.Kind == "histogram" {
+			fmt.Fprintf(&sb, "count ")
+		}
+		fmt.Fprintf(&sb, "%s -> %s (%s)", fmtFloat(e.Before), fmtFloat(e.After), fmtSigned(e.Delta))
+		if e.Kind == "histogram" {
+			fmt.Fprintf(&sb, " sum %s", fmtSigned(e.SumDelta))
+		}
+		if e.Missing != "" {
+			fmt.Fprintf(&sb, " [only in %s]", missingSide(e.Missing))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func missingSide(m string) string {
+	if m == "before" {
+		return "after"
+	}
+	return "before"
+}
+
+func fmtSigned(v float64) string {
+	if v >= 0 {
+		return "+" + fmtFloat(v)
+	}
+	return fmtFloat(v)
+}
+
+// JSON renders the diff as indented JSON.
+func (d Diff) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// SnapshotDiff compares two snapshots metric by metric. Metrics are
+// matched by name within their kind; a metric present in only one
+// snapshot appears with the absent side read as zero and Missing set.
+func SnapshotDiff(before, after Snapshot) Diff {
+	var d Diff
+
+	bc := make(map[string]uint64, len(before.Counters))
+	for _, c := range before.Counters {
+		bc[c.Name] = c.Value
+	}
+	seen := make(map[string]bool, len(after.Counters))
+	for _, c := range after.Counters {
+		seen[c.Name] = true
+		e := DiffEntry{Kind: "counter", Name: c.Name, After: float64(c.Value)}
+		if v, ok := bc[c.Name]; ok {
+			e.Before = float64(v)
+		} else {
+			e.Missing = "before"
+		}
+		e.Delta = e.After - e.Before
+		d.Entries = append(d.Entries, e)
+	}
+	for _, c := range before.Counters {
+		if !seen[c.Name] {
+			d.Entries = append(d.Entries, DiffEntry{
+				Kind: "counter", Name: c.Name,
+				Before: float64(c.Value), Delta: -float64(c.Value),
+				Missing: "after",
+			})
+		}
+	}
+	sortTail(&d, "counter")
+
+	bg := make(map[string]float64, len(before.Gauges))
+	for _, g := range before.Gauges {
+		bg[g.Name] = g.Value
+	}
+	seen = make(map[string]bool, len(after.Gauges))
+	for _, g := range after.Gauges {
+		seen[g.Name] = true
+		e := DiffEntry{Kind: "gauge", Name: g.Name, After: g.Value}
+		if v, ok := bg[g.Name]; ok {
+			e.Before = v
+		} else {
+			e.Missing = "before"
+		}
+		e.Delta = e.After - e.Before
+		d.Entries = append(d.Entries, e)
+	}
+	for _, g := range before.Gauges {
+		if !seen[g.Name] {
+			d.Entries = append(d.Entries, DiffEntry{
+				Kind: "gauge", Name: g.Name,
+				Before: g.Value, Delta: -g.Value,
+				Missing: "after",
+			})
+		}
+	}
+	sortTail(&d, "gauge")
+
+	bh := make(map[string]HistogramValue, len(before.Histograms))
+	for _, h := range before.Histograms {
+		bh[h.Name] = h
+	}
+	seen = make(map[string]bool, len(after.Histograms))
+	for _, h := range after.Histograms {
+		seen[h.Name] = true
+		e := DiffEntry{Kind: "histogram", Name: h.Name, After: float64(h.Count)}
+		if v, ok := bh[h.Name]; ok {
+			e.Before = float64(v.Count)
+			e.SumDelta = h.Sum - v.Sum
+		} else {
+			e.Missing = "before"
+			e.SumDelta = h.Sum
+		}
+		e.Delta = e.After - e.Before
+		d.Entries = append(d.Entries, e)
+	}
+	for _, h := range before.Histograms {
+		if !seen[h.Name] {
+			d.Entries = append(d.Entries, DiffEntry{
+				Kind: "histogram", Name: h.Name,
+				Before: float64(h.Count), Delta: -float64(h.Count),
+				SumDelta: -h.Sum, Missing: "after",
+			})
+		}
+	}
+	sortTail(&d, "histogram")
+
+	return d
+}
+
+// sortTail sorts the run of entries of one kind at the end of d by name.
+// Kinds are appended in snapshot order (counters, gauges, histograms), so
+// sorting each tail as it completes yields the full deterministic order.
+func sortTail(d *Diff, kind string) {
+	i := len(d.Entries)
+	for i > 0 && d.Entries[i-1].Kind == kind {
+		i--
+	}
+	tail := d.Entries[i:]
+	sort.SliceStable(tail, func(a, b int) bool { return tail[a].Name < tail[b].Name })
+}

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotDiff(t *testing.T) {
+	before := Snapshot{
+		Counters: []CounterValue{
+			{Name: "campaign.runs_total", Value: 100},
+			{Name: "campaign.retired", Value: 5},
+		},
+		Gauges: []GaugeValue{{Name: "campaign.workers", Value: 1}},
+		Histograms: []HistogramValue{
+			{Name: "campaign.exec_cycles", Count: 100, Sum: 5000},
+		},
+	}
+	after := Snapshot{
+		Counters: []CounterValue{
+			{Name: "campaign.runs_total", Value: 300},
+			{Name: "campaign.faults", Value: 7},
+		},
+		Gauges: []GaugeValue{{Name: "campaign.workers", Value: 4}},
+		Histograms: []HistogramValue{
+			{Name: "campaign.exec_cycles", Count: 300, Sum: 20000},
+		},
+	}
+
+	d := SnapshotDiff(before, after)
+
+	byName := map[string]DiffEntry{}
+	for _, e := range d.Entries {
+		byName[e.Kind+"/"+e.Name] = e
+	}
+
+	runs := byName["counter/campaign.runs_total"]
+	if runs.Delta != 200 || runs.Missing != "" {
+		t.Errorf("runs_total = %+v, want delta 200", runs)
+	}
+	if e := byName["counter/campaign.retired"]; e.Missing != "after" || e.Delta != -5 {
+		t.Errorf("retired (removed) = %+v", e)
+	}
+	if e := byName["counter/campaign.faults"]; e.Missing != "before" || e.Delta != 7 {
+		t.Errorf("faults (added) = %+v", e)
+	}
+	if e := byName["gauge/campaign.workers"]; e.Delta != 3 {
+		t.Errorf("workers = %+v, want delta 3", e)
+	}
+	h := byName["histogram/campaign.exec_cycles"]
+	if h.Delta != 200 || h.SumDelta != 15000 {
+		t.Errorf("exec_cycles = %+v, want count delta 200 sum delta 15000", h)
+	}
+
+	// Deterministic ordering: counters, gauges, histograms, names sorted
+	// within each kind.
+	wantOrder := []string{
+		"counter/campaign.faults",
+		"counter/campaign.retired",
+		"counter/campaign.runs_total",
+		"gauge/campaign.workers",
+		"histogram/campaign.exec_cycles",
+	}
+	if len(d.Entries) != len(wantOrder) {
+		t.Fatalf("got %d entries, want %d: %+v", len(d.Entries), len(wantOrder), d.Entries)
+	}
+	for i, e := range d.Entries {
+		if got := e.Kind + "/" + e.Name; got != wantOrder[i] {
+			t.Errorf("entry[%d] = %s, want %s", i, got, wantOrder[i])
+		}
+	}
+
+	txt := d.Text()
+	for _, want := range []string{
+		"counter campaign.runs_total 100 -> 300 (+200)",
+		"counter campaign.retired 5 -> 0 (-5) [only in before]",
+		"histogram campaign.exec_cycles count 100 -> 300 (+200) sum +15000",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text() missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestSnapshotDiffIdentical(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Histogram("h", []float64{1, 10}).Observe(5)
+	s := r.Snapshot()
+	d := SnapshotDiff(s, s)
+	if got := d.Changed(); len(got) != 0 {
+		t.Errorf("self-diff has changes: %+v", got)
+	}
+	if len(d.Entries) != 2 {
+		t.Errorf("self-diff has %d entries, want 2", len(d.Entries))
+	}
+}
+
+func TestSnapshotDiffRoundTrip(t *testing.T) {
+	d := SnapshotDiff(Snapshot{}, Snapshot{Counters: []CounterValue{{Name: "x", Value: 1}}})
+	if _, err := d.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}

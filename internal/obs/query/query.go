@@ -1,0 +1,320 @@
+// Package query loads and analyzes the JSONL execution traces the obs
+// tracer writes: per-span/per-event rollups with duration percentiles,
+// critical-path reconstruction from span containment, and
+// failure-to-span/event correlation. It is the analysis engine behind
+// cmd/glitchtrace.
+//
+// Loading follows the run-controller manifest discipline (see
+// internal/runctl): a torn, unparseable final line — the signature of a
+// crash mid-append — is dropped and flagged rather than failing the
+// load, while an unparseable line in the middle of the file is a real
+// error. Both trace schema versions are accepted: v1 records predate the
+// "v" field and read as version 0.
+package query
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"glitchlab/internal/obs"
+)
+
+// Trace is one loaded JSONL trace file.
+type Trace struct {
+	Records []obs.Record
+	// Torn reports that the final line was unparseable and dropped (the
+	// trace's writer crashed mid-append).
+	Torn bool
+	// Summary points at the trace's summary record, if present.
+	Summary *obs.Record
+}
+
+// Load reads a JSONL trace. A torn final line is tolerated (Trace.Torn);
+// a malformed line anywhere else fails with its line number.
+func Load(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	var pendingErr error
+	pendingLine := 0
+	for sc.Scan() {
+		line++
+		if pendingErr != nil {
+			return nil, fmt.Errorf("trace line %d: %w", pendingLine, pendingErr)
+		}
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec obs.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			// Only fatal if another line follows; a bad last line is a
+			// torn tail.
+			pendingErr, pendingLine = err, line
+			continue
+		}
+		if rec.Type == "" {
+			pendingErr, pendingLine = fmt.Errorf("record has no type"), line
+			continue
+		}
+		t.Records = append(t.Records, rec)
+		if rec.Type == "summary" {
+			t.Summary = &t.Records[len(t.Records)-1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingErr != nil {
+		t.Torn = true
+	}
+	return t, nil
+}
+
+// LoadFile loads a trace from disk.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// RollupRow aggregates all records sharing one (kind, name). Duration
+// statistics are only meaningful for spans — events and failures are
+// points in time, so their duration fields stay zero.
+type RollupRow struct {
+	Kind    string `json:"kind"` // "span", "event" or "failure"
+	Name    string `json:"name"`
+	Count   uint64 `json:"count"`
+	TotalUs int64  `json:"total_us,omitempty"`
+	MinUs   int64  `json:"min_us,omitempty"`
+	P50Us   int64  `json:"p50_us,omitempty"`
+	P99Us   int64  `json:"p99_us,omitempty"`
+	MaxUs   int64  `json:"max_us,omitempty"`
+}
+
+// Rollup aggregates the trace per (kind, name), sorted by kind then name
+// so the output is deterministic for a given record multiset — and
+// therefore identical for serial and worker-sharded runs of the same
+// campaign, which emit the same records in different orders.
+func (t *Trace) Rollup() []RollupRow {
+	type key struct{ kind, name string }
+	durs := map[key][]int64{}
+	for _, rec := range t.Records {
+		if rec.Type == "summary" {
+			continue
+		}
+		k := key{rec.Type, rec.Name}
+		durs[k] = append(durs[k], rec.DurUs)
+	}
+	rows := make([]RollupRow, 0, len(durs))
+	for k, ds := range durs {
+		row := RollupRow{Kind: k.kind, Name: k.name, Count: uint64(len(ds))}
+		if k.kind == "span" {
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			for _, d := range ds {
+				row.TotalUs += d
+			}
+			row.MinUs = ds[0]
+			row.MaxUs = ds[len(ds)-1]
+			row.P50Us = percentile(ds, 50)
+			row.P99Us = percentile(ds, 99)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Kind != rows[j].Kind {
+			return rows[i].Kind < rows[j].Kind
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted values.
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// PathNode is one hop of the critical path: a span, its depth in the
+// containment tree, and how much of its duration is its own (not covered
+// by the child spans on the path's next level).
+type PathNode struct {
+	Name   string `json:"name"`
+	Depth  int    `json:"depth"`
+	TUs    int64  `json:"t_us"`
+	DurUs  int64  `json:"dur_us"`
+	SelfUs int64  `json:"self_us"`
+}
+
+// CriticalPath reconstructs the span containment tree (a span is a child
+// of the smallest span whose [t_us, t_us+dur_us] interval contains its
+// own) and walks from the longest root span down the longest child at
+// each level. Ties break toward the earlier, then lexically smaller
+// span, so the path is deterministic.
+func (t *Trace) CriticalPath() []PathNode {
+	type node struct {
+		rec      obs.Record
+		children []int
+		childDur int64
+	}
+	var nodes []node
+	for _, rec := range t.Records {
+		if rec.Type == "span" {
+			nodes = append(nodes, node{rec: rec})
+		}
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	// Sort enclosing-first: by start ascending, then duration descending,
+	// then name, so a stack walk assigns each span to its innermost
+	// enclosing predecessor.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		a, b := nodes[i].rec, nodes[j].rec
+		if a.TUs != b.TUs {
+			return a.TUs < b.TUs
+		}
+		if a.DurUs != b.DurUs {
+			return a.DurUs > b.DurUs
+		}
+		return a.Name < b.Name
+	})
+	var roots []int
+	var stack []int
+	for i := range nodes {
+		s := nodes[i].rec
+		for len(stack) > 0 {
+			p := nodes[stack[len(stack)-1]].rec
+			if s.TUs >= p.TUs && s.TUs+s.DurUs <= p.TUs+p.DurUs {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			roots = append(roots, i)
+		} else {
+			p := stack[len(stack)-1]
+			nodes[p].children = append(nodes[p].children, i)
+			nodes[p].childDur += s.DurUs
+		}
+		stack = append(stack, i)
+	}
+
+	longest := func(idxs []int) int {
+		best := -1
+		for _, i := range idxs {
+			if best == -1 || nodes[i].rec.DurUs > nodes[best].rec.DurUs {
+				best = i
+			}
+		}
+		return best
+	}
+
+	var path []PathNode
+	for depth, at := 0, longest(roots); at != -1; depth++ {
+		n := nodes[at]
+		self := n.rec.DurUs - n.childDur
+		if self < 0 {
+			self = 0
+		}
+		path = append(path, PathNode{
+			Name:   n.rec.Name,
+			Depth:  depth,
+			TUs:    n.rec.TUs,
+			DurUs:  n.rec.DurUs,
+			SelfUs: self,
+		})
+		at = longest(n.children)
+	}
+	return path
+}
+
+// FailureContext correlates one failure record with its surroundings:
+// the innermost span whose interval contains the failure's instant, and
+// the nearest event at or before it.
+type FailureContext struct {
+	Failure obs.Record `json:"failure"`
+	// Span is the innermost enclosing span's name ("" when the failure
+	// falls outside every span).
+	Span      string `json:"span,omitempty"`
+	SpanTUs   int64  `json:"span_t_us,omitempty"`
+	SpanDurUs int64  `json:"span_dur_us,omitempty"`
+	// PrevEvent is the nearest sampled event at or before the failure
+	// ("" when none precedes it), with the gap between them.
+	PrevEvent     string `json:"prev_event,omitempty"`
+	PrevEventDtUs int64  `json:"prev_event_dt_us,omitempty"`
+}
+
+// CorrelateFailures matches every failure record in the trace against
+// the spans and sampled events around it, in trace order.
+func (t *Trace) CorrelateFailures() []FailureContext {
+	var spans, events []obs.Record
+	for _, rec := range t.Records {
+		switch rec.Type {
+		case "span":
+			spans = append(spans, rec)
+		case "event":
+			events = append(events, rec)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TUs < events[j].TUs })
+
+	var out []FailureContext
+	for _, rec := range t.Records {
+		if rec.Type != "failure" {
+			continue
+		}
+		fc := FailureContext{Failure: rec}
+		// Innermost enclosing span: smallest containing interval; ties
+		// break toward the later-starting (more deeply nested) span.
+		bestDur := int64(-1)
+		for _, s := range spans {
+			if rec.TUs < s.TUs || rec.TUs > s.TUs+s.DurUs {
+				continue
+			}
+			if bestDur == -1 || s.DurUs < bestDur ||
+				(s.DurUs == bestDur && s.TUs > fc.SpanTUs) {
+				fc.Span, fc.SpanTUs, fc.SpanDurUs = s.Name, s.TUs, s.DurUs
+				bestDur = s.DurUs
+			}
+		}
+		// Nearest event at or before the failure.
+		lo, hi := 0, len(events)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if events[mid].TUs <= rec.TUs {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			ev := events[lo-1]
+			fc.PrevEvent = ev.Name
+			fc.PrevEventDtUs = rec.TUs - ev.TUs
+		}
+		out = append(out, fc)
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `{"type":"span","v":2,"name":"campaign.run","t_us":0,"dur_us":1000}
+{"type":"span","v":2,"name":"campaign.sweep","t_us":10,"dur_us":600}
+{"type":"span","v":2,"name":"campaign.sweep","t_us":620,"dur_us":300}
+{"type":"event","v":2,"name":"campaign.exec","t_us":100}
+{"type":"event","v":2,"name":"campaign.exec","t_us":640}
+{"type":"failure","v":2,"name":"campaign.exec","t_us":700,"attrs":{"mask":"0x0004"}}
+{"type":"summary","v":2,"t_us":1001,"attrs":{"events_seen":3}}
+`
+
+func load(t *testing.T, s string) *Trace {
+	t.Helper()
+	tr, err := Load(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestLoad(t *testing.T) {
+	tr := load(t, sample)
+	if len(tr.Records) != 7 {
+		t.Fatalf("loaded %d records, want 7", len(tr.Records))
+	}
+	if tr.Torn {
+		t.Error("clean trace flagged as torn")
+	}
+	if tr.Summary == nil || tr.Summary.Attrs["events_seen"] != float64(3) {
+		t.Errorf("summary = %+v", tr.Summary)
+	}
+}
+
+func TestLoadV1RecordsAccepted(t *testing.T) {
+	// v1 traces predate the "v" field entirely.
+	tr := load(t, `{"type":"event","name":"e","t_us":5}`+"\n")
+	if len(tr.Records) != 1 || tr.Records[0].V != 0 {
+		t.Fatalf("v1 record: %+v", tr.Records)
+	}
+}
+
+func TestLoadTornTail(t *testing.T) {
+	tr := load(t, sample+`{"type":"event","name":"camp`)
+	if !tr.Torn {
+		t.Fatal("torn tail not flagged")
+	}
+	if len(tr.Records) != 7 {
+		t.Errorf("torn load kept %d records, want 7", len(tr.Records))
+	}
+}
+
+func TestLoadMidFileErrorFatal(t *testing.T) {
+	bad := `{"type":"event","name":"a","t_us":1}` + "\n" +
+		`{"type":"event","na` + "\n" +
+		`{"type":"event","name":"b","t_us":2}` + "\n"
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("mid-file garbage must fail the load")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestLoadMissingTypeFatal(t *testing.T) {
+	bad := `{"name":"a","t_us":1}` + "\n" + `{"type":"event","name":"b","t_us":2}` + "\n"
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("typeless mid-file record must fail the load")
+	}
+}
+
+func TestRollup(t *testing.T) {
+	rows := load(t, sample).Rollup()
+	want := []struct {
+		kind, name string
+		count      uint64
+	}{
+		{"event", "campaign.exec", 2},
+		{"failure", "campaign.exec", 1},
+		{"span", "campaign.run", 1},
+		{"span", "campaign.sweep", 2},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Kind != w.kind || r.Name != w.name || r.Count != w.count {
+			t.Errorf("row[%d] = %+v, want %s/%s count=%d", i, r, w.kind, w.name, w.count)
+		}
+	}
+	sweep := rows[3]
+	if sweep.TotalUs != 900 || sweep.MinUs != 300 || sweep.MaxUs != 600 {
+		t.Errorf("sweep stats = %+v", sweep)
+	}
+	if sweep.P50Us != 300 || sweep.P99Us != 600 {
+		t.Errorf("sweep percentiles p50=%d p99=%d, want 300/600", sweep.P50Us, sweep.P99Us)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := percentile(vals, 50); got != 50 {
+		t.Errorf("p50 = %d, want 50", got)
+	}
+	if got := percentile(vals, 99); got != 100 {
+		t.Errorf("p99 = %d, want 100", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %d", got)
+	}
+	if got := percentile([]int64{7}, 99); got != 7 {
+		t.Errorf("p99 of singleton = %d", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	path := load(t, sample).CriticalPath()
+	if len(path) != 2 {
+		t.Fatalf("path has %d nodes, want 2: %+v", len(path), path)
+	}
+	if path[0].Name != "campaign.run" || path[0].Depth != 0 {
+		t.Errorf("root = %+v", path[0])
+	}
+	// run's children: two sweeps (600 + 300); self = 1000 - 900.
+	if path[0].SelfUs != 100 {
+		t.Errorf("root self = %d, want 100", path[0].SelfUs)
+	}
+	// The longer sweep wins the path.
+	if path[1].Name != "campaign.sweep" || path[1].DurUs != 600 || path[1].Depth != 1 {
+		t.Errorf("leaf = %+v", path[1])
+	}
+	if path[1].SelfUs != 600 {
+		t.Errorf("leaf self = %d, want 600 (no children)", path[1].SelfUs)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	if p := load(t, `{"type":"event","name":"e","t_us":1}`+"\n").CriticalPath(); p != nil {
+		t.Errorf("no spans but path = %+v", p)
+	}
+}
+
+func TestCorrelateFailures(t *testing.T) {
+	fcs := load(t, sample).CorrelateFailures()
+	if len(fcs) != 1 {
+		t.Fatalf("got %d contexts, want 1", len(fcs))
+	}
+	fc := fcs[0]
+	if fc.Failure.Attrs["mask"] != "0x0004" {
+		t.Errorf("failure attrs = %+v", fc.Failure.Attrs)
+	}
+	// t=700 falls in the second sweep (620..920), the innermost span.
+	if fc.Span != "campaign.sweep" || fc.SpanTUs != 620 {
+		t.Errorf("enclosing span = %q @%d, want campaign.sweep @620", fc.Span, fc.SpanTUs)
+	}
+	// Nearest preceding event is the one at t=640.
+	if fc.PrevEvent != "campaign.exec" || fc.PrevEventDtUs != 60 {
+		t.Errorf("prev event = %q dt=%d, want campaign.exec dt=60", fc.PrevEvent, fc.PrevEventDtUs)
+	}
+}
+
+func TestCorrelateFailureOutsideSpans(t *testing.T) {
+	tr := load(t, `{"type":"failure","name":"f","t_us":5}`+"\n")
+	fcs := tr.CorrelateFailures()
+	if len(fcs) != 1 || fcs[0].Span != "" || fcs[0].PrevEvent != "" {
+		t.Errorf("orphan failure context = %+v", fcs)
+	}
+}
+
+func TestRollupOrderIndependent(t *testing.T) {
+	// The same record multiset in a different order (a worker-sharded
+	// run's interleaving) must roll up identically.
+	lines := strings.Split(strings.TrimSpace(sample), "\n")
+	reordered := strings.Join([]string{
+		lines[4], lines[1], lines[6], lines[0], lines[5], lines[2], lines[3],
+	}, "\n") + "\n"
+	a := load(t, sample).Rollup()
+	b := load(t, reordered).Rollup()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

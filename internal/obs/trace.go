@@ -20,13 +20,22 @@ import (
 // Failure records are re-emitted from the post-mortem ring buffer when the
 // tracer is closed, so the tail of the file always holds the last
 // FailureRing classified-failure executions even under heavy sampling.
+//
+// Every written record carries the schema version in "v". Version 1
+// predates the field, so a record with v of 0 is a v1 record; loaders
+// (internal/obs/query) accept both.
 type Record struct {
 	Type  string         `json:"type"`
+	V     int            `json:"v,omitempty"`
 	Name  string         `json:"name,omitempty"`
 	TUs   int64          `json:"t_us"`
 	DurUs int64          `json:"dur_us,omitempty"`
 	Attrs map[string]any `json:"attrs,omitempty"`
 }
+
+// TraceSchemaVersion is the trace record schema written by this Tracer.
+// v2 added the "v" field itself.
+const TraceSchemaVersion = 2
 
 // DefaultFailureRing is the default post-mortem capture depth.
 const DefaultFailureRing = 64
@@ -115,6 +124,7 @@ func (t *Tracer) sinceUs() int64 {
 
 func (t *Tracer) write(rec Record) {
 	if t.enc != nil && !t.closed {
+		rec.V = TraceSchemaVersion
 		_ = t.enc.Encode(rec) // tracing must never fail the experiment
 	}
 }

@@ -15,6 +15,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"glitchlab/internal/emu"
 	"glitchlab/internal/firmware"
@@ -150,6 +151,14 @@ type Machine struct {
 	// cycles-per-instruction ratio program-dependent).
 	MaxSteps uint64
 
+	// Replay, when non-nil, accumulates the measured cost of the
+	// glitch-window mapping work (peek + cycle-to-event dispatch) the
+	// machine performs per issue slot inside an active trigger window.
+	// One clock-read pair per timed slot: set it only on sampled
+	// attempts (the phase profiler does) and subtract Ops multiplied by
+	// the calibrated clock-read cost when attributing Ns.
+	Replay *ReplayProf
+
 	windowStart uint64 // cycle at which the active trigger window began
 	windowIdx   int    // trigger occurrence index (-1 before first trigger)
 
@@ -246,6 +255,14 @@ func (m *Machine) peek(pc uint32) (isa.Inst, bool) {
 // in the last run (diagnostic).
 func (m *Machine) GlitchedSteps() uint64 { return m.glitchedSteps }
 
+// ReplayProf accumulates the cost of the glitch-window mapping work: Ns
+// is the measured wall time, Ops the number of timed issue slots (each
+// carrying one clock-read pair of instrumentation overhead).
+type ReplayProf struct {
+	Ns  int64
+	Ops uint64
+}
+
 // Run executes until a stop symbol, a fault, or the cycle budget.
 func (m *Machine) Run(maxCycles uint64) Result {
 	cpu := m.Board.CPU
@@ -272,6 +289,10 @@ func (m *Machine) Run(maxCycles uint64) Result {
 		// Map glitched cycles in this instruction's execute window to
 		// pipeline effects.
 		if m.Glitch != nil && m.windowIdx >= 0 {
+			var t0 time.Time
+			if m.Replay != nil {
+				t0 = time.Now()
+			}
 			if in, ok := m.peek(pc); ok {
 				cost := cpu.CostOf(in)
 				start := cpu.Cycles
@@ -286,6 +307,10 @@ func (m *Machine) Run(maxCycles uint64) Result {
 					}
 					m.dispatch(ev)
 				}
+			}
+			if m.Replay != nil {
+				m.Replay.Ns += time.Since(t0).Nanoseconds()
+				m.Replay.Ops++
 			}
 		}
 

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"glitchlab/internal/obs/profile"
+)
+
+// Profile renders a phase-attribution report as a readable table: one row
+// per phase with its share of the sampled time and the extrapolated total,
+// followed by the coverage line comparing the extrapolation to the
+// measured wall clock. The layout is deterministic for a given report.
+func Profile(r profile.Report) string {
+	var sb strings.Builder
+	title := "Phase attribution"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if r.Execs == 0 {
+		sb.WriteString("no executions profiled\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "executions %d, sampled %d (1 in %d)\n\n",
+		r.Execs, r.Sampled, r.SampleEvery)
+
+	width := len("phase")
+	for _, ph := range r.Phases {
+		width = max(width, len(ph.Phase))
+	}
+	fmt.Fprintf(&sb, "  %-*s %9s %12s %14s\n", width, "phase", "share", "sampled", "est total")
+	for _, ph := range r.Phases {
+		fmt.Fprintf(&sb, "  %-*s %8.1f%% %12s %14s\n",
+			width, ph.Phase, ph.SharePct, dur(ph.SampledNs), dur(ph.EstNs))
+	}
+	fmt.Fprintf(&sb, "\nwall clock %s, attributed %s (coverage %.1f%%)\n",
+		dur(r.WallNs), dur(r.EstTotalNs), r.CoveragePct)
+	fmt.Fprintf(&sb, "calibration: clock read %dns, decode unit %dns\n",
+		r.ClockNs, r.DecodeNs)
+	return sb.String()
+}
+
+// dur renders nanoseconds with a human unit, deterministically.
+func dur(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

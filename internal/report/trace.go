@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"glitchlab/internal/obs/query"
+)
+
+// TraceRollup renders per-(kind, name) trace aggregates as a table.
+// Duration columns are only populated for spans — events and failures
+// are instantaneous records.
+func TraceRollup(rows []query.RollupRow, torn bool) string {
+	var sb strings.Builder
+	title := "Trace rollup"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if torn {
+		sb.WriteString("note: torn final line dropped (trace writer crashed mid-append)\n")
+	}
+	if len(rows) == 0 {
+		sb.WriteString("empty trace\n")
+		return sb.String()
+	}
+	width := len("name")
+	for _, r := range rows {
+		width = max(width, len(r.Name))
+	}
+	fmt.Fprintf(&sb, "\n  %-7s %-*s %8s %12s %10s %10s %10s\n",
+		"kind", width, "name", "count", "total", "p50", "p99", "max")
+	for _, r := range rows {
+		if r.Kind == "span" {
+			fmt.Fprintf(&sb, "  %-7s %-*s %8d %12s %10s %10s %10s\n",
+				r.Kind, width, r.Name, r.Count,
+				us(r.TotalUs), us(r.P50Us), us(r.P99Us), us(r.MaxUs))
+		} else {
+			fmt.Fprintf(&sb, "  %-7s %-*s %8d\n", r.Kind, width, r.Name, r.Count)
+		}
+	}
+	return sb.String()
+}
+
+// TraceCriticalPath renders the longest span chain, one indented line
+// per level with each span's own (self) share.
+func TraceCriticalPath(path []query.PathNode) string {
+	var sb strings.Builder
+	title := "Critical path"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(path) == 0 {
+		sb.WriteString("no spans in trace\n")
+		return sb.String()
+	}
+	for _, n := range path {
+		fmt.Fprintf(&sb, "  %s%s  %s (self %s) @%s\n",
+			strings.Repeat("  ", n.Depth), n.Name, us(n.DurUs), us(n.SelfUs), us(n.TUs))
+	}
+	return sb.String()
+}
+
+// TraceFailures renders failure records with their enclosing span and
+// nearest preceding sampled event.
+func TraceFailures(fcs []query.FailureContext) string {
+	var sb strings.Builder
+	title := "Failure correlation"
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(fcs) == 0 {
+		sb.WriteString("no failures in trace\n")
+		return sb.String()
+	}
+	for _, fc := range fcs {
+		fmt.Fprintf(&sb, "  %s @%s", fc.Failure.Name, us(fc.Failure.TUs))
+		if len(fc.Failure.Attrs) > 0 {
+			keys := make([]string, 0, len(fc.Failure.Attrs))
+			for k := range fc.Failure.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, 0, len(keys))
+			for _, k := range keys {
+				parts = append(parts, fmt.Sprintf("%s=%v", k, fc.Failure.Attrs[k]))
+			}
+			fmt.Fprintf(&sb, "  {%s}", strings.Join(parts, " "))
+		}
+		sb.WriteByte('\n')
+		if fc.Span != "" {
+			fmt.Fprintf(&sb, "    in span %s @%s (%s)\n", fc.Span, us(fc.SpanTUs), us(fc.SpanDurUs))
+		}
+		if fc.PrevEvent != "" {
+			fmt.Fprintf(&sb, "    %s after event %s\n", us(fc.PrevEventDtUs), fc.PrevEvent)
+		}
+	}
+	return sb.String()
+}
+
+// us renders microseconds with a human unit, deterministically.
+func us(v int64) string {
+	switch {
+	case v >= 10_000_000:
+		return fmt.Sprintf("%.2fs", float64(v)/1e6)
+	case v >= 10_000:
+		return fmt.Sprintf("%.2fms", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", v)
+	}
+}
