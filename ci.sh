@@ -64,6 +64,17 @@ fi
 "$tmp/glitchemu" -workers 2 -run-dir "$tmp/run" -resume -out "$tmp/resumed.txt"
 cmp "$tmp/golden.txt" "$tmp/resumed.txt"
 
+# Trigger-point replay gate: a seeded Figure 2 campaign slice run with the
+# default snapshot/replay engine must render byte-identically to the same
+# campaign re-simulating the prologue from reset on every execution
+# (-full-run), serial and sharded. This is the end-to-end proof that the
+# hot-path overhaul changed no observable number.
+"$tmp/glitchemu" -max-flips 3 -out "$tmp/replay.txt"
+"$tmp/glitchemu" -max-flips 3 -full-run -out "$tmp/fullrun.txt"
+cmp "$tmp/replay.txt" "$tmp/fullrun.txt"
+"$tmp/glitchemu" -max-flips 3 -workers 4 -out "$tmp/replay_par.txt"
+cmp "$tmp/replay.txt" "$tmp/replay_par.txt"
+
 # Differential-fuzzing gates. First sanity-check the committed seed corpora
 # (directory names must be Fuzz* harnesses, every file must carry the native
 # corpus header), then give each harness a short coverage-guided smoke run.

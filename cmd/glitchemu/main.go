@@ -55,6 +55,9 @@ func run() error {
 	maxFlips := flag.Int("max-flips", 16, "maximum number of flipped bits per mask")
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"worker goroutines sharding the campaign (1 = serial; results are identical)")
+	fullRun := flag.Bool("full-run", false,
+		"re-simulate the harness prologue on every execution instead of replaying "+
+			"from the trigger-point snapshot (slower; results are byte-identical)")
 	profFlag := flag.Bool("profile", false,
 		"sample phase attribution on the hot path and print the cost report")
 	profEvery := flag.Int("profile-every", profile.DefaultSample,
@@ -70,8 +73,9 @@ func run() error {
 	defer sess.Close()
 
 	// The config hash covers everything that shapes the results; the worker
-	// count only shapes the schedule, so it is deliberately excluded and a
-	// run may be resumed with a different -workers value.
+	// count and -full-run only shape the schedule and the execution engine,
+	// never the counts, so they are deliberately excluded and a run may be
+	// resumed with different values for either.
 	hash := runctl.ConfigHash(struct {
 		Model       string
 		ZeroInvalid bool
@@ -121,9 +125,9 @@ func run() error {
 		var results []campaign.CondResult
 		var err error
 		if *padUDF {
-			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, o, prof, rn)
+			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, *fullRun, o, prof, rn)
 		} else {
-			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, o, prof, rn)
+			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, *fullRun, o, prof, rn)
 		}
 		if err != nil {
 			if errors.Is(err, runctl.ErrInterrupted) {

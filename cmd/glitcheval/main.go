@@ -64,6 +64,8 @@ func run() error {
 		"figure2: maximum number of flipped bits per mask")
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"figure2: worker goroutines sharding the campaign (1 = serial)")
+	fullRun := flag.Bool("full-run", false,
+		"figure2: re-simulate the prologue per execution instead of trigger-point replay")
 	cli := obs.RegisterCLIFlags(flag.CommandLine)
 	rcli := runctl.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
@@ -74,7 +76,8 @@ func run() error {
 	}
 	defer sess.Close()
 
-	// Worker count excluded: it shapes only the schedule, never the counts.
+	// Worker count and -full-run excluded: they shape only the schedule
+	// and the execution engine, never the counts.
 	hash := runctl.ConfigHash(struct {
 		Exp         string
 		Seed        uint64
@@ -153,7 +156,7 @@ func run() error {
 			o = campaign.NewObserver(obs.Default, sess.Tracer)
 			o.OnProgress(0, sess.Progress("figure2 "+model.String()))
 		}
-		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, o, nil, rn)
+		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, *fullRun, o, nil, rn)
 		if err != nil {
 			return err
 		}

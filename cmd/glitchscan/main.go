@@ -55,6 +55,9 @@ func run() error {
 	seed := flag.Uint64("seed", core.DefaultSeed, "fault-model seed")
 	workers := flag.Int("workers", campaign.DefaultWorkers(),
 		"worker goroutines sharding each grid scan (1 = serial; results are identical)")
+	fullRun := flag.Bool("full-run", false,
+		"reset and re-run the boot prologue on every attempt instead of replaying "+
+			"from the trigger-point snapshot (slower; results are byte-identical)")
 	profFlag := flag.Bool("profile", false,
 		"sample phase attribution on the hot path and print the cost report")
 	profEvery := flag.Int("profile-every", profile.DefaultSample,
@@ -69,7 +72,8 @@ func run() error {
 	}
 	defer sess.Close()
 
-	// Worker count excluded: it shapes only the schedule, never the counts.
+	// Worker count and -full-run excluded: they shape only the schedule
+	// and the execution engine, never the counts.
 	hash := runctl.ConfigHash(struct {
 		Exp  string
 		Seed uint64
@@ -83,6 +87,7 @@ func run() error {
 	rn.Tracer = sess.Tracer
 
 	m := glitcher.NewModel(*seed)
+	m.FullRun = *fullRun
 	if cli.Enabled() {
 		m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
 	}

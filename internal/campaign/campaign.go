@@ -135,6 +135,17 @@ const (
 )
 
 // Runner executes mutation campaigns for one conditional branch.
+//
+// The runner replays every mutated execution from a snapshot taken at the
+// branch under test (the trigger point): the harness prologue — condition
+// setup through the instruction before the branch — is architecturally
+// identical across all 65536 mutations of the branch halfword, so it is
+// simulated once in newRunner and each execution restores the captured
+// registers/flags/counters plus any dirtied RAM pages and runs only the
+// glitched window. Outcomes, retired-step counts and post-mortem registers
+// are byte-identical to running the whole program from reset (the replay
+// equivalence tests pin this); FullRun switches back to from-reset runs
+// for verification.
 type Runner struct {
 	cond       isa.Cond
 	prog       *isa.Program
@@ -145,6 +156,22 @@ type Runner struct {
 	cpu        *emu.CPU
 	mem        *emu.Memory
 	flash      *emu.Region
+
+	snap    emu.CPUState     // CPU state at the branch, post-prologue
+	memSnap *emu.MemSnapshot // RAM copy at the branch, dirty-page tracked
+
+	// memo caches outcomes per mutated word (ARMORY-style convergence
+	// pruning, ROADMAP item 2c at word granularity): under replay every
+	// execution of the same word starts from the identical snapshot, so
+	// its outcome is a pure function of the word. Only the bare path uses
+	// it — observed or profiled runs execute every mask for real, so
+	// traces, histograms and phase attribution are never synthesized.
+	memo []uint8 // word -> Outcome+1; 0 = not yet simulated
+
+	// FullRun disables trigger-point replay and memoization: every
+	// execution reruns the prologue from reset. Results are identical
+	// either way; the flag exists so CI can prove that cheaply.
+	FullRun bool
 
 	// Obs instruments every execution when non-nil; the nil default keeps
 	// the sweep hot path bare.
@@ -222,6 +249,18 @@ func newRunner(cond isa.Cond, src string, zeroInvalid bool) (*Runner, error) {
 		flash:      flash,
 	}
 	r.cpu.ZeroIsInvalid = zeroInvalid
+
+	// Run the harness prologue once and snapshot at the branch: cpu.Run
+	// stops when PC reaches the branch address, before the (to-be-mutated)
+	// branch itself executes. The prologue is pure register/flag setup, so
+	// this cannot fault; a step-limit error would mean the snippet changed
+	// shape and is a programming error.
+	r.cpu.Reset(stackTop, flashBase)
+	if err := r.cpu.Run(branchAddr, maxSteps); err != nil {
+		return nil, fmt.Errorf("campaign: %v prologue failed: %w", cond, err)
+	}
+	r.snap = r.cpu.State()
+	r.memSnap = mem.Snapshot()
 	return r, nil
 }
 
@@ -229,68 +268,125 @@ func newRunner(cond isa.Cond, src string, zeroInvalid bool) (*Runner, error) {
 func (r *Runner) BranchEncoding() uint16 { return r.original }
 
 // RunOne executes the snippet with the branch halfword replaced by word and
-// classifies the result.
+// classifies the result. The pristine image is restored before returning —
+// even if the execution panics — so callers can interleave RunOne with
+// direct flash inspection.
 func (r *Runner) RunOne(word uint16) Outcome {
+	defer r.restoreBranch()
 	out, _ := r.runOne(word)
 	return out
 }
 
-// runOne additionally returns the raising fault (nil for clean or hung
-// executions), which the observer records as the trace fault class.
+// restoreBranch puts the unperturbed branch encoding back into flash. The
+// sweep loop mutates flash directly (bypassing the CPU store path, so
+// dirty-page tracking cannot see it); every unit of work defers exactly
+// one restoreBranch so a panicking execution — quarantined and resumed by
+// runctl — can never leak a corrupted image into later executions.
+func (r *Runner) restoreBranch() {
+	r.flash.Data[r.branchOff] = byte(r.original)
+	r.flash.Data[r.branchOff+1] = byte(r.original >> 8)
+}
+
+// runOne executes one mutation and additionally returns the raising fault
+// (nil for clean or hung executions), which the observer records as the
+// trace fault class. It deliberately does NOT restore the branch halfword:
+// the next mutation overwrites it anyway, and the enclosing unit of work
+// (sweepFlips, RunOne) holds the single deferred restoreBranch that makes
+// restoration panic-safe without a per-execution defer closure.
 func (r *Runner) runOne(word uint16) (Outcome, *emu.Fault) {
 	if r.Prof.Sample() {
 		return r.runOneProfiled(word)
 	}
+	// Memoization would falsify observation and attribution: observed runs
+	// must produce a real trace record per mask, and a profiler's sampled
+	// executions extrapolate over the unsampled ones, which must therefore
+	// cost the same. Both modes run every mask for real.
+	memo := !r.FullRun && r.Obs == nil && r.Prof == nil
+	if memo {
+		if r.memo == nil {
+			r.memo = make([]uint8, 1<<16)
+		} else if o := r.memo[word]; o != 0 {
+			return Outcome(o - 1), nil
+		}
+	}
 	r.flash.Data[r.branchOff] = byte(word)
 	r.flash.Data[r.branchOff+1] = byte(word >> 8)
-	defer func() {
-		r.flash.Data[r.branchOff] = byte(r.original)
-		r.flash.Data[r.branchOff+1] = byte(r.original >> 8)
-	}()
+	out, fault := r.execute()
+	if memo {
+		r.memo[word] = uint8(out) + 1
+	}
+	return out, fault
+}
 
-	r.cpu.Reset(stackTop, flashBase)
-	err := r.cpu.Run(r.stop, maxSteps)
+// execute runs the mutated image — from the trigger-point snapshot, or
+// from reset when FullRun — and classifies the result.
+func (r *Runner) execute() (Outcome, *emu.Fault) {
+	var err error
+	if r.FullRun {
+		r.cpu.Reset(stackTop, flashBase)
+		err = r.cpu.Run(r.stop, maxSteps)
+	} else {
+		r.cpu.SetState(r.snap)
+		r.memSnap.Restore()
+		err = r.cpu.Run(r.stop, maxSteps-r.snap.Steps)
+	}
 	return classify(r.cpu, err)
 }
 
-// runOneProfiled is runOne with phase timing: the mutated-image write
-// plus CPU reset is the assemble phase, the emulator run the execute
-// phase (with the decode share split out by calibrated unit cost times
-// retired instructions, capped by the measured run time), and outcome
-// classification the classify phase. Only sampled executions come here.
+// runOneProfiled is runOne with phase timing: the mutated-image write plus
+// snapshot restore (or CPU reset under FullRun) is the assemble phase, the
+// emulator run the execute phase (with the decode share split out by
+// calibrated unit cost times the instructions this run actually retired,
+// capped by the measured run time), and outcome classification the
+// classify phase. Only sampled executions come here; memoization never
+// does — a profiled sample must measure a real execution.
 func (r *Runner) runOneProfiled(word uint16) (Outcome, *emu.Fault) {
 	t := r.Prof.Start()
 	r.flash.Data[r.branchOff] = byte(word)
 	r.flash.Data[r.branchOff+1] = byte(word >> 8)
-	r.cpu.Reset(stackTop, flashBase)
-	t.Mark(profile.PhaseAssemble)
-	err := r.cpu.Run(r.stop, maxSteps)
+	var err error
+	if r.FullRun {
+		r.cpu.Reset(stackTop, flashBase)
+		t.Mark(profile.PhaseAssemble)
+		err = r.cpu.Run(r.stop, maxSteps)
+	} else {
+		r.cpu.SetState(r.snap)
+		r.memSnap.Restore()
+		t.Mark(profile.PhaseAssemble)
+		err = r.cpu.Run(r.stop, maxSteps-r.snap.Steps)
+	}
 	execNs := t.Mark(profile.PhaseExecute)
 	out, fault := classify(r.cpu, err)
 	t.Mark(profile.PhaseClassify)
+	steps := r.cpu.Steps
+	if !r.FullRun {
+		steps -= r.snap.Steps // only the replayed window was decoded
+	}
 	r.Prof.Split(profile.PhaseExecute, profile.PhaseDecode,
-		r.Prof.DecodeEst(r.cpu.Steps), execNs)
-	r.flash.Data[r.branchOff] = byte(r.original)
-	r.flash.Data[r.branchOff+1] = byte(r.original >> 8)
+		r.Prof.DecodeEst(steps), execNs)
 	return out, fault
 }
 
 func classify(c *emu.CPU, err error) (Outcome, *emu.Fault) {
 	if err != nil {
-		var fault *emu.Fault
-		if errors.As(err, &fault) {
-			switch fault.Kind {
-			case emu.FaultBadRead:
-				return BadRead, fault
-			case emu.FaultBadFetch:
-				return BadFetch, fault
-			case emu.FaultInvalidInst, emu.FaultUndefined:
-				return InvalidInst, fault
-			default:
-				return Failed, fault
-			}
+		// Run returns bare *emu.Fault values; the type assertion keeps the
+		// per-execution path off errors.As's reflection (which profiled at
+		// a measurable share of whole campaigns). The errors.As fallback
+		// stays for wrapped errors from future callers.
+		fault, ok := err.(*emu.Fault)
+		if !ok && !errors.As(err, &fault) {
+			return Failed, nil // step limit or other unrecognized error
 		}
-		return Failed, nil // step limit or other unrecognized error
+		switch fault.Kind {
+		case emu.FaultBadRead:
+			return BadRead, fault
+		case emu.FaultBadFetch:
+			return BadFetch, fault
+		case emu.FaultInvalidInst, emu.FaultUndefined:
+			return InvalidInst, fault
+		default:
+			return Failed, fault
+		}
 	}
 	switch {
 	case c.R[markerSuccess] == SuccessMarker:
@@ -363,8 +459,13 @@ func (r *Runner) Sweep(model mutate.Model, maxFlips int) CondResult {
 }
 
 // sweepFlips runs every mask of one flip count — the unit of work the
-// parallel campaign engine shards by.
+// parallel campaign engine shards by. The single deferred restoreBranch
+// is what makes mutation restore panic-safe: each execution's flash write
+// overwrites the previous one, so only the last mutation is ever live, and
+// the defer runs during unwinding before runctl's Protect recovers — a
+// quarantined unit can never leave a corrupted image behind.
 func (r *Runner) sweepFlips(model mutate.Model, k int) FlipResult {
+	defer r.restoreBranch()
 	fr := FlipResult{Flips: k}
 	mutate.Masks(16, k, func(mask uint16) bool {
 		word := model.Apply(r.original, mask)
@@ -396,6 +497,13 @@ type Config struct {
 	ZeroInvalid bool // Figure 2c: treat all-zero encoding as invalid
 	PadUDF      bool // Section IV hypothesis: UDF-fill unreachable slots
 	MaxFlips    int  // bound on flipped bits (16 = exhaustive)
+
+	// FullRun disables trigger-point snapshot replay (and the word-level
+	// outcome memoization that depends on it): every mutated execution
+	// reruns the harness prologue from reset. Results are byte-identical
+	// either way — the ci.sh replay gate cmp-proves it — so the flag is
+	// excluded from the runctl config hash, like Workers.
+	FullRun bool
 
 	// Workers shards the campaign across goroutines by (condition,
 	// flip-count) work units; each unit runs on its own emulator, and the
@@ -494,10 +602,17 @@ func Run(cfg Config) ([]CondResult, error) {
 
 // newRunnerFor builds the campaign variant's runner for one condition.
 func newRunnerFor(cfg Config, cond isa.Cond) (*Runner, error) {
+	var r *Runner
+	var err error
 	if cfg.PadUDF {
-		return NewPaddedRunner(cond, cfg.ZeroInvalid)
+		r, err = NewPaddedRunner(cond, cfg.ZeroInvalid)
+	} else {
+		r, err = NewRunner(cond, cfg.ZeroInvalid)
 	}
-	return NewRunner(cond, cfg.ZeroInvalid)
+	if r != nil {
+		r.FullRun = cfg.FullRun
+	}
+	return r, err
 }
 
 // runSerial walks the campaign one (condition, flip-count) unit at a time

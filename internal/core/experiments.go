@@ -20,14 +20,18 @@ const DefaultSeed = 1
 // when non-nil, samples phase attribution for the campaign's hot path
 // (several variants may share one profile; their wall-clock brackets
 // sum). workers shards the campaign across goroutines; <= 1 runs
-// serially, and the results are identical either way. rn, when non-nil,
+// serially, and the results are identical either way. fullRun disables
+// trigger-point snapshot replay, re-simulating the harness prologue on
+// every mutated execution — results are byte-identical either way (the
+// ci.sh replay gate cmp-proves it on rendered output). rn, when non-nil,
 // threads the run controller through the campaign: cancellation between
 // work units, per-unit checkpointing with resume, and panic quarantine.
-func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *campaign.Observer, prof *profile.Profile, rn *runctl.Run) ([]campaign.CondResult, error) {
+func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, fullRun bool, o *campaign.Observer, prof *profile.Profile, rn *runctl.Run) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:       model,
 		ZeroInvalid: zeroInvalid,
 		MaxFlips:    maxFlips,
+		FullRun:     fullRun,
 		Workers:     workers,
 		Obs:         o,
 		Profile:     prof,
@@ -40,11 +44,12 @@ func RunFigure2(model mutate.Model, zeroInvalid bool, maxFlips, workers int, o *
 // with permanently-undefined instructions, testing the paper's hypothesis
 // that "adding invalid instructions in between valid instructions would
 // likely thwart many glitching attempts".
-func RunUDFHardening(model mutate.Model, maxFlips, workers int, o *campaign.Observer, prof *profile.Profile, rn *runctl.Run) ([]campaign.CondResult, error) {
+func RunUDFHardening(model mutate.Model, maxFlips, workers int, fullRun bool, o *campaign.Observer, prof *profile.Profile, rn *runctl.Run) ([]campaign.CondResult, error) {
 	return campaign.Run(campaign.Config{
 		Model:    model,
 		PadUDF:   true,
 		MaxFlips: maxFlips,
+		FullRun:  fullRun,
 		Workers:  workers,
 		Obs:      o,
 		Profile:  prof,

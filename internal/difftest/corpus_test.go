@@ -56,6 +56,20 @@ func TestDiffCorpusDecode(t *testing.T) {
 	}
 }
 
+// TestDiffCorpusReplay pins trigger-point snapshot/replay equivalence over
+// the committed corpus window: every seeded program, under every defense
+// configuration and a set of synthetic injectors, must behave identically
+// whether the prologue is re-simulated or replayed from the snapshot.
+func TestDiffCorpusReplay(t *testing.T) {
+	n := corpusSize(12, 3, t)
+	base := BaseSeed()
+	for i := int64(0); i < n; i++ {
+		if err := CheckReplayEquivalence(base + i); err != nil {
+			t.Fatalf("base %d + %d:\n%v", base, i, err)
+		}
+	}
+}
+
 func TestDiffCorpusTransparency(t *testing.T) {
 	n := corpusSize(12, 3, t)
 	base := BaseSeed()

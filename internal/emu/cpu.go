@@ -3,7 +3,6 @@ package emu
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"glitchlab/internal/isa"
 )
@@ -90,13 +89,11 @@ type CPU struct {
 	// Steps counts retired instructions.
 	Steps uint64
 
-	// DecodeNs, when non-nil, accumulates the measured wall time of
-	// instruction decode, one clock-read pair per step. A single decode
-	// runs well below the clock-read cost, so leave this nil on the hot
-	// path: the phase profiler (internal/obs/profile) attributes decode
-	// from a calibrated unit cost instead and uses this hook only to
-	// validate that calibration on sampled executions.
-	DecodeNs *int64
+	// fetchRegion caches the region the last instruction fetch hit, so
+	// straight-line execution skips the memory map's linear region search.
+	// Regions are immutable once mapped and a CPU stays attached to one
+	// Memory, so the cache never goes stale; Reset clears it anyway.
+	fetchRegion *Region
 }
 
 // New returns a CPU attached to the given memory.
@@ -110,6 +107,7 @@ func (c *CPU) Reset(sp, pc uint32) {
 	c.Flags = isa.Flags{}
 	c.Cycles = 0
 	c.Steps = 0
+	c.fetchRegion = nil
 	c.R[isa.SP] = sp
 	c.R[isa.PC] = pc &^ 1
 }
@@ -121,9 +119,14 @@ func (c *CPU) fetch16(addr uint32) (uint16, error) {
 	if addr%2 != 0 {
 		return 0, &Fault{Kind: FaultBadFetch, Addr: addr, PC: addr}
 	}
-	r, ok := c.Mem.Region(addr, 2)
-	if !ok || r.Perm&PermExec == 0 {
-		return 0, &Fault{Kind: FaultBadFetch, Addr: addr, PC: addr}
+	r := c.fetchRegion
+	if r == nil || !r.contains(addr, 2) {
+		var ok bool
+		r, ok = c.Mem.Region(addr, 2)
+		if !ok || r.Perm&PermExec == 0 {
+			return 0, &Fault{Kind: FaultBadFetch, Addr: addr, PC: addr}
+		}
+		c.fetchRegion = r // only executable regions are ever cached
 	}
 	off := addr - r.Base
 	hw := uint16(r.Data[off]) | uint16(r.Data[off+1])<<8
@@ -163,14 +166,7 @@ func (c *CPU) step() (int, error) {
 	if c.ZeroIsInvalid && hw == 0 {
 		return 0, &Fault{Kind: FaultInvalidInst, Addr: pc, PC: pc}
 	}
-	var in isa.Inst
-	if c.DecodeNs == nil {
-		in = isa.Decode(hw, hw2)
-	} else {
-		t0 := time.Now()
-		in = isa.Decode(hw, hw2)
-		*c.DecodeNs += time.Since(t0).Nanoseconds()
-	}
+	in := isa.Decode(hw, hw2)
 	if in.Op == isa.OpInvalid {
 		return 0, &Fault{Kind: FaultInvalidInst, Addr: pc, PC: pc}
 	}

@@ -25,6 +25,11 @@ type Region struct {
 	Base uint32
 	Data []byte
 	Perm Perm
+
+	// dirty, when non-nil, is the armed dirty-page bitmap (one bit per
+	// 256-byte page, see snapPageShift): Memory.store marks the pages it
+	// touches so MemSnapshot.Restore can copy back only what changed.
+	dirty []uint64
 }
 
 func (r *Region) contains(addr uint32, size uint32) bool {
@@ -104,6 +109,13 @@ func (m *Memory) store(addr, size, val uint32) (*Region, bool) {
 	off := addr - r.Base
 	for i := uint32(0); i < size; i++ {
 		r.Data[off+i] = byte(val >> (8 * i))
+	}
+	if r.dirty != nil {
+		p := off >> snapPageShift
+		r.dirty[p>>6] |= 1 << (p & 63)
+		if p2 := (off + size - 1) >> snapPageShift; p2 != p {
+			r.dirty[p2>>6] |= 1 << (p2 & 63)
+		}
 	}
 	return r, true
 }

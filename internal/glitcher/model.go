@@ -63,6 +63,12 @@ type Model struct {
 	// run (execute, with the decode share split out by calibrated unit
 	// cost). Each scan worker records into its own shard.
 	Prof *profile.Profile
+
+	// FullRun makes every scan target re-simulate the boot prologue on
+	// each attempt instead of replaying from the trigger-point snapshot.
+	// Scan results are byte-identical either way; the flag exists so that
+	// equivalence stays checkable end to end (ci.sh compares the two).
+	FullRun bool
 }
 
 // NewModel returns a model with the calibration used throughout the

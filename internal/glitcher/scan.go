@@ -33,6 +33,19 @@ type Target struct {
 	// target (one timed attempt in every sampling interval; the rest pay
 	// one increment). Scan workers each set their own shard.
 	Prof *profile.Shard
+
+	// FullRun disables trigger-point snapshot/replay, re-simulating the
+	// boot prologue on every attempt. Results are byte-identical either
+	// way (the prologue is injector-independent — see
+	// pipeline.SnapshotAtTrigger); the flag exists so the equivalence is
+	// checkable end to end.
+	FullRun bool
+
+	// snap is the lazily captured trigger-point snapshot every replayed
+	// attempt restores; snapTried makes the capture happen once even when
+	// it fails (a firmware that never triggers falls back to full runs).
+	snap      *pipeline.Snapshot
+	snapTried bool
 }
 
 // NewTarget assembles and loads src (one of the guard source builders) and
@@ -50,30 +63,59 @@ func NewTarget(g Guard, src string) (*Target, error) {
 	return &Target{Guard: g, Board: b, Machine: m}, nil
 }
 
-// Attempt resets the board and runs one glitch attempt.
+// snapshot returns the target's trigger-point snapshot, capturing it on
+// first use. It returns nil — meaning "run fully" — when FullRun is set or
+// when the firmware never raises its trigger within the attempt budget.
+func (t *Target) snapshot() *pipeline.Snapshot {
+	if t.FullRun {
+		return nil
+	}
+	if !t.snapTried {
+		t.snapTried = true
+		t.snap = t.Machine.SnapshotAtTrigger(attemptBudget)
+	}
+	return t.snap
+}
+
+// Attempt rewinds the board to the trigger point (or resets it, on the
+// full-run path) and runs one glitch attempt.
 func (t *Target) Attempt(inj pipeline.Injector) pipeline.Result {
 	if t.Prof.Sample() {
 		return t.attemptProfiled(inj)
 	}
-	t.Board.Reset()
 	t.Machine.Glitch = inj
+	if s := t.snapshot(); s != nil {
+		return t.Machine.RunFrom(s, attemptBudget)
+	}
+	t.Board.Reset()
 	return t.Machine.Run(attemptBudget)
 }
 
-// attemptProfiled is Attempt with phase timing: board reset is the
-// assemble phase and the machine run the execute phase, out of which the
-// pipeline's glitch-window mapping (measured via pipeline.ReplayProf,
-// corrected for its own clock-read overhead) and the calibrated decode
-// share are split. Scan outcome bookkeeping happens in the scan drivers
-// and is not attributed — it is a few map updates per success.
+// attemptProfiled is Attempt with phase timing: the snapshot restore (or
+// board reset, on the full-run path) is the assemble phase and the machine
+// run the execute phase, out of which the pipeline's glitch-window mapping
+// (measured via pipeline.ReplayProf, corrected for its own clock-read
+// overhead) and the calibrated decode share are split. Scan outcome
+// bookkeeping happens in the scan drivers and is not attributed — it is a
+// few map updates per success.
 func (t *Target) attemptProfiled(inj pipeline.Injector) pipeline.Result {
+	s := t.snapshot()
 	tm := t.Prof.Start()
-	t.Board.Reset()
 	t.Machine.Glitch = inj
+	if s != nil {
+		t.Machine.RestoreSnapshot(s)
+	} else {
+		t.Board.Reset()
+	}
 	tm.Mark(profile.PhaseAssemble)
 	var rp pipeline.ReplayProf
 	t.Machine.Replay = &rp
-	r := t.Machine.Run(attemptBudget)
+	var r pipeline.Result
+	if s != nil {
+		r = t.Machine.Resume(attemptBudget)
+	} else {
+		r = t.Machine.Run(attemptBudget)
+	}
 	t.Machine.Replay = nil
 	execNs := tm.Mark(profile.PhaseExecute)
 	// The per-slot replay measurement itself costs a time.Now/Since pair
@@ -84,8 +126,12 @@ func (t *Target) attemptProfiled(inj pipeline.Injector) pipeline.Result {
 		int64(rp.Ops)*t.Prof.PairOverheadNs(), execNs)
 	replayNs := rp.Ns - int64(rp.Ops)*t.Prof.ClockOverheadNs()
 	moved := t.Prof.Split(profile.PhaseExecute, profile.PhaseReplay, replayNs, execNs)
+	steps := r.Steps
+	if s != nil {
+		steps -= s.Steps() // prologue instructions were not re-executed
+	}
 	t.Prof.Split(profile.PhaseExecute, profile.PhaseDecode,
-		t.Prof.DecodeEst(r.Steps), execNs-moved)
+		t.Prof.DecodeEst(steps), execNs-moved)
 	return r
 }
 
@@ -382,6 +428,7 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 				if t, err = NewTarget(g, src); err != nil {
 					return nil, err
 				}
+				t.FullRun = m.FullRun
 				m.Obs.AttachTarget(t)
 				t.Prof = psh
 			}
@@ -414,6 +461,7 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 				firstErr.CompareAndSwap(nil, &err)
 				return
 			}
+			t.FullRun = m.FullRun
 			m.Obs.AttachTarget(t)
 			shard := m.Obs.Shard()
 			defer shard.Flush()
@@ -433,6 +481,7 @@ func runBands[T any](m *Model, g Guard, src string, workers int,
 							firstErr.CompareAndSwap(nil, &err)
 							return
 						}
+						t.FullRun = m.FullRun
 						m.Obs.AttachTarget(t)
 						t.Prof = psh
 						continue

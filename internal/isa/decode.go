@@ -11,14 +11,15 @@ func Is32Bit(hw uint16) bool {
 // the architecture leaves undefined decode to an Inst with Op == OpInvalid
 // (the emulator turns those into invalid-instruction faults); Decode itself
 // never fails so that mutation campaigns can probe the whole encoding space.
+//
+// 16-bit encodings resolve through the precomputed total decode table (see
+// decode_table.go): one bounds-check-free array load instead of the switch
+// tree, which is what makes a mutated execution's decode cost ~free.
 func Decode(hw, hw2 uint16) Inst {
 	if Is32Bit(hw) {
 		return decode32(hw, hw2)
 	}
-	in := decode16(hw)
-	in.Size = 2
-	in.Raw = uint32(hw)
-	return in
+	return decodeTable[hw]
 }
 
 func decode16(hw uint16) Inst {

@@ -1,0 +1,24 @@
+package isa
+
+// decodeTable is the precomputed total decode of the 16-bit Thumb encoding
+// space: decodeTable[hw] == decode16(hw) with Size/Raw filled in, for every
+// possible halfword. Thumb-16 is a 2^16 space, so total precomputation is
+// ~2 MiB once per process and turns the mutation campaigns' hottest
+// operation — decoding an arbitrary perturbed halfword — into a single
+// array load. The index is a uint16, so the load compiles without a bounds
+// check. 32-bit prefixes (Is32Bit) never reach the table: Decode routes
+// them to the functional decode32 path, which needs the second halfword.
+//
+// decode16 stays as the generative definition; the table is verified
+// against it field for field over the whole space by the difftest oracle
+// in decode_table_test.go.
+var decodeTable [1 << 16]Inst
+
+func init() {
+	for hw := 0; hw < 1<<16; hw++ {
+		in := decode16(uint16(hw))
+		in.Size = 2
+		in.Raw = uint32(hw)
+		decodeTable[hw] = in
+	}
+}

@@ -1,0 +1,40 @@
+package isa
+
+import "testing"
+
+// TestDecodeTableTotalOracle is the exhaustive difftest oracle for the
+// precomputed decode table: for every one of the 65536 possible halfwords,
+// the table entry must equal the generative decode16 result with Size and
+// Raw filled in exactly as the pre-table Decode did. Inst is a comparable
+// struct, so == covers every field (Op, Rd, Rn, Rm, Imm, Cond, Regs, Size,
+// Raw).
+func TestDecodeTableTotalOracle(t *testing.T) {
+	for hw := 0; hw < 1<<16; hw++ {
+		want := decode16(uint16(hw))
+		want.Size = 2
+		want.Raw = uint32(hw)
+		if got := decodeTable[hw]; got != want {
+			t.Fatalf("decodeTable[%#04x] = %+v, want decode16 result %+v", hw, got, want)
+		}
+	}
+}
+
+// TestDecodeUsesTable pins the public entry point to the table for 16-bit
+// encodings and to the functional decode32 path for 32-bit prefixes: the
+// campaigns depend on Decode(hw, 0) being exactly the table load.
+func TestDecodeUsesTable(t *testing.T) {
+	for hw := 0; hw < 1<<16; hw++ {
+		h := uint16(hw)
+		got := Decode(h, 0)
+		if Is32Bit(h) {
+			want := decode32(h, 0)
+			if got != want {
+				t.Fatalf("Decode(%#04x, 0) = %+v, want decode32 result %+v", hw, got, want)
+			}
+			continue
+		}
+		if got != decodeTable[hw] {
+			t.Fatalf("Decode(%#04x, 0) = %+v, want table entry %+v", hw, got, decodeTable[hw])
+		}
+	}
+}

@@ -194,6 +194,47 @@ func TestCommittedBaselinesSelfConsistent(t *testing.T) {
 	}
 }
 
+// TestHotPathSpeedupClaim pins the hot-path overhaul's headline number as
+// a pure-data contract, independent of host speed: the committed
+// BENCH_parallel.json must be at least 5x faster, min-of-samples, than the
+// preserved pre-overhaul baseline for every protected worker count
+// (ROADMAP item 2's acceptance bar). Both files were measured on the same
+// host class; regenerating BENCH_parallel.json on a faster machine only
+// widens the margin, and regenerating the _pre_hotpath denominator is a
+// test failure by design — the engine it measured no longer exists.
+func TestHotPathSpeedupClaim(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	pre, err := LoadFile(filepath.Join(root, "BENCH_parallel_pre_hotpath.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := LoadFile(filepath.Join(root, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantSpeedup = 5.0
+	for name, e := range cur.Benchmarks {
+		base, ok := pre.Benchmarks[name]
+		if !ok {
+			t.Errorf("%s: in BENCH_parallel.json but not in the pre-hotpath baseline", name)
+			continue
+		}
+		got, was := e.Estimate(), base.Estimate()
+		if got <= 0 || was <= 0 {
+			t.Errorf("%s: non-positive estimate (pre %v, current %v)", name, was, got)
+			continue
+		}
+		if speedup := was / got; speedup < wantSpeedup {
+			t.Errorf("%s: %.0fns -> %.0fns is %.1fx, want >= %.0fx",
+				name, was, got, speedup, wantSpeedup)
+		}
+	}
+	if len(cur.Benchmarks) < 4 {
+		t.Errorf("BENCH_parallel.json protects %d benchmarks, want the 1/2/4/8-worker quartet",
+			len(cur.Benchmarks))
+	}
+}
+
 func TestEmitRoundTrip(t *testing.T) {
 	f := Emit("2026-08-07", "linux", "amd64", map[string][]float64{
 		"BenchmarkX": {300, 200, 250},

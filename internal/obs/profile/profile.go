@@ -24,13 +24,16 @@
 //     decode budget). New measures the minimum observed back-to-back
 //     read cost and every mark subtracts it, so phase totals converge on
 //     the true cost instead of the cost plus the profiler's.
-//   - decode unit cost: isa.Decode runs ~10 ns per instruction, far below
-//     the clock-read floor, so timing it in the emulator's step loop
-//     would measure the timer. Instead New times a full 2^16-encoding
-//     decode sweep (min of several rounds) and the decode phase is
-//     attributed as unit-cost x retired instructions, capped by the
-//     measured execute time it is split from. emu.CPU.DecodeNs exists to
-//     validate this model directly (see the package tests).
+//   - decode unit cost: isa.Decode is a single table load for 16-bit
+//     encodings (a few ns per instruction), far below the clock-read
+//     floor, so timing it in the emulator's step loop would measure the
+//     timer — and cost the hot path a branch per retired instruction.
+//     Calibration is therefore entirely out-of-band: New times a full
+//     2^16-encoding decode sweep (min of several rounds) and the decode
+//     phase is attributed as unit-cost x instructions retired by the run
+//     being profiled, capped by the measured execute time it is split
+//     from. The package tests re-validate the unit cost against an
+//     independently timed sweep.
 //   - replay-pair cost: pipeline.ReplayProf times each glitch-window
 //     issue slot with a time.Now/time.Since pair, which costs more than
 //     two bare monotonic reads; New calibrates the pair so callers can

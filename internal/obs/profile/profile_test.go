@@ -5,7 +5,6 @@ import (
 	"testing"
 	"time"
 
-	"glitchlab/internal/emu"
 	"glitchlab/internal/isa"
 )
 
@@ -296,14 +295,16 @@ func TestConcurrentFlush(t *testing.T) {
 	}
 }
 
-// TestDecodeCalibrationAgainstEmu validates the decode unit-cost model:
-// a real emulated run with emu.CPU.DecodeNs accumulating the actual
-// in-loop decode time should land within an order of magnitude of the
-// calibrated unit cost times retired steps. The in-loop measurement
-// includes a clock-read pair per step, so it only bounds the model from
-// above; the check is deliberately loose — the calibration must be the
-// right order of magnitude, not exact.
-func TestDecodeCalibrationAgainstEmu(t *testing.T) {
+// TestDecodeCalibrationOutOfBand validates the decode unit-cost model
+// without touching the emulator's step loop: an independently timed
+// 2^16-encoding isa.Decode sweep should land within an order of magnitude
+// of the calibrated unit cost. The in-loop measurement embeds a clock-read
+// pair per call, so it only bounds the model from above; the check is
+// deliberately loose — the calibration must be the right order of
+// magnitude, not exact. (The emulator used to carry a per-step wall-timing
+// hook for this validation; it cost a branch on every retired instruction
+// and measured mostly the timer, which is why calibration is out-of-band.)
+func TestDecodeCalibrationOutOfBand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("calibration timing in -short mode")
 	}
@@ -316,10 +317,9 @@ func TestDecodeCalibrationAgainstEmu(t *testing.T) {
 		t.Fatalf("decode unit cost implausibly high: %dns", unit)
 	}
 
-	// Run a real decode sweep with the emulator's validation hook pattern:
-	// time isa.Decode per call the same way emu.CPU.step does when
-	// DecodeNs is set, and confirm the per-call measured cost (which
-	// embeds a clock-read pair) is >= the calibrated pure cost.
+	// Time isa.Decode per call with an explicit clock-read pair and
+	// confirm the measured cost (pure cost plus the pair) is >= the
+	// calibrated pure cost.
 	var measured int64
 	const n = 0x10000
 	for hw := 0; hw < n; hw++ {
@@ -335,10 +335,4 @@ func TestDecodeCalibrationAgainstEmu(t *testing.T) {
 	if unit > 0 && perCall > 100*unit {
 		t.Errorf("in-loop measured decode %dns/call vs calibrated %dns/call: model off by >100x", perCall, unit)
 	}
-	// The emu hook exists and compiles against the same field the model
-	// validates; exercise it so the contract is covered.
-	var cpu emu.CPU
-	var ns int64
-	cpu.DecodeNs = &ns
-	_ = cpu
 }

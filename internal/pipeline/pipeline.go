@@ -265,7 +265,12 @@ type ReplayProf struct {
 
 // Run executes until a stop symbol, a fault, or the cycle budget.
 func (m *Machine) Run(maxCycles uint64) Result {
-	cpu := m.Board.CPU
+	m.resetRun()
+	return m.run(maxCycles)
+}
+
+// resetRun clears the per-run glitch-mapping state.
+func (m *Machine) resetRun() {
 	m.step = 0
 	m.windowIdx = -1
 	m.windowStart = 0
@@ -273,6 +278,12 @@ func (m *Machine) Run(maxCycles uint64) Result {
 	m.dataCorrupt = map[uint64]Event{}
 	m.skipAt = map[uint64]bool{}
 	m.glitchedSteps = 0
+}
+
+// run is the machine's main loop, continuing from the current machine and
+// board state (Run and RunFrom both funnel into it).
+func (m *Machine) run(maxCycles uint64) Result {
+	cpu := m.Board.CPU
 
 	for {
 		pc := cpu.PC()
@@ -355,6 +366,102 @@ func (m *Machine) dispatch(ev Event) {
 		pc := m.Board.CPU.R[isa.PC]
 		m.Board.CPU.R[isa.PC] = ev.applyData(pc) &^ 1
 	}
+}
+
+// Snapshot is a restorable capture of a machine, its CPU and its board at
+// the trigger point, letting a glitch campaign replay only the post-trigger
+// window instead of re-simulating the whole boot prologue per attempt.
+type Snapshot struct {
+	cpu         emu.CPUState
+	mem         *emu.MemSnapshot
+	step        uint64
+	windowStart uint64
+	windowIdx   int
+	trigCount   int
+	trigCycle   uint64
+	flashWrites int
+}
+
+// SnapshotAtTrigger resets the board and runs — glitch-free — until the
+// first trigger write retires, then captures a Snapshot at exactly that
+// point. The capture sits at relative cycle 0 of the glitch window: the
+// trigger hook sets windowStart to the trigger store's completion cycle, so
+// no injector event can apply to any cycle before the snapshot (the glitch
+// mapping is gated on a non-negative window index, which only the trigger
+// itself establishes). The prologue is therefore injector-independent and
+// RunFrom(s, ...) is byte-identical to a full Run with the same injector.
+//
+// It returns nil if the run stops, faults or exhausts its budgets before
+// any trigger fires; callers fall back to full runs in that case.
+//
+// The snapshot's memory capture arms dirty-page tracking on the board's
+// writable regions; from then on the board must only be re-run through
+// RestoreSnapshot/RunFrom. A Board.Reset would repaint SRAM outside the
+// CPU store path, invisibly to the tracking, and stale data would survive
+// the next restore.
+func (m *Machine) SnapshotAtTrigger(maxCycles uint64) *Snapshot {
+	m.Board.Reset()
+	m.resetRun()
+	cpu := m.Board.CPU
+	for m.windowIdx < 0 {
+		if _, ok := m.Stops[cpu.PC()]; ok {
+			return nil
+		}
+		if cpu.Cycles >= maxCycles {
+			return nil
+		}
+		if m.MaxSteps > 0 && cpu.Steps >= m.MaxSteps {
+			return nil
+		}
+		m.curStep = m.step
+		m.curStepFetch = false
+		if _, err := cpu.Step(); err != nil {
+			return nil
+		}
+		m.step++
+	}
+	return &Snapshot{
+		cpu:         cpu.State(),
+		mem:         m.Board.Mem.Snapshot(),
+		step:        m.step,
+		windowStart: m.windowStart,
+		windowIdx:   m.windowIdx,
+		trigCount:   m.Board.TriggerCount,
+		trigCycle:   m.Board.TriggerCycle,
+		flashWrites: m.Board.FlashWrites,
+	}
+}
+
+// Steps reports how many instructions had retired at the snapshot point;
+// profilers subtract it from a replayed run's total to count only the
+// instructions the replay itself executed.
+func (s *Snapshot) Steps() uint64 { return s.cpu.Steps }
+
+// RestoreSnapshot rewinds the machine, CPU, memory and board trigger
+// bookkeeping to the captured trigger point.
+func (m *Machine) RestoreSnapshot(s *Snapshot) {
+	m.resetRun()
+	m.step = s.step
+	m.windowStart = s.windowStart
+	m.windowIdx = s.windowIdx
+	m.Board.CPU.SetState(s.cpu)
+	s.mem.Restore()
+	m.Board.TriggerCount = s.trigCount
+	m.Board.TriggerCycle = s.trigCycle
+	m.Board.FlashWrites = s.flashWrites
+}
+
+// Resume continues execution from the machine's current (restored) state.
+func (m *Machine) Resume(maxCycles uint64) Result {
+	return m.run(maxCycles)
+}
+
+// RunFrom restores a snapshot and runs to completion. maxCycles is the
+// same absolute cycle budget a full Run would get; the cycles already spent
+// reaching the snapshot count against it, so results match a full run.
+func (m *Machine) RunFrom(s *Snapshot, maxCycles uint64) Result {
+	m.RestoreSnapshot(s)
+	return m.run(maxCycles)
 }
 
 func (m *Machine) result(reason StopReason, tag string, fault emu.FaultKind) Result {
