@@ -164,4 +164,53 @@ fi
 "$tmp/glitchtrace" critical "$tmp/trace.jsonl" >/dev/null
 "$tmp/glitchtrace" failures "$tmp/trace.jsonl" >/dev/null
 
+# glitchd serving gates. First the in-process load and crash/resume
+# harnesses under the race detector, full-size (their short variants
+# already ran in the suite above): the hammer floods a tiny admission
+# queue with concurrent mixed submissions and asserts prompt 429s on
+# queue-full, a 100% cache-hit ratio on the second wave, and consistent
+# /metrics and /healthz mid-flight.
+go test -race -run 'TestGlitchdHammer|TestDaemonCrashResumeByteIdentical' \
+	./internal/serve/
+
+# Then the daemon end to end over real HTTP: a served campaign result
+# must be byte-identical to the glitchemu CLI's -out file, and an
+# identical resubmission must be a cache hit.
+go build -o "$tmp/glitchd" ./cmd/glitchd
+"$tmp/glitchemu" -model and -max-flips 2 -out "$tmp/cli_campaign.txt" >/dev/null
+"$tmp/glitchd" -addr 127.0.0.1:0 -state "$tmp/glitchd-state" 2>"$tmp/glitchd.log" &
+glitchd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+	addr=$(sed -n 's|^glitchd: serving on http://\([^ ]*\).*|\1|p' "$tmp/glitchd.log")
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "ci: glitchd never announced its address:" >&2
+	cat "$tmp/glitchd.log" >&2
+	exit 1
+fi
+job=$(curl -sf -X POST -d '{"kind":"campaign","model":"and","max_flips":2}' \
+	"http://$addr/v1/jobs")
+id=$(printf '%s' "$job" | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p' | head -n 1)
+if [ -z "$id" ]; then
+	echo "ci: glitchd submission returned no job id: $job" >&2
+	exit 1
+fi
+curl -sf "http://$addr/v1/jobs/$id/result?wait=1" >"$tmp/served_campaign.txt"
+cmp "$tmp/cli_campaign.txt" "$tmp/served_campaign.txt"
+resubmit=$(curl -sf -X POST -d '{"kind":"campaign","model":"and","max_flips":2}' \
+	"http://$addr/v1/jobs")
+case "$resubmit" in
+*'"cache_hit": true'*) ;;
+*)
+	echo "ci: identical resubmission was not a cache hit: $resubmit" >&2
+	exit 1
+	;;
+esac
+curl -sf "http://$addr/healthz" | grep -q '"ok": true'
+kill -TERM "$glitchd_pid"
+wait "$glitchd_pid"
+
 echo "ci: OK"

@@ -1,0 +1,104 @@
+// Command glitchd is the campaign-as-a-service daemon: a long-running
+// HTTP server that accepts campaign/scan/eval jobs as JSON, admits them
+// through a bounded queue, executes them on the sharded engines under
+// runctl checkpoints (a killed daemon resumes every in-flight job on the
+// next start), streams progress and partial results as JSONL events, and
+// serves identical submissions byte-identically from a stamped LRU result
+// cache.
+//
+// Usage:
+//
+//	glitchd -state /var/lib/glitchd             # serve on 127.0.0.1:8473
+//	glitchd -state d -addr 127.0.0.1:0          # ephemeral port (printed)
+//	glitchd -state d -queue 16 -executors 2     # admission + concurrency
+//	glitchd -state d -job-workers 2             # per-job worker budget
+//	glitchd -state d -cache-mb 128              # result-cache size cap
+//
+// API (also on the same listener: /metrics, /metrics.json, /debug/pprof):
+//
+//	POST /v1/jobs               {"kind":"campaign","model":"and",...}
+//	GET  /v1/jobs[?format=text] job list
+//	GET  /v1/jobs/{id}          status (units done, state, cache key)
+//	GET  /v1/jobs/{id}/result   rendered result (byte-identical to the
+//	                            equivalent CLI's -out file)
+//	GET  /v1/jobs/{id}/events   JSONL progress stream (?offset=, ?wait=1)
+//	GET  /v1/jobs/{id}/metrics  per-job metric deltas (obs.SnapshotDiff)
+//	GET  /healthz               liveness + queue occupancy
+//
+// SIGINT/SIGTERM drain the daemon: in-flight jobs checkpoint at the next
+// work-unit boundary and the process exits; restarting with the same
+// -state resumes them to byte-identical results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"glitchlab/internal/obs"
+	"glitchlab/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glitchd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8473", "HTTP listen address (use :0 for an ephemeral port)")
+	state := flag.String("state", "", "durable state directory (required)")
+	queue := flag.Int("queue", 8, "admission bound: max queued+running jobs before 429")
+	executors := flag.Int("executors", 2, "jobs executed concurrently")
+	jobWorkers := flag.Int("job-workers", 0, "per-job engine worker budget (0 = GOMAXPROCS/executors)")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache size cap in MiB")
+	flag.Parse()
+
+	if *state == "" {
+		return fmt.Errorf("-state is required")
+	}
+
+	d, err := serve.Open(serve.Config{
+		StateDir:   *state,
+		QueueCap:   *queue,
+		Executors:  *executors,
+		JobWorkers: *jobWorkers,
+		CacheBytes: *cacheMB << 20,
+		Reg:        obs.Default,
+	})
+	if err != nil {
+		return err
+	}
+
+	obs.Default.PublishExpvar("glitchlab")
+	mux := obs.Default.Mux()
+	d.Register(mux)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		d.Close()
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "glitchd: serving on http://%s (state %s, stamp %q)\n",
+		ln.Addr(), *state, d.Stamp())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "glitchd: %v: draining (in-flight jobs checkpoint and resume on restart)\n", s)
+		_ = srv.Close()
+		return d.Close()
+	case err := <-errc:
+		d.Close()
+		return err
+	}
+}

@@ -21,6 +21,11 @@
 // work unit; SIGINT, SIGTERM or -deadline drain the workers, flush the
 // checkpoint and exit with status 3, and -resume skips the completed units
 // and produces byte-identical results to an uninterrupted run.
+//
+// The campaign itself executes through internal/serve's flag-free Exec —
+// the same entry point the glitchd daemon uses — so a daemon-served
+// campaign result is byte-identical to this CLI's -out file by
+// construction.
 package main
 
 import (
@@ -30,12 +35,11 @@ import (
 	"os"
 
 	"glitchlab/internal/campaign"
-	"glitchlab/internal/core"
-	"glitchlab/internal/mutate"
 	"glitchlab/internal/obs"
 	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/report"
 	"glitchlab/internal/runctl"
+	"glitchlab/internal/serve"
 )
 
 func main() {
@@ -72,17 +76,22 @@ func run() error {
 	}
 	defer sess.Close()
 
+	spec, err := serve.Spec{
+		Kind:        serve.KindCampaign,
+		Model:       *modelFlag,
+		ZeroInvalid: *zeroInvalid,
+		PadUDF:      *padUDF,
+		MaxFlips:    *maxFlips,
+	}.Normalize()
+	if err != nil {
+		return err
+	}
+
 	// The config hash covers everything that shapes the results; the worker
 	// count and -full-run only shape the schedule and the execution engine,
 	// never the counts, so they are deliberately excluded and a run may be
 	// resumed with different values for either.
-	hash := runctl.ConfigHash(struct {
-		Model       string
-		ZeroInvalid bool
-		PadUDF      bool
-		MaxFlips    int
-	}{*modelFlag, *zeroInvalid, *padUDF, *maxFlips})
-	rn, cancel, err := rcli.Start("glitchemu", hash, 0)
+	rn, cancel, err := rcli.Start("glitchemu", spec.ConfigHash(), 0)
 	if err != nil {
 		return err
 	}
@@ -90,52 +99,29 @@ func run() error {
 	defer rn.Close()
 	rn.Tracer = sess.Tracer
 
-	type variant struct {
-		model       mutate.Model
-		zeroInvalid bool
-	}
-	var variants []variant
-	if *modelFlag == "" {
-		variants = []variant{
-			{mutate.AND, false},
-			{mutate.OR, false},
-			{mutate.AND, true},
-			{mutate.XOR, false},
-		}
-	} else {
-		m, err := mutate.ParseModel(*modelFlag)
-		if err != nil {
-			return err
-		}
-		variants = []variant{{m, *zeroInvalid}}
-	}
-
 	var prof *profile.Profile
 	if *profFlag {
 		prof = profile.New(*profEvery)
 	}
 
+	env := serve.Env{
+		Workers:  *workers,
+		FullRun:  *fullRun,
+		Tracer:   sess.Tracer,
+		Progress: sess.Progress,
+		Prof:     prof,
+		Run:      rn,
+	}
+	if cli.Enabled() {
+		env.Reg = obs.Default
+	}
+
 	out := runctl.NewOutput(rcli.OutPath)
-	for _, v := range variants {
-		var o *campaign.Observer
-		if cli.Enabled() {
-			o = campaign.NewObserver(obs.Default, sess.Tracer)
-			o.OnProgress(0, sess.Progress("campaign "+v.model.String()))
+	if err := serve.Exec(spec, env, out.Writer()); err != nil {
+		if errors.Is(err, runctl.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitchemu"))
 		}
-		var results []campaign.CondResult
-		var err error
-		if *padUDF {
-			results, err = core.RunUDFHardening(v.model, *maxFlips, *workers, *fullRun, o, prof, rn)
-		} else {
-			results, err = core.RunFigure2(v.model, v.zeroInvalid, *maxFlips, *workers, *fullRun, o, prof, rn)
-		}
-		if err != nil {
-			if errors.Is(err, runctl.ErrInterrupted) {
-				fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitchemu"))
-			}
-			return err
-		}
-		fmt.Fprintln(out.Writer(), report.Figure2(results, v.model, v.zeroInvalid))
+		return err
 	}
 	if err := out.Commit(); err != nil {
 		return err

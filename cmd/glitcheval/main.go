@@ -25,6 +25,10 @@
 // or -deadline drain the run, flush the checkpoint and exit with status
 // 3, and -resume skips the completed units and produces byte-identical
 // results to an uninterrupted run.
+//
+// The evaluation executes through internal/serve's flag-free Exec — the
+// same entry point the glitchd daemon uses — so a daemon-served eval
+// result is byte-identical to this CLI's -out file by construction.
 package main
 
 import (
@@ -33,15 +37,12 @@ import (
 	"fmt"
 	"os"
 
-	"glitchlab/internal/analyze"
 	"glitchlab/internal/campaign"
 	"glitchlab/internal/core"
-	"glitchlab/internal/glitcher"
-	"glitchlab/internal/mutate"
 	"glitchlab/internal/obs"
-	"glitchlab/internal/passes"
 	"glitchlab/internal/report"
 	"glitchlab/internal/runctl"
+	"glitchlab/internal/serve"
 )
 
 func main() {
@@ -76,16 +77,21 @@ func run() error {
 	}
 	defer sess.Close()
 
-	// Worker count and -full-run excluded: they shape only the schedule
-	// and the execution engine, never the counts.
-	hash := runctl.ConfigHash(struct {
-		Exp         string
-		Seed        uint64
-		Model       string
-		ZeroInvalid bool
-		MaxFlips    int
-	}{*exp, *seed, *modelFlag, *zeroInvalid, *maxFlips})
-	rn, cancel, err := rcli.Start("glitcheval", hash, *seed)
+	spec, err := serve.Spec{
+		Kind:        serve.KindEval,
+		Exp:         *exp,
+		Seed:        *seed,
+		Model:       *modelFlag,
+		ZeroInvalid: *zeroInvalid,
+		MaxFlips:    *maxFlips,
+	}.Normalize()
+	if err != nil {
+		return err
+	}
+
+	// Worker count and -full-run excluded from the config hash: they shape
+	// only the schedule and the execution engine, never the counts.
+	rn, cancel, err := rcli.Start("glitcheval", spec.ConfigHash(), spec.Seed)
 	if err != nil {
 		return err
 	}
@@ -93,113 +99,26 @@ func run() error {
 	defer rn.Close()
 	rn.Tracer = sess.Tracer
 
-	out := runctl.NewOutput(rcli.OutPath)
-	w := out.Writer()
-
-	runT4 := func() error {
-		t4, err := core.RunTable4()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, report.Table4(t4))
-		return nil
+	env := serve.Env{
+		Workers:  *workers,
+		FullRun:  *fullRun,
+		Tracer:   sess.Tracer,
+		Progress: sess.Progress,
+		Run:      rn,
 	}
-	runT5 := func() error {
-		t5, err := core.RunTable5()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, report.Table5(t5))
-		return nil
+	if cli.Enabled() {
+		env.Reg = obs.Default
 	}
-	runT6 := func() error {
-		var progress func(sc, cfg string, a core.Attack, cell core.Table6Cell)
-		if *verbose {
-			progress = func(sc, cfg string, a core.Attack, cell core.Table6Cell) {
-				fmt.Fprintf(os.Stderr, "  %s / %s / %s: %d successes, %d detections\n",
-					sc, cfg, a, cell.Successes, cell.Detections)
-			}
+	if *verbose {
+		env.EvalProgress = func(sc, cfg string, a core.Attack, cell core.Table6Cell) {
+			fmt.Fprintf(os.Stderr, "  %s / %s / %s: %d successes, %d detections\n",
+				sc, cfg, a, cell.Successes, cell.Detections)
 		}
-		m := glitcher.NewModel(*seed)
-		if cli.Enabled() {
-			m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
-		}
-		t6, err := core.RunTable6(m, progress, rn)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, report.Table6(t6))
-		return nil
-	}
-
-	runLint := func() error {
-		_, audit, err := core.CompileAudited(core.EvalFirmware,
-			passes.All(core.EvalSensitive...),
-			analyze.Options{Sensitive: core.EvalSensitive})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, "Static triage of the evaluation firmware (unprotected):")
-		fmt.Fprintln(w, report.Findings(audit.Pre))
-		fmt.Fprintln(w, "After the full defense set:")
-		fmt.Fprintln(w, report.Findings(audit.Post))
-		return audit.Err()
-	}
-
-	runFig2 := func() error {
-		model, err := mutate.ParseModel(*modelFlag)
-		if err != nil {
-			return err
-		}
-		var o *campaign.Observer
-		if cli.Enabled() {
-			o = campaign.NewObserver(obs.Default, sess.Tracer)
-			o.OnProgress(0, sess.Progress("figure2 "+model.String()))
-		}
-		results, err := core.RunFigure2(model, *zeroInvalid, *maxFlips, *workers, *fullRun, o, nil, rn)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, report.Figure2(results, model, *zeroInvalid))
-		return nil
 	}
 
 	defer sess.DumpMetrics(os.Stdout, report.Metrics)
-	runSelected := func() error {
-		switch *exp {
-		case "table4":
-			return runT4()
-		case "table5":
-			return runT5()
-		case "table6":
-			return runT6()
-		case "table7":
-			fmt.Fprintln(w, report.Table7())
-			return nil
-		case "lint":
-			return runLint()
-		case "figure2":
-			return runFig2()
-		case "all":
-			if err := runLint(); err != nil {
-				return err
-			}
-			if err := runT4(); err != nil {
-				return err
-			}
-			if err := runT5(); err != nil {
-				return err
-			}
-			if err := runT6(); err != nil {
-				return err
-			}
-			fmt.Fprintln(w, report.Table7())
-			return nil
-		default:
-			return fmt.Errorf("unknown experiment %q", *exp)
-		}
-	}
-	if err := runSelected(); err != nil {
+	out := runctl.NewOutput(rcli.OutPath)
+	if err := serve.Exec(spec, env, out.Writer()); err != nil {
 		if errors.Is(err, runctl.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitcheval"))
 		}

@@ -23,22 +23,25 @@
 // SIGTERM or -deadline drain the scan, flush the checkpoint and exit with
 // status 3, and -resume skips the completed rows and produces
 // byte-identical results to an uninterrupted run.
+//
+// The scans execute through internal/serve's flag-free Exec — the same
+// entry point the glitchd daemon uses — so a daemon-served scan result is
+// byte-identical to this CLI's -out file by construction.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"glitchlab/internal/campaign"
 	"glitchlab/internal/core"
-	"glitchlab/internal/glitcher"
 	"glitchlab/internal/obs"
 	"glitchlab/internal/obs/profile"
 	"glitchlab/internal/report"
 	"glitchlab/internal/runctl"
+	"glitchlab/internal/serve"
 )
 
 func main() {
@@ -72,13 +75,18 @@ func run() error {
 	}
 	defer sess.Close()
 
-	// Worker count and -full-run excluded: they shape only the schedule
-	// and the execution engine, never the counts.
-	hash := runctl.ConfigHash(struct {
-		Exp  string
-		Seed uint64
-	}{*exp, *seed})
-	rn, cancel, err := rcli.Start("glitchscan", hash, *seed)
+	spec, err := serve.Spec{
+		Kind: serve.KindScan,
+		Exp:  *exp,
+		Seed: *seed,
+	}.Normalize()
+	if err != nil {
+		return err
+	}
+
+	// Worker count and -full-run excluded from the config hash: they shape
+	// only the schedule and the execution engine, never the counts.
+	rn, cancel, err := rcli.Start("glitchscan", spec.ConfigHash(), spec.Seed)
 	if err != nil {
 		return err
 	}
@@ -86,17 +94,25 @@ func run() error {
 	defer rn.Close()
 	rn.Tracer = sess.Tracer
 
-	m := glitcher.NewModel(*seed)
-	m.FullRun = *fullRun
-	if cli.Enabled() {
-		m.Obs = glitcher.NewObs(obs.Default, sess.Tracer)
-	}
+	var prof *profile.Profile
 	if *profFlag {
-		m.Prof = profile.New(*profEvery)
+		prof = profile.New(*profEvery)
+	}
+
+	env := serve.Env{
+		Workers:  *workers,
+		FullRun:  *fullRun,
+		Tracer:   sess.Tracer,
+		Progress: sess.Progress,
+		Prof:     prof,
+		Run:      rn,
+	}
+	if cli.Enabled() {
+		env.Reg = obs.Default
 	}
 
 	out := runctl.NewOutput(rcli.OutPath)
-	if err := runExp(*exp, m, *workers, rn, out.Writer()); err != nil {
+	if err := serve.Exec(spec, env, out.Writer()); err != nil {
 		if errors.Is(err, runctl.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitchscan"))
 		}
@@ -105,85 +121,11 @@ func run() error {
 	if err := out.Commit(); err != nil {
 		return err
 	}
-	if m.Prof != nil {
-		fmt.Println(report.Profile(m.Prof.Report()))
+	if prof != nil {
+		fmt.Println(report.Profile(prof.Report()))
 	}
 	if cli.Metrics {
 		sess.DumpMetrics(os.Stdout, report.Metrics)
-	}
-	return nil
-}
-
-func runExp(exp string, m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
-	wantT1 := map[string]int{"table1a": 0, "table1b": 1, "table1c": 2}
-	switch exp {
-	case "table1a", "table1b", "table1c":
-		results, err := core.RunTable1(m, workers, rn)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w, report.Table1(results[wantT1[exp]]))
-		return nil
-	case "table1":
-		return printTable1(m, workers, rn, w)
-	case "table2":
-		return printTable2(m, workers, rn, w)
-	case "table3":
-		return printTable3(m, workers, rn, w)
-	case "search":
-		return printSearch(m, rn, w)
-	case "all":
-		if err := printTable1(m, workers, rn, w); err != nil {
-			return err
-		}
-		if err := printTable2(m, workers, rn, w); err != nil {
-			return err
-		}
-		if err := printTable3(m, workers, rn, w); err != nil {
-			return err
-		}
-		return printSearch(m, rn, w)
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
-	}
-}
-
-func printTable1(m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
-	results, err := core.RunTable1(m, workers, rn)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		fmt.Fprintln(w, report.Table1(r))
-	}
-	return nil
-}
-
-func printTable2(m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
-	results, err := core.RunTable2(m, workers, rn)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, report.Table2(results))
-	return nil
-}
-
-func printTable3(m *glitcher.Model, workers int, rn *runctl.Run, w io.Writer) error {
-	results, err := core.RunTable3(m, workers, rn)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, report.Table3(results))
-	return nil
-}
-
-func printSearch(m *glitcher.Model, rn *runctl.Run, w io.Writer) error {
-	results, err := core.RunSearch(m, rn)
-	if err != nil {
-		return err
-	}
-	for _, r := range results {
-		fmt.Fprintln(w, report.Search(r))
 	}
 	return nil
 }

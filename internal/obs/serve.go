@@ -7,13 +7,17 @@ import (
 	"net/http/pprof"
 )
 
-// Handler returns the registry's HTTP surface:
+// Handler returns the registry's HTTP surface (see Mux).
+func (r *Registry) Handler() http.Handler { return r.Mux() }
+
+// Mux returns the registry's HTTP surface as a mutable mux, so a daemon
+// (glitchd) can mount its own API next to the observability endpoints:
 //
 //	/metrics        text snapshot
 //	/metrics.json   JSON snapshot
 //	/debug/vars     standard expvar (includes this registry if published)
 //	/debug/pprof/*  standard runtime profiling endpoints
-func (r *Registry) Handler() http.Handler {
+func (r *Registry) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// JobRow is one glitchd job in the status table. The serving layer maps
+// its job store onto this neutral row type so report does not depend on
+// internal/serve (which imports report for result rendering).
+type JobRow struct {
+	ID      string
+	Kind    string
+	State   string
+	Units   uint64
+	Cached  bool
+	Resumed bool
+	Bytes   int64
+	Err     string
+}
+
+// Jobs renders the daemon job table (GET /v1/jobs?format=text).
+func Jobs(rows []JobRow) string {
+	var sb strings.Builder
+	sb.WriteString("glitchd jobs\n")
+	sb.WriteString("============\n")
+	if len(rows) == 0 {
+		sb.WriteString("(none)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-8s  %-8s  %-11s  %8s  %9s  %s\n",
+		"id", "kind", "state", "units", "result", "notes")
+	for _, r := range rows {
+		var notes []string
+		if r.Cached {
+			notes = append(notes, "cache-hit")
+		}
+		if r.Resumed {
+			notes = append(notes, "resumed")
+		}
+		if r.Err != "" {
+			notes = append(notes, "error: "+firstLine(r.Err))
+		}
+		result := "-"
+		if r.Bytes > 0 {
+			result = fmt.Sprintf("%dB", r.Bytes)
+		}
+		fmt.Fprintf(&sb, "%-8s  %-8s  %-11s  %8d  %9s  %s\n",
+			r.ID, r.Kind, r.State, r.Units, result, strings.Join(notes, ", "))
+	}
+	return sb.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJobsEmpty(t *testing.T) {
+	out := Jobs(nil)
+	if !strings.Contains(out, "glitchd jobs") || !strings.Contains(out, "(none)") {
+		t.Errorf("empty table missing header or placeholder:\n%s", out)
+	}
+}
+
+func TestJobsRendersRowsAndNotes(t *testing.T) {
+	out := Jobs([]JobRow{
+		{ID: "j000001", Kind: "campaign", State: "done", Units: 42, Bytes: 1234},
+		{ID: "j000002", Kind: "scan", State: "done", Cached: true, Bytes: 99},
+		{ID: "j000003", Kind: "eval", State: "running", Units: 3, Resumed: true},
+		{ID: "j000004", Kind: "scan", State: "failed", Err: "boom\nsecond line"},
+	})
+	for _, want := range []string{
+		"j000001", "campaign", "1234B",
+		"j000002", "cache-hit",
+		"j000003", "resumed",
+		"j000004", "error: boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "second line") {
+		t.Errorf("error note should keep only the first line:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package runctl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ReadManifest loads the manifest of an existing run directory. It is how
+// a supervisor (the glitchd daemon) enumerates resumable runs without
+// opening them: the manifest names the tool, config hash and seed the
+// checkpoint belongs to, so the caller can detect drift before committing
+// to a resume.
+func ReadManifest(dir string) (Manifest, error) {
+	var m Manifest
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return m, fmt.Errorf("runctl: manifest: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("runctl: corrupt manifest in %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// HasCheckpoint reports whether dir holds a started run — a manifest
+// written by Open. A directory with a checkpoint must be reopened with
+// resume=true (Open refuses it fresh); one without is opened fresh even if
+// the directory itself already exists (a crash between MkdirAll and the
+// first manifest write leaves exactly that state, and the run simply
+// starts over).
+func HasCheckpoint(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// IsNoManifest reports whether err from ReadManifest means the directory
+// has no manifest at all (as opposed to a corrupt one).
+func IsNoManifest(err error) bool {
+	return errors.Is(err, os.ErrNotExist)
+}

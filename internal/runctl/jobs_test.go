@@ -1,0 +1,62 @@
+package runctl
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHasCheckpointAndReadManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	if HasCheckpoint(dir) {
+		t.Error("HasCheckpoint true for a directory that does not exist")
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Error("ReadManifest of a missing dir should error")
+	} else if !IsNoManifest(err) {
+		t.Errorf("missing manifest should satisfy IsNoManifest: %v", err)
+	}
+
+	// A bare directory without a manifest is still not a checkpoint (a
+	// crash between MkdirAll and the first manifest write leaves this).
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if HasCheckpoint(dir) {
+		t.Error("HasCheckpoint true for an empty directory")
+	}
+
+	want := Manifest{Tool: "glitchemu", ConfigHash: "abc123", Seed: 7}
+	rn, err := Open(context.Background(), dir, want, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !HasCheckpoint(dir) {
+		t.Error("HasCheckpoint false after Open wrote a manifest")
+	}
+	got, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if got.Tool != want.Tool || got.ConfigHash != want.ConfigHash || got.Seed != want.Seed {
+		t.Errorf("ReadManifest = %+v, want %+v", got, want)
+	}
+}
+
+func TestReadManifestCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{not json"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadManifest(dir)
+	if err == nil {
+		t.Fatal("corrupt manifest should error")
+	}
+	if IsNoManifest(err) {
+		t.Error("corrupt manifest must be distinguishable from a missing one")
+	}
+}

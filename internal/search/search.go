@@ -39,7 +39,10 @@ type Result struct {
 	// CoarseHits counts parameter points that succeeded in the coarse
 	// phase.
 	CoarseHits uint64
-	// Elapsed is the wall-clock duration of the search.
+	// Elapsed is the wall-clock duration of the search. It is
+	// diagnostic only and deliberately absent from String: rendered
+	// results must be byte-identical across runs, resumes and daemon
+	// replays, and wall time never is.
 	Elapsed time.Duration
 }
 
@@ -50,9 +53,9 @@ func (r *Result) String() string {
 			r.Guard, r.Successes, r.Attempts)
 	}
 	return fmt.Sprintf(
-		"%s: width=%d%% offset=%d%% cycle=%d reliable %d/%d (%d successes in %d attempts, %s)",
+		"%s: width=%d%% offset=%d%% cycle=%d reliable %d/%d (%d successes in %d attempts)",
 		r.Guard, r.Params.Width, r.Params.Offset, r.Cycle,
-		Confirmations, Confirmations, r.Successes, r.Attempts, r.Elapsed)
+		Confirmations, Confirmations, r.Successes, r.Attempts)
 }
 
 // Searcher runs parameter searches against one guard.

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"glitchlab/internal/obs"
+)
+
+// Metric names the serving layer maintains.
+const (
+	MetricJobsSubmitted = "serve.jobs_submitted_total"
+	MetricJobsCompleted = "serve.jobs_completed_total"
+	MetricJobsFailed    = "serve.jobs_failed_total"
+	MetricJobsRejected  = "serve.jobs_rejected_total"  // 429 admission rejections
+	MetricJobsCoalesced = "serve.jobs_coalesced_total" // joined an in-flight identical job
+	MetricJobsResumed   = "serve.jobs_resumed_total"   // re-enqueued after a daemon restart
+	MetricQueueDepth    = "serve.queue_depth"          // queued, not yet running
+	MetricJobsRunning   = "serve.jobs_running"
+	MetricCacheHits     = "serve.cache_hits_total"
+	MetricCacheMisses   = "serve.cache_misses_total"
+	MetricCacheEvicted  = "serve.cache_evictions_total"
+	MetricCacheBytes    = "serve.cache_bytes"
+	MetricCacheEntries  = "serve.cache_entries"
+)
+
+// Cache is the completed-result cache: rendered report bytes keyed by the
+// stamped spec cache key, bounded by total byte size with LRU eviction.
+// Entries are immutable once inserted — Get hands out the stored slice
+// and callers must not modify it — so a hit is served byte-identically to
+// the execution that populated it, never stale (keys change with any
+// config field or stamp change) and never truncated (entries are evicted
+// whole or not at all).
+type Cache struct {
+	mu      sync.Mutex
+	maxSize int64
+	size    int64
+	order   *list.List // front = most recently used; values are *centry
+	entries map[string]*list.Element
+
+	hits, misses, evictions *obs.Counter
+	bytes, count            *obs.Gauge
+}
+
+type centry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns a cache holding at most maxSize bytes of result bodies
+// (<= 0 disables caching entirely), reporting into reg.
+func NewCache(maxSize int64, reg *obs.Registry) *Cache {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Cache{
+		maxSize:   maxSize,
+		order:     list.New(),
+		entries:   map[string]*list.Element{},
+		hits:      reg.Counter(MetricCacheHits),
+		misses:    reg.Counter(MetricCacheMisses),
+		evictions: reg.Counter(MetricCacheEvicted),
+		bytes:     reg.Gauge(MetricCacheBytes),
+		count:     reg.Gauge(MetricCacheEntries),
+	}
+}
+
+// Get returns the cached body for key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*centry).body, true
+}
+
+// Put inserts body under key, evicting least-recently-used entries until
+// it fits. A body larger than the whole cache is not stored at all —
+// storing a truncation would violate the byte-identical contract.
+func (c *Cache) Put(key string, body []byte) {
+	if int64(len(body)) > c.maxSize {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Same key means same stamp and config, which promises the same
+		// bytes; keep the existing entry.
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.size+int64(len(body)) > c.maxSize {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		ev := last.Value.(*centry)
+		c.order.Remove(last)
+		delete(c.entries, ev.key)
+		c.size -= int64(len(ev.body))
+		c.evictions.Inc()
+	}
+	c.entries[key] = c.order.PushFront(&centry{key: key, body: body})
+	c.size += int64(len(body))
+	c.bytes.Set(float64(c.size))
+	c.count.Set(float64(len(c.entries)))
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Size returns the total cached body bytes.
+func (c *Cache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"glitchlab/internal/obs"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(1<<20, reg)
+	body := []byte("Figure 2 (AND model)\nresults\n")
+	c.Put("k1", body)
+	got, ok := c.Get("k1")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get(k1) = %q, %v; want the stored body", got, ok)
+	}
+	if _, ok := c.Get("k2"); ok {
+		t.Fatal("Get(k2) hit on a key never stored")
+	}
+	if h := reg.Counter(MetricCacheHits).Value(); h != 1 {
+		t.Errorf("cache hits = %d, want 1", h)
+	}
+	if m := reg.Counter(MetricCacheMisses).Value(); m != 1 {
+		t.Errorf("cache misses = %d, want 1", m)
+	}
+}
+
+// TestCacheLRUEviction: under a tiny cap the least-recently-used entry is
+// the one evicted, survivors are served whole, and a Get refreshes
+// recency.
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	bodyA := bytes.Repeat([]byte("a"), 100)
+	bodyB := bytes.Repeat([]byte("b"), 100)
+	bodyC := bytes.Repeat([]byte("c"), 100)
+	c := NewCache(250, reg) // fits two 100-byte entries, not three
+	c.Put("a", bodyA)
+	c.Put("b", bodyB)
+	if _, ok := c.Get("a"); !ok { // promote a: b is now LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.Put("c", bodyC)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	for key, want := range map[string][]byte{"a": bodyA, "c": bodyC} {
+		got, ok := c.Get(key)
+		if !ok {
+			t.Errorf("%s evicted, want kept", key)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s served %d bytes, want %d byte-identical", key, len(got), len(want))
+		}
+	}
+	if ev := reg.Counter(MetricCacheEvicted).Value(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 || c.Size() != 200 {
+		t.Errorf("Len/Size = %d/%d, want 2/200", c.Len(), c.Size())
+	}
+}
+
+func TestCacheOversizedBodyNotStored(t *testing.T) {
+	c := NewCache(10, obs.NewRegistry())
+	c.Put("big", bytes.Repeat([]byte("x"), 11))
+	if _, ok := c.Get("big"); ok {
+		t.Error("a body larger than the cache must not be stored (truncation hazard)")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, obs.NewRegistry())
+	c.Put("k", []byte("body"))
+	if _, ok := c.Get("k"); ok {
+		t.Error("cache with size cap 0 must store nothing")
+	}
+}
+
+func TestCacheDuplicatePutKeepsFirst(t *testing.T) {
+	c := NewCache(1<<10, obs.NewRegistry())
+	c.Put("k", []byte("first"))
+	c.Put("k", []byte("first")) // same key promises same bytes
+	if c.Len() != 1 || c.Size() != int64(len("first")) {
+		t.Errorf("Len/Size = %d/%d after duplicate put, want 1/%d", c.Len(), c.Size(), len("first"))
+	}
+}
+
+// TestCacheConcurrentNeverStaleOrTruncated hammers a small cache from
+// many goroutines with -race and checks the core contract: every hit is
+// the complete, correct body for its key, even while eviction churns.
+func TestCacheConcurrentNeverStaleOrTruncated(t *testing.T) {
+	c := NewCache(450, obs.NewRegistry())
+	bodyFor := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 50+10*i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 200; iter++ {
+				i := (g + iter) % 8
+				key := fmt.Sprintf("k%d", i)
+				if body, ok := c.Get(key); ok {
+					if !bytes.Equal(body, bodyFor(i)) {
+						t.Errorf("stale or truncated hit for %s: %d bytes", key, len(body))
+						return
+					}
+				} else {
+					c.Put(key, bodyFor(i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

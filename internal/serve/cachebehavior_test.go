@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"glitchlab/internal/obs"
+)
+
+// TestDaemonCacheHitByteIdentical: resubmitting an identical spec — even
+// in a different raw form — is served from the result cache with exactly
+// the bytes the first execution produced, without running the engines
+// again. A single changed config field misses and executes fresh.
+func TestDaemonCacheHitByteIdentical(t *testing.T) {
+	d := openTestDaemon(t, Config{})
+
+	first, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.WaitTerminal(first.Job.ID, waitTimeout) {
+		t.Fatal("first job did not finish")
+	}
+	want, err := d.Result(first.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, golden(t, campaignSpec)) {
+		t.Fatal("executed result differs from direct engine run")
+	}
+	executed := d.Registry().Counter(MetricJobsCompleted).Value()
+
+	// Same job in a different raw spelling: Seed is ignored by campaigns
+	// and normalized away, so this must hit.
+	hit, err := d.Submit(Spec{Kind: KindCampaign, Model: "and", MaxFlips: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("identical resubmission missed the cache")
+	}
+	if hit.Job.ID == first.Job.ID {
+		t.Error("cache hit reused the original job ID; want a new born-done job")
+	}
+	if st := hit.Job.Status(); st.State != StateDone || !st.CacheHit {
+		t.Errorf("cache-hit status = %+v, want done+cache_hit", st)
+	}
+	got, err := d.Result(hit.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cache hit served %d bytes, want the original %d byte-identically",
+			len(got), len(want))
+	}
+	if hits := d.Registry().Counter(MetricCacheHits).Value(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+
+	// One changed field (the flip budget): miss, fresh execution.
+	miss, err := d.Submit(Spec{Kind: KindCampaign, Model: "and", MaxFlips: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.CacheHit || miss.Coalesced {
+		t.Fatal("changed spec must not hit the cache")
+	}
+	if !d.WaitTerminal(miss.Job.ID, waitTimeout) {
+		t.Fatal("changed job did not finish")
+	}
+	if n := d.Registry().Counter(MetricJobsCompleted).Value(); n != executed+2 {
+		t.Errorf("completed = %d, want %d (cache-hit job counts, engines ran once more)",
+			n, executed+2)
+	}
+}
+
+// TestDaemonCoalescing: concurrent identical submissions while the first
+// is in flight all join that one execution — one engine run, one job.
+func TestDaemonCoalescing(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	t.Cleanup(release)
+	d := openTestDaemon(t, Config{UnitHook: func(string, string) {
+		<-gate // hold the first job at its first checkpoint
+	}})
+
+	first, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const dups = 8
+	var wg sync.WaitGroup
+	results := make([]SubmitResult, dups)
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := d.Submit(Spec{Kind: KindCampaign, Model: "and", MaxFlips: 2, Seed: uint64(i)})
+			if err != nil {
+				t.Errorf("duplicate submit %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !r.Coalesced || r.Job == nil || r.Job.ID != first.Job.ID {
+			t.Errorf("duplicate %d: coalesced=%v job=%v, want the in-flight job %s",
+				i, r.Coalesced, r.Job, first.Job.ID)
+		}
+	}
+	release()
+	if !d.WaitTerminal(first.Job.ID, waitTimeout) {
+		t.Fatal("coalesced job did not finish")
+	}
+	body, err := d.Result(first.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, golden(t, campaignSpec)) {
+		t.Error("coalesced result differs from direct engine run")
+	}
+	reg := d.Registry()
+	if n := reg.Counter(MetricJobsCoalesced).Value(); n != dups {
+		t.Errorf("coalesced counter = %d, want %d", n, dups)
+	}
+	if n := reg.Counter(MetricJobsSubmitted).Value(); n != 1 {
+		t.Errorf("submitted counter = %d, want 1 (duplicates joined, not admitted)", n)
+	}
+}
+
+// TestDaemonCacheEvictionNeverStaleOrTruncated: under a cap that fits
+// only one result, eviction churns, but every served result — hit or
+// re-executed — is the complete correct bytes for its spec.
+func TestDaemonCacheEvictionNeverStaleOrTruncated(t *testing.T) {
+	specA := campaignSpec
+	specB := Spec{Kind: KindCampaign, Model: "xor", MaxFlips: 2}
+	wantA, wantB := golden(t, specA), golden(t, specB)
+
+	// Fits either result alone, never both.
+	capBytes := int64(max(len(wantA), len(wantB)) + 16)
+	if capBytes >= int64(len(wantA)+len(wantB)) {
+		t.Fatalf("test premise broken: cap %d holds both results (%d + %d)",
+			capBytes, len(wantA), len(wantB))
+	}
+	d := openTestDaemon(t, Config{CacheBytes: capBytes})
+
+	run := func(spec Spec, want []byte, wantHit bool) {
+		t.Helper()
+		res, err := d.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit != wantHit {
+			t.Fatalf("Submit(%+v): cacheHit = %v, want %v", spec, res.CacheHit, wantHit)
+		}
+		if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+			t.Fatal("job did not finish")
+		}
+		got, err := d.Result(res.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Submit(%+v) served %d bytes, want %d byte-identical (stale or truncated)",
+				spec, len(got), len(want))
+		}
+	}
+
+	run(specA, wantA, false) // A cached
+	run(specB, wantB, false) // B cached, A evicted
+	run(specB, wantB, true)  // still resident
+	run(specA, wantA, false) // evicted -> full re-execution, not staleness
+	run(specA, wantA, true)  // and now resident again (B evicted)
+	if n := d.Registry().Counter(MetricCacheEvicted).Value(); n == 0 {
+		t.Error("tiny cache cap never evicted; test did not exercise eviction")
+	}
+	if got := d.cache.Size(); got > capBytes {
+		t.Errorf("cache size %d exceeds cap %d", got, capBytes)
+	}
+}
+
+// TestDaemonStampInvalidation is the satellite-6 regression: the
+// schema/engine stamp is folded into every cache key, so a daemon
+// restarted under a new stamp must not serve results computed under the
+// old one — neither from memory nor by recovering them from disk.
+func TestDaemonStampInvalidation(t *testing.T) {
+	state := t.TempDir()
+	const stampA = "glitchd/test stamp-A"
+	const stampB = "glitchd/test stamp-B"
+
+	d1 := openTestDaemon(t, Config{StateDir: state, StampOverride: stampA})
+	res, err := d1.Submit(campaignSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d1.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatal("job did not finish")
+	}
+	want, _ := d1.Result(res.Job.ID)
+	if hit, _ := d1.Submit(campaignSpec); !hit.CacheHit {
+		t.Fatal("same-stamp resubmission missed")
+	}
+	d1.Close()
+
+	// Restart under a new stamp: recovery must NOT repopulate the cache
+	// from the old jobs' results, and the resubmission must re-execute.
+	d2 := openTestDaemon(t, Config{StateDir: state, StampOverride: stampB, Reg: obs.NewRegistry()})
+	if n := d2.cache.Len(); n != 0 {
+		t.Fatalf("cache recovered %d stale entries across a stamp change", n)
+	}
+	res2, err := d2.Submit(campaignSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHit || res2.Coalesced {
+		t.Fatal("stamp change must invalidate the cached result")
+	}
+	if !d2.WaitTerminal(res2.Job.ID, waitTimeout) {
+		t.Fatal("re-execution did not finish")
+	}
+	got, _ := d2.Result(res2.Job.ID)
+	if !bytes.Equal(got, want) {
+		t.Error("re-executed result differs (engines changed without a stamp change?)")
+	}
+	d2.Close()
+
+	// Restart back under the original stamp: the old results are valid
+	// again and recovery repopulates the cache from them.
+	d3 := openTestDaemon(t, Config{StateDir: state, StampOverride: stampA, Reg: obs.NewRegistry()})
+	if hit, err := d3.Submit(campaignSpec); err != nil || !hit.CacheHit {
+		t.Errorf("matching-stamp restart should serve from the recovered cache (hit=%v err=%v)",
+			hit.CacheHit, err)
+	}
+}

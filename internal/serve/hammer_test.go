@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGlitchdHammer is the satellite load test (ci.sh runs it under
+// -race): a tiny admission queue is flooded with concurrent mixed
+// submissions while scrapers hammer the observability endpoints. Over-cap
+// submissions must be rejected promptly with 429 — never hung — the
+// health endpoint must stay consistent mid-flight, and a second wave of
+// identical submissions must be served entirely from the result cache.
+func TestGlitchdHammer(t *testing.T) {
+	extraSlow, wave := 2, 12
+	if !testing.Short() {
+		extraSlow, wave = 4, 32
+	}
+	const queueCap = 3
+
+	d := openTestDaemon(t, Config{QueueCap: queueCap, Executors: 2, CacheBytes: 4 << 20})
+	srv := startServer(t, d)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	slow := func(seed int) Spec { // ~200ms of engine work per job
+		return Spec{Kind: KindScan, Exp: "table1a", Seed: uint64(seed + 1)}
+	}
+	post := func(spec Spec) (int, submitResponse) {
+		t.Helper()
+		resp, err := client.Post(srv.URL+"/v1/jobs", "application/json",
+			strings.NewReader(specJSON(t, spec)))
+		if err != nil {
+			t.Fatalf("submission hung or failed: %v", err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var sub submitResponse
+		_ = json.Unmarshal(raw, &sub)
+		return resp.StatusCode, sub
+	}
+
+	// Mid-flight scrapers: the shared mux keeps serving, and the health
+	// numbers never violate the admission invariants.
+	stop := make(chan struct{})
+	var scrapes atomic.Int64
+	var scrapeWG sync.WaitGroup
+	for _, path := range []string{"/metrics", "/healthz", "/v1/jobs", "/v1/jobs?format=text"} {
+		scrapeWG.Add(1)
+		go func(path string) {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("scrape %s: %v", path, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape %s = %d mid-flight", path, resp.StatusCode)
+					return
+				}
+				if path == "/healthz" {
+					var h struct {
+						Queued   int `json:"queued"`
+						Running  int `json:"running"`
+						QueueCap int `json:"queue_cap"`
+					}
+					if err := json.Unmarshal(raw, &h); err != nil {
+						t.Errorf("healthz JSON: %v", err)
+						return
+					}
+					if h.Queued+h.Running > h.QueueCap || h.Running > 2 {
+						t.Errorf("healthz inconsistent mid-flight: %+v", h)
+						return
+					}
+				}
+				scrapes.Add(1)
+				time.Sleep(time.Millisecond)
+			}
+		}(path)
+	}
+
+	// Phase 1 — deterministic backpressure: queueCap+2 distinct slow jobs
+	// submitted back-to-back; the queue is full long before any finishes.
+	var phase1 []Spec
+	for i := 0; i < queueCap+extraSlow; i++ {
+		phase1 = append(phase1, slow(i))
+	}
+	admitted, rejected := 0, 0
+	for _, spec := range phase1 {
+		switch code, _ := post(spec); code {
+		case http.StatusAccepted:
+			admitted++
+		case http.StatusTooManyRequests:
+			rejected++
+		default:
+			t.Fatalf("phase 1 submission returned %d", code)
+		}
+	}
+	if admitted < queueCap || rejected == 0 {
+		t.Fatalf("phase 1: admitted %d rejected %d with cap %d; queue-full backpressure broken",
+			admitted, rejected, queueCap)
+	}
+
+	// Phase 2 — concurrent mixed flood. Every response must be a prompt
+	// 200 (hit/coalesced), 202 (admitted) or 429 (full); anything else —
+	// including a hang — fails.
+	pool := []Spec{campaignSpec, evalSpec, scanSpec,
+		{Kind: KindCampaign, Model: "or", MaxFlips: 1}, slow(0), slow(1)}
+	var n202, n200hit, n200coal, n429 atomic.Int64
+	var jobIDs sync.Map
+	var floodWG sync.WaitGroup
+	for i := 0; i < wave; i++ {
+		floodWG.Add(1)
+		go func(i int) {
+			defer floodWG.Done()
+			code, sub := post(pool[i%len(pool)])
+			switch {
+			case code == http.StatusAccepted:
+				n202.Add(1)
+				jobIDs.Store(sub.Job.ID, struct{}{})
+			case code == http.StatusOK && sub.CacheHit:
+				n200hit.Add(1)
+			case code == http.StatusOK && sub.Coalesced:
+				n200coal.Add(1)
+				jobIDs.Store(sub.Job.ID, struct{}{})
+			case code == http.StatusTooManyRequests:
+				n429.Add(1)
+			default:
+				t.Errorf("flood submission %d returned %d (hit=%v coalesced=%v)",
+					i, code, sub.CacheHit, sub.Coalesced)
+			}
+		}(i)
+	}
+	floodWG.Wait()
+	if got := n202.Load() + n200hit.Load() + n200coal.Load() + n429.Load(); got != int64(wave) {
+		t.Fatalf("flood accounting: %d classified of %d", got, wave)
+	}
+
+	// Drain everything admitted so far.
+	jobIDs.Range(func(key, _ any) bool {
+		if !d.WaitTerminal(key.(string), waitTimeout) {
+			t.Fatalf("job %s never finished", key)
+		}
+		return true
+	})
+
+	// Phase 3 — second wave: every distinct spec retried until it has
+	// executed once, then asserted to hit the cache with identical bytes.
+	distinct := append(append([]Spec(nil), phase1...), pool...)
+	bodies := map[string][]byte{}
+	for _, spec := range distinct {
+		key := mustNormalize(t, spec).CacheKey(d.Stamp())
+		if _, dup := bodies[key]; dup {
+			continue
+		}
+		var id string
+		for { // a client following Retry-After
+			code, sub := post(spec)
+			if code == http.StatusTooManyRequests {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			id = sub.Job.ID
+			break
+		}
+		if !d.WaitTerminal(id, waitTimeout) {
+			t.Fatalf("job %s never finished", id)
+		}
+		body, err := d.Result(id)
+		if err != nil {
+			t.Fatalf("result %s: %v", id, err)
+		}
+		bodies[key] = body
+	}
+	hits := 0
+	for key, want := range bodies {
+		var spec Spec
+		for _, s := range distinct {
+			if mustNormalize(t, s).CacheKey(d.Stamp()) == key {
+				spec = s
+				break
+			}
+		}
+		code, sub := post(spec)
+		if code != http.StatusOK || !sub.CacheHit {
+			t.Errorf("second wave %+v: code %d hit %v, want cached", spec, code, sub.CacheHit)
+			continue
+		}
+		hits++
+		got, err := d.Result(sub.Job.ID)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Errorf("second wave %+v served %d bytes (err %v), want %d byte-identical",
+				spec, len(got), err, len(want))
+		}
+	}
+	if hits != len(bodies) {
+		t.Errorf("second-wave cache-hit ratio %d/%d, want 100%%", hits, len(bodies))
+	}
+
+	close(stop)
+	scrapeWG.Wait()
+	if scrapes.Load() == 0 {
+		t.Error("scrapers never completed a read mid-flight")
+	}
+
+	// Final ledger: the daemon's counters reconcile with what clients saw,
+	// nothing failed, and the queue fully drained.
+	reg := d.Registry()
+	if n := reg.Counter(MetricJobsFailed).Value(); n != 0 {
+		t.Errorf("%d jobs failed under load", n)
+	}
+	if sub, done := reg.Counter(MetricJobsSubmitted).Value(), reg.Counter(MetricJobsCompleted).Value(); sub != done {
+		t.Errorf("submitted %d != completed %d after drain", sub, done)
+	}
+	if q, r := reg.Gauge(MetricQueueDepth).Value(), reg.Gauge(MetricJobsRunning).Value(); q != 0 || r != 0 {
+		t.Errorf("queue_depth %v / running %v after drain, want 0/0", q, r)
+	}
+	if n := reg.Counter(MetricJobsRejected).Value(); n < uint64(rejected) {
+		t.Errorf("rejected counter %d < %d observed 429s", n, rejected)
+	}
+	if n := reg.Gauge(MetricCacheEntries).Value(); int(n) != len(bodies) {
+		t.Errorf("cache holds %v entries, want %d (one per distinct spec)", n, len(bodies))
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"glitchlab/internal/report"
+)
+
+// NextOffsetHeader carries the byte offset an event-stream client passes
+// back as ?offset= to read only records it has not seen yet.
+const NextOffsetHeader = "X-Glitchd-Next-Offset"
+
+// maxWait bounds server-side blocking on ?wait= parameters so a stuck
+// client cannot pin a handler goroutine forever.
+const maxWait = 30 * time.Second
+
+// Register mounts the daemon's API on mux (typically the obs registry mux,
+// so /metrics, pprof and the job API share one listener):
+//
+//	POST /v1/jobs               submit a Spec; 202 fresh, 200 cache hit or
+//	                            coalesced, 400 invalid, 429 queue full
+//	GET  /v1/jobs               job list (JSON; ?format=text for a table)
+//	GET  /v1/jobs/{id}          job status
+//	GET  /v1/jobs/{id}/result   rendered result bytes (?wait=1 blocks
+//	                            until the job finishes); 409 until done
+//	GET  /v1/jobs/{id}/events   JSONL event stream from ?offset= with the
+//	                            next offset in X-Glitchd-Next-Offset;
+//	                            ?wait=1 long-polls for new records
+//	GET  /v1/jobs/{id}/metrics  per-job obs.SnapshotDiff deltas (JSON;
+//	                            ?format=text for the diff rendering)
+//	GET  /healthz               liveness + queue occupancy
+func (d *Daemon) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/jobs", d.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", d.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", d.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", d.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", d.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", d.handleMetrics)
+	mux.HandleFunc("GET /healthz", d.handleHealth)
+}
+
+// Handler returns a standalone handler serving only the daemon API.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	d.Register(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// submitResponse is the POST /v1/jobs body.
+type submitResponse struct {
+	Job       Status `json:"job"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+}
+
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
+		return
+	}
+	res, err := d.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	code := http.StatusAccepted
+	if res.CacheHit || res.Coalesced {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitResponse{
+		Job:       res.Job.Status(),
+		CacheHit:  res.CacheHit,
+		Coalesced: res.Coalesced,
+	})
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := d.Jobs()
+	if r.URL.Query().Get("format") == "text" {
+		rows := make([]report.JobRow, len(jobs))
+		for i, j := range jobs {
+			s := j.Status()
+			rows[i] = report.JobRow{
+				ID: s.ID, Kind: s.Kind, State: string(s.State),
+				Units: s.UnitsDone, Cached: s.CacheHit, Resumed: s.Resumed,
+				Bytes: s.ResultSize, Err: s.Error,
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, report.Jobs(rows))
+		return
+	}
+	statuses := make([]Status, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (d *Daemon) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := d.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return nil, false
+	}
+	return j, true
+}
+
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		d.WaitTerminal(j.ID, maxWait)
+	}
+	if j.State() != StateDone {
+		// Not (yet) done: the status body says whether to retry (queued,
+		// running, interrupted) or give up (failed, with the error).
+		writeJSON(w, http.StatusConflict, j.Status())
+		return
+	}
+	body, err := os.ReadFile(d.resultPath(j.ID))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	offset, _ := strconv.ParseInt(q.Get("offset"), 10, 64)
+	if offset < 0 {
+		offset = 0
+	}
+	wait := q.Get("wait") != ""
+	deadline := time.Now().Add(maxWait)
+	var chunk []byte
+	for {
+		data, err := os.ReadFile(d.EventsPath(j.ID))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if offset > int64(len(data)) {
+			offset = int64(len(data))
+		}
+		chunk = data[offset:]
+		// Serve whole records only: a concurrent append can land between
+		// the final newline and the read; trim any torn tail line.
+		if n := lastNewline(chunk); n < len(chunk) {
+			chunk = chunk[:n]
+		}
+		if len(chunk) > 0 || !wait || j.State().Terminal() ||
+			time.Now().After(deadline) || r.Context().Err() != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set(NextOffsetHeader, strconv.FormatInt(offset+int64(len(chunk)), 10))
+	_, _ = w.Write(chunk)
+}
+
+// lastNewline returns the index just past the final newline in b (0 when
+// b holds no complete line).
+func lastNewline(b []byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == '\n' {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	j, ok := d.lookup(w, r)
+	if !ok {
+		return
+	}
+	diff, ok := j.MetricsDiff(d.reg.Snapshot)
+	if !ok {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s has not started executing", j.ID))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, diff.Text())
+		return
+	}
+	data, err := diff.JSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(data)
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	queued, running := d.queued, d.running
+	d.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "queued": queued, "running": running,
+		"queue_cap": d.cfg.QueueCap, "stamp": d.stamp,
+		"cache_entries": d.cache.Len(), "cache_bytes": d.cache.Size(),
+	})
+}

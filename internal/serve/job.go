@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"glitchlab/internal/obs"
+)
+
+// State is a job's lifecycle position. Terminal states are done and
+// failed; interrupted marks a job whose daemon drained mid-run (its
+// checkpoint is durable and a restarted daemon re-enqueues it).
+type State string
+
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateFailed      State = "failed"
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether the state is final for this daemon process.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is one submitted experiment: its normalized spec, identity and
+// mutable execution state. All mutation goes through the daemon.
+type Job struct {
+	ID   string `json:"id"`
+	Seq  int    `json:"seq"`
+	Spec Spec   `json:"spec"`
+	// Key is the stamped result-cache key; Stamp is the schema/engine
+	// stamp the job was submitted under.
+	Key   string `json:"key"`
+	Stamp string `json:"stamp"`
+
+	unitsDone   atomic.Uint64 // completed work units, including resumed ones
+	unitsLoaded atomic.Uint64 // units restored from the checkpoint on open
+
+	mu         sync.Mutex
+	state      State
+	err        string
+	cacheHit   bool  // served from the result cache without executing
+	resumed    bool  // re-enqueued from a previous daemon process
+	resultSize int64 // bytes of the rendered result, once done
+	// Metric snapshots bracketing the execution (obs.SnapshotDiff input):
+	// before is taken when the job starts, after when it finishes.
+	before, after obs.Snapshot
+	hasBefore     bool
+	hasAfter      bool
+}
+
+// Status is the wire view of a job.
+type Status struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	State       State  `json:"state"`
+	Spec        Spec   `json:"spec"`
+	Key         string `json:"key"`
+	UnitsDone   uint64 `json:"units_done"`
+	UnitsLoaded uint64 `json:"units_loaded,omitempty"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+	Resumed     bool   `json:"resumed,omitempty"`
+	ResultSize  int64  `json:"result_size,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		State:       j.state,
+		Spec:        j.Spec,
+		Key:         j.Key,
+		UnitsDone:   j.unitsDone.Load(),
+		UnitsLoaded: j.unitsLoaded.Load(),
+		CacheHit:    j.cacheHit,
+		Resumed:     j.resumed,
+		ResultSize:  j.resultSize,
+		Error:       j.err,
+	}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// MetricsDiff returns the registry deltas attributable to the job's
+// execution window: before-vs-after for finished jobs, before-vs-now for
+// running ones. With several executors the window overlaps concurrent
+// jobs' work — on a single-executor daemon the attribution is exact. The
+// bool is false until the job has started executing.
+func (j *Job) MetricsDiff(now func() obs.Snapshot) (obs.Diff, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.hasBefore {
+		return obs.Diff{}, false
+	}
+	if j.hasAfter {
+		return obs.SnapshotDiff(j.before, j.after), true
+	}
+	return obs.SnapshotDiff(j.before, now()), true
+}

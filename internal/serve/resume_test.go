@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bytes"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"glitchlab/internal/obs"
+)
+
+// TestDaemonCrashResumeByteIdentical is the satellite crash/resume
+// property test: submit a mixed batch, kill the daemon after a random
+// prefix of checkpointed work units (the runctl kill-after-prefix
+// pattern), restart it over the same state directory — possibly killing
+// it again — and require every job to complete with results
+// byte-identical to an uninterrupted run.
+func TestDaemonCrashResumeByteIdentical(t *testing.T) {
+	specs := []Spec{
+		campaignSpec, // 42 units
+		{Kind: KindCampaign, Model: "xor", MaxFlips: 2}, // 42 units
+		evalSpec, // checkpoint-less; reruns from scratch
+	}
+	goldens := make([][]byte, len(specs))
+	for i, s := range specs {
+		goldens[i] = golden(t, s)
+	}
+
+	// Kill points below 40 guarantee neither 42-unit campaign finished.
+	kills := [][]int{{3, 27}, {1}, {40}}
+	if !testing.Short() {
+		rng := rand.New(rand.NewSource(11))
+		kills = append(kills, [][]int{
+			{rng.Intn(40) + 1},
+			{rng.Intn(20) + 1, rng.Intn(20) + 1}, // crash the restarted daemon too
+		}...)
+	}
+
+	for trial, killAfters := range kills {
+		state := t.TempDir()
+
+		// First daemon: submit everything, crash after killAfters[0] units.
+		ids := make([]string, len(specs))
+		d, killed := crashAfterUnits(t, state, killAfters[0])
+		for i, s := range specs {
+			res, err := d.Submit(s)
+			if err != nil {
+				t.Fatalf("trial %d: submit %d: %v", trial, i, err)
+			}
+			ids[i] = res.Job.ID
+		}
+		<-killed // the hook's kill has fully drained the daemon
+
+		interrupted := 0
+		for _, id := range ids {
+			j, ok := d.Job(id)
+			if !ok {
+				t.Fatalf("trial %d: job %s lost", trial, id)
+			}
+			if !j.State().Terminal() {
+				interrupted++
+			}
+		}
+		if interrupted == 0 {
+			t.Fatalf("trial %d: crash after %d units interrupted nothing", trial, killAfters[0])
+		}
+
+		// Restart (and possibly crash again) before the final drain.
+		for _, ka := range killAfters[1:] {
+			_, killed2 := crashAfterUnits(t, state, ka)
+			<-killed2
+		}
+		d3 := openTestDaemon(t, Config{StateDir: state, Reg: obs.NewRegistry()})
+		if n := d3.Registry().Counter(MetricJobsResumed).Value(); n == 0 {
+			t.Fatalf("trial %d: restarted daemon re-enqueued no jobs", trial)
+		}
+
+		resumedWithCheckpoint := false
+		for i, id := range ids {
+			if !d3.WaitTerminal(id, waitTimeout) {
+				t.Fatalf("trial %d: job %s never completed after restart", trial, id)
+			}
+			j, _ := d3.Job(id)
+			st := j.Status()
+			if st.State != StateDone {
+				t.Fatalf("trial %d: job %s = %+v, want done", trial, id, st)
+			}
+			if st.Resumed && st.UnitsLoaded > 0 {
+				resumedWithCheckpoint = true
+			}
+			got, err := d3.Result(id)
+			if err != nil {
+				t.Fatalf("trial %d: result %s: %v", trial, id, err)
+			}
+			if !bytes.Equal(got, goldens[i]) {
+				t.Errorf("trial %d: job %s resumed to %d bytes, want %d byte-identical to an uninterrupted run",
+					trial, id, len(got), len(goldens[i]))
+			}
+		}
+		if !resumedWithCheckpoint {
+			t.Errorf("trial %d: no job resumed from a non-empty checkpoint; the crash exercised nothing", trial)
+		}
+
+		// Completed-after-resume results entered the cache like any others.
+		for i, s := range specs {
+			hit, err := d3.Submit(s)
+			if err != nil || !hit.CacheHit {
+				t.Errorf("trial %d: post-resume resubmission of spec %d: hit=%v err=%v",
+					trial, i, hit.CacheHit, err)
+			}
+		}
+		d3.Close()
+	}
+}
+
+// crashAfterUnits opens a daemon over state that kills itself (context
+// cancel, exactly what SIGTERM does in cmd/glitchd) once n work units
+// have been durably checkpointed across all jobs. The returned channel
+// closes when the self-kill has fully drained; callers must receive from
+// it before inspecting state — n must therefore be below the number of
+// units the daemon will checkpoint, or the kill never fires.
+func crashAfterUnits(t *testing.T, state string, n int) (*Daemon, <-chan struct{}) {
+	t.Helper()
+	// A restarted daemon re-enqueues recovered jobs inside Open, so the
+	// hook can fire before Open even returns; hand the daemon over through
+	// a channel rather than a captured variable.
+	ready := make(chan *Daemon, 1)
+	killed := make(chan struct{})
+	var units atomic.Int64
+	d := openTestDaemon(t, Config{
+		StateDir: state,
+		Reg:      obs.NewRegistry(),
+		UnitHook: func(string, string) {
+			if units.Add(1) == int64(n) {
+				dd := <-ready
+				go func() {
+					dd.Close()
+					close(killed)
+				}()
+			}
+		},
+	})
+	ready <- d
+	return d, killed
+}
