@@ -213,4 +213,34 @@ curl -sf "http://$addr/healthz" | grep -q '"ok": true'
 kill -TERM "$glitchd_pid"
 wait "$glitchd_pid"
 
+# Chaos gates. Full-size deterministic fault-injection sweeps under the
+# race detector (their short variants already ran in the suite above):
+# the daemon crash-op and seeded mixed-fault sweeps prove restart-over-
+# battered-state reaches golden bytes, and the client hammer drives
+# concurrent resilient clients through a fault-injecting daemon with a
+# tiny admission queue — every job must complete byte-identical.
+go test -race -run 'TestDaemonCrashOpSweep|TestDaemonSeededFaultSweep' \
+	./internal/serve/
+go test -race -run TestClientHammerUnderChaos ./internal/serve/client/
+
+# Chaos end-to-end: a campaign with a simulated power loss at a fixed
+# filesystem op must exit with the chaos status (4), publish no results
+# file, and leave a state the unfaulted resume completes from with bytes
+# identical to the clean golden — the crash-consistency contract at the
+# CLI surface.
+status=0
+"$tmp/glitchemu" -workers 2 -run-dir "$tmp/chaosrun" -chaos-crash-op 60 \
+	-out "$tmp/chaos_partial.txt" 2>/dev/null || status=$?
+if [ "$status" -ne 4 ]; then
+	echo "ci: chaos-crashed run exited $status, want 4" >&2
+	exit 1
+fi
+if [ -e "$tmp/chaos_partial.txt" ]; then
+	echo "ci: chaos-crashed run must not publish a results file" >&2
+	exit 1
+fi
+"$tmp/glitchemu" -workers 2 -run-dir "$tmp/chaosrun" -resume \
+	-out "$tmp/chaos_resumed.txt"
+cmp "$tmp/golden.txt" "$tmp/chaos_resumed.txt"
+
 echo "ci: OK"

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -38,6 +39,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"glitchlab/internal/obs"
 	"glitchlab/internal/serve"
@@ -95,8 +97,17 @@ func run() error {
 	select {
 	case s := <-sig:
 		fmt.Fprintf(os.Stderr, "glitchd: %v: draining (in-flight jobs checkpoint and resume on restart)\n", s)
-		_ = srv.Close()
-		return d.Close()
+		// Keep the listener up through the drain: late submissions get
+		// 503 + Retry-After (a back-off hint) instead of a connection
+		// error, and status/result reads still succeed.
+		d.BeginDrain()
+		err := d.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if serr := srv.Shutdown(ctx); err == nil {
+			err = serr
+		}
+		return err
 	case err := <-errc:
 		d.Close()
 		return err

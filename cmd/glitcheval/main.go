@@ -117,7 +117,7 @@ func run() error {
 	}
 
 	defer sess.DumpMetrics(os.Stdout, report.Metrics)
-	out := runctl.NewOutput(rcli.OutPath)
+	out := rcli.NewOutput()
 	if err := serve.Exec(spec, env, out.Writer()); err != nil {
 		if errors.Is(err, runctl.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitcheval"))

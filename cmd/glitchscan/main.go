@@ -111,7 +111,7 @@ func run() error {
 		env.Reg = obs.Default
 	}
 
-	out := runctl.NewOutput(rcli.OutPath)
+	out := rcli.NewOutput()
 	if err := serve.Exec(spec, env, out.Writer()); err != nil {
 		if errors.Is(err, runctl.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, rcli.ResumeHint("glitchscan"))

@@ -1,0 +1,344 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"glitchlab/internal/obs"
+)
+
+// writeThrough opens path on fsys, writes data, optionally syncs, closes.
+func writeThrough(t *testing.T, fsys FS, path string, data []byte, sync bool) error {
+	t.Helper()
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fsys := OS{}
+	path := filepath.Join(dir, "a.txt")
+	if err := writeThrough(t, fsys, path, []byte("hello"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+}
+
+func TestInjectorNilSchedulePassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, nil)
+	path := filepath.Join(dir, "a.txt")
+	if err := writeThrough(t, in, path, []byte("hello"), true); err != nil {
+		t.Fatal(err)
+	}
+	if in.Ops() == 0 {
+		t.Fatal("expected ops to be counted")
+	}
+	got, err := in.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}
+
+func TestInjectorAtOpENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	// Learn the workload's op layout with a counting pass.
+	probe := NewInjector(OS{}, nil)
+	if err := writeThrough(t, probe, filepath.Join(dir, "p.txt"), []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	total := probe.Ops() // open, write, sync
+
+	sawFault := false
+	for n := uint64(0); n < total; n++ {
+		in := NewInjector(OS{}, FaultAt(n, FaultENOSPC))
+		err := writeThrough(t, in, filepath.Join(dir, "q.txt"), []byte("x"), true)
+		os.Remove(filepath.Join(dir, "q.txt"))
+		if err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("op %d: err = %v, want ENOSPC", n, err)
+			}
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("no op was eligible for ENOSPC")
+	}
+}
+
+func TestInjectorTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.txt")
+	// Op 0 = open, op 1 = write: tear the write at 3 bytes.
+	in := NewInjector(OS{}, AtOp{N: 1, Fault: FaultTorn, Torn: 3})
+	err := writeThrough(t, in, path, []byte("abcdef"), false)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "abc" {
+		t.Fatalf("file = %q, %v; want torn prefix \"abc\"", got, rerr)
+	}
+}
+
+func TestInjectorPowerLossUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.txt")
+	in := NewInjector(OS{}, nil)
+	// Synced prefix survives; unsynced suffix is rolled back (to a torn
+	// prefix of itself at most).
+	f, err := in.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	in.PowerLoss()
+	if !in.Crashed() {
+		t.Fatal("Crashed() = false after PowerLoss")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < len("durable|") || string(got[:8]) != "durable|" {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if len(got) > len("durable|volatile") {
+		t.Fatalf("file grew: %q", got)
+	}
+	// Every subsequent op must fail with ErrCrashed.
+	if _, err := in.ReadFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash ReadFile err = %v", err)
+	}
+}
+
+func TestInjectorDropSyncLosesData(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.txt")
+	// Ops: open(0), write(1), sync(2) -> drop the sync.
+	in := NewInjector(OS{}, AtOp{N: 2, Fault: FaultDropSync}).WithSeed(7)
+	if err := writeThrough(t, in, path, []byte("abcdefgh"), true); err != nil {
+		t.Fatalf("dropped sync must report success, got %v", err)
+	}
+	in.PowerLoss()
+	got, err := os.ReadFile(path)
+	// The file entry itself was never dir-synced, so it may be gone
+	// entirely; if present it must hold at most a torn prefix.
+	if err == nil && len(got) == len("abcdefgh") {
+		// A seeded draw can legitimately keep everything; re-check with a
+		// seed that does not. Determinism makes this stable.
+		in2 := NewInjector(OS{}, AtOp{N: 2, Fault: FaultDropSync}).WithSeed(1)
+		path2 := filepath.Join(dir, "log2.txt")
+		if err := writeThrough(t, in2, path2, []byte("abcdefgh"), true); err != nil {
+			t.Fatal(err)
+		}
+		in2.PowerLoss()
+		got2, err2 := os.ReadFile(path2)
+		if err2 == nil && len(got2) == len("abcdefgh") {
+			t.Fatalf("dropped fsync preserved all data for two seeds: %q / %q", got, got2)
+		}
+	}
+}
+
+func TestInjectorRenameRollbackWithoutDirSync(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "tmp")
+	target := filepath.Join(dir, "manifest.json")
+	if err := os.WriteFile(target, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(syncDir bool) string {
+		in := NewInjector(OS{}, nil)
+		if err := writeThrough(t, in, old, []byte("v2"), true); err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Rename(old, target); err != nil {
+			t.Fatal(err)
+		}
+		if syncDir {
+			if err := in.SyncDir(dir); err != nil {
+				t.Fatal(err)
+			}
+		}
+		in.PowerLoss()
+		got, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatalf("target unreadable after rollback: %v", err)
+		}
+		return string(got)
+	}
+
+	if got := run(false); got != "v1" {
+		t.Fatalf("without dir sync, crash should revert rename: got %q, want v1", got)
+	}
+	if err := os.WriteFile(target, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(true); got != "v2" {
+		t.Fatalf("with dir sync, rename is durable: got %q, want v2", got)
+	}
+}
+
+func TestInjectorCreateRollbackWithoutDirSync(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.txt")
+	in := NewInjector(OS{}, nil)
+	if err := writeThrough(t, in, path, []byte("data"), true); err != nil {
+		t.Fatal(err)
+	}
+	in.PowerLoss()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("un-dir-synced create must vanish on power loss; stat err = %v", err)
+	}
+}
+
+func TestInjectorCrashAtOp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.txt")
+	in := NewInjector(OS{}, FaultAt(1, FaultCrash)) // crash at the write
+	err := writeThrough(t, in, path, []byte("abc"), true)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("Crashed() = false")
+	}
+	called := false
+	in2 := NewInjector(OS{}, FaultAt(0, FaultCrash)).OnCrash(func() { called = true })
+	_ = writeThrough(t, in2, path, []byte("abc"), true)
+	if !called {
+		t.Fatal("OnCrash hook not invoked")
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	draw := func(seed uint64) []Fault {
+		s := Seeded{Seed: seed, Every: 3}
+		out := make([]Fault, 64)
+		for n := range out {
+			out[n] = s.Draw(uint64(n), OpWrite).Fault
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 not deterministic at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical schedules")
+	}
+	injected := 0
+	for _, f := range a {
+		if f != FaultNone {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("Every=3 over 64 ops injected nothing")
+	}
+}
+
+func TestIsDiskFault(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{faultErr(OpWrite, "x", FaultENOSPC), true},
+		{faultErr(OpSync, "x", FaultEIO), true},
+		{ErrCrashed, true},
+		{os.ErrNotExist, false},
+		{errors.New("boom"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsDiskFault(c.err); got != c.want {
+			t.Errorf("IsDiskFault(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestToggle(t *testing.T) {
+	var tg Toggle
+	if d := tg.Draw(0, OpWrite); d.Fault != FaultNone {
+		t.Fatalf("zero Toggle injected %v", d.Fault)
+	}
+	tg.Set(FaultENOSPC)
+	if d := tg.Draw(1, OpWrite); d.Fault != FaultENOSPC {
+		t.Fatalf("Toggle(ENOSPC) drew %v", d.Fault)
+	}
+	if d := tg.Draw(2, OpSync); d.Fault != FaultNone {
+		t.Fatalf("ENOSPC must not be eligible on sync, drew %v", d.Fault)
+	}
+	tg.Set(FaultNone)
+	if d := tg.Draw(3, OpWrite); d.Fault != FaultNone {
+		t.Fatalf("cleared Toggle injected %v", d.Fault)
+	}
+}
+
+func TestInjectorRegistryCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	in := NewInjector(OS{}, After{N: 0, Fault: FaultEIO}).WithRegistry(reg)
+	err := writeThrough(t, in, filepath.Join(dir, "x"), []byte("x"), false)
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	if reg.Counter(MetricInjected).Value() == 0 {
+		t.Fatal("no injections recorded")
+	}
+	if reg.Counter("chaos.injected_eio_total").Value() == 0 {
+		t.Fatal("per-class counter missing")
+	}
+}

@@ -1,0 +1,278 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+	"syscall"
+)
+
+// Op classifies one filesystem operation for scheduling purposes. The
+// Injector assigns every call a global, monotonically increasing op index
+// and asks its Schedule what to do at (index, op).
+type Op uint8
+
+const (
+	OpMkdir Op = iota
+	OpOpen
+	OpCreate
+	OpRead
+	OpReadDir
+	OpStat
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpSyncDir
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	"mkdir", "open", "create", "read", "readdir", "stat",
+	"write", "sync", "rename", "remove", "truncate", "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Fault is one injectable fault class.
+type Fault uint8
+
+const (
+	// FaultNone injects nothing.
+	FaultNone Fault = iota
+	// FaultENOSPC fails an allocating op (write, create, mkdir, rename)
+	// with syscall.ENOSPC.
+	FaultENOSPC
+	// FaultEIO fails an op with syscall.EIO.
+	FaultEIO
+	// FaultTorn performs a short write: a prefix of the buffer reaches the
+	// file, then the write fails with syscall.EIO. This is how torn JSONL
+	// tails are born.
+	FaultTorn
+	// FaultDropSync makes Sync or SyncDir return success without syncing
+	// anything — a lying disk cache. Silent until the next power loss.
+	FaultDropSync
+	// FaultCrash simulates power loss at this op: unsynced data and
+	// un-fsynced directory entries are rolled back, and every op from this
+	// one on fails with ErrCrashed (or the Injector's OnCrash hook fires,
+	// e.g. os.Exit in the CLIs).
+	FaultCrash
+
+	numFaults
+)
+
+var faultNames = [numFaults]string{
+	"none", "enospc", "eio", "torn", "dropsync", "crash",
+}
+
+func (f Fault) String() string {
+	if int(f) < len(faultNames) {
+		return faultNames[f]
+	}
+	return "fault?"
+}
+
+// eligible reports whether fault f is meaningful at op o; the Seeded
+// schedule redraws ineligible pairings as no-ops so a seed sweep never
+// "injects" a fault the op cannot express.
+func (f Fault) eligible(o Op) bool {
+	switch f {
+	case FaultENOSPC:
+		return o == OpWrite || o == OpCreate || o == OpOpen || o == OpMkdir || o == OpRename
+	case FaultEIO:
+		return o == OpWrite || o == OpSync || o == OpSyncDir || o == OpRead ||
+			o == OpReadDir || o == OpRename || o == OpOpen || o == OpCreate || o == OpTruncate
+	case FaultTorn:
+		return o == OpWrite
+	case FaultDropSync:
+		return o == OpSync || o == OpSyncDir
+	case FaultCrash:
+		return true
+	}
+	return false
+}
+
+// errno returns the error a non-crash fault surfaces as.
+func (f Fault) errno() error {
+	if f == FaultENOSPC {
+		return syscall.ENOSPC
+	}
+	return syscall.EIO
+}
+
+// ErrCrashed is the error every op returns at and after a simulated power
+// loss. A workload that sees it must treat the process as dead: nothing
+// after the crash point reached the disk.
+var ErrCrashed = errors.New("chaos: simulated power loss")
+
+// IsDiskFault reports whether err is a disk-level fault — injected or
+// real ENOSPC/EIO, or a simulated power loss. The serve daemon uses it to
+// classify job failures as retryable and to trip degraded mode.
+func IsDiskFault(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EIO) ||
+		errors.Is(err, ErrCrashed)
+}
+
+// Decision is a Schedule's verdict for one op.
+type Decision struct {
+	Fault Fault
+	// Torn is the exact prefix length a FaultTorn (or the final in-flight
+	// write of a FaultCrash) persists; -1 draws it from the Injector's
+	// seeded generator.
+	Torn int
+}
+
+// Schedule decides which fault, if any, to inject at the n-th I/O op. A
+// Schedule must be a pure function of (n, op) — no internal state — so it
+// is safe for concurrent use and a fixed seed replays the identical fault
+// campaign.
+type Schedule interface {
+	Draw(n uint64, op Op) Decision
+}
+
+// AtOp injects exactly one fault, at global op index N. It is the
+// syscall-level analogue of the glitcher's trigger point: sweep N across
+// a workload's op count and every I/O instant gets its turn.
+type AtOp struct {
+	N     uint64
+	Fault Fault
+	Torn  int // exact torn prefix; -1 = seeded draw
+}
+
+// Draw implements Schedule.
+func (a AtOp) Draw(n uint64, _ Op) Decision {
+	if n == a.N {
+		return Decision{Fault: a.Fault, Torn: a.Torn}
+	}
+	return Decision{Torn: -1}
+}
+
+// FaultAt is AtOp with a seeded torn draw.
+func FaultAt(n uint64, f Fault) AtOp { return AtOp{N: n, Fault: f, Torn: -1} }
+
+// Plan composes pinned faults: the first member claiming an op index
+// wins. It expresses multi-fault scenarios like "drop the directory fsync
+// at op 4, then lose power at op 9".
+type Plan []AtOp
+
+// Draw implements Schedule.
+func (p Plan) Draw(n uint64, op Op) Decision {
+	for _, a := range p {
+		if d := a.Draw(n, op); d.Fault != FaultNone {
+			return d
+		}
+	}
+	return Decision{Torn: -1}
+}
+
+// Overlay composes heterogeneous schedules: the first member injecting at
+// an op wins. Use it to pin a crash on top of a seeded background mix.
+type Overlay []Schedule
+
+// Draw implements Schedule.
+func (o Overlay) Draw(n uint64, op Op) Decision {
+	for _, s := range o {
+		if d := s.Draw(n, op); d.Fault != FaultNone {
+			return d
+		}
+	}
+	return Decision{Torn: -1}
+}
+
+// After injects Fault on every eligible op from index N on — a disk that
+// fills up (persistent ENOSPC) or goes bad (persistent EIO) and stays
+// that way. This is the schedule behind the daemon's degraded-mode tests.
+type After struct {
+	N     uint64
+	Fault Fault
+}
+
+// Draw implements Schedule.
+func (a After) Draw(n uint64, op Op) Decision {
+	if n >= a.N && a.Fault.eligible(op) {
+		return Decision{Fault: a.Fault, Torn: -1}
+	}
+	return Decision{Torn: -1}
+}
+
+// Seeded injects faults on a deterministic pseudo-random schedule: on
+// average one fault per Every eligible ops, the class drawn uniformly
+// from Classes. The draw is a stateless LCG-based mix of (Seed, n), so
+// concurrent ops and resumed runs see the same schedule.
+type Seeded struct {
+	Seed  uint64
+	Every uint64 // mean ops between injections; 0 disables
+	// Classes to draw from; nil = ENOSPC, EIO, torn and dropped-fsync
+	// (crash excluded: a seeded sweep that kills the process is usually a
+	// separate, pinned experiment).
+	Classes []Fault
+}
+
+// DefaultClasses is the Seeded schedule's default fault mix.
+var DefaultClasses = []Fault{FaultENOSPC, FaultEIO, FaultTorn, FaultDropSync}
+
+// Draw implements Schedule.
+func (s Seeded) Draw(n uint64, op Op) Decision {
+	if s.Every == 0 {
+		return Decision{Torn: -1}
+	}
+	h := Mix(s.Seed, n)
+	if h%s.Every != 0 {
+		return Decision{Torn: -1}
+	}
+	classes := s.Classes
+	if classes == nil {
+		classes = DefaultClasses
+	}
+	f := classes[(h>>32)%uint64(len(classes))]
+	if !f.eligible(op) {
+		return Decision{Torn: -1}
+	}
+	return Decision{Fault: f, Torn: -1}
+}
+
+// Mix hashes (seed, n) to a well-distributed 64-bit value: one Knuth
+// MMIX LCG step over the seed/index blend, then an xorshift-multiply
+// finalizer. Stateless, so schedules built on it are pure functions of
+// the op index.
+func Mix(seed, n uint64) uint64 {
+	x := seed ^ (n+1)*0x9E3779B97F4A7C15
+	x = x*6364136223846793005 + 1442695040888963407
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x
+}
+
+// Toggle is a mutable schedule for tests that flip a persistent fault on
+// and off mid-workload (e.g. "disk fills up while the daemon is running,
+// then recovers"). The zero value injects nothing. Unlike the pure
+// schedules it carries state, held atomically for concurrent use.
+type Toggle struct {
+	fault atomic.Uint32
+}
+
+// Set makes every eligible op from now on fail with f (FaultNone clears).
+func (t *Toggle) Set(f Fault) { t.fault.Store(uint32(f)) }
+
+// Draw implements Schedule.
+func (t *Toggle) Draw(_ uint64, op Op) Decision {
+	f := Fault(t.fault.Load())
+	if f != FaultNone && f.eligible(op) {
+		return Decision{Fault: f, Torn: -1}
+	}
+	return Decision{Torn: -1}
+}
+
+// faultErr wraps an injected errno with op/path context while keeping
+// errors.Is(err, syscall.ENOSPC/EIO) working for classification.
+func faultErr(op Op, path string, f Fault) error {
+	return &os.PathError{Op: "chaos " + op.String(), Path: path, Err: f.errno()}
+}

@@ -1,0 +1,129 @@
+// Package chaos is glitchlab's environment-fault injector: the glitching
+// discipline of the paper, applied to the toolchain itself. The paper's
+// campaigns perturb a target's control flow at a chosen trigger point and
+// observe whether its defenses hold; chaos perturbs the *durability
+// layer's* I/O at a chosen operation and observes whether the
+// checkpoint/resume machinery holds. The fault classes mirror what real
+// disks and kernels do under pressure or power loss:
+//
+//   - ENOSPC / EIO: an allocating or transferring syscall fails outright;
+//   - torn writes: only a prefix of a write reaches the file before the
+//     error (the JSONL torn-tail case every loader must tolerate);
+//   - dropped fsyncs: Sync returns success without making anything
+//     durable (a lying disk cache), observable only at the next crash;
+//   - simulated power loss ("crash at op N", the trigger-point idea):
+//     every byte not covered by a successful fsync is rolled back, torn
+//     mid-write tails included, and renames or creates in directories
+//     that were never fsynced are undone.
+//
+// The package has two halves: an FS interface over exactly the I/O
+// surface runctl and internal/serve use for durable state, with OS as the
+// passthrough implementation (plain os calls plus a real directory
+// fsync), and Injector, a deterministic fault-injecting FS driven by a
+// Schedule (a pure function of the global operation index, so a seed
+// reproduces a campaign of faults exactly). Production code takes an FS
+// and defaults to OS; only tests and the -chaos-* CLI knobs ever hand it
+// an Injector.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file surface the durability layer uses: sequential
+// (append-style) writes, fsync, and the metadata calls WriteFileAtomic
+// needs. *os.File implements it.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Chmod sets the file mode.
+	Chmod(mode os.FileMode) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface glitchlab's durability layer (runctl
+// checkpoints and manifests, serve job state, event streams, atomic
+// result files) performs its I/O through. Implementations: OS (the real
+// filesystem) and *Injector (fault-injecting wrapper around another FS).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]os.DirEntry, error)
+	Stat(path string) (os.FileInfo, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs a directory, making its entries (freshly created
+	// files, renames) durable. File fsync alone does not persist the
+	// *entry*: after a power loss a file whose directory was never synced
+	// can simply not be there.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS: direct os-package calls. It is the default
+// everywhere an FS is threaded, and adds no behavior beyond the directory
+// fsync primitive the os package does not expose.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+func (OS) Stat(path string) (os.FileInfo, error) { return os.Stat(path) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+func (OS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("chaos: sync dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// writeAll replaces path's content on fsys with data (create or truncate).
+// The Injector uses it to restore a rename target during power-loss
+// rollback; it is not part of the injected op stream.
+func writeAll(fsys FS, path string, data []byte, perm os.FileMode) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// dirOf is filepath.Dir, named for readability at call sites that group
+// namespace operations by parent directory.
+func dirOf(path string) string { return filepath.Dir(path) }

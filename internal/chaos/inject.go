@@ -1,0 +1,543 @@
+package chaos
+
+import (
+	"os"
+	"sync"
+
+	"glitchlab/internal/obs"
+)
+
+// Metric names the injector maintains when given a registry. Per-class
+// injection counts live under "chaos.injected_<class>_total".
+const (
+	MetricInjected = "chaos.faults_injected_total"
+	MetricCrashes  = "chaos.crashes_total"
+	MetricOps      = "chaos.fs_ops_total"
+)
+
+// Injector is a fault-injecting FS. It forwards every op to an inner FS
+// (normally OS), assigning each a global op index and consulting its
+// Schedule; on top of error injection it maintains a durability model of
+// the bytes and directory entries a power loss would preserve, so
+// FaultCrash (or PowerLoss) rolls the real directory tree back to exactly
+// the state a kill at that syscall would have left on disk:
+//
+//   - file bytes written since the last successful Sync are truncated
+//     away, except for a deterministically drawn prefix (the torn tail a
+//     partially flushed page cache leaves behind);
+//   - a Sync that was hit by FaultDropSync reported success but made
+//     nothing durable, so its bytes are lost too;
+//   - renames and file creations in a directory with no successful
+//     SyncDir since are undone (the rename target reverts to its previous
+//     content; the created file vanishes).
+//
+// Deliberate simplifications, documented so tests don't chase ghosts:
+// directory creation (MkdirAll) and Remove are treated as immediately
+// durable, file content that predates the Injector is treated as durable,
+// and only append-style writes are modeled (every writer in runctl and
+// serve appends or writes fresh temp files).
+//
+// All methods are safe for concurrent use; the whole injector serializes
+// on one mutex, which is fine for the checkpoint-grade I/O rates it
+// wraps.
+type Injector struct {
+	inner FS
+	sched Schedule
+
+	mu      sync.Mutex
+	ops     uint64
+	crashed bool
+	rng     uint64
+	files   map[string]*tailState
+	pending map[string][]nsOp // per-directory namespace ops not yet dir-synced
+	onCrash func()
+
+	injected map[Fault]*obs.Counter
+	injTotal *obs.Counter
+	crashes  *obs.Counter
+	opsTotal *obs.Counter
+}
+
+// tailState tracks one file's durability: how many bytes a power loss is
+// guaranteed to preserve versus how many exist right now.
+type tailState struct {
+	durable int64
+	size    int64
+}
+
+// nsOp is one namespace operation (create or rename) whose directory
+// entry is not yet durable.
+type nsOp struct {
+	rename      bool
+	path        string // created path, or rename target
+	old         string // rename source
+	prevData    []byte // rename target's prior content
+	prevExisted bool
+	prevMode    os.FileMode
+}
+
+// NewInjector wraps inner with the given fault schedule (nil injects
+// nothing — useful for counting a workload's ops).
+func NewInjector(inner FS, sched Schedule) *Injector {
+	return &Injector{
+		inner:   inner,
+		sched:   sched,
+		rng:     0x9E3779B97F4A7C15,
+		files:   map[string]*tailState{},
+		pending: map[string][]nsOp{},
+	}
+}
+
+// WithRegistry reports per-class injection counters into reg. Returns the
+// injector for chaining.
+func (in *Injector) WithRegistry(reg *obs.Registry) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.injected = map[Fault]*obs.Counter{}
+	for f := FaultENOSPC; f < numFaults; f++ {
+		in.injected[f] = reg.Counter("chaos.injected_" + f.String() + "_total")
+	}
+	in.injTotal = reg.Counter(MetricInjected)
+	in.crashes = reg.Counter(MetricCrashes)
+	in.opsTotal = reg.Counter(MetricOps)
+	return in
+}
+
+// WithSeed reseeds the injector's internal generator (torn-length draws).
+func (in *Injector) WithSeed(seed uint64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = seed | 1
+	return in
+}
+
+// OnCrash installs a hook invoked after a FaultCrash has rolled the disk
+// state back. The CLIs pass os.Exit here so "crash at op N" genuinely
+// kills the process; in-process tests leave it nil and observe ErrCrashed
+// instead.
+func (in *Injector) OnCrash(fn func()) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.onCrash = fn
+	return in
+}
+
+// Ops returns how many operations have been issued so far — run a
+// workload once over a fault-free Injector to learn its op count, then
+// sweep AtOp across [0, Ops()).
+func (in *Injector) Ops() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Crashed reports whether a simulated power loss has occurred.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// PowerLoss forces the power-loss rollback immediately, outside the
+// schedule — tests use it to observe what a fault made (or failed to
+// make) durable after the workload finished.
+func (in *Injector) PowerLoss() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.crashed {
+		in.powerLossLocked()
+	}
+}
+
+// draw advances the op counter and fetches the schedule's decision.
+// Caller holds in.mu.
+func (in *Injector) drawLocked(op Op) Decision {
+	n := in.ops
+	in.ops++
+	if in.opsTotal != nil {
+		in.opsTotal.Inc()
+	}
+	if in.sched == nil {
+		return Decision{Torn: -1}
+	}
+	d := in.sched.Draw(n, op)
+	if d.Fault != FaultNone {
+		if in.injTotal != nil {
+			in.injTotal.Inc()
+			in.injected[d.Fault].Inc()
+		}
+	}
+	return d
+}
+
+// nextLocked advances the internal LCG. Caller holds in.mu.
+func (in *Injector) nextLocked() uint64 {
+	in.rng = in.rng*6364136223846793005 + 1442695040888963407
+	return in.rng >> 11
+}
+
+// crashLocked applies the power loss and surfaces it. Caller holds in.mu.
+func (in *Injector) crashLocked() error {
+	in.powerLossLocked()
+	if in.onCrash != nil {
+		in.onCrash()
+	}
+	return ErrCrashed
+}
+
+// powerLossLocked rolls the inner filesystem back to the durable image:
+// truncate every tracked file to its durable length plus a drawn torn
+// prefix, then undo un-fsynced namespace ops newest-first.
+func (in *Injector) powerLossLocked() {
+	in.crashed = true
+	if in.crashes != nil {
+		in.crashes.Inc()
+	}
+	for path, st := range in.files {
+		if st.size <= st.durable {
+			continue
+		}
+		keep := st.durable + int64(in.nextLocked()%uint64(st.size-st.durable+1))
+		_ = in.inner.Truncate(path, keep)
+		st.size, st.durable = keep, keep
+	}
+	for dir, ops := range in.pending {
+		for i := len(ops) - 1; i >= 0; i-- {
+			op := ops[i]
+			if op.rename {
+				_ = in.inner.Rename(op.path, op.old)
+				if st, ok := in.files[op.path]; ok {
+					in.files[op.old] = st
+					delete(in.files, op.path)
+				}
+				if op.prevExisted {
+					_ = writeAll(in.inner, op.path, op.prevData, op.prevMode)
+				}
+			} else {
+				_ = in.inner.Remove(op.path)
+				delete(in.files, op.path)
+			}
+		}
+		delete(in.pending, dir)
+	}
+}
+
+// FS interface.
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	switch d := in.drawLocked(OpMkdir); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return faultErr(OpMkdir, path, d.Fault)
+	case FaultCrash:
+		return in.crashLocked()
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, ErrCrashed
+	}
+	switch d := in.drawLocked(OpOpen); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return nil, faultErr(OpOpen, path, d.Fault)
+	case FaultCrash:
+		return nil, in.crashLocked()
+	}
+	var size int64
+	existed := false
+	if info, err := in.inner.Stat(path); err == nil {
+		size, existed = info.Size(), true
+	}
+	f, err := in.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if !existed && flag&os.O_CREATE != 0 {
+		dir := dirOf(path)
+		in.pending[dir] = append(in.pending[dir], nsOp{path: path})
+	}
+	if st, ok := in.files[path]; ok {
+		// A second handle on a tracked path (append streams reopened by
+		// lifecycle events): keep the existing durability state.
+		return &injFile{in: in, f: f, path: path, st: st}, nil
+	}
+	st := &tailState{durable: size, size: size}
+	in.files[path] = st
+	return &injFile{in: in, f: f, path: path, st: st}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, ErrCrashed
+	}
+	switch d := in.drawLocked(OpCreate); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return nil, faultErr(OpCreate, dir+"/"+pattern, d.Fault)
+	case FaultCrash:
+		return nil, in.crashLocked()
+	}
+	f, err := in.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	in.pending[dir] = append(in.pending[dir], nsOp{path: path})
+	st := &tailState{}
+	in.files[path] = st
+	return &injFile{in: in, f: f, path: path, st: st}, nil
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, ErrCrashed
+	}
+	switch d := in.drawLocked(OpRead); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return nil, faultErr(OpRead, path, d.Fault)
+	case FaultCrash:
+		return nil, in.crashLocked()
+	}
+	return in.inner.ReadFile(path)
+}
+
+func (in *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, ErrCrashed
+	}
+	switch d := in.drawLocked(OpReadDir); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return nil, faultErr(OpReadDir, path, d.Fault)
+	case FaultCrash:
+		return nil, in.crashLocked()
+	}
+	return in.inner.ReadDir(path)
+}
+
+func (in *Injector) Stat(path string) (os.FileInfo, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return nil, ErrCrashed
+	}
+	// Stat is counted but never faulted: the callers that probe existence
+	// (resume detection, recovery) must misread state only through the
+	// durability model, not through spurious metadata errors.
+	if d := in.drawLocked(OpStat); d.Fault == FaultCrash {
+		return nil, in.crashLocked()
+	}
+	return in.inner.Stat(path)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	switch d := in.drawLocked(OpRename); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return faultErr(OpRename, newpath, d.Fault)
+	case FaultCrash:
+		return in.crashLocked()
+	}
+	op := nsOp{rename: true, path: newpath, old: oldpath, prevMode: 0o666}
+	if info, err := in.inner.Stat(newpath); err == nil {
+		op.prevExisted = true
+		op.prevMode = info.Mode()
+		if data, err := in.inner.ReadFile(newpath); err == nil {
+			op.prevData = data
+		}
+	}
+	if err := in.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.pending[dirOf(newpath)] = append(in.pending[dirOf(newpath)], op)
+	if st, ok := in.files[oldpath]; ok {
+		in.files[newpath] = st
+		delete(in.files, oldpath)
+	}
+	return nil
+}
+
+func (in *Injector) Remove(path string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	switch d := in.drawLocked(OpRemove); d.Fault {
+	case FaultEIO:
+		return faultErr(OpRemove, path, d.Fault)
+	case FaultCrash:
+		return in.crashLocked()
+	}
+	err := in.inner.Remove(path)
+	if err == nil {
+		delete(in.files, path)
+		// Drop any pending create of the same path: the entry is gone
+		// either way.
+		dir := dirOf(path)
+		ops := in.pending[dir]
+		for i := len(ops) - 1; i >= 0; i-- {
+			if !ops[i].rename && ops[i].path == path {
+				in.pending[dir] = append(ops[:i:i], ops[i+1:]...)
+				break
+			}
+		}
+	}
+	return err
+}
+
+func (in *Injector) Truncate(path string, size int64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	switch d := in.drawLocked(OpTruncate); d.Fault {
+	case FaultEIO:
+		return faultErr(OpTruncate, path, d.Fault)
+	case FaultCrash:
+		return in.crashLocked()
+	}
+	err := in.inner.Truncate(path, size)
+	if err == nil {
+		if st, ok := in.files[path]; ok {
+			if st.size > size {
+				st.size = size
+			}
+			if st.durable > size {
+				st.durable = size
+			}
+		}
+	}
+	return err
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	switch d := in.drawLocked(OpSyncDir); d.Fault {
+	case FaultEIO:
+		return faultErr(OpSyncDir, dir, d.Fault)
+	case FaultDropSync:
+		return nil // lies: entries stay pending, a crash still undoes them
+	case FaultCrash:
+		return in.crashLocked()
+	}
+	if err := in.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	delete(in.pending, dir)
+	return nil
+}
+
+// injFile wraps an inner File with fault injection and durability
+// tracking.
+type injFile struct {
+	in   *Injector
+	f    File
+	path string
+	st   *tailState
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return 0, ErrCrashed
+	}
+	switch d := in.drawLocked(OpWrite); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return 0, faultErr(OpWrite, f.path, d.Fault)
+	case FaultTorn:
+		k := d.Torn
+		if k < 0 || k > len(p) {
+			k = int(in.nextLocked() % uint64(len(p)+1))
+		}
+		n, err := f.f.Write(p[:k])
+		f.st.size += int64(n)
+		if err == nil {
+			err = faultErr(OpWrite, f.path, FaultEIO)
+		}
+		return n, err
+	case FaultCrash:
+		// The in-flight write's pages may partially reach the platter:
+		// land a drawn (or pinned) prefix before the lights go out.
+		k := d.Torn
+		if k < 0 || k > len(p) {
+			k = int(in.nextLocked() % uint64(len(p)+1))
+		}
+		n, _ := f.f.Write(p[:k])
+		f.st.size += int64(n)
+		return 0, in.crashLocked()
+	}
+	n, err := f.f.Write(p)
+	f.st.size += int64(n)
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	switch d := in.drawLocked(OpSync); d.Fault {
+	case FaultENOSPC, FaultEIO:
+		return faultErr(OpSync, f.path, d.Fault)
+	case FaultDropSync:
+		return nil // lies: durable mark does not advance
+	case FaultCrash:
+		return in.crashLocked()
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.st.durable = f.st.size
+	return nil
+}
+
+func (f *injFile) Close() error {
+	// Close is passed through without an op draw: it neither allocates
+	// nor makes anything durable, and keeping it out of the op space
+	// keeps crash-point sweeps dense with meaningful faults.
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return f.f.Close()
+}
+
+func (f *injFile) Chmod(mode os.FileMode) error {
+	in := f.in
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return f.f.Chmod(mode)
+}
+
+func (f *injFile) Name() string { return f.f.Name() }

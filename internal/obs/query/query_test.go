@@ -1,8 +1,13 @@
 package query
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"glitchlab/internal/chaos"
 )
 
 const sample = `{"type":"span","v":2,"name":"campaign.run","t_us":0,"dur_us":1000}
@@ -186,6 +191,64 @@ func TestRollupOrderIndependent(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Errorf("row[%d] differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLoadTornTailEveryBoundary sweeps a chaos-injected short write over
+// every byte boundary of the final record: whatever prefix of the last
+// line a power loss leaves behind, Load must keep every whole preceding
+// record, flag (and drop) any partial tail, and never fail.
+func TestLoadTornTailEveryBoundary(t *testing.T) {
+	idx := strings.LastIndex(strings.TrimSuffix(sample, "\n"), "\n")
+	head, last := sample[:idx+1], sample[idx+1:] // last keeps its newline
+
+	for k := 0; k <= len(last); k++ {
+		path := filepath.Join(t.TempDir(), "trace.jsonl")
+		if err := os.WriteFile(path, []byte(head), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		// Op 0 is the append open; op 1 is the write, torn to exactly k
+		// bytes of the final record.
+		inj := chaos.NewInjector(chaos.OS{},
+			chaos.AtOp{N: 1, Fault: chaos.FaultTorn, Torn: k})
+		f, err := inj.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+		if err != nil {
+			t.Fatalf("k=%d: open: %v", k, err)
+		}
+		_, werr := f.Write([]byte(last))
+		_ = f.Close()
+		if k < len(last) && werr == nil {
+			t.Fatalf("k=%d: torn write reported success", k)
+		}
+
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("k=%d: Load failed on torn tail: %v", k, err)
+		}
+		switch {
+		case k >= len(last)-1:
+			// The whole record landed (the missing byte at k==len-1 is
+			// only the trailing newline): all 7 records, summary intact.
+			if len(tr.Records) != 7 || tr.Summary == nil {
+				t.Fatalf("k=%d: got %d records (summary %v), want 7 whole",
+					k, len(tr.Records), tr.Summary != nil)
+			}
+		case k == 0:
+			// Nothing of the final record landed: a clean 6-record trace.
+			if len(tr.Records) != 6 || tr.Torn {
+				t.Fatalf("k=0: got %d records torn=%v, want clean 6", len(tr.Records), tr.Torn)
+			}
+		default:
+			// A strict partial prefix: dropped and flagged, never kept.
+			if len(tr.Records) != 6 || !tr.Torn {
+				t.Fatalf("k=%d: got %d records torn=%v, want 6 + torn flag",
+					k, len(tr.Records), tr.Torn)
+			}
 		}
 	}
 }

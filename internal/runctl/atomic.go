@@ -4,24 +4,35 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"glitchlab/internal/chaos"
 )
 
 // WriteFileAtomic writes data to path so that readers never observe a
-// partial file: the bytes land in a temp file in the same directory, are
-// fsynced, and only then renamed over path. An interrupted run therefore
-// either leaves the previous file intact or the new one complete — never a
-// truncated artifact. The rename is atomic only within one filesystem,
-// which colocating the temp file guarantees.
+// partial file and the result survives power loss: the bytes land in a
+// temp file in the same directory, are fsynced, renamed over path, and
+// the parent directory is fsynced to make the rename itself durable. An
+// interrupted run therefore either leaves the previous file intact or the
+// new one complete — never a truncated artifact. The rename is atomic
+// only within one filesystem, which colocating the temp file guarantees.
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomicFS(chaos.OS{}, path, data, perm)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an explicit filesystem, so
+// fault-injection tests can exercise every failure point of the
+// write/fsync/rename/dirsync sequence.
+func WriteFileAtomicFS(fsys chaos.FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("atomic write %s: %w", path, err)
 	}
+	tmpName := tmp.Name()
 	defer func() {
 		if tmp != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmpName)
 		}
 	}()
 	if _, err := tmp.Write(data); err != nil {
@@ -36,9 +47,16 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("atomic write %s: %w", path, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	tmp = nil // closed; from here only the rename source needs cleanup
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("atomic write %s: %w", path, err)
 	}
-	tmp = nil // renamed away; nothing to clean up
+	// fsyncing the file made its *bytes* durable, not its directory entry:
+	// without this dir sync a power loss after the rename can bring back
+	// the old file, or no file at all.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
 	return nil
 }

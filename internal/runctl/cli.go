@@ -11,7 +11,16 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"glitchlab/internal/chaos"
 )
+
+// ExitChaosCrash is the process exit code a CLI uses when -chaos-crash-op
+// fires: the injected power loss has rolled the run directory back to its
+// durable image and the process dies, exactly like a real kill. Distinct
+// from ExitInterrupted so the chaos harness can tell "crashed on schedule"
+// from "user hit Ctrl-C".
+const ExitChaosCrash = 4
 
 // CLIFlags is the run-control flag block shared by the experiment CLIs
 // (glitchemu, glitchscan, glitcheval). Register with RegisterCLIFlags,
@@ -21,9 +30,18 @@ type CLIFlags struct {
 	Resume   bool          // -resume: continue the checkpoint in -run-dir
 	Deadline time.Duration // -deadline: cancel the run after this long
 	OutPath  string        // -out: write results here atomically instead of stdout
+
+	// Chaos knobs: deterministic fault injection on the run's durability
+	// I/O (checkpoints, manifest, -out). All off by default.
+	ChaosSeed    uint64 // -chaos-seed: schedule seed
+	ChaosEvery   uint64 // -chaos-every: mean ops between injected faults (0 = off)
+	ChaosCrashOp int64  // -chaos-crash-op: simulate power loss at this op index (-1 = off)
+
+	fsys chaos.FS
 }
 
-// RegisterCLIFlags installs -run-dir, -resume, -deadline and -out on fs.
+// RegisterCLIFlags installs -run-dir, -resume, -deadline and -out on fs,
+// plus the -chaos-* fault-injection knobs.
 func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	f := &CLIFlags{}
 	fs.StringVar(&f.Dir, "run-dir", "",
@@ -34,7 +52,41 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 		"cancel the run after this duration, flushing the checkpoint (e.g. 30m)")
 	fs.StringVar(&f.OutPath, "out", "",
 		"write results to this file atomically instead of stdout")
+	fs.Uint64Var(&f.ChaosSeed, "chaos-seed", 0,
+		"seed for the deterministic fault-injection schedule")
+	fs.Uint64Var(&f.ChaosEvery, "chaos-every", 0,
+		"inject a disk fault on average every N durability I/O ops (0 = off)")
+	fs.Int64Var(&f.ChaosCrashOp, "chaos-crash-op", -1,
+		"simulate power loss at this durability I/O op and exit 4 (-1 = off)")
 	return f
+}
+
+// FS returns the filesystem the run's durability I/O goes through: the
+// real one, or — when any -chaos-* knob is set — a deterministic fault
+// injector over it. Built once; Start and NewOutput share it so the op
+// index spans the whole invocation.
+func (f *CLIFlags) FS() chaos.FS {
+	if f.fsys != nil {
+		return f.fsys
+	}
+	if f.ChaosEvery == 0 && f.ChaosCrashOp < 0 {
+		f.fsys = chaos.OS{}
+		return f.fsys
+	}
+	var sched chaos.Overlay
+	if f.ChaosCrashOp >= 0 {
+		sched = append(sched, chaos.FaultAt(uint64(f.ChaosCrashOp), chaos.FaultCrash))
+	}
+	if f.ChaosEvery > 0 {
+		sched = append(sched, chaos.Seeded{Seed: f.ChaosSeed, Every: f.ChaosEvery})
+	}
+	inj := chaos.NewInjector(chaos.OS{}, sched).WithSeed(f.ChaosSeed | 1)
+	inj.OnCrash(func() {
+		fmt.Fprintln(os.Stderr, "chaos: simulated power loss at -chaos-crash-op; run directory rolled back to its durable image")
+		os.Exit(ExitChaosCrash)
+	})
+	f.fsys = inj
+	return f.fsys
 }
 
 // Start builds the *Run for one CLI invocation: a context that cancels on
@@ -74,7 +126,7 @@ func (f *CLIFlags) Start(tool, configHash string, seed uint64) (*Run, context.Ca
 		run = New(ctx)
 	} else {
 		m := Manifest{Tool: tool, ConfigHash: configHash, Seed: seed}
-		run, err = Open(ctx, f.Dir, m, f.Resume)
+		run, err = OpenFS(ctx, f.FS(), f.Dir, m, f.Resume)
 		if err != nil {
 			cancel()
 			return nil, nil, err
@@ -116,12 +168,20 @@ func ExitCode(err error) int {
 // Commit on success.
 type Output struct {
 	path string
+	fs   chaos.FS
 	buf  bytes.Buffer
 }
 
-// NewOutput returns an Output targeting path ("" = stdout).
+// NewOutput returns an Output targeting path ("" = stdout) on the real
+// filesystem.
 func NewOutput(path string) *Output {
-	return &Output{path: path}
+	return &Output{path: path, fs: chaos.OS{}}
+}
+
+// NewOutput returns the Output for this invocation's -out flag, committing
+// through the same (possibly fault-injected) filesystem as the run.
+func (f *CLIFlags) NewOutput() *Output {
+	return &Output{path: f.OutPath, fs: f.FS()}
 }
 
 // Writer returns the destination for result rendering.
@@ -138,5 +198,5 @@ func (o *Output) Commit() error {
 	if o.path == "" {
 		return nil
 	}
-	return WriteFileAtomic(o.path, o.buf.Bytes(), 0o666)
+	return WriteFileAtomicFS(o.fs, o.path, o.buf.Bytes(), 0o666)
 }

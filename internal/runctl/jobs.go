@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"glitchlab/internal/chaos"
 )
 
 // ReadManifest loads the manifest of an existing run directory. It is how
@@ -14,8 +16,13 @@ import (
 // checkpoint belongs to, so the caller can detect drift before committing
 // to a resume.
 func ReadManifest(dir string) (Manifest, error) {
+	return ReadManifestFS(chaos.OS{}, dir)
+}
+
+// ReadManifestFS is ReadManifest over an explicit filesystem.
+func ReadManifestFS(fsys chaos.FS, dir string) (Manifest, error) {
 	var m Manifest
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	data, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return m, fmt.Errorf("runctl: manifest: %w", err)
 	}
@@ -32,7 +39,12 @@ func ReadManifest(dir string) (Manifest, error) {
 // first manifest write leaves exactly that state, and the run simply
 // starts over).
 func HasCheckpoint(dir string) bool {
-	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return HasCheckpointFS(chaos.OS{}, dir)
+}
+
+// HasCheckpointFS is HasCheckpoint over an explicit filesystem.
+func HasCheckpointFS(fsys chaos.FS, dir string) bool {
+	_, err := fsys.Stat(filepath.Join(dir, ManifestName))
 	return err == nil
 }
 

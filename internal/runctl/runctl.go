@@ -41,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"glitchlab/internal/chaos"
 	"glitchlab/internal/obs"
 )
 
@@ -168,9 +169,10 @@ type Run struct {
 
 	ctx context.Context
 	dir string
+	fs  chaos.FS
 
 	mu         sync.Mutex
-	file       *os.File // checkpoint.jsonl, append mode; nil = no checkpointing
+	file       chaos.File // checkpoint.jsonl, append mode; nil = no checkpointing
 	manifest   Manifest
 	done       map[string]json.RawMessage
 	loaded     int // units restored from an existing checkpoint
@@ -195,16 +197,25 @@ func New(ctx context.Context) *Run {
 // differ from m (see DriftError) and otherwise loads every completed unit
 // so Lookup can skip them.
 func Open(ctx context.Context, dir string, m Manifest, resume bool) (*Run, error) {
+	return OpenFS(ctx, chaos.OS{}, dir, m, resume)
+}
+
+// OpenFS is Open over an explicit filesystem. Production callers pass
+// chaos.OS{} (what Open does); fault-injection tests and the -chaos-*
+// CLI knobs pass a *chaos.Injector to glitch every durability syscall
+// the controller performs.
+func OpenFS(ctx context.Context, fsys chaos.FS, dir string, m Manifest, resume bool) (*Run, error) {
 	if dir == "" {
 		return nil, errors.New("runctl: empty run directory")
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := fsys.MkdirAll(dir, 0o777); err != nil {
 		return nil, fmt.Errorf("runctl: run dir: %w", err)
 	}
 	m.Version = manifestVersion
 	r := &Run{
 		ctx:      ctx,
 		dir:      dir,
+		fs:       fsys,
 		manifest: m,
 		done:     map[string]json.RawMessage{},
 	}
@@ -212,7 +223,7 @@ func Open(ctx context.Context, dir string, m Manifest, resume bool) (*Run, error
 	mpath := filepath.Join(dir, ManifestName)
 	cpath := filepath.Join(dir, CheckpointName)
 	if resume {
-		data, err := os.ReadFile(mpath)
+		data, err := fsys.ReadFile(mpath)
 		if err != nil {
 			return nil, fmt.Errorf("runctl: nothing to resume in %s: %w", dir, err)
 		}
@@ -228,7 +239,7 @@ func Open(ctx context.Context, dir string, m Manifest, resume bool) (*Run, error
 		}
 	} else {
 		for _, p := range []string{mpath, cpath} {
-			if _, err := os.Stat(p); err == nil {
+			if _, err := fsys.Stat(p); err == nil {
 				return nil, fmt.Errorf(
 					"runctl: %s already holds %s; pass -resume to continue that run or pick a fresh -run-dir",
 					dir, filepath.Base(p))
@@ -238,8 +249,15 @@ func Open(ctx context.Context, dir string, m Manifest, resume bool) (*Run, error
 			return nil, err
 		}
 	}
-	f, err := os.OpenFile(cpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	f, err := fsys.OpenFile(cpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
 	if err != nil {
+		return nil, fmt.Errorf("runctl: checkpoint: %w", err)
+	}
+	// Make the checkpoint file's directory entry durable up front: record
+	// fsyncs alone would otherwise leave a file that vanishes wholesale on
+	// power loss.
+	if err := fsys.SyncDir(dir); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("runctl: checkpoint: %w", err)
 	}
 	r.file = f
@@ -267,7 +285,7 @@ func checkDrift(prev, want Manifest) error {
 // unit simply reruns); corruption anywhere else is an error. Quarantine
 // records are not treated as completed: a resumed run retries them.
 func (r *Run) loadCheckpoint(path string) error {
-	data, err := os.ReadFile(path)
+	data, err := r.fs.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
@@ -511,7 +529,11 @@ func (r *Run) writeManifestLocked() error {
 		return fmt.Errorf("runctl: manifest: %w", err)
 	}
 	path := filepath.Join(r.dir, ManifestName)
-	if err := WriteFileAtomic(path, append(data, '\n'), 0o666); err != nil {
+	fsys := r.fs
+	if fsys == nil {
+		fsys = chaos.OS{}
+	}
+	if err := WriteFileAtomicFS(fsys, path, append(data, '\n'), 0o666); err != nil {
 		return fmt.Errorf("runctl: manifest: %w", err)
 	}
 	return nil

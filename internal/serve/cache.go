@@ -22,6 +22,12 @@ const (
 	MetricCacheEvicted  = "serve.cache_evictions_total"
 	MetricCacheBytes    = "serve.cache_bytes"
 	MetricCacheEntries  = "serve.cache_entries"
+	// Robustness metrics: disk faults observed on durable-state writes,
+	// the degraded-mode gauge (0/1), and 503 rejections while degraded or
+	// draining (the 429 queue-cap rejections stay in jobs_rejected_total).
+	MetricDiskFaults       = "serve.disk_faults_total"
+	MetricDegraded         = "serve.degraded"
+	MetricJobsRejectedBusy = "serve.jobs_rejected_unavailable_total"
 )
 
 // Cache is the completed-result cache: rendered report bytes keyed by the

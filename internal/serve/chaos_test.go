@@ -1,0 +1,561 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"glitchlab/internal/chaos"
+	"glitchlab/internal/obs"
+)
+
+// crashDaemonRun runs one daemon lifetime over state with a power loss
+// injected at filesystem op n: open, submit spec, wait, close. Every step
+// is best-effort — the crash can land anywhere, including inside Open —
+// and the injector rolls the real directory back to the durable image at
+// the crash op. What it must never do is serve corrupt bytes: a job that
+// reports done must match want exactly.
+func crashDaemonRun(t *testing.T, state string, n uint64, spec Spec, want []byte) {
+	t.Helper()
+	inj := chaos.NewInjector(chaos.OS{}, chaos.FaultAt(n, chaos.FaultCrash)).WithSeed(n | 1)
+	d, err := Open(Config{StateDir: state, FS: inj, Executors: 1, Reg: obs.NewRegistry()})
+	if err != nil {
+		if !chaos.IsDiskFault(err) {
+			t.Fatalf("crash@op%d: Open failed non-loudly: %v", n, err)
+		}
+		return
+	}
+	defer d.Close()
+	res, err := d.Submit(spec)
+	if err != nil {
+		if !chaos.IsDiskFault(err) {
+			t.Fatalf("crash@op%d: Submit failed non-loudly: %v", n, err)
+		}
+		return
+	}
+	if d.WaitTerminal(res.Job.ID, waitTimeout) {
+		if j, ok := d.Job(res.Job.ID); ok && j.State() == StateDone {
+			if body, err := d.Result(res.Job.ID); err == nil && !bytes.Equal(body, want) {
+				t.Fatalf("crash@op%d: daemon served corrupt result (%d bytes, want %d)",
+					n, len(body), len(want))
+			}
+		}
+	}
+}
+
+// reopenCleanAndVerify restarts a daemon over a possibly fault-riddled
+// state directory with the real filesystem, drains whatever recovery
+// re-enqueued, resubmits spec and requires the result byte-identical to
+// the golden run. This is the crash-consistency contract: resume to the
+// exact bytes or refuse loudly, never silent corruption.
+func reopenCleanAndVerify(t *testing.T, state string, spec Spec, want []byte) {
+	t.Helper()
+	d := openTestDaemon(t, Config{StateDir: state, Executors: 1})
+	for _, j := range d.Jobs() {
+		d.WaitTerminal(j.ID, waitTimeout)
+	}
+	res, err := d.Submit(spec)
+	if err != nil {
+		t.Fatalf("clean resubmit: %v", err)
+	}
+	if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatalf("clean resubmit did not finish")
+	}
+	j, _ := d.Job(res.Job.ID)
+	if j.State() != StateDone {
+		t.Fatalf("clean resubmit ended %s: %s", j.State(), j.Status().Error)
+	}
+	body, err := d.Result(res.Job.ID)
+	if err != nil {
+		t.Fatalf("clean resubmit result: %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("clean resubmit result differs from golden (%d bytes, want %d)",
+			len(body), len(want))
+	}
+}
+
+// TestDaemonCrashOpSweep is the tentpole crash-consistency sweep at the
+// daemon layer: simulate a power loss at every k-th filesystem operation
+// of a full submit-execute-persist lifetime, then restart over the
+// rolled-back state directory with a healthy disk and require the
+// resubmitted spec to produce golden bytes.
+func TestDaemonCrashOpSweep(t *testing.T) {
+	want := golden(t, campaignSpec)
+
+	// Probe the fault-free op count with a counting (nil-schedule) injector.
+	probeState := t.TempDir()
+	probe := chaos.NewInjector(chaos.OS{}, nil)
+	d, err := Open(Config{StateDir: probeState, FS: probe, Executors: 1, Reg: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("probe Open: %v", err)
+	}
+	res, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatalf("probe Submit: %v", err)
+	}
+	if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatal("probe job did not finish")
+	}
+	d.Close()
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("probe counted only %d fs ops; injector not threaded through the daemon?", total)
+	}
+
+	points := 32
+	if testing.Short() {
+		points = 6
+	}
+	stride := total / uint64(points)
+	if stride == 0 {
+		stride = 1
+	}
+	swept := 0
+	for n := uint64(0); n < total; n += stride {
+		state := t.TempDir()
+		crashDaemonRun(t, state, n, campaignSpec, want)
+		reopenCleanAndVerify(t, state, campaignSpec, want)
+		swept++
+	}
+	t.Logf("swept %d crash points over %d fs ops", swept, total)
+}
+
+// TestDaemonSeededFaultSweep drives full daemon lifetimes under seeded
+// mixed-fault schedules (ENOSPC, EIO, torn writes, dropped fsyncs —
+// everything but crashes, so errors surface as op failures rather than
+// rollbacks). Jobs may fail, but only loudly and classified retryable;
+// a clean restart over the battered state dir must still reach golden.
+func TestDaemonSeededFaultSweep(t *testing.T) {
+	want := golden(t, campaignSpec)
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		state := t.TempDir()
+		inj := chaos.NewInjector(chaos.OS{},
+			chaos.Seeded{Seed: uint64(seed), Every: 13}).WithSeed(uint64(seed))
+		d, err := Open(Config{StateDir: state, FS: inj, Executors: 1,
+			Reg: obs.NewRegistry(), DegradeAfter: -1})
+		if err != nil {
+			if !chaos.IsDiskFault(err) {
+				t.Fatalf("seed %d: Open failed non-loudly: %v", seed, err)
+			}
+			reopenCleanAndVerify(t, state, campaignSpec, want)
+			continue
+		}
+		res, err := d.Submit(campaignSpec)
+		if err == nil && d.WaitTerminal(res.Job.ID, waitTimeout) {
+			j, _ := d.Job(res.Job.ID)
+			switch j.State() {
+			case StateDone:
+				if body, rerr := d.Result(res.Job.ID); rerr == nil && !bytes.Equal(body, want) {
+					t.Fatalf("seed %d: corrupt result under faults", seed)
+				}
+			case StateFailed:
+				if !j.Status().Retryable {
+					t.Fatalf("seed %d: disk-fault failure not marked retryable: %s",
+						seed, j.Status().Error)
+				}
+			}
+		} else if err != nil && !chaos.IsDiskFault(err) {
+			t.Fatalf("seed %d: Submit failed non-loudly: %v", seed, err)
+		}
+		d.Close()
+		reopenCleanAndVerify(t, state, campaignSpec, want)
+	}
+}
+
+// TestDaemonDegradedMode exercises the graceful-degradation state
+// machine end to end with a runtime-switchable fault: persistent disk
+// faults trip degraded mode (503 + Retry-After over HTTP, healthz
+// "degraded"), cached results keep being served from memory, and the
+// first successful probe write recovers the daemon.
+func TestDaemonDegradedMode(t *testing.T) {
+	var tg chaos.Toggle
+	inj := chaos.NewInjector(chaos.OS{}, &tg).WithSeed(1)
+	d := openTestDaemon(t, Config{
+		StateDir: t.TempDir(), FS: inj, Executors: 1,
+		DegradeAfter: 2, ProbeInterval: time.Millisecond,
+	})
+	srv := startServer(t, d)
+
+	// Healthy phase: complete a campaign so its result is cached.
+	res, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatalf("healthy Submit: %v", err)
+	}
+	if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatal("healthy job did not finish")
+	}
+	want, err := d.Result(res.Job.ID)
+	if err != nil {
+		t.Fatalf("healthy Result: %v", err)
+	}
+
+	// Disk goes bad: fresh submissions fail with classified disk faults
+	// until DegradeAfter consecutive persist failures trip degraded mode.
+	tg.Set(chaos.FaultEIO)
+	tripped := false
+	for i := 0; i < 20; i++ {
+		_, err := d.Submit(scanSpec)
+		if errors.Is(err, ErrDegraded) {
+			tripped = true
+			break
+		}
+		if err == nil {
+			t.Fatal("Submit succeeded through a fully faulted disk")
+		}
+		if !chaos.IsDiskFault(err) {
+			t.Fatalf("Submit failed non-loudly: %v", err)
+		}
+	}
+	if !tripped || !d.Degraded() {
+		t.Fatalf("daemon never degraded (tripped=%v Degraded=%v)", tripped, d.Degraded())
+	}
+	if n := d.Registry().Counter(MetricDiskFaults).Value(); n < 2 {
+		t.Fatalf("disk-fault counter = %v, want >= 2", n)
+	}
+
+	// HTTP surface: 503 + Retry-After, healthz reports degraded.
+	code, _, raw := postJob(t, srv, specJSON(t, evalSpec))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded submit = %d (%s), want 503", code, raw)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(specJSON(t, evalSpec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+	resp.Body.Close()
+	if got := healthStatus(t, srv); got != "degraded" {
+		t.Fatalf("healthz status = %q, want degraded", got)
+	}
+
+	// Cached specs are still served while degraded, straight from memory.
+	hit, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatalf("cached Submit while degraded: %v", err)
+	}
+	if !hit.CacheHit {
+		t.Fatal("identical spec not served from cache while degraded")
+	}
+	body, err := d.Result(hit.Job.ID)
+	if err != nil {
+		t.Fatalf("cached Result while degraded: %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatal("cached result differs while degraded")
+	}
+
+	// Disk heals: the next submission's probe write succeeds and the
+	// daemon recovers (the probe is rate-limited, so allow a few tries).
+	tg.Set(chaos.FaultNone)
+	var rec SubmitResult
+	for i := 0; i < 200; i++ {
+		rec, err = d.Submit(scanSpec)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrDegraded) {
+			t.Fatalf("recovery Submit: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("daemon never recovered: %v", err)
+	}
+	if d.Degraded() {
+		t.Fatal("Degraded() still true after successful admission")
+	}
+	if !d.WaitTerminal(rec.Job.ID, waitTimeout) {
+		t.Fatal("post-recovery job did not finish")
+	}
+	got, err := d.Result(rec.Job.ID)
+	if err != nil {
+		t.Fatalf("post-recovery Result: %v", err)
+	}
+	if !bytes.Equal(got, golden(t, scanSpec)) {
+		t.Fatal("post-recovery result differs from golden")
+	}
+	if got := healthStatus(t, srv); got != "ok" {
+		t.Fatalf("healthz status = %q after recovery, want ok", got)
+	}
+}
+
+func healthStatus(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	code, _, raw := getBody(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	return h.Status
+}
+
+// TestSubmitDiskFault503 pins the HTTP mapping for an environmental
+// submit failure: a disk fault while persisting a fresh job is 503 +
+// Retry-After (back off and resubmit), never 400 (the spec is fine).
+// Degraded mode is disabled so this is the raw single-fault path.
+func TestSubmitDiskFault503(t *testing.T) {
+	var tg chaos.Toggle
+	inj := chaos.NewInjector(chaos.OS{}, &tg).WithSeed(1)
+	d := openTestDaemon(t, Config{
+		StateDir: t.TempDir(), FS: inj, Executors: 1, DegradeAfter: -1,
+	})
+	srv := startServer(t, d)
+
+	tg.Set(chaos.FaultEIO)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(specJSON(t, scanSpec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disk-fault submit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("disk-fault 503 missing Retry-After")
+	}
+
+	// Disk heals: the identical spec is admitted and completes.
+	tg.Set(chaos.FaultNone)
+	code, sub, raw := postJob(t, srv, specJSON(t, scanSpec))
+	if code != http.StatusAccepted {
+		t.Fatalf("post-heal submit = %d (%s), want 202", code, raw)
+	}
+	if !d.WaitTerminal(sub.Job.ID, waitTimeout) {
+		t.Fatal("post-heal job did not finish")
+	}
+}
+
+// TestDaemonDrain503 covers the SIGTERM drain window: after BeginDrain
+// every new submission is rejected with ErrDraining (503 + Retry-After
+// over HTTP) while status, results and health stay readable.
+func TestDaemonDrain503(t *testing.T) {
+	d := openTestDaemon(t, Config{})
+	srv := startServer(t, d)
+
+	res, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatal("job did not finish")
+	}
+
+	d.BeginDrain()
+	if _, err := d.Submit(scanSpec); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining = %v, want ErrDraining", err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(specJSON(t, scanSpec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining submit = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 missing Retry-After")
+	}
+	if got := healthStatus(t, srv); got != "draining" {
+		t.Fatalf("healthz status = %q, want draining", got)
+	}
+
+	// Reads survive the drain: the finished job's result is still served.
+	code, _, body := getBody(t, fmt.Sprintf("%s/v1/jobs/%s/result", srv.URL, res.Job.ID))
+	if code != http.StatusOK {
+		t.Fatalf("result during drain = %d", code)
+	}
+	if !bytes.Equal(body, golden(t, campaignSpec)) {
+		t.Fatal("result during drain differs from golden")
+	}
+}
+
+// waitStableEvents blocks until the job's event stream stops growing:
+// WaitTerminal returns on the state flip, but the tracer's final flush
+// (and the trailing job.done record) land just after it.
+func waitStableEvents(t *testing.T, path string) []byte {
+	t.Helper()
+	var prev []byte
+	for i := 0; i < 500; i++ {
+		data, _ := os.ReadFile(path)
+		if len(data) > 0 && data[len(data)-1] == '\n' && bytes.Equal(data, prev) {
+			return data
+		}
+		prev = append(prev[:0], data...)
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("event stream %s never stabilized (%d bytes)", path, len(prev))
+	return nil
+}
+
+// TestEventsOffsetBoundaries pins the event-stream paging contract at
+// every boundary: offset == len and offset > len answer an explicit
+// empty page carrying the current end as the next offset, and an offset
+// landing mid-record snaps back to the preceding record boundary so
+// clients only ever receive whole records.
+func TestEventsOffsetBoundaries(t *testing.T) {
+	d := openTestDaemon(t, Config{})
+	srv := startServer(t, d)
+
+	res, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatal("job did not finish")
+	}
+	waitStableEvents(t, d.EventsPath(res.Job.ID))
+	base := fmt.Sprintf("%s/v1/jobs/%s/events", srv.URL, res.Job.ID)
+
+	code, hdr, full := getBody(t, base)
+	if code != http.StatusOK {
+		t.Fatalf("events = %d", code)
+	}
+	end, err := strconv.ParseInt(hdr.Get(NextOffsetHeader), 10, 64)
+	if err != nil || end != int64(len(full)) {
+		t.Fatalf("next offset %q, want %d", hdr.Get(NextOffsetHeader), len(full))
+	}
+	if len(full) == 0 || full[len(full)-1] != '\n' {
+		t.Fatalf("event stream empty or torn (%d bytes)", len(full))
+	}
+
+	// offset == len: explicit empty page, next offset unchanged.
+	code, hdr, body := getBody(t, fmt.Sprintf("%s?offset=%d", base, end))
+	if code != http.StatusOK || len(body) != 0 {
+		t.Fatalf("offset==len: code %d, %d bytes, want empty 200", code, len(body))
+	}
+	if got := hdr.Get(NextOffsetHeader); got != strconv.FormatInt(end, 10) {
+		t.Fatalf("offset==len next = %q, want %d", got, end)
+	}
+
+	// offset > len (a crash shrank the stream under the client): same
+	// explicit empty page, next offset clamped back to the real end.
+	code, hdr, body = getBody(t, fmt.Sprintf("%s?offset=%d", base, end+4096))
+	if code != http.StatusOK || len(body) != 0 {
+		t.Fatalf("offset>len: code %d, %d bytes, want empty 200", code, len(body))
+	}
+	if got := hdr.Get(NextOffsetHeader); got != strconv.FormatInt(end, 10) {
+		t.Fatalf("offset>len next = %q, want %d", got, end)
+	}
+
+	// Mid-record offset snaps backward to the record boundary.
+	first := bytes.IndexByte(full, '\n')
+	if first < 0 || first+3 >= len(full) {
+		t.Fatalf("stream too short for a mid-record probe (%d bytes)", len(full))
+	}
+	mid := int64(first + 3) // 2 bytes into the second record
+	code, hdr, body = getBody(t, fmt.Sprintf("%s?offset=%d", base, mid))
+	if code != http.StatusOK {
+		t.Fatalf("mid-record = %d", code)
+	}
+	if !bytes.Equal(body, full[first+1:]) {
+		t.Fatalf("mid-record offset %d did not snap to boundary %d", mid, first+1)
+	}
+	if got := hdr.Get(NextOffsetHeader); got != strconv.FormatInt(end, 10) {
+		t.Fatalf("mid-record next = %q, want %d", got, end)
+	}
+
+	// An offset already on a boundary is served as-is.
+	code, _, body = getBody(t, fmt.Sprintf("%s?offset=%d", base, first+1))
+	if code != http.StatusOK || !bytes.Equal(body, full[first+1:]) {
+		t.Fatal("boundary offset not served verbatim")
+	}
+}
+
+// TestDaemonEventsTornTailTruncation proves a torn final event line —
+// what a mid-append power loss leaves behind — is dropped before the
+// stream is appended to again, so offsets always land between whole
+// records and readers never see a partial record.
+func TestDaemonEventsTornTailTruncation(t *testing.T) {
+	d := openTestDaemon(t, Config{})
+	srv := startServer(t, d)
+
+	res, err := d.Submit(campaignSpec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !d.WaitTerminal(res.Job.ID, waitTimeout) {
+		t.Fatal("job did not finish")
+	}
+	path := d.EventsPath(res.Job.ID)
+	clean := waitStableEvents(t, path)
+
+	// Tear the tail the way a power loss would: a partial record, no
+	// trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(`{"type":"event","name":"job.tor`)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The HTTP reader trims the torn tail even before truncation.
+	code, _, body := getBody(t, fmt.Sprintf("%s/v1/jobs/%s/events", srv.URL, res.Job.ID))
+	if code != http.StatusOK || !bytes.Equal(body, clean) {
+		t.Fatalf("torn tail leaked to a reader (code %d, %d bytes, want %d)",
+			code, len(body), len(clean))
+	}
+
+	d.truncateTornEvents(res.Job.ID)
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, clean) {
+		t.Fatalf("truncateTornEvents left %d bytes, want %d", len(got), len(clean))
+	}
+	// Idempotent on a clean stream.
+	d.truncateTornEvents(res.Job.ID)
+	if again, _ := os.ReadFile(path); !bytes.Equal(again, clean) {
+		t.Fatal("truncateTornEvents modified a clean stream")
+	}
+
+	// Sweep the tear across every byte boundary of the final record: any
+	// strict prefix is dropped to the preceding boundary, the whole
+	// record (with its newline) survives untouched.
+	boundary := lastNewline(clean[:len(clean)-1]) // start of the final record
+	tail := clean[boundary:]
+	for k := 0; k <= len(tail); k++ {
+		torn := clean[:boundary+k]
+		if err := os.WriteFile(path, torn, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		d.truncateTornEvents(res.Job.ID)
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := clean[:boundary]
+		if k == len(tail) {
+			want = clean
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tear at byte %d/%d: kept %d bytes, want %d",
+				k, len(tail), len(got), len(want))
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Package client is the resilient Go client for a glitchd daemon. It
+// wraps the HTTP job API with the retry discipline a flaky network and a
+// fault-riddled daemon demand:
+//
+//   - capped exponential backoff with seeded, deterministic jitter, so a
+//     thundering herd of clients decorrelates without any shared state;
+//   - Retry-After honored on 429 (queue full) and 503 (draining or
+//     degraded), capped at MaxDelay;
+//   - idempotent resubmission: glitchd keys results by the normalized
+//     spec + engine stamp, so resubmitting an identical spec either
+//     coalesces onto the in-flight job or hits the result cache —
+//     retrying a Submit can never double-execute;
+//   - retryable-failure awareness: a job that failed on a disk fault
+//     (Status.Retryable) is resubmitted, one that failed on its spec is
+//     surfaced immediately as a *JobError;
+//   - event-stream resume: Events re-reads from the last byte offset the
+//     server acknowledged, accepting the server's backward snap to a
+//     record boundary after a daemon crash rewrote the stream.
+//
+// Every method takes a context; deadlines and cancellation bound the
+// whole retry loop, not just one attempt.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NextOffsetHeader mirrors serve.NextOffsetHeader (the package does not
+// import serve: the client must stay usable against a remote daemon
+// without linking the engines).
+const NextOffsetHeader = "X-Glitchd-Next-Offset"
+
+// Config shapes a Client. Zero values select the documented defaults.
+type Config struct {
+	// BaseURL of the daemon, e.g. "http://127.0.0.1:8473". Required.
+	BaseURL string
+	// HTTP is the underlying client. Default http.DefaultClient.
+	HTTP *http.Client
+	// BaseDelay seeds the exponential backoff (doubling per retry).
+	// Default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff step and any server Retry-After hint.
+	// Default 2s.
+	MaxDelay time.Duration
+	// MaxAttempts bounds retries per operation; 0 means retry until the
+	// context expires.
+	MaxAttempts int
+	// JitterSeed makes the jitter sequence deterministic for tests; 0
+	// derives a constant default (clients decorrelate by seed choice).
+	JitterSeed uint64
+
+	// sleep replaces the retry delay (tests capture and skip waits).
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client talks to one glitchd daemon. Safe for concurrent use; the
+// jitter draw is the only mutable state and is seeded per call chain.
+type Client struct {
+	cfg Config
+}
+
+// New validates cfg and returns a Client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: Config.BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.HTTP == nil {
+		cfg.HTTP = http.DefaultClient
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Second
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 0x9E3779B97F4A7C15
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Status is the wire view of a job (mirror of serve.Status).
+type Status struct {
+	ID          string          `json:"id"`
+	Kind        string          `json:"kind"`
+	State       string          `json:"state"`
+	Spec        json.RawMessage `json:"spec"`
+	Key         string          `json:"key"`
+	UnitsDone   uint64          `json:"units_done"`
+	UnitsLoaded uint64          `json:"units_loaded,omitempty"`
+	CacheHit    bool            `json:"cache_hit,omitempty"`
+	Resumed     bool            `json:"resumed,omitempty"`
+	ResultSize  int64           `json:"result_size,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Retryable   bool            `json:"retryable,omitempty"`
+}
+
+// Terminal reports whether the state is final for the serving daemon.
+func (s Status) Terminal() bool { return s.State == "done" || s.State == "failed" }
+
+// Submission is the decoded POST /v1/jobs response.
+type Submission struct {
+	Job       Status `json:"job"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+}
+
+// JobError is a permanent job failure: the daemon executed (or rejected)
+// the spec and the failure is attributable to it, not the environment.
+type JobError struct {
+	JobID   string
+	Message string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("client: job %s failed: %s", e.JobID, e.Message)
+}
+
+// apiError is a non-2xx response that is not worth retrying.
+type apiError struct {
+	Code int
+	Body string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("client: HTTP %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// retryDecision classifies one attempt's outcome.
+type retryDecision struct {
+	retry bool
+	// after is the server's Retry-After hint (0 = none).
+	after time.Duration
+}
+
+// jitter is one step of the client's deterministic backoff sequence: a
+// stateless mix of (seed, attempt), same construction as chaos.Mix (kept
+// local so the client does not link the injector).
+func jitter(seed, n uint64) uint64 {
+	x := seed ^ (n+1)*0x9E3779B97F4A7C15
+	x = x*6364136223846793005 + 1442695040888963407
+	x ^= x >> 29
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 32
+	return x
+}
+
+// delay computes the attempt-th backoff: exponential from BaseDelay,
+// capped at MaxDelay, jittered into (d/2, d]. A server Retry-After hint
+// overrides the exponential base when larger, still capped at MaxDelay —
+// the cap keeps a confused server from stalling the client forever.
+func (c *Client) delay(attempt int, after time.Duration) time.Duration {
+	d := c.cfg.BaseDelay << uint(attempt)
+	if d > c.cfg.MaxDelay || d <= 0 {
+		d = c.cfg.MaxDelay
+	}
+	if after > d {
+		d = min(after, c.cfg.MaxDelay)
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(jitter(c.cfg.JitterSeed, uint64(attempt))%uint64(half)) + 1
+}
+
+// do runs one request with the retry loop: transport errors, 429, 503
+// and 5xx retry with backoff; other 4xx surface immediately. body is
+// re-sent on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.cfg.MaxAttempts > 0 && attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w",
+				attempt, lastErr)
+		}
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("client: %w (last error: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.cfg.HTTP.Do(req)
+		dec := retryDecision{}
+		switch {
+		case err != nil:
+			// Transport error: the daemon may be restarting mid-drain.
+			lastErr = err
+			dec.retry = true
+		case resp.StatusCode == http.StatusTooManyRequests,
+			resp.StatusCode == http.StatusServiceUnavailable,
+			resp.StatusCode >= 500:
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			lastErr = &apiError{Code: resp.StatusCode, Body: string(b)}
+			dec.retry = true
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+					dec.after = time.Duration(secs) * time.Second
+				}
+			}
+		default:
+			return resp, nil
+		}
+		if !dec.retry {
+			return nil, lastErr
+		}
+		if err := c.cfg.sleep(ctx, c.delay(attempt, dec.after)); err != nil {
+			return nil, fmt.Errorf("client: %w (last error: %v)", err, lastErr)
+		}
+	}
+}
+
+// decode consumes resp as JSON into v, treating non-2xx as an apiError.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &apiError{Code: resp.StatusCode, Body: string(b)}
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit posts spec (any JSON-marshalable value mirroring serve.Spec)
+// and returns the submission. Retries are idempotent by cache-key
+// construction: an identical spec coalesces or cache-hits server-side.
+func (c *Client) Submit(ctx context.Context, spec any) (Submission, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return Submission{}, fmt.Errorf("client: marshal spec: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return Submission{}, err
+	}
+	var sub Submission
+	if err := decode(resp, &sub); err != nil {
+		return Submission{}, err
+	}
+	return sub, nil
+}
+
+// Status fetches a job's current status.
+func (c *Client) Status(ctx context.Context, jobID string) (Status, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID, nil)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := decode(resp, &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// errGone signals Result's caller that the job vanished (daemon state
+// loss); Run resubmits.
+var errGone = errors.New("client: job is gone")
+
+// Result blocks until jobID finishes and returns its rendered bytes.
+// A failed job surfaces as *JobError; a retryable failure or a vanished
+// job returns an error Run knows to resubmit on.
+func (c *Client) Result(ctx context.Context, jobID string) ([]byte, error) {
+	for {
+		resp, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+jobID+"/result?wait=1", nil)
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			defer resp.Body.Close()
+			return io.ReadAll(resp.Body)
+		case http.StatusNotFound:
+			resp.Body.Close()
+			return nil, fmt.Errorf("%w: %s", errGone, jobID)
+		case http.StatusConflict:
+			// Not done yet: the body is the job status.
+			var st Status
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				resp.Body.Close()
+				return nil, fmt.Errorf("client: job %s status: %w", jobID, err)
+			}
+			resp.Body.Close()
+			if st.State == "failed" {
+				if st.Retryable {
+					return nil, fmt.Errorf("%w: job %s failed retryably: %s",
+						errGone, jobID, st.Error)
+				}
+				return nil, &JobError{JobID: jobID, Message: st.Error}
+			}
+			// queued / running / interrupted: wait and poll again.
+			if err := c.cfg.sleep(ctx, c.delay(0, 0)); err != nil {
+				return nil, err
+			}
+		default:
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return nil, &apiError{Code: resp.StatusCode, Body: string(b)}
+		}
+	}
+}
+
+// Run submits spec and drives it to completion: submit (with backoff),
+// wait for the result, and resubmit when the job is lost or failed
+// retryably (daemon crash, disk faults). Identical specs are idempotent
+// server-side, so the loop can never double-execute work. Permanent
+// failures surface as *JobError.
+func (c *Client) Run(ctx context.Context, spec any) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		if c.cfg.MaxAttempts > 0 && attempt >= c.cfg.MaxAttempts {
+			return nil, fmt.Errorf("client: giving up after %d submissions", attempt)
+		}
+		sub, err := c.Submit(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.Result(ctx, sub.Job.ID)
+		if err == nil {
+			return body, nil
+		}
+		var je *JobError
+		if errors.As(err, &je) {
+			return nil, je
+		}
+		if !errors.Is(err, errGone) {
+			return nil, err
+		}
+		if serr := c.cfg.sleep(ctx, c.delay(attempt, 0)); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// Event is one decoded JSONL record from a job's event stream.
+type Event = json.RawMessage
+
+// Events streams a job's event records from offset, invoking fn per
+// record, until the job is terminal and the stream is drained. It
+// returns the final offset; resume a broken stream by passing that
+// offset back in. The server may snap a post-crash offset backward to a
+// record boundary, so fn can see a record twice — delivery is
+// at-least-once, never torn.
+func (c *Client) Events(ctx context.Context, jobID string, offset int64, fn func(Event) error) (int64, error) {
+	for {
+		path := fmt.Sprintf("/v1/jobs/%s/events?offset=%d&wait=1", jobID, offset)
+		resp, err := c.do(ctx, http.MethodGet, path, nil)
+		if err != nil {
+			return offset, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			return offset, &apiError{Code: resp.StatusCode, Body: string(b)}
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return offset, err
+		}
+		next := offset
+		if s := resp.Header.Get(NextOffsetHeader); s != "" {
+			if v, perr := strconv.ParseInt(s, 10, 64); perr == nil {
+				next = v
+			}
+		}
+		for _, line := range bytes.Split(body, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			if err := fn(Event(append([]byte(nil), line...))); err != nil {
+				return next, err
+			}
+		}
+		offset = next
+		if len(body) == 0 {
+			// Empty page: done if the job is terminal, else keep polling.
+			st, err := c.Status(ctx, jobID)
+			if err != nil {
+				return offset, err
+			}
+			if st.Terminal() {
+				return offset, nil
+			}
+			if err := c.cfg.sleep(ctx, c.delay(0, 0)); err != nil {
+				return offset, err
+			}
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// capturedSleeps swaps the client's real wait for an instant, recorded
+// one, so retry tests assert on the exact delays without wall time.
+type capturedSleeps struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+func (c *capturedSleeps) sleep(_ context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.ds = append(c.ds, d)
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *capturedSleeps) all() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.ds...)
+}
+
+func newTestClient(t *testing.T, srv *httptest.Server, cfg Config) (*Client, *capturedSleeps) {
+	t.Helper()
+	cap := &capturedSleeps{}
+	cfg.BaseURL = srv.URL
+	cfg.sleep = cap.sleep
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, cap
+}
+
+func submissionJSON(id string) string {
+	return fmt.Sprintf(`{"job":{"id":%q,"state":"queued"}}`, id)
+}
+
+func TestSubmitRetriesRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprint(w, submissionJSON("j000001"))
+		}
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{BaseDelay: 10 * time.Millisecond, MaxDelay: 2 * time.Second})
+	sub, err := c.Submit(context.Background(), map[string]string{"kind": "scan", "exp": "search"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if sub.Job.ID != "j000001" {
+		t.Fatalf("job id %q", sub.Job.ID)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (429 then 503 then 202)", n)
+	}
+	ds := slept.all()
+	if len(ds) != 2 {
+		t.Fatalf("sleeps = %v, want 2", ds)
+	}
+	for i, d := range ds {
+		// Retry-After 1s dominates the 10ms exponential base; the jitter
+		// lands in (500ms, 1s].
+		if d <= 500*time.Millisecond || d > time.Second {
+			t.Fatalf("sleep %d = %v, want in (500ms, 1s] honoring Retry-After", i, d)
+		}
+	}
+}
+
+func TestRetryAfterCappedAtMaxDelay(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600") // a confused server
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, submissionJSON("j1"))
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond})
+	if _, err := c.Submit(context.Background(), map[string]string{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ds := slept.all()
+	if len(ds) != 1 || ds[0] > 50*time.Millisecond {
+		t.Fatalf("sleeps = %v, want one sleep capped at MaxDelay", ds)
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		c, err := New(Config{BaseURL: "http://x", JitterSeed: seed,
+			BaseDelay: 10 * time.Millisecond, MaxDelay: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ds []time.Duration
+		for a := 0; a < 10; a++ {
+			ds = append(ds, c.delay(a, 0))
+		}
+		return ds
+	}
+	a, b, other := mk(7), mk(7), mk(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, a[i], b[i])
+		}
+		lo := 10 * time.Millisecond << uint(i) / 2
+		hi := 10 * time.Millisecond << uint(i)
+		if hi > time.Second || hi <= 0 {
+			hi = time.Second
+			lo = hi / 2
+		}
+		if a[i] <= lo || a[i] > hi {
+			t.Fatalf("attempt %d delay %v outside (%v, %v]", i, a[i], lo, hi)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestMaxAttemptsBoundsRetries(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxAttempts: 3, BaseDelay: time.Millisecond})
+	_, err := c.Submit(context.Background(), map[string]string{})
+	if err == nil || !strings.Contains(err.Error(), "giving up after 3 attempts") {
+		t.Fatalf("err = %v, want giving-up error", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+}
+
+func TestContextDeadlineBoundsRetryLoop(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{BaseURL: srv.URL, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	_, err = c.Submit(ctx, map[string]string{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestNonRetryable4xxSurfacesImmediately(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"invalid job spec"}`)
+	}))
+	defer srv.Close()
+
+	c, slept := newTestClient(t, srv, Config{})
+	_, err := c.Submit(context.Background(), map[string]string{"kind": "nope"})
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want apiError 400", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1 (400 is not retryable)", n)
+	}
+	if ds := slept.all(); len(ds) != 0 {
+		t.Fatalf("slept %v on a non-retryable error", ds)
+	}
+}
+
+// fakeDaemon scripts the job API surface Run exercises: each submission
+// mints the next job id, and per-job result responses are scripted.
+type fakeDaemon struct {
+	mu      sync.Mutex
+	submits int
+	// results maps job id to a queue of canned responses.
+	results map[string][]fakeResp
+}
+
+type fakeResp struct {
+	code int
+	body string
+}
+
+func (f *fakeDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+		f.mu.Lock()
+		f.submits++
+		id := fmt.Sprintf("j%06d", f.submits)
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, submissionJSON(id))
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		f.mu.Lock()
+		q := f.results[id]
+		var resp fakeResp
+		if len(q) == 0 {
+			resp = fakeResp{code: http.StatusNotFound, body: `{"error":"unknown job"}`}
+		} else {
+			resp = q[0]
+			if len(q) > 1 {
+				f.results[id] = q[1:]
+			}
+		}
+		f.mu.Unlock()
+		w.WriteHeader(resp.code)
+		fmt.Fprint(w, resp.body)
+	})
+	return mux
+}
+
+func TestRunResubmitsWhenJobVanishes(t *testing.T) {
+	// First job 404s (daemon lost its state); the resubmission completes.
+	f := &fakeDaemon{results: map[string][]fakeResp{
+		"j000002": {{code: http.StatusOK, body: "payload\n"}},
+	}}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxAttempts: 5})
+	body, err := c.Run(context.Background(), map[string]string{"kind": "scan"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(body) != "payload\n" {
+		t.Fatalf("body %q", body)
+	}
+	if f.submits != 2 {
+		t.Fatalf("submits = %d, want 2 (resubmit after 404)", f.submits)
+	}
+}
+
+func TestRunResubmitsRetryableFailure(t *testing.T) {
+	retryableStatus := `{"id":"j000001","state":"failed","error":"chaos write: input/output error","retryable":true}`
+	f := &fakeDaemon{results: map[string][]fakeResp{
+		"j000001": {{code: http.StatusConflict, body: retryableStatus}},
+		"j000002": {{code: http.StatusOK, body: "ok\n"}},
+	}}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxAttempts: 5})
+	body, err := c.Run(context.Background(), map[string]string{"kind": "scan"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if string(body) != "ok\n" || f.submits != 2 {
+		t.Fatalf("body %q after %d submits, want ok after 2", body, f.submits)
+	}
+}
+
+func TestRunSurfacesPermanentFailure(t *testing.T) {
+	permanent := `{"id":"j000001","state":"failed","error":"unknown model \"nand\""}`
+	f := &fakeDaemon{results: map[string][]fakeResp{
+		"j000001": {{code: http.StatusConflict, body: permanent}},
+	}}
+	srv := httptest.NewServer(f.handler())
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{MaxAttempts: 5})
+	_, err := c.Run(context.Background(), map[string]string{"kind": "campaign", "model": "nand"})
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want *JobError", err)
+	}
+	if je.JobID != "j000001" || !strings.Contains(je.Message, "nand") {
+		t.Fatalf("JobError = %+v", je)
+	}
+	if f.submits != 1 {
+		t.Fatalf("submits = %d, want 1 (permanent failures are not retried)", f.submits)
+	}
+}
+
+// eventsDaemon mirrors the server's paging contract (clamp past-end,
+// snap mid-record offsets back to a boundary) over a fixed stream.
+type eventsDaemon struct {
+	stream []byte
+	state  string
+	mu     sync.Mutex
+}
+
+func (e *eventsDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		e.mu.Lock()
+		data := append([]byte(nil), e.stream...)
+		e.mu.Unlock()
+		offset, _ := strconv.ParseInt(r.URL.Query().Get("offset"), 10, 64)
+		if offset > int64(len(data)) {
+			offset = int64(len(data))
+		}
+		if offset > 0 && offset < int64(len(data)) && data[offset-1] != '\n' {
+			for offset > 0 && data[offset-1] != '\n' {
+				offset--
+			}
+		}
+		chunk := data[offset:]
+		w.Header().Set(NextOffsetHeader, strconv.FormatInt(offset+int64(len(chunk)), 10))
+		_, _ = w.Write(chunk)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, _ *http.Request) {
+		e.mu.Lock()
+		state := e.state
+		e.mu.Unlock()
+		fmt.Fprintf(w, `{"id":"j1","state":%q}`, state)
+	})
+	return mux
+}
+
+func TestEventsStreamAndResume(t *testing.T) {
+	e := &eventsDaemon{
+		stream: []byte(`{"n":1}` + "\n" + `{"n":2}` + "\n" + `{"n":3}` + "\n"),
+		state:  "done",
+	}
+	srv := httptest.NewServer(e.handler())
+	defer srv.Close()
+
+	c, _ := newTestClient(t, srv, Config{})
+	var got []string
+	next, err := c.Events(context.Background(), "j1", 0, func(ev Event) error {
+		got = append(got, string(ev))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events: %v", err)
+	}
+	if next != int64(len(e.stream)) {
+		t.Fatalf("next = %d, want %d", next, len(e.stream))
+	}
+	if len(got) != 3 || got[0] != `{"n":1}` || got[2] != `{"n":3}` {
+		t.Fatalf("records = %v", got)
+	}
+
+	// Resume mid-record (offset 10 is inside record 2): the server snaps
+	// back to the record boundary, so record 2 arrives whole (a duplicate
+	// of nothing here — we start fresh) and never torn.
+	got = got[:0]
+	next, err = c.Events(context.Background(), "j1", 10, func(ev Event) error {
+		got = append(got, string(ev))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Events resume: %v", err)
+	}
+	if len(got) != 2 || got[0] != `{"n":2}` {
+		t.Fatalf("resumed records = %v, want whole records from the boundary", got)
+	}
+	if next != int64(len(e.stream)) {
+		t.Fatalf("resumed next = %d, want %d", next, len(e.stream))
+	}
+
+	// Resume past the end (the stream shrank under us): explicit empty
+	// page, terminal job, clean return at the clamped offset.
+	next, err = c.Events(context.Background(), "j1", int64(len(e.stream))+500, func(Event) error {
+		t.Fatal("no records expected past end")
+		return nil
+	})
+	if err != nil || next != int64(len(e.stream)) {
+		t.Fatalf("past-end resume: next=%d err=%v", next, err)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"glitchlab/internal/chaos"
 	"glitchlab/internal/obs"
 	"glitchlab/internal/runctl"
 )
@@ -21,6 +23,17 @@ import (
 // ErrQueueFull is returned by Submit when the bounded admission queue is
 // at capacity; the HTTP layer maps it to 429 Too Many Requests.
 var ErrQueueFull = errors.New("serve: job queue is full")
+
+// ErrDraining is returned by Submit after BeginDrain: the daemon is
+// shutting down and admits nothing new. The HTTP layer maps it to 503 +
+// Retry-After so a well-behaved client waits for the restarted daemon.
+var ErrDraining = errors.New("serve: daemon is draining")
+
+// ErrDegraded is returned by Submit while the daemon is in degraded mode:
+// persistent disk faults have made new work pointless, so fresh jobs are
+// rejected with 503 + Retry-After while cached results keep being served.
+// The daemon probes the state dir and recovers on the first success.
+var ErrDegraded = errors.New("serve: daemon is degraded (persistent disk faults)")
 
 // Config shapes a Daemon. Zero values select the documented defaults.
 type Config struct {
@@ -53,6 +66,16 @@ type Config struct {
 	// unit of every job (tests inject crashes here, reusing the runctl
 	// kill-after-prefix pattern).
 	UnitHook func(jobID, unit string)
+	// FS is the filesystem all durable state goes through. Default
+	// chaos.OS{} (the real one); chaos tests pass a *chaos.Injector.
+	FS chaos.FS
+	// DegradeAfter is how many consecutive disk-fault persistence failures
+	// flip the daemon to degraded mode. Default 3; < 0 disables degraded
+	// mode entirely.
+	DegradeAfter int
+	// ProbeInterval rate-limits the degraded daemon's recovery probes (a
+	// small atomic write to the state dir on Submit). Default 250ms.
+	ProbeInterval time.Duration
 }
 
 // SubmitResult is the outcome of one submission.
@@ -75,10 +98,14 @@ type Daemon struct {
 	stamp string
 	reg   *obs.Registry
 	cache *Cache
+	fs    chaos.FS
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+
+	draining atomic.Bool
+	degraded atomic.Bool
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -90,8 +117,16 @@ type Daemon struct {
 	queued      int
 	running     int
 
+	// faultMu guards the degraded-mode tracker separately from d.mu:
+	// notePersist runs inside persist calls that may themselves hold d.mu
+	// (newJobLocked).
+	faultMu     sync.Mutex
+	faultStreak int       // consecutive disk-fault persistence failures
+	lastProbe   time.Time // last degraded-mode recovery probe
+
 	submitted, completed, failed, rejected, coalesced, resumed *obs.Counter
-	queueDepth, runningG                                       *obs.Gauge
+	diskFaults, rejectedBusy                                   *obs.Counter
+	queueDepth, runningG, degradedG                            *obs.Gauge
 }
 
 type jobMeta struct {
@@ -126,32 +161,45 @@ func Open(cfg Config) (*Daemon, error) {
 	if cfg.Reg == nil {
 		cfg.Reg = obs.Default
 	}
+	if cfg.FS == nil {
+		cfg.FS = chaos.OS{}
+	}
+	if cfg.DegradeAfter == 0 {
+		cfg.DegradeAfter = 3
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 250 * time.Millisecond
+	}
 	stamp := cfg.StampOverride
 	if stamp == "" {
 		stamp = Stamp()
 	}
-	if err := os.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o777); err != nil {
+	if err := cfg.FS.MkdirAll(filepath.Join(cfg.StateDir, "jobs"), 0o777); err != nil {
 		return nil, fmt.Errorf("serve: state dir: %w", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	d := &Daemon{
-		cfg:         cfg,
-		stamp:       stamp,
-		reg:         cfg.Reg,
-		cache:       NewCache(cfg.CacheBytes, cfg.Reg),
-		ctx:         ctx,
-		cancel:      cancel,
-		jobs:        map[string]*Job{},
-		activeByKey: map[string]*Job{},
-		nextSeq:     1,
-		submitted:   cfg.Reg.Counter(MetricJobsSubmitted),
-		completed:   cfg.Reg.Counter(MetricJobsCompleted),
-		failed:      cfg.Reg.Counter(MetricJobsFailed),
-		rejected:    cfg.Reg.Counter(MetricJobsRejected),
-		coalesced:   cfg.Reg.Counter(MetricJobsCoalesced),
-		resumed:     cfg.Reg.Counter(MetricJobsResumed),
-		queueDepth:  cfg.Reg.Gauge(MetricQueueDepth),
-		runningG:    cfg.Reg.Gauge(MetricJobsRunning),
+		cfg:          cfg,
+		stamp:        stamp,
+		reg:          cfg.Reg,
+		cache:        NewCache(cfg.CacheBytes, cfg.Reg),
+		fs:           cfg.FS,
+		ctx:          ctx,
+		cancel:       cancel,
+		jobs:         map[string]*Job{},
+		activeByKey:  map[string]*Job{},
+		nextSeq:      1,
+		submitted:    cfg.Reg.Counter(MetricJobsSubmitted),
+		completed:    cfg.Reg.Counter(MetricJobsCompleted),
+		failed:       cfg.Reg.Counter(MetricJobsFailed),
+		rejected:     cfg.Reg.Counter(MetricJobsRejected),
+		coalesced:    cfg.Reg.Counter(MetricJobsCoalesced),
+		resumed:      cfg.Reg.Counter(MetricJobsResumed),
+		diskFaults:   cfg.Reg.Counter(MetricDiskFaults),
+		rejectedBusy: cfg.Reg.Counter(MetricJobsRejectedBusy),
+		queueDepth:   cfg.Reg.Gauge(MetricQueueDepth),
+		runningG:     cfg.Reg.Gauge(MetricJobsRunning),
+		degradedG:    cfg.Reg.Gauge(MetricDegraded),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	if err := d.recover(); err != nil {
@@ -179,6 +227,12 @@ func (d *Daemon) runDir(id string) string     { return filepath.Join(d.jobDir(id
 func (d *Daemon) resultPath(id string) string { return filepath.Join(d.jobDir(id), "result.txt") }
 func (d *Daemon) errorPath(id string) string  { return filepath.Join(d.jobDir(id), "error.txt") }
 
+// retryablePath marks a failed job whose error was a disk fault rather
+// than a deterministic one: a client may resubmit the identical spec.
+func (d *Daemon) retryablePath(id string) string {
+	return filepath.Join(d.jobDir(id), "retryable")
+}
+
 // EventsPath returns the job's JSONL event-stream file.
 func (d *Daemon) EventsPath(id string) string {
 	return filepath.Join(d.jobDir(id), "events.jsonl")
@@ -187,7 +241,7 @@ func (d *Daemon) EventsPath(id string) string {
 // recover enumerates StateDir/jobs and rebuilds the in-memory store.
 func (d *Daemon) recover() error {
 	root := filepath.Join(d.cfg.StateDir, "jobs")
-	entries, err := os.ReadDir(root)
+	entries, err := d.fs.ReadDir(root)
 	if err != nil {
 		return fmt.Errorf("serve: recover: %w", err)
 	}
@@ -196,9 +250,15 @@ func (d *Daemon) recover() error {
 		if !e.IsDir() {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(root, e.Name(), "meta.json"))
-		if err != nil {
+		data, err := d.fs.ReadFile(filepath.Join(root, e.Name(), "meta.json"))
+		if errors.Is(err, os.ErrNotExist) {
 			continue // job dir created but never persisted; abandon it
+		}
+		if err != nil {
+			// A meta file that exists but cannot be read is a disk fault,
+			// not an abandoned job: silently dropping it would forget a
+			// recoverable job. Fail loudly and let the operator retry.
+			return fmt.Errorf("serve: recover %s: %w", e.Name(), err)
 		}
 		var m jobMeta
 		if err := json.Unmarshal(data, &m); err != nil || m.ID != e.Name() {
@@ -216,8 +276,8 @@ func (d *Daemon) recover() error {
 		d.jobs[j.ID] = j
 		d.order = append(d.order, j)
 		switch {
-		case exists(d.resultPath(j.ID)):
-			body, err := os.ReadFile(d.resultPath(j.ID))
+		case d.exists(d.resultPath(j.ID)):
+			body, err := d.fs.ReadFile(d.resultPath(j.ID))
 			if err == nil {
 				j.resultSize = int64(len(body))
 				if j.Stamp == d.stamp {
@@ -225,10 +285,11 @@ func (d *Daemon) recover() error {
 				}
 			}
 			j.state = StateDone
-		case exists(d.errorPath(j.ID)):
-			msg, _ := os.ReadFile(d.errorPath(j.ID))
+		case d.exists(d.errorPath(j.ID)):
+			msg, _ := d.fs.ReadFile(d.errorPath(j.ID))
 			j.state = StateFailed
 			j.err = strings.TrimSpace(string(msg))
+			j.retryable = d.exists(d.retryablePath(j.ID))
 		default:
 			// Queued or in flight when the previous daemon died: its
 			// checkpoint (if any) resumes, its event stream appends.
@@ -246,17 +307,101 @@ func (d *Daemon) recover() error {
 	return nil
 }
 
-func exists(path string) bool {
-	_, err := os.Stat(path)
+func (d *Daemon) exists(path string) bool {
+	_, err := d.fs.Stat(path)
 	return err == nil
+}
+
+// BeginDrain rejects every subsequent submission with ErrDraining (503 +
+// Retry-After over HTTP) while existing jobs keep executing and results
+// keep being served. Call it on SIGTERM before Close so late clients get
+// a back-off hint instead of a connection error.
+func (d *Daemon) BeginDrain() {
+	if d.draining.CompareAndSwap(false, true) {
+		d.jobEventGlobal("daemon.draining")
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (d *Daemon) Draining() bool { return d.draining.Load() }
+
+// Degraded reports whether persistent disk faults have flipped the
+// daemon to degraded mode.
+func (d *Daemon) Degraded() bool { return d.degraded.Load() }
+
+// jobEventGlobal is a stderr note for daemon-level state changes (no job
+// stream to attach them to).
+func (d *Daemon) jobEventGlobal(what string) {
+	fmt.Fprintf(os.Stderr, "serve: %s\n", what)
+}
+
+// notePersist feeds the degraded-mode fault tracker with the outcome of
+// one durable-state write. Any success resets the streak and recovers;
+// DegradeAfter consecutive disk faults trip degraded mode.
+func (d *Daemon) notePersist(err error) {
+	if err == nil {
+		d.faultMu.Lock()
+		d.faultStreak = 0
+		d.faultMu.Unlock()
+		if d.degraded.CompareAndSwap(true, false) {
+			d.degradedG.Set(0)
+			d.jobEventGlobal("daemon.recovered (disk writes succeeding again)")
+		}
+		return
+	}
+	if !chaos.IsDiskFault(err) {
+		return
+	}
+	d.diskFaults.Inc()
+	d.faultMu.Lock()
+	d.faultStreak++
+	trip := d.cfg.DegradeAfter > 0 && d.faultStreak >= d.cfg.DegradeAfter
+	d.faultMu.Unlock()
+	if trip && d.degraded.CompareAndSwap(false, true) {
+		d.degradedG.Set(1)
+		d.jobEventGlobal("daemon.degraded (persistent disk faults; rejecting new jobs)")
+	}
+}
+
+// persist is WriteFileAtomic through the daemon's filesystem, feeding the
+// degraded-mode tracker.
+func (d *Daemon) persist(path string, data []byte) error {
+	err := runctl.WriteFileAtomicFS(d.fs, path, data, 0o666)
+	d.notePersist(err)
+	return err
+}
+
+// probeDegraded attempts one rate-limited recovery probe: a small atomic
+// write to the state dir. On success the notePersist inside recovers the
+// daemon. Reports whether the daemon is (still) degraded afterwards.
+func (d *Daemon) probeDegraded() bool {
+	if !d.degraded.Load() {
+		return false
+	}
+	d.faultMu.Lock()
+	due := time.Since(d.lastProbe) >= d.cfg.ProbeInterval
+	if due {
+		d.lastProbe = time.Now()
+	}
+	d.faultMu.Unlock()
+	if due {
+		_ = d.persist(filepath.Join(d.cfg.StateDir, ".probe"), []byte("probe\n"))
+	}
+	return d.degraded.Load()
 }
 
 // Submit admits one job. The spec is normalized first; identical
 // submissions (same normalized spec under the same stamp) are served from
 // the result cache byte-identically, or coalesced onto the in-flight
 // execution if one exists. Fresh work is admitted only while the bounded
-// queue has room (ErrQueueFull otherwise).
+// queue has room (ErrQueueFull otherwise), the daemon is not draining
+// (ErrDraining) and not degraded by persistent disk faults (ErrDegraded —
+// cache hits for already-completed specs are still served).
 func (d *Daemon) Submit(spec Spec) (SubmitResult, error) {
+	if d.draining.Load() {
+		d.rejectedBusy.Inc()
+		return SubmitResult{}, ErrDraining
+	}
 	n, err := spec.Normalize()
 	if err != nil {
 		return SubmitResult{}, err
@@ -274,23 +419,35 @@ func (d *Daemon) Submit(spec Spec) (SubmitResult, error) {
 	}
 	if body, ok := d.cache.Get(key); ok {
 		j, err := d.newJobLocked(n, key)
-		if err != nil {
+		if err != nil && !chaos.IsDiskFault(err) {
 			d.mu.Unlock()
 			return SubmitResult{}, err
 		}
+		// On a disk fault the job stays in-memory only (it will not
+		// survive a restart) — a degraded daemon keeps serving cached
+		// results, which is the whole point of degraded mode.
 		j.state = StateDone
 		j.cacheHit = true
 		j.resultSize = int64(len(body))
 		d.submitted.Inc()
 		d.completed.Inc()
 		d.mu.Unlock()
-		// Persist the served result so the job survives a restart like
-		// any executed one. The body bytes are exactly the cached ones.
-		if err := runctl.WriteFileAtomic(d.resultPath(j.ID), body, 0o666); err != nil {
-			return SubmitResult{}, err
+		if err == nil {
+			// Persist the served result so the job survives a restart like
+			// any executed one. The body bytes are exactly the cached ones;
+			// handleResult falls back to the cache if this write is lost.
+			_ = d.persist(d.resultPath(j.ID), body)
 		}
 		d.jobEvent(j, "job.cache_hit", map[string]any{"key": j.Key, "bytes": len(body)})
 		return SubmitResult{Job: j, CacheHit: true}, nil
+	}
+	if d.degraded.Load() {
+		d.mu.Unlock()
+		if d.probeDegraded() {
+			d.rejectedBusy.Inc()
+			return SubmitResult{}, ErrDegraded
+		}
+		d.mu.Lock() // probe write succeeded: recovered, admit as usual
 	}
 	if d.queued+d.running >= d.cfg.QueueCap {
 		d.rejected.Inc()
@@ -315,7 +472,10 @@ func (d *Daemon) Submit(spec Spec) (SubmitResult, error) {
 }
 
 // newJobLocked allocates the next job, persists its meta record and
-// registers it. Caller holds d.mu.
+// registers it. On a disk-fault persist failure the job is still
+// registered in memory and returned alongside the error, so cache hits
+// can be served through a broken disk; other errors return a nil job.
+// Caller holds d.mu.
 func (d *Daemon) newJobLocked(spec Spec, key string) (*Job, error) {
 	seq := d.nextSeq
 	d.nextSeq++
@@ -326,17 +486,28 @@ func (d *Daemon) newJobLocked(spec Spec, key string) (*Job, error) {
 		Key:   key,
 		Stamp: d.stamp,
 	}
-	if err := os.MkdirAll(d.jobDir(j.ID), 0o777); err != nil {
-		return nil, fmt.Errorf("serve: job dir: %w", err)
-	}
 	meta, err := json.MarshalIndent(jobMeta{
 		ID: j.ID, Seq: j.Seq, Spec: j.Spec, Key: j.Key, Stamp: j.Stamp,
 	}, "", "  ")
 	if err != nil {
 		return nil, err
 	}
-	if err := runctl.WriteFileAtomic(d.metaPath(j.ID), append(meta, '\n'), 0o666); err != nil {
-		return nil, err
+	if err := d.fs.MkdirAll(d.jobDir(j.ID), 0o777); err != nil {
+		d.notePersist(err)
+		if !chaos.IsDiskFault(err) {
+			return nil, fmt.Errorf("serve: job dir: %w", err)
+		}
+		d.jobs[j.ID] = j
+		d.order = append(d.order, j)
+		return j, err
+	}
+	if err := d.persist(d.metaPath(j.ID), append(meta, '\n')); err != nil {
+		if !chaos.IsDiskFault(err) {
+			return nil, err
+		}
+		d.jobs[j.ID] = j
+		d.order = append(d.order, j)
+		return j, err
 	}
 	d.jobs[j.ID] = j
 	d.order = append(d.order, j)
@@ -367,7 +538,17 @@ func (d *Daemon) Result(id string) ([]byte, error) {
 	if s := j.State(); s != StateDone {
 		return nil, fmt.Errorf("serve: job %s is %s, not done", id, s)
 	}
-	return os.ReadFile(d.resultPath(id))
+	body, err := d.fs.ReadFile(d.resultPath(id))
+	if err != nil {
+		// The result file may be unreadable (disk fault) or absent (cache
+		// hit persisted best-effort while degraded); the stamped cache
+		// holds the identical bytes.
+		if cached, ok := d.cache.Get(j.Key); ok {
+			return cached, nil
+		}
+		return nil, err
+	}
+	return body, nil
 }
 
 // WaitTerminal blocks until the job reaches done or failed, polling its
@@ -423,7 +604,11 @@ func (d *Daemon) executor() {
 func (d *Daemon) execute(j *Job) {
 	j.setState(StateRunning)
 
-	evFile, err := os.OpenFile(d.EventsPath(j.ID),
+	// A crash mid-append can leave a torn final event line; truncate to
+	// the last record boundary before resuming the append so readers (and
+	// their byte offsets) only ever see whole records.
+	d.truncateTornEvents(j.ID)
+	evFile, err := d.fs.OpenFile(d.EventsPath(j.ID),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
 	if err != nil {
 		d.fail(j, nil, fmt.Errorf("event stream: %w", err))
@@ -441,11 +626,11 @@ func (d *Daemon) execute(j *Job) {
 	j.before, j.hasBefore = before, true
 	j.mu.Unlock()
 
-	resumed := runctl.HasCheckpoint(d.runDir(j.ID))
+	resumed := runctl.HasCheckpointFS(d.fs, d.runDir(j.ID))
 	tracer.Event("job.start", map[string]any{
 		"id": j.ID, "kind": j.Spec.Kind, "resume": resumed,
 	})
-	rn, err := runctl.Open(d.ctx, d.runDir(j.ID), runctl.Manifest{
+	rn, err := runctl.OpenFS(d.ctx, d.fs, d.runDir(j.ID), runctl.Manifest{
 		Tool:       j.Spec.ToolName(),
 		ConfigHash: j.Spec.ConfigHash(),
 		Seed:       j.Spec.Seed,
@@ -498,7 +683,7 @@ func (d *Daemon) execute(j *Job) {
 	}
 
 	body := buf.Bytes()
-	if err := runctl.WriteFileAtomic(d.resultPath(j.ID), body, 0o666); err != nil {
+	if err := d.persist(d.resultPath(j.ID), body); err != nil {
 		d.fail(j, closeEvents, err)
 		return
 	}
@@ -518,13 +703,22 @@ func (d *Daemon) execute(j *Job) {
 }
 
 // fail marks a job failed and records the error durably so a restarted
-// daemon does not retry a deterministic failure.
+// daemon does not retry a deterministic failure. Disk-fault failures are
+// marked retryable — the job's inputs are fine, the environment was not —
+// so a client may safely resubmit the identical spec.
 func (d *Daemon) fail(j *Job, closeEvents func(), err error) {
 	msg := err.Error()
-	_ = runctl.WriteFileAtomic(d.errorPath(j.ID), []byte(msg+"\n"), 0o666)
+	retryable := chaos.IsDiskFault(err)
+	_ = d.persist(d.errorPath(j.ID), []byte(msg+"\n"))
+	if retryable {
+		// Best-effort: if the disk is broken this write fails too, and a
+		// restarted daemon re-enqueues the job anyway (no error file).
+		_ = d.persist(d.retryablePath(j.ID), []byte("disk fault\n"))
+	}
 	j.mu.Lock()
 	j.state = StateFailed
 	j.err = msg
+	j.retryable = retryable
 	j.mu.Unlock()
 	d.failed.Inc()
 	d.jobEvent(j, "job.failed", map[string]any{"error": msg})
@@ -547,7 +741,7 @@ func (d *Daemon) release(j *Job) {
 // stream outside an execution window (submission, cache hits, failures
 // before the tracer opened). Record shape matches the obs tracer's.
 func (d *Daemon) jobEvent(j *Job, name string, attrs map[string]any) {
-	f, err := os.OpenFile(d.EventsPath(j.ID),
+	f, err := d.fs.OpenFile(d.EventsPath(j.ID),
 		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
 	if err != nil {
 		return
@@ -560,6 +754,19 @@ func (d *Daemon) jobEvent(j *Job, name string, attrs map[string]any) {
 		_, _ = f.Write(append(data, '\n'))
 	}
 	_ = f.Close()
+}
+
+// truncateTornEvents drops a torn final line a crash mid-append left in
+// the job's event stream, so resumed appends continue on a record
+// boundary and byte offsets handed to clients always land between whole
+// records.
+func (d *Daemon) truncateTornEvents(id string) {
+	path := d.EventsPath(id)
+	data, err := d.fs.ReadFile(path)
+	if err != nil || len(data) == 0 || data[len(data)-1] == '\n' {
+		return
+	}
+	_ = d.fs.Truncate(path, int64(lastNewline(data)))
 }
 
 // Close drains the daemon: the context is canceled, executors finish at

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"glitchlab/internal/chaos"
 	"glitchlab/internal/report"
 )
 
@@ -86,6 +87,16 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil && chaos.IsDiskFault(err):
+		// An environmental failure, not a spec problem: the client should
+		// back off and resubmit, exactly as for a degraded daemon.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -156,7 +167,10 @@ func (d *Daemon) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, j.Status())
 		return
 	}
-	body, err := os.ReadFile(d.resultPath(j.ID))
+	// Result falls back to the stamped cache when the file itself is
+	// unreadable (disk fault, or a cache hit that could not persist while
+	// the daemon was degraded).
+	body, err := d.Result(j.ID)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -179,13 +193,22 @@ func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(maxWait)
 	var chunk []byte
 	for {
-		data, err := os.ReadFile(d.EventsPath(j.ID))
+		data, err := d.fs.ReadFile(d.EventsPath(j.ID))
 		if err != nil && !errors.Is(err, os.ErrNotExist) {
 			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
+		// An offset past end-of-stream is not an error: a daemon crash can
+		// shrink the stream under a resuming client, so clamp to the end
+		// and answer with an explicit empty page + next-offset.
 		if offset > int64(len(data)) {
 			offset = int64(len(data))
+		}
+		// An offset landing mid-record (the stream was rewritten after a
+		// crash) snaps back to the preceding record boundary: clients
+		// always receive whole records, at the price of a duplicate.
+		if offset > 0 && offset < int64(len(data)) && data[offset-1] != '\n' {
+			offset = int64(lastNewline(data[:offset]))
 		}
 		chunk = data[offset:]
 		// Serve whole records only: a concurrent append can land between
@@ -244,8 +267,16 @@ func (d *Daemon) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	d.mu.Lock()
 	queued, running := d.queued, d.running
 	d.mu.Unlock()
+	status := "ok"
+	switch {
+	case d.draining.Load():
+		status = "draining"
+	case d.degraded.Load():
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok": true, "queued": queued, "running": running,
+		"ok": status == "ok", "status": status,
+		"queued": queued, "running": running,
 		"queue_cap": d.cfg.QueueCap, "stamp": d.stamp,
 		"cache_entries": d.cache.Len(), "cache_bytes": d.cache.Size(),
 	})

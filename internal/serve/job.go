@@ -40,6 +40,7 @@ type Job struct {
 	mu         sync.Mutex
 	state      State
 	err        string
+	retryable  bool  // the failure was a disk fault, not a bad spec
 	cacheHit   bool  // served from the result cache without executing
 	resumed    bool  // re-enqueued from a previous daemon process
 	resultSize int64 // bytes of the rendered result, once done
@@ -63,6 +64,10 @@ type Status struct {
 	Resumed     bool   `json:"resumed,omitempty"`
 	ResultSize  int64  `json:"result_size,omitempty"`
 	Error       string `json:"error,omitempty"`
+	// Retryable marks a failure caused by the environment (disk faults)
+	// rather than the spec: resubmitting the identical spec is safe and
+	// may succeed.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // Status snapshots the job for the API.
@@ -81,6 +86,7 @@ func (j *Job) Status() Status {
 		Resumed:     j.resumed,
 		ResultSize:  j.resultSize,
 		Error:       j.err,
+		Retryable:   j.retryable,
 	}
 }
 

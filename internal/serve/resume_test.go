@@ -133,6 +133,13 @@ func crashAfterUnits(t *testing.T, state string, n int) (*Daemon, <-chan struct{
 		UnitHook: func(string, string) {
 			if units.Add(1) == int64(n) {
 				dd := <-ready
+				// Cancel synchronously so executors stop at the very next
+				// unit boundary: under load, an async-only Close lets the
+				// engines overshoot the kill point far enough to finish
+				// every job, leaving the restart nothing to resume. The
+				// blocking drain still needs its own goroutine (Close
+				// waits for the executor running this hook).
+				dd.cancel()
 				go func() {
 					dd.Close()
 					close(killed)
